@@ -1,0 +1,163 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ccube"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/jacobi"
+	"repro/internal/matrix"
+	"repro/internal/ordering"
+)
+
+// cmdSequences prints the D_e sequences of every ordering with analysis.
+func cmdSequences(args []string) error {
+	fs := flag.NewFlagSet("sequences", flag.ContinueOnError)
+	e := fs.Int("e", 5, "exchange-phase dimension")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for _, o := range core.Orderings() {
+		rep, err := core.AnalyzeSequence(o, *e)
+		if err != nil {
+			return err
+		}
+		seq, err := o.LinkSequence(*e)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-9s e=%d  α=%-4d (lb %d, ratio %.2f)  degree=%d  valid=%v\n",
+			o, rep.E, rep.Alpha, rep.LowerBound, rep.Ratio, rep.Degree, rep.Valid)
+		if len(seq) <= 127 {
+			fmt.Printf("          %s\n", seq.String())
+		} else {
+			fmt.Printf("          (%d links)\n", len(seq))
+		}
+	}
+	return nil
+}
+
+// cmdVerify machine-checks the round-robin property of every ordering.
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	d := fs.Int("d", 4, "hypercube dimension")
+	sweeps := fs.Int("sweeps", 5, "consecutive sweeps to verify")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for _, o := range core.Orderings() {
+		if err := core.VerifyOrdering(o, *d, *sweeps); err != nil {
+			return fmt.Errorf("%s: %v", o, err)
+		}
+		fmt.Printf("%-9s d=%d: %d sweeps verified — every block pair exactly once per sweep, CC-cube property holds\n",
+			o, *d, *sweeps)
+	}
+	return nil
+}
+
+// cmdPipeline prints the stage schedule of a pipelined exchange phase.
+func cmdPipeline(args []string) error {
+	fs := flag.NewFlagSet("pipeline", flag.ContinueOnError)
+	e := fs.Int("e", 3, "exchange-phase dimension")
+	q := fs.Int("q", 3, "pipelining degree")
+	ord := fs.String("o", "br", "ordering (br, pbr, d4, minalpha)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	seq, err := core.Ordering(*ord).LinkSequence(*e)
+	if err != nil {
+		return err
+	}
+	sched, err := ccube.Build(seq, *q)
+	if err != nil {
+		return err
+	}
+	mode := "shallow"
+	if sched.Deep() {
+		mode = "deep"
+	}
+	fmt.Printf("pipelined CC-cube schedule: %s phase e=%d (K=%d iterations), Q=%d (%s mode)\n",
+		*ord, *e, sched.K, sched.Q, mode)
+	fmt.Printf("link sequence: %s\n", seq.String())
+	fmt.Printf("%d stages: prologue %d, kernel %d, epilogue %d\n",
+		len(sched.Stages), sched.PrologueLen(), sched.KernelLen(), sched.PrologueLen())
+	for _, st := range sched.Stages {
+		fmt.Printf("  stage %2d: compute", st.Index)
+		for _, p := range st.Packets {
+			fmt.Printf(" (it %d, pkt %d)", p.K, p.Q)
+		}
+		fmt.Printf("  | send")
+		for _, send := range st.Sends {
+			fmt.Printf(" link%d×%d", send.Link, len(send.Packets))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// cmdSolve runs a distributed eigensolve on the emulated machine.
+func cmdSolve(args []string) error {
+	fs := flag.NewFlagSet("solve", flag.ContinueOnError)
+	m := fs.Int("m", 32, "matrix size")
+	d := fs.Int("d", 2, "hypercube dimension")
+	ord := fs.String("o", "pbr", "ordering (br, pbr, d4, minalpha)")
+	pipelined := fs.Bool("pipelined", false, "apply communication pipelining")
+	onePort := fs.Bool("oneport", false, "one-port machine configuration")
+	seed := fs.Int64("seed", 42, "random matrix seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	a := matrix.RandomSymmetric(*m, rng)
+	res, err := core.Solve(a, core.SolveOptions{
+		Dim:       *d,
+		Ordering:  core.Ordering(*ord),
+		Pipelined: *pipelined,
+		OnePort:   *onePort,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("solved %dx%d random symmetric matrix on %d-node hypercube (%s ordering, pipelined=%v)\n",
+		*m, *m, 1<<uint(*d), *ord, *pipelined)
+	fmt.Printf("  sweeps: %d (converged=%v), rotations: %d\n",
+		res.Eigen.Sweeps, res.Eigen.Converged, res.Eigen.Rotations)
+	fmt.Printf("  residual max_i ||A·vᵢ-λᵢvᵢ||/||A||_F: %.2e\n",
+		matrix.EigenResidual(a, res.Eigen.Values, res.Eigen.Vectors))
+	fmt.Printf("  modeled time: %.0f units; messages: %d; elements: %d\n",
+		res.Machine.Makespan, res.Machine.Messages, res.Machine.Elements)
+	n := len(res.Eigen.Values)
+	show := n
+	if show > 8 {
+		show = 8
+	}
+	fmt.Printf("  smallest eigenvalues: %.5v\n", res.Eigen.Values[:show])
+	return nil
+}
+
+// simulateVsAnalytic runs a fixed-sweep unpipelined solve and returns the
+// measured makespan alongside the analytic baseline cost.
+func simulateVsAnalytic(m, d, sweeps int, ord core.Ordering) (measured, analytic float64, err error) {
+	fam, err := ord.Family()
+	if err != nil {
+		return 0, 0, err
+	}
+	rng := rand.New(rand.NewSource(7))
+	a := matrix.RandomSymmetric(m, rng)
+	cfg := jacobi.ParallelConfig{
+		Family:      fam,
+		Ts:          1000,
+		Tw:          100,
+		FixedSweeps: sweeps,
+	}
+	_, stats, err := jacobi.SolveParallel(a, d, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	base := costmodel.BaselineSweepCost(d, costmodel.Params{M: float64(m), Ts: 1000, Tw: 100})
+	_ = ordering.PhaseLengths(d)
+	return stats.Makespan, base * float64(sweeps), nil
+}

@@ -1,0 +1,28 @@
+// Package repro is a production-quality Go reproduction of
+//
+//	"Jacobi Orderings for Multi-Port Hypercubes"
+//	Dolors Royo, Antonio González, Miguel Valero-García
+//	IPPS 1998, Universitat Politècnica de Catalunya
+//
+// The paper proposes two Jacobi orderings — permuted-BR and degree-4 — that
+// let the one-sided Jacobi eigensolver exploit the multi-port capability of
+// hypercube multicomputers through communication pipelining. This module
+// implements the orderings, every substrate they depend on (hypercube
+// topology, link-sequence analysis, sweep schedules, a channel-based
+// multi-port hypercube emulator, the communication-pipelining transformation
+// and its cost models, and the one-sided Jacobi method itself), and a
+// benchmark harness that regenerates every table and figure of the paper's
+// evaluation section.
+//
+// Entry points:
+//
+//   - internal/core: the public facade (orderings, analysis, solvers,
+//     experiment drivers)
+//   - cmd/jacobitool: command-line access to everything
+//   - examples/: runnable walkthroughs (quickstart, orderinglab,
+//     eigensolve, commcost, pipelinelab)
+//   - bench_test.go: one benchmark per paper table/figure plus ablations
+//
+// See DESIGN.md for the system inventory and the paper-to-code
+// interpretation notes, and EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,110 @@
+// Eigensolve demonstrates the distributed one-sided Jacobi solver on a
+// physically meaningful workload — the vibration modes of a spring-mass
+// chain (a symmetric tridiagonal stiffness matrix whose exact eigenvalues
+// are known in closed form) — and cross-checks every ordering against the
+// analytic spectrum and an independent two-sided Jacobi reference.
+//
+//	go run ./examples/eigensolve
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/jacobi"
+	"repro/internal/matrix"
+)
+
+func main() {
+	const n = 32
+	a := stiffnessChain(n)
+
+	fmt.Printf("spring-mass chain with %d masses: K[i][i]=2, K[i][i±1]=-1\n", n)
+	fmt.Println("exact eigenvalues: λ_k = 2 - 2cos(kπ/(n+1)), k = 1..n")
+	exact := make([]float64, n)
+	for k := 1; k <= n; k++ {
+		exact[k-1] = 2 - 2*math.Cos(float64(k)*math.Pi/float64(n+1))
+	}
+
+	// Independent reference: two-sided Jacobi (shares no code path with the
+	// one-sided solvers).
+	ref, err := jacobi.SolveTwoSided(a, jacobi.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("two-sided reference: %d sweeps, dist to exact %.2e\n",
+		ref.Sweeps, matrix.SortedEigenvalueDistance(ref.Values, exact))
+	fmt.Println()
+
+	fmt.Println("distributed one-sided solves on an 8-node hypercube (d=3):")
+	fmt.Println("  ordering   sweeps  vs-exact   residual   modeled-time  messages")
+	for _, o := range core.Orderings() {
+		res, err := core.Solve(a, core.SolveOptions{Dim: 3, Ordering: o})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dist := matrix.SortedEigenvalueDistance(res.Eigen.Values, exact)
+		resid := matrix.EigenResidual(a, res.Eigen.Values, res.Eigen.Vectors)
+		fmt.Printf("  %-9s  %4d    %.2e   %.2e   %12.0f  %6d\n",
+			o, res.Eigen.Sweeps, dist, resid, res.Machine.Makespan, res.Machine.Messages)
+	}
+	fmt.Println()
+
+	fmt.Println("same solve with communication pipelining (modeled time drops):")
+	fmt.Println("  ordering   plain-time    pipelined-time   speedup")
+	for _, o := range core.Orderings() {
+		plain, err := core.Solve(a, core.SolveOptions{Dim: 3, Ordering: o})
+		if err != nil {
+			log.Fatal(err)
+		}
+		piped, err := core.Solve(a, core.SolveOptions{Dim: 3, Ordering: o, Pipelined: true, PipelineQ: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-9s  %10.0f     %10.0f     %.2fx\n",
+			o, plain.Machine.Makespan, piped.Machine.Makespan,
+			plain.Machine.Makespan/piped.Machine.Makespan)
+	}
+
+	// Show the fundamental mode: the lowest eigenvector should be a
+	// half-sine across the chain.
+	res, err := core.Solve(a, core.SolveOptions{Dim: 3, Ordering: core.Degree4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Printf("fundamental mode (λ = %.5f, exact %.5f):\n", res.Eigen.Values[0], exact[0])
+	mode := res.Eigen.Vectors.Col(0)
+	scale := 1.0
+	if mode[n/2] < 0 {
+		scale = -1 // fix the sign for display
+	}
+	for i := 0; i < n; i += 4 {
+		bar := int(30 * math.Abs(mode[i]))
+		fmt.Printf("  mass %2d %+.3f %s\n", i, scale*mode[i], stars(bar))
+	}
+}
+
+// stiffnessChain builds the n×n tridiagonal stiffness matrix of a chain of
+// unit masses joined by unit springs with fixed ends.
+func stiffnessChain(n int) *matrix.Dense {
+	a := matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 2)
+		if i > 0 {
+			a.Set(i, i-1, -1)
+			a.Set(i-1, i, -1)
+		}
+	}
+	return a
+}
+
+func stars(n int) string {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '*'
+	}
+	return string(out)
+}

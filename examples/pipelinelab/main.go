@@ -1,0 +1,84 @@
+// Pipelinelab dissects the communication-pipelining transformation: it
+// prints the stage schedule of the paper's two worked examples, then sweeps
+// the pipelining degree Q for one exchange phase to expose the cost
+// trade-off (start-ups vs transmission parallelism) and the shallow/deep
+// crossover.
+//
+//	go run ./examples/pipelinelab
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/ccube"
+	"repro/internal/sequence"
+)
+
+func main() {
+	fmt.Println("== Paper example 1: K=7, links <0102010>, Q=3 (shallow) ==")
+	printSchedule(sequence.Seq{0, 1, 0, 2, 0, 1, 0}, 3)
+	fmt.Println()
+
+	fmt.Println("== Paper example 2: K=3, links <010>, Q=6 (deep; paper uses Q=100) ==")
+	printSchedule(sequence.Seq{0, 1, 0}, 6)
+	fmt.Println()
+
+	fmt.Println("== Cost vs pipelining degree: permuted-BR phase e=6, S=10^6 elements ==")
+	fmt.Println("   (Ts=1000, Tw=100; kernel windows get more diverse as Q grows,")
+	fmt.Println("    then start-up cost takes over — the optimum is in between)")
+	seq := sequence.PermutedBR(6)
+	params := ccube.CostParams{Ts: 1000, Tw: 100}
+	blockElems := 1e6
+	fmt.Println("      Q       mode      cost (model units)")
+	for _, q := range []int{1, 2, 4, 8, 16, 32, 63, 64, 128, 512, 2048, 16384} {
+		cost := ccube.PhaseCommCost(seq, q, blockElems, params)
+		mode := "shallow"
+		if q > len(seq) {
+			mode = "deep"
+		}
+		fmt.Printf("  %6d   %-8s  %14.0f\n", q, mode, cost)
+	}
+	best := ccube.OptimalPhaseQ(seq, blockElems, 1<<20, params)
+	fmt.Printf("  optimum: Q=%d (deep=%v), cost %.0f — %.1fx better than unpipelined\n",
+		best.Q, best.Deep, best.Cost,
+		ccube.PhaseCommCost(seq, 1, blockElems, params)/best.Cost)
+	fmt.Println()
+
+	fmt.Println("== Same sweep for the BR sequence: the factor-2 ceiling ==")
+	seqBR := sequence.BR(6)
+	bestBR := ccube.OptimalPhaseQ(seqBR, blockElems, 1<<20, params)
+	fmt.Printf("  BR optimum: Q=%d, cost %.0f — only %.2fx better than unpipelined\n",
+		bestBR.Q, bestBR.Cost,
+		ccube.PhaseCommCost(seqBR, 1, blockElems, params)/bestBR.Cost)
+	fmt.Println("  (any window of D_e^BR is half link-0, so combining cannot beat 2x)")
+}
+
+func printSchedule(links sequence.Seq, q int) {
+	sched, err := ccube.Build(links, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sched.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d stages (prologue %d, kernel %d, epilogue %d)\n",
+		len(sched.Stages), sched.PrologueLen(), sched.KernelLen(), sched.PrologueLen())
+	for _, st := range sched.Stages {
+		fmt.Printf("  stage %2d: ", st.Index)
+		for i, send := range st.Sends {
+			if i > 0 {
+				fmt.Print("-")
+			}
+			fmt.Printf("%d", send.Link)
+			if len(send.Packets) > 1 {
+				fmt.Printf("(x%d)", len(send.Packets))
+			}
+		}
+		fmt.Printf("   packets")
+		for _, p := range st.Packets {
+			fmt.Printf(" (%d,%d)", p.K, p.Q)
+		}
+		fmt.Println()
+	}
+}

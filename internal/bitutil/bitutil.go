@@ -1,0 +1,98 @@
+// Package bitutil provides the small bit-manipulation helpers used by the
+// hypercube topology and link-sequence machinery.
+//
+// Hypercube node labels are unsigned integers whose bits select coordinates;
+// dimension i corresponds to bit i. All helpers operate on non-negative ints
+// so they compose directly with slice indexing.
+package bitutil
+
+import "math/bits"
+
+// Bit reports whether bit i of x is set.
+func Bit(x, i int) bool {
+	return x&(1<<uint(i)) != 0
+}
+
+// Flip returns x with bit i toggled.
+func Flip(x, i int) int {
+	return x ^ (1 << uint(i))
+}
+
+// Set returns x with bit i forced to 1.
+func Set(x, i int) int {
+	return x | (1 << uint(i))
+}
+
+// Clear returns x with bit i forced to 0.
+func Clear(x, i int) int {
+	return x &^ (1 << uint(i))
+}
+
+// OnesCount returns the number of set bits in x.
+func OnesCount(x int) int {
+	return bits.OnesCount(uint(x))
+}
+
+// IsPow2 reports whether x is a positive power of two.
+func IsPow2(x int) bool {
+	return x > 0 && x&(x-1) == 0
+}
+
+// Log2 returns floor(log2(x)) for x > 0, and -1 for x <= 0.
+func Log2(x int) int {
+	if x <= 0 {
+		return -1
+	}
+	return bits.Len(uint(x)) - 1
+}
+
+// CeilLog2 returns ceil(log2(x)) for x > 0, and -1 for x <= 0.
+func CeilLog2(x int) int {
+	if x <= 0 {
+		return -1
+	}
+	if IsPow2(x) {
+		return Log2(x)
+	}
+	return Log2(x) + 1
+}
+
+// Gray returns the binary-reflected Gray code of i.
+func Gray(i int) int {
+	return i ^ (i >> 1)
+}
+
+// GrayRank is the inverse of Gray: GrayRank(Gray(i)) == i.
+func GrayRank(g int) int {
+	i := 0
+	for g != 0 {
+		i ^= g
+		g >>= 1
+	}
+	return i
+}
+
+// TrailingZeros returns the number of trailing zero bits in x,
+// or 64 when x == 0.
+func TrailingZeros(x int) int {
+	return bits.TrailingZeros(uint(x))
+}
+
+// LowBitsMask returns a mask with the low n bits set.
+func LowBitsMask(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (1 << uint(n)) - 1
+}
+
+// ReverseLow reverses the low n bits of x, leaving higher bits cleared.
+func ReverseLow(x, n int) int {
+	r := 0
+	for i := 0; i < n; i++ {
+		if Bit(x, i) {
+			r = Set(r, n-1-i)
+		}
+	}
+	return r
+}

@@ -1,0 +1,142 @@
+package bitutil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitSetClearFlip(t *testing.T) {
+	for x := 0; x < 64; x++ {
+		for i := 0; i < 6; i++ {
+			if got := Bit(Set(x, i), i); !got {
+				t.Fatalf("Bit(Set(%d,%d),%d) = false", x, i, i)
+			}
+			if got := Bit(Clear(x, i), i); got {
+				t.Fatalf("Bit(Clear(%d,%d),%d) = true", x, i, i)
+			}
+			if Flip(Flip(x, i), i) != x {
+				t.Fatalf("Flip not involutive at x=%d i=%d", x, i)
+			}
+			if Bit(x, i) == Bit(Flip(x, i), i) {
+				t.Fatalf("Flip did not change bit at x=%d i=%d", x, i)
+			}
+		}
+	}
+}
+
+func TestOnesCount(t *testing.T) {
+	cases := []struct{ x, want int }{
+		{0, 0}, {1, 1}, {2, 1}, {3, 2}, {255, 8}, {256, 1}, {0x5555, 8},
+	}
+	for _, c := range cases {
+		if got := OnesCount(c.x); got != c.want {
+			t.Errorf("OnesCount(%d) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		if !IsPow2(1 << uint(i)) {
+			t.Errorf("IsPow2(2^%d) = false", i)
+		}
+	}
+	for _, x := range []int{0, -1, -2, 3, 5, 6, 7, 9, 12, 100} {
+		if IsPow2(x) {
+			t.Errorf("IsPow2(%d) = true", x)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := []struct{ x, want int }{
+		{1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3}, {1023, 9}, {1024, 10},
+		{0, -1}, {-5, -1},
+	}
+	for _, c := range cases {
+		if got := Log2(c.x); got != c.want {
+			t.Errorf("Log2(%d) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := []struct{ x, want int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{0, -1},
+	}
+	for _, c := range cases {
+		if got := CeilLog2(c.x); got != c.want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+// Gray code property: consecutive codes differ in exactly one bit, and the
+// code enumerates all values exactly once.
+func TestGrayAdjacency(t *testing.T) {
+	const n = 1 << 10
+	seen := make(map[int]bool, n)
+	for i := 0; i < n; i++ {
+		g := Gray(i)
+		if seen[g] {
+			t.Fatalf("Gray(%d)=%d repeated", i, g)
+		}
+		seen[g] = true
+		if i > 0 {
+			diff := Gray(i) ^ Gray(i-1)
+			if OnesCount(diff) != 1 {
+				t.Fatalf("Gray(%d)^Gray(%d) has %d bits set", i, i-1, OnesCount(diff))
+			}
+		}
+	}
+}
+
+func TestGrayRankInverse(t *testing.T) {
+	f := func(x uint16) bool {
+		return GrayRank(Gray(int(x))) == int(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrailingZeros(t *testing.T) {
+	cases := []struct{ x, want int }{
+		{1, 0}, {2, 1}, {4, 2}, {8, 3}, {12, 2}, {0, 64},
+	}
+	for _, c := range cases {
+		if got := TrailingZeros(c.x); got != c.want {
+			t.Errorf("TrailingZeros(%d) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLowBitsMask(t *testing.T) {
+	if LowBitsMask(0) != 0 || LowBitsMask(-3) != 0 {
+		t.Error("LowBitsMask of non-positive n should be 0")
+	}
+	for n := 1; n <= 16; n++ {
+		want := (1 << uint(n)) - 1
+		if got := LowBitsMask(n); got != want {
+			t.Errorf("LowBitsMask(%d) = %#x, want %#x", n, got, want)
+		}
+	}
+}
+
+func TestReverseLow(t *testing.T) {
+	if got := ReverseLow(0b001, 3); got != 0b100 {
+		t.Errorf("ReverseLow(001,3) = %03b", got)
+	}
+	if got := ReverseLow(0b110, 3); got != 0b011 {
+		t.Errorf("ReverseLow(110,3) = %03b", got)
+	}
+	// Involution property.
+	f := func(x uint8) bool {
+		v := int(x)
+		return ReverseLow(ReverseLow(v, 8), 8) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

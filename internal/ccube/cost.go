@@ -1,0 +1,191 @@
+package ccube
+
+import (
+	"math"
+
+	"repro/internal/sequence"
+)
+
+// CostParams holds the architectural constants of the communication model
+// (paper section 3.1 and [9]): Ts is the start-up time per message, Tw the
+// transmission time per element. Ports is the number of links a node can
+// drive simultaneously: 0 means all-port (unlimited), 1 one-port, k >= 2 a
+// k-port architecture.
+type CostParams struct {
+	Ts, Tw float64
+	Ports  int
+}
+
+// stageCost returns the modeled time of one communication stage whose
+// window has the given statistics, for packets of pktElems elements. The U
+// start-ups always serialize on the node processor; the transmission term
+// depends on the port model:
+//
+//	all-port: R·pktElems·Tw      (R packets share the busiest link)
+//	one-port: total·pktElems·Tw  (everything serializes)
+//	k-port:   max(R, ceil(total/k))·pktElems·Tw
+//
+// The k-port term is the standard makespan lower bound for scheduling the
+// window's combined messages on k channels; the emulated machine schedules
+// them LPT-greedily, so its measured time can exceed this model by at most
+// the classic 4/3 factor on adversarial windows.
+func (p CostParams) stageCost(st sequence.WindowStat, total int, pktElems float64) float64 {
+	ts := float64(st.U) * p.Ts
+	var units int
+	switch {
+	case p.Ports == 1:
+		units = total
+	case p.Ports >= 2:
+		units = (total + p.Ports - 1) / p.Ports
+		if st.R > units {
+			units = st.R
+		}
+	default: // all-port
+		units = st.R
+	}
+	return ts + float64(units)*pktElems*p.Tw
+}
+
+// PhaseCommCost returns the modeled communication cost of executing one
+// exchange phase with link sequence seq (K = len(seq) iterations), block
+// size blockElems elements per transition, and pipelining degree q. q = 1 is
+// the unpipelined CC-cube: K·(Ts + blockElems·Tw).
+func PhaseCommCost(seq sequence.Seq, q int, blockElems float64, p CostParams) float64 {
+	k := len(seq)
+	if k == 0 || q < 1 {
+		return 0
+	}
+	pkt := blockElems / float64(q)
+	cost := 0.0
+	if q <= k {
+		// Prologue: prefixes of length 1..q-1.
+		for i, st := range sequence.PrefixStats(seq, q-1) {
+			cost += p.stageCost(st, i+1, pkt)
+		}
+		// Kernel: all K-q+1 sliding windows of length q.
+		for _, st := range sequence.SlidingStats(seq, q) {
+			cost += p.stageCost(st, q, pkt)
+		}
+		// Epilogue: suffixes of length q-1..1.
+		for i, st := range sequence.SuffixStats(seq, q-1) {
+			cost += p.stageCost(st, i+1, pkt)
+		}
+	} else {
+		for i, st := range sequence.PrefixStats(seq, k-1) {
+			cost += p.stageCost(st, i+1, pkt)
+		}
+		full := sequence.FullStat(seq)
+		cost += float64(q-k+1) * p.stageCost(full, k, pkt)
+		for i, st := range sequence.SuffixStats(seq, k-1) {
+			cost += p.stageCost(st, i+1, pkt)
+		}
+	}
+	return cost
+}
+
+// IdealPhaseCommCost returns the cost of a hypothetical optimal e-sequence
+// under pipelining degree q: every window of length L has min(L, e) distinct
+// links and maximum link multiplicity ceil(L/e). No real sequence can beat
+// it, so it is the paper's "lower bound" curve in Figure 2.
+func IdealPhaseCommCost(e, q int, blockElems float64, p CostParams) float64 {
+	k := sequence.SeqLen(e)
+	if k == 0 || q < 1 {
+		return 0
+	}
+	pkt := blockElems / float64(q)
+	ideal := func(l int) sequence.WindowStat {
+		u := l
+		if u > e {
+			u = e
+		}
+		return sequence.WindowStat{U: u, R: (l + e - 1) / e}
+	}
+	cost := 0.0
+	edge := q
+	if edge > k {
+		edge = k
+	}
+	// Prologue and epilogue: lengths 1..edge-1, each occurring twice.
+	for l := 1; l < edge; l++ {
+		cost += 2 * p.stageCost(ideal(l), l, pkt)
+	}
+	// Kernel: |K-Q|+1 stages of window length min(K, Q).
+	kernelStages := k - q + 1
+	if q > k {
+		kernelStages = q - k + 1
+	}
+	cost += float64(kernelStages) * p.stageCost(ideal(edge), edge, pkt)
+	return cost
+}
+
+// QSearchResult reports an optimal-pipelining-degree search.
+type QSearchResult struct {
+	Q    int
+	Cost float64
+	Deep bool
+}
+
+// OptimalQ finds the pipelining degree in [1, maxQ] minimizing the phase's
+// modeled communication cost. The cost function is evaluated exactly on a
+// candidate set: all small Q, a geometric grid up to maxQ, and local
+// neighborhoods (the function is piecewise smooth in Q with one regime
+// change at Q = K, so grid-plus-refine finds the optimum; tests compare
+// against brute force on small phases).
+//
+// eval lets callers reuse the search for ideal (lower-bound) cost functions.
+func OptimalQ(maxQ int, eval func(q int) float64) QSearchResult {
+	if maxQ < 1 {
+		maxQ = 1
+	}
+	cands := qCandidates(maxQ)
+	best := QSearchResult{Q: 1, Cost: math.Inf(1)}
+	for _, q := range cands {
+		c := eval(q)
+		if c < best.Cost {
+			best = QSearchResult{Q: q, Cost: c}
+		}
+	}
+	// Local refinement around the best grid point.
+	for delta := -4; delta <= 4; delta++ {
+		q := best.Q + delta
+		if q < 1 || q > maxQ {
+			continue
+		}
+		c := eval(q)
+		if c < best.Cost {
+			best = QSearchResult{Q: q, Cost: c}
+		}
+	}
+	return best
+}
+
+// OptimalPhaseQ runs OptimalQ on a real sequence's cost model, reporting
+// deep/shallow mode.
+func OptimalPhaseQ(seq sequence.Seq, blockElems float64, maxQ int, p CostParams) QSearchResult {
+	res := OptimalQ(maxQ, func(q int) float64 {
+		return PhaseCommCost(seq, q, blockElems, p)
+	})
+	res.Deep = res.Q > len(seq)
+	return res
+}
+
+// qCandidates returns 1..64 plus a geometric grid up to maxQ.
+func qCandidates(maxQ int) []int {
+	var out []int
+	for q := 1; q <= 64 && q <= maxQ; q++ {
+		out = append(out, q)
+	}
+	if maxQ > 64 {
+		q := 64.0
+		for {
+			q *= 1.2
+			iq := int(q)
+			if iq >= maxQ {
+				break
+			}
+			out = append(out, iq)
+		}
+		out = append(out, maxQ)
+	}
+	return out
+}

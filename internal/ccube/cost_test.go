@@ -1,0 +1,271 @@
+package ccube
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/sequence"
+)
+
+var testParams = CostParams{Ts: 1000, Tw: 100}
+
+// Q=1 must equal the unpipelined CC-cube cost K·(Ts + S·Tw).
+func TestPhaseCommCostQ1(t *testing.T) {
+	for e := 1; e <= 8; e++ {
+		seq := sequence.BR(e)
+		s := 4096.0
+		got := PhaseCommCost(seq, 1, s, testParams)
+		want := float64(len(seq)) * (testParams.Ts + s*testParams.Tw)
+		if math.Abs(got-want) > 1e-9*want {
+			t.Errorf("e=%d: Q=1 cost %g, want %g", e, got, want)
+		}
+	}
+}
+
+// Hand-computed shallow cost for the paper's K=7 example with Q=3.
+func TestPhaseCommCostShallowHand(t *testing.T) {
+	seq := sequence.Seq{0, 1, 0, 2, 0, 1, 0}
+	s := 300.0
+	pkt := 100.0
+	p := CostParams{Ts: 10, Tw: 1}
+	// Stage stats (U, R): prologue (1,1),(2,1); kernel (2,2),(3,1),(2,2),
+	// (3,1),(2,2); epilogue (2,1),(1,1).
+	want := 0.0
+	for _, ur := range [][2]float64{{1, 1}, {2, 1}, {2, 2}, {3, 1}, {2, 2}, {3, 1}, {2, 2}, {2, 1}, {1, 1}} {
+		want += ur[0]*p.Ts + ur[1]*pkt*p.Tw
+	}
+	got := PhaseCommCost(seq, 3, s, p)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("cost %g, want %g", got, want)
+	}
+}
+
+// Deep-mode kernel stages must cost U_full·Ts + α·(S/Q)·Tw each — the
+// paper's e·Ts + α·S·Tw formula from section 3.1.
+func TestPhaseCommCostDeepKernel(t *testing.T) {
+	e := 4
+	seq := sequence.BR(e)
+	s := 1 << 20
+	q := 10000 // deep
+	p := testParams
+	got := PhaseCommCost(seq, q, float64(s), p)
+	pkt := float64(s) / float64(q)
+	alpha := float64(sequence.BRAlpha(e))
+	kernel := float64(q-len(seq)+1) * (float64(e)*p.Ts + alpha*pkt*p.Tw)
+	pe := 0.0
+	for i, st := range sequence.PrefixStats(seq, len(seq)-1) {
+		_ = i
+		pe += float64(st.U)*p.Ts + float64(st.R)*pkt*p.Tw
+	}
+	for _, st := range sequence.SuffixStats(seq, len(seq)-1) {
+		pe += float64(st.U)*p.Ts + float64(st.R)*pkt*p.Tw
+	}
+	want := kernel + pe
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("deep cost %g, want %g", got, want)
+	}
+}
+
+// The Tw component of any pipelined phase can never drop below α·S·Tw (the
+// busiest link must carry α whole blocks), and pipelining approaches it:
+// factor K/α over the unpipelined Tw cost.
+func TestPhaseCommCostTwLowerBound(t *testing.T) {
+	for _, gen := range []func(int) sequence.Seq{sequence.BR, sequence.PermutedBR} {
+		for e := 2; e <= 8; e++ {
+			seq := gen(e)
+			s := 1e6
+			twOnly := CostParams{Ts: 0, Tw: 1}
+			alpha := float64(seq.Alpha())
+			bound := alpha * s
+			for _, q := range []int{1, 2, 7, 31, 100, 5000} {
+				got := PhaseCommCost(seq, q, s, twOnly)
+				if got < bound-1e-6 {
+					t.Errorf("e=%d q=%d: Tw cost %g below α·S bound %g", e, q, got, bound)
+				}
+			}
+			// Large Q approaches the bound within 10%.
+			got := PhaseCommCost(seq, 100000, s, twOnly)
+			if got > bound*1.1 {
+				t.Errorf("e=%d: deep Tw cost %g far above bound %g", e, got, bound)
+			}
+		}
+	}
+}
+
+// One-port stages serialize: cost must be invariant to Q up to start-up
+// overhead... precisely, the Tw part is always K·S·Tw.
+func TestPhaseCommCostOnePortTw(t *testing.T) {
+	seq := sequence.BR(4)
+	s := 1e5
+	p := CostParams{Ts: 0, Tw: 1, Ports: 1}
+	want := float64(len(seq)) * s
+	for _, q := range []int{1, 3, 15, 200} {
+		got := PhaseCommCost(seq, q, s, p)
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("q=%d: one-port Tw cost %g, want %g", q, got, want)
+		}
+	}
+}
+
+// The ideal cost is a true lower bound: no real sequence can beat it at the
+// same Q.
+func TestIdealPhaseCommCostIsLowerBound(t *testing.T) {
+	for e := 2; e <= 8; e++ {
+		for _, q := range []int{1, 2, 4, 8, 33, 1000} {
+			ideal := IdealPhaseCommCost(e, q, 1e6, testParams)
+			for _, gen := range []func(int) sequence.Seq{sequence.BR, sequence.PermutedBR} {
+				real := PhaseCommCost(gen(e), q, 1e6, testParams)
+				if real < ideal-1e-6 {
+					t.Errorf("e=%d q=%d: real %g below ideal %g", e, q, real, ideal)
+				}
+			}
+			if d4, err := sequence.Degree4(e); err == nil {
+				real := PhaseCommCost(d4, q, 1e6, testParams)
+				if real < ideal-1e-6 {
+					t.Errorf("e=%d q=%d: degree-4 %g below ideal %g", e, q, real, ideal)
+				}
+			}
+		}
+	}
+}
+
+// OptimalQ must match brute force on small search spaces.
+func TestOptimalQMatchesBruteForce(t *testing.T) {
+	for e := 2; e <= 6; e++ {
+		seq := sequence.PermutedBR(e)
+		for _, s := range []float64{100, 10000, 1e7} {
+			maxQ := 60
+			eval := func(q int) float64 { return PhaseCommCost(seq, q, s, testParams) }
+			got := OptimalQ(maxQ, eval)
+			bestQ, bestC := 1, math.Inf(1)
+			for q := 1; q <= maxQ; q++ {
+				if c := eval(q); c < bestC {
+					bestQ, bestC = q, c
+				}
+			}
+			if got.Cost > bestC+1e-9 {
+				t.Errorf("e=%d S=%g: OptimalQ cost %g (Q=%d), brute force %g (Q=%d)",
+					e, s, got.Cost, got.Q, bestC, bestQ)
+			}
+		}
+	}
+}
+
+// With a huge block and tiny start-up, the optimal Q should be deep; with
+// start-up dominating, Q=1.
+func TestOptimalPhaseQRegimes(t *testing.T) {
+	seq := sequence.PermutedBR(5)
+	deep := OptimalPhaseQ(seq, 1e9, 1<<20, CostParams{Ts: 1, Tw: 100})
+	if !deep.Deep {
+		t.Errorf("huge block should favor deep pipelining, got Q=%d", deep.Q)
+	}
+	shallowOr1 := OptimalPhaseQ(seq, 2, 1<<20, CostParams{Ts: 1e9, Tw: 1e-9})
+	if shallowOr1.Q != 1 {
+		t.Errorf("start-up dominated phase should pick Q=1, got Q=%d", shallowOr1.Q)
+	}
+}
+
+// Larger maxQ can only improve (or preserve) the optimum.
+func TestOptimalQMonotoneInBudget(t *testing.T) {
+	seq := sequence.PermutedBR(6)
+	eval := func(q int) float64 { return PhaseCommCost(seq, q, 1e8, testParams) }
+	prev := math.Inf(1)
+	for _, maxQ := range []int{1, 4, 16, 64, 1024, 1 << 20} {
+		res := OptimalQ(maxQ, eval)
+		if res.Cost > prev+1e-9 {
+			t.Errorf("maxQ=%d: cost %g worse than smaller budget %g", maxQ, res.Cost, prev)
+		}
+		prev = res.Cost
+	}
+}
+
+func TestQCandidatesCoverage(t *testing.T) {
+	cands := qCandidates(10)
+	if len(cands) != 10 || cands[0] != 1 || cands[9] != 10 {
+		t.Errorf("candidates for 10: %v", cands)
+	}
+	cands = qCandidates(1 << 20)
+	found := false
+	for _, q := range cands {
+		if q == 1<<20 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("maxQ not included in candidate grid")
+	}
+}
+
+// k-port stage costs interpolate between one-port and all-port and are
+// monotone in k.
+func TestStageCostPortMonotonicity(t *testing.T) {
+	seq := sequence.PermutedBR(6)
+	s := 1e6
+	for _, q := range []int{2, 8, 63, 200} {
+		prev := math.Inf(1)
+		for _, ports := range []int{1, 2, 3, 4, 6, 0} {
+			p := CostParams{Ts: 1000, Tw: 100, Ports: ports}
+			cost := PhaseCommCost(seq, q, s, p)
+			// ports=0 (all) must be the cheapest; k=1 the most expensive.
+			if ports != 0 && cost > prev+1e-6 {
+				t.Errorf("q=%d: cost increased from k-1 to k=%d", q, ports)
+			}
+			if ports == 0 && cost > prev+1e-6 {
+				t.Errorf("q=%d: all-port cost %g above %d-port", q, cost, 6)
+			}
+			prev = cost
+		}
+	}
+}
+
+// The k-port model is a lower bound on the machine's LPT schedule and
+// within the classic 4/3 factor of it: checked against explicit LPT
+// makespans for random windows.
+func TestKPortModelVsLPT(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		k := 2 + rng.Intn(3)
+		n := 1 + rng.Intn(8)
+		mults := make([]int, n) // per-link packet multiplicities
+		total, maxR := 0, 0
+		for i := range mults {
+			mults[i] = 1 + rng.Intn(5)
+			total += mults[i]
+			if mults[i] > maxR {
+				maxR = mults[i]
+			}
+		}
+		// Model bound.
+		units := (total + k - 1) / k
+		if maxR > units {
+			units = maxR
+		}
+		// LPT makespan.
+		sorted := append([]int(nil), mults...)
+		sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+		chans := make([]int, k)
+		for _, m := range sorted {
+			best := 0
+			for c := 1; c < k; c++ {
+				if chans[c] < chans[best] {
+					best = c
+				}
+			}
+			chans[best] += m
+		}
+		lpt := 0
+		for _, c := range chans {
+			if c > lpt {
+				lpt = c
+			}
+		}
+		if lpt < units {
+			t.Fatalf("trial %d: LPT %d below model bound %d (mults %v, k=%d)", trial, lpt, units, mults, k)
+		}
+		if float64(lpt) > float64(units)*(4.0/3.0)+1e-9 {
+			t.Fatalf("trial %d: LPT %d beyond 4/3 of bound %d", trial, lpt, units)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package ccube models CC-cube algorithms and the communication-pipelining
+// transformation of Díaz de Cerio, González and Valero-García ("Communication
+// pipelining in hypercubes", Parallel Processing Letters 1996 — reference [9]
+// of the paper), which this paper applies to the exchange phases of the
+// Jacobi orderings.
+//
+// A CC-cube algorithm iterates K times; iteration k computes and then
+// exchanges a block of data with a neighbor through link seq[k-1] (all nodes
+// use the same link). Communication pipelining splits each iteration's block
+// into Q packets and reorganizes the computation so packets of consecutive
+// iterations travel concurrently through different links, exploiting the
+// multi-port capability:
+//
+//   - stage s (s = 1..K+Q-1) computes packets {(k,q) : k+q-1 = s} and sends
+//     packet (k,q) through link seq[k-1];
+//   - packets that share a link within a stage are combined into one message;
+//   - stages s < Q form the prologue, s > K the epilogue; the kernel stages
+//     in between carry min(Q,K) packets each.
+//
+// The paper's text says the shallow kernel has "K-Q" stages, but its own
+// example (K=7, Q=3: windows 010, 102, 020, 201, 010) and packet
+// conservation (K·Q packets in total) require K-Q+1; the uniform stage rule
+// above reproduces both of the paper's worked examples exactly (see tests).
+package ccube
+
+import (
+	"fmt"
+
+	"repro/internal/sequence"
+)
+
+// PacketID identifies packet q of iteration k; both are 1-based as in the
+// paper.
+type PacketID struct {
+	K, Q int
+}
+
+// StageSend is one combined message of a stage: every packet it carries
+// crosses the same link.
+type StageSend struct {
+	Link    int
+	Packets []PacketID
+}
+
+// Stage is one step of the pipelined CC-cube: packets to compute (in
+// execution order: ascending iteration) followed by one multi-port
+// communication operation.
+type Stage struct {
+	// Index is the 1-based stage number s.
+	Index int
+	// Packets lists the packets computed this stage, ascending by K.
+	Packets []PacketID
+	// Sends groups the computed packets by link, ascending by link.
+	Sends []StageSend
+}
+
+// Schedule is the pipelined schedule of one exchange phase.
+type Schedule struct {
+	// K is the iteration count (2^e - 1 for exchange phase e).
+	K int
+	// Q is the pipelining degree.
+	Q int
+	// Links is the phase's link sequence (length K).
+	Links sequence.Seq
+	// Stages has K+Q-1 entries.
+	Stages []Stage
+}
+
+// Deep reports whether the schedule works in deep pipelining mode (Q > K).
+func (s *Schedule) Deep() bool { return s.Q > s.K }
+
+// Build constructs the pipelined schedule for the given link sequence and
+// pipelining degree. Q = 1 degenerates to the original CC-cube (one packet
+// per iteration, one message per stage).
+func Build(links sequence.Seq, q int) (*Schedule, error) {
+	k := len(links)
+	if k == 0 {
+		return nil, fmt.Errorf("ccube: empty link sequence")
+	}
+	if q < 1 {
+		return nil, fmt.Errorf("ccube: pipelining degree %d < 1", q)
+	}
+	sched := &Schedule{K: k, Q: q, Links: links.Clone()}
+	for s := 1; s <= k+q-1; s++ {
+		stage := Stage{Index: s}
+		lo := s - q + 1
+		if lo < 1 {
+			lo = 1
+		}
+		hi := s
+		if hi > k {
+			hi = k
+		}
+		byLink := make(map[int][]PacketID)
+		for it := lo; it <= hi; it++ {
+			p := PacketID{K: it, Q: s - it + 1}
+			stage.Packets = append(stage.Packets, p)
+			l := links[it-1]
+			byLink[l] = append(byLink[l], p)
+		}
+		maxLink := 0
+		for l := range byLink {
+			if l > maxLink {
+				maxLink = l
+			}
+		}
+		for l := 0; l <= maxLink; l++ {
+			if ps, ok := byLink[l]; ok {
+				stage.Sends = append(stage.Sends, StageSend{Link: l, Packets: ps})
+			}
+		}
+		sched.Stages = append(sched.Stages, stage)
+	}
+	return sched, nil
+}
+
+// Validate checks the schedule's structural invariants: exactly K·Q packets,
+// each exactly once, each sent through its iteration's link, stage windows
+// contiguous. It exists so tests and downstream executors can assert
+// schedules rather than trust them.
+func (s *Schedule) Validate() error {
+	if len(s.Stages) != s.K+s.Q-1 {
+		return fmt.Errorf("ccube: %d stages, want %d", len(s.Stages), s.K+s.Q-1)
+	}
+	seen := make(map[PacketID]int)
+	for _, st := range s.Stages {
+		inSends := 0
+		for _, send := range st.Sends {
+			for _, p := range send.Packets {
+				if s.Links[p.K-1] != send.Link {
+					return fmt.Errorf("ccube: stage %d sends packet %v through link %d, want %d",
+						st.Index, p, send.Link, s.Links[p.K-1])
+				}
+				inSends++
+			}
+		}
+		if inSends != len(st.Packets) {
+			return fmt.Errorf("ccube: stage %d sends %d packets but computes %d", st.Index, inSends, len(st.Packets))
+		}
+		for i, p := range st.Packets {
+			if p.K+p.Q-1 != st.Index {
+				return fmt.Errorf("ccube: stage %d contains off-diagonal packet %v", st.Index, p)
+			}
+			if p.K < 1 || p.K > s.K || p.Q < 1 || p.Q > s.Q {
+				return fmt.Errorf("ccube: stage %d packet %v out of range", st.Index, p)
+			}
+			if i > 0 && st.Packets[i-1].K >= p.K {
+				return fmt.Errorf("ccube: stage %d packets not ascending by iteration", st.Index)
+			}
+			seen[p]++
+		}
+	}
+	if len(seen) != s.K*s.Q {
+		return fmt.Errorf("ccube: %d distinct packets, want %d", len(seen), s.K*s.Q)
+	}
+	for p, n := range seen {
+		if n != 1 {
+			return fmt.Errorf("ccube: packet %v scheduled %d times", p, n)
+		}
+	}
+	return nil
+}
+
+// StageLinks returns, for every stage, the multiset summary of its
+// communication: the list of distinct links used. It matches the "links
+// 0-1-0" notation of the paper's examples.
+func (s *Schedule) StageLinks() [][]int {
+	out := make([][]int, len(s.Stages))
+	for i, st := range s.Stages {
+		var links []int
+		for _, send := range st.Sends {
+			links = append(links, send.Link)
+		}
+		out[i] = links
+	}
+	return out
+}
+
+// PrologueLen returns the number of prologue stages: Q-1 in shallow mode,
+// K-1 in deep mode.
+func (s *Schedule) PrologueLen() int {
+	if s.Deep() {
+		return s.K - 1
+	}
+	return s.Q - 1
+}
+
+// KernelLen returns the number of kernel stages: K-Q+1 in shallow mode,
+// Q-K+1 in deep mode.
+func (s *Schedule) KernelLen() int {
+	return len(s.Stages) - 2*s.PrologueLen()
+}

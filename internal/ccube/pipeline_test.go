@@ -1,0 +1,156 @@
+package ccube
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sequence"
+)
+
+// The paper's shallow-pipelining example (section 2.4): K=7, links
+// 0,1,0,2,0,1,0, Q=3. Prologue stages use links 0 and 0-1; kernel windows
+// are 0-1-0, 1-0-2, 0-2-0, 2-0-1, 0-1-0; epilogue uses 1-0 and 0.
+func TestBuildPaperShallowExample(t *testing.T) {
+	links := sequence.Seq{0, 1, 0, 2, 0, 1, 0}
+	sched, err := Build(links, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sched.Deep() {
+		t.Error("Q=3 <= K=7 should be shallow")
+	}
+	got := sched.StageLinks()
+	want := [][]int{
+		{0},       // prologue s=1
+		{0, 1},    // prologue s=2
+		{0, 1},    // kernel s=3: window 0,1,0 -> distinct links {0,1}
+		{0, 1, 2}, // kernel s=4: window 1,0,2
+		{0, 2},    // kernel s=5: window 0,2,0
+		{0, 1, 2}, // kernel s=6: window 2,0,1
+		{0, 1},    // kernel s=7: window 0,1,0
+		{0, 1},    // epilogue s=8: suffix 1,0
+		{0},       // epilogue s=9: suffix 0
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("stage links:\n got %v\nwant %v", got, want)
+	}
+	if sched.PrologueLen() != 2 || sched.KernelLen() != 5 {
+		t.Errorf("prologue %d kernel %d, want 2 and 5", sched.PrologueLen(), sched.KernelLen())
+	}
+}
+
+// The paper's deep-pipelining example: K=3, links 0,1,0, Q=100. Prologue
+// stages use links 0 and 0-1; all 98 kernel stages use 0-1(-0 combined);
+// epilogue 1-0 and 0.
+func TestBuildPaperDeepExample(t *testing.T) {
+	links := sequence.Seq{0, 1, 0}
+	sched, err := Build(links, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !sched.Deep() {
+		t.Error("Q=100 > K=3 should be deep")
+	}
+	if len(sched.Stages) != 102 {
+		t.Fatalf("stages = %d, want 102", len(sched.Stages))
+	}
+	if sched.PrologueLen() != 2 || sched.KernelLen() != 98 {
+		t.Errorf("prologue %d kernel %d, want 2 and 98", sched.PrologueLen(), sched.KernelLen())
+	}
+	stageLinks := sched.StageLinks()
+	if !reflect.DeepEqual(stageLinks[0], []int{0}) || !reflect.DeepEqual(stageLinks[1], []int{0, 1}) {
+		t.Errorf("prologue links %v", stageLinks[:2])
+	}
+	// Every kernel stage carries one packet from each of the 3 iterations;
+	// iterations 1 and 3 share link 0 (combined), iteration 2 uses link 1.
+	for s := 2; s < 100; s++ {
+		if !reflect.DeepEqual(stageLinks[s], []int{0, 1}) {
+			t.Fatalf("kernel stage %d links %v", s+1, stageLinks[s])
+		}
+		st := sched.Stages[s]
+		if len(st.Packets) != 3 {
+			t.Fatalf("kernel stage %d has %d packets", s+1, len(st.Packets))
+		}
+		if len(st.Sends[0].Packets) != 2 {
+			t.Fatalf("kernel stage %d link-0 message combines %d packets, want 2", s+1, len(st.Sends[0].Packets))
+		}
+	}
+	if !reflect.DeepEqual(stageLinks[100], []int{0, 1}) || !reflect.DeepEqual(stageLinks[101], []int{0}) {
+		t.Errorf("epilogue links %v", stageLinks[100:])
+	}
+}
+
+func TestBuildQ1IsUnpipelined(t *testing.T) {
+	links := sequence.BR(3)
+	sched, err := Build(links, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Stages) != len(links) {
+		t.Fatalf("stages = %d", len(sched.Stages))
+	}
+	for i, st := range sched.Stages {
+		if len(st.Packets) != 1 || len(st.Sends) != 1 || st.Sends[0].Link != links[i] {
+			t.Fatalf("stage %d: %+v", i+1, st)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(sequence.Seq{}, 2); err == nil {
+		t.Error("empty sequence accepted")
+	}
+	if _, err := Build(sequence.Seq{0}, 0); err == nil {
+		t.Error("Q=0 accepted")
+	}
+}
+
+// Packet conservation and stage-diagonal structure across a grid of (K, Q).
+func TestBuildValidateGrid(t *testing.T) {
+	for e := 1; e <= 6; e++ {
+		links := sequence.BR(e)
+		for _, q := range []int{1, 2, 3, 5, 7, 15, 16, 40} {
+			sched, err := Build(links, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sched.Validate(); err != nil {
+				t.Errorf("e=%d q=%d: %v", e, q, err)
+			}
+			total := 0
+			for _, st := range sched.Stages {
+				total += len(st.Packets)
+			}
+			if total != len(links)*q {
+				t.Errorf("e=%d q=%d: %d packets, want %d", e, q, total, len(links)*q)
+			}
+		}
+	}
+}
+
+// Validate must catch corrupted schedules.
+func TestValidateDetectsCorruption(t *testing.T) {
+	sched, err := Build(sequence.Seq{0, 1, 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.Stages[1].Sends[0].Link = 1 // wrong link for iteration 1's packet
+	if err := sched.Validate(); err == nil {
+		t.Error("wrong-link corruption passed")
+	}
+
+	sched, _ = Build(sequence.Seq{0, 1, 0}, 2)
+	sched.Stages[0].Packets[0].Q = 2 // off-diagonal packet
+	if err := sched.Validate(); err == nil {
+		t.Error("off-diagonal corruption passed")
+	}
+}

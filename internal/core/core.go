@@ -1,0 +1,240 @@
+// Package core is the public facade of the repository: it ties the paper's
+// contribution — the permuted-BR, degree-4 and minimum-α Jacobi orderings for
+// multi-port hypercubes — together with the substrates that support it (link
+// sequences, sweep schedules, the emulated multicomputer, communication
+// pipelining, the analytic cost models and the one-sided Jacobi eigensolver)
+// behind a small, stable API. The example programs and the CLI consume only
+// this package.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/jacobi"
+	"repro/internal/machine"
+	"repro/internal/matrix"
+	"repro/internal/ordering"
+	"repro/internal/sequence"
+)
+
+// Ordering names one of the paper's Jacobi ordering families.
+type Ordering string
+
+const (
+	// BR is the Block-Recursive baseline of Mantharam & Eberlein.
+	BR Ordering = "br"
+	// PermutedBR is the paper's first contribution (section 3.2):
+	// near-optimal under deep communication pipelining.
+	PermutedBR Ordering = "pbr"
+	// Degree4 is the paper's second contribution (section 3.3): cuts
+	// communication cost ~4x under shallow pipelining.
+	Degree4 Ordering = "d4"
+	// MinAlpha uses the exhaustively-optimal sequences known for small
+	// phases (section 3.1), falling back to permuted-BR above e = 6.
+	MinAlpha Ordering = "minalpha"
+)
+
+// Orderings lists the four families in presentation order.
+func Orderings() []Ordering {
+	return []Ordering{BR, PermutedBR, Degree4, MinAlpha}
+}
+
+// Family resolves the ordering to its sequence family.
+func (o Ordering) Family() (ordering.Family, error) {
+	return ordering.FamilyByName(string(o))
+}
+
+// LinkSequence returns the link sequence D_e used by the ordering for
+// exchange phase e.
+func (o Ordering) LinkSequence(e int) (sequence.Seq, error) {
+	fam, err := o.Family()
+	if err != nil {
+		return nil, err
+	}
+	if e < 1 || e > 20 {
+		return nil, fmt.Errorf("core: exchange phase %d out of range [1,20]", e)
+	}
+	return fam.Phase(e), nil
+}
+
+// SequenceReport summarizes the paper's quality metrics for one D_e.
+type SequenceReport struct {
+	Ordering   Ordering
+	E          int
+	Length     int
+	Alpha      int     // max repetitions of one link (deep-pipelining metric)
+	LowerBound int     // ceil((2^e-1)/e)
+	Ratio      float64 // Alpha / LowerBound
+	Degree     int     // window-diversity metric (shallow-pipelining metric)
+	Valid      bool    // Hamiltonian-path property, machine-checked
+}
+
+// AnalyzeSequence computes the report for ordering o at phase e.
+func AnalyzeSequence(o Ordering, e int) (*SequenceReport, error) {
+	seq, err := o.LinkSequence(e)
+	if err != nil {
+		return nil, err
+	}
+	lb := sequence.LowerBoundAlpha(e)
+	rep := &SequenceReport{
+		Ordering:   o,
+		E:          e,
+		Length:     len(seq),
+		Alpha:      seq.Alpha(),
+		LowerBound: lb,
+		Degree:     seq.Degree(),
+		Valid:      sequence.IsESequence(seq, e),
+	}
+	if lb > 0 {
+		rep.Ratio = float64(rep.Alpha) / float64(lb)
+	}
+	return rep, nil
+}
+
+// SolveOptions configures a distributed eigensolve on the emulated machine.
+type SolveOptions struct {
+	// Dim is the hypercube dimension d (2^d nodes). Default 2.
+	Dim int
+	// Ordering selects the Jacobi ordering. Default PermutedBR.
+	Ordering Ordering
+	// Tol and MaxSweeps control convergence (see jacobi.Options).
+	Tol       float64
+	MaxSweeps int
+	// Pipelined applies communication pipelining to the exchange phases.
+	Pipelined bool
+	// PipelineQ forces a pipelining degree (0 = cost-model optimum).
+	PipelineQ int
+	// OnePort switches the machine to the one-port configuration.
+	OnePort bool
+	// Ts, Tw, Tc are the machine cost parameters (model time units).
+	// Defaults: Ts=1000, Tw=100, Tc=0, the paper's Figure 2 setting.
+	Ts, Tw, Tc float64
+}
+
+func (o SolveOptions) withDefaults() SolveOptions {
+	if o.Dim == 0 {
+		o.Dim = 2
+	}
+	if o.Ordering == "" {
+		o.Ordering = PermutedBR
+	}
+	if o.Ts == 0 {
+		o.Ts = 1000
+	}
+	if o.Tw == 0 {
+		o.Tw = 100
+	}
+	return o
+}
+
+// SolveResult bundles the eigensolution with the machine's measurements.
+type SolveResult struct {
+	Eigen   *jacobi.EigenResult
+	Machine *machine.RunStats
+}
+
+// Solve computes the eigendecomposition of the symmetric matrix a on the
+// emulated multi-port hypercube.
+func Solve(a *matrix.Dense, opts SolveOptions) (*SolveResult, error) {
+	opts = opts.withDefaults()
+	fam, err := opts.Ordering.Family()
+	if err != nil {
+		return nil, err
+	}
+	cfg := jacobi.ParallelConfig{
+		Family:    fam,
+		Options:   jacobi.Options{Tol: opts.Tol, MaxSweeps: opts.MaxSweeps},
+		Ts:        opts.Ts,
+		Tw:        opts.Tw,
+		Tc:        opts.Tc,
+		PipelineQ: opts.PipelineQ,
+	}
+	if opts.OnePort {
+		cfg.Ports = machine.OnePort
+	}
+	var (
+		res   *jacobi.EigenResult
+		stats *machine.RunStats
+	)
+	if opts.Pipelined {
+		res, stats, err = jacobi.SolveParallelPipelined(a, opts.Dim, cfg)
+	} else {
+		res, stats, err = jacobi.SolveParallel(a, opts.Dim, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &SolveResult{Eigen: res, Machine: stats}, nil
+}
+
+// SolveSequential runs the schedule-driven sequential solver (no emulation),
+// useful as a fast reference.
+func SolveSequential(a *matrix.Dense, d int, o Ordering, tol float64) (*jacobi.EigenResult, error) {
+	fam, err := o.Family()
+	if err != nil {
+		return nil, err
+	}
+	return jacobi.SolveSchedule(a, d, fam, jacobi.Options{Tol: tol})
+}
+
+// VerifyOrdering machine-checks that ordering o yields exact round-robin
+// sweeps on a d-cube (block level, several consecutive sweeps) and that its
+// schedule has the CC-cube property.
+func VerifyOrdering(o Ordering, d, sweeps int) error {
+	fam, err := o.Family()
+	if err != nil {
+		return err
+	}
+	sw, err := ordering.BuildSweep(d, fam)
+	if err != nil {
+		return err
+	}
+	if err := ordering.CCubeProperty(sw); err != nil {
+		return err
+	}
+	st := ordering.NewState(d)
+	for s := 0; s < sweeps; s++ {
+		if err := ordering.VerifySweep(st, sw, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table1 regenerates the paper's Table 1: α of the permuted-BR sequences
+// against the lower bound for e in [from, to].
+func Table1(from, to int) ([]SequenceReport, error) {
+	if from < 1 || to < from {
+		return nil, fmt.Errorf("core: bad range [%d,%d]", from, to)
+	}
+	out := make([]SequenceReport, 0, to-from+1)
+	for e := from; e <= to; e++ {
+		rep, err := AnalyzeSequence(PermutedBR, e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *rep)
+	}
+	return out, nil
+}
+
+// Table2 regenerates the paper's Table 2 (convergence of the orderings).
+type Table2Config = jacobi.Table2Config
+
+// Table2Cell re-exports the result row type.
+type Table2Cell = jacobi.Table2Cell
+
+// Table2 runs the convergence experiment.
+func Table2(cfg Table2Config) ([]Table2Cell, error) {
+	return jacobi.RunTable2(cfg)
+}
+
+// Figure2Point re-exports the cost-model point type.
+type Figure2Point = costmodel.Figure2Point
+
+// Figure2 regenerates one panel of the paper's Figure 2 for m = 2^logM over
+// hypercube dimensions 2..maxD (Ts=1000, Tw=100 as in the caption).
+func Figure2(logM, maxD int) ([]Figure2Point, error) {
+	return costmodel.Figure2Panel(logM, maxD)
+}

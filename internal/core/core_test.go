@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestOrderingsResolve(t *testing.T) {
+	for _, o := range Orderings() {
+		if _, err := o.Family(); err != nil {
+			t.Errorf("%s: %v", o, err)
+		}
+	}
+	if _, err := Ordering("bogus").Family(); err == nil {
+		t.Error("bogus ordering resolved")
+	}
+}
+
+func TestLinkSequence(t *testing.T) {
+	seq, err := BR.LinkSequence(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != "<010201030102010>" {
+		t.Errorf("BR e=4: %s", seq.String())
+	}
+	if _, err := BR.LinkSequence(0); err == nil {
+		t.Error("e=0 accepted")
+	}
+	if _, err := BR.LinkSequence(99); err == nil {
+		t.Error("e=99 accepted")
+	}
+}
+
+func TestAnalyzeSequence(t *testing.T) {
+	rep, err := AnalyzeSequence(PermutedBR, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Valid {
+		t.Error("permuted-BR e=9 invalid")
+	}
+	if rep.Alpha != 68 || rep.LowerBound != 57 {
+		t.Errorf("alpha=%d lb=%d", rep.Alpha, rep.LowerBound)
+	}
+	if rep.Length != 511 {
+		t.Errorf("length=%d", rep.Length)
+	}
+	rep4, err := AnalyzeSequence(Degree4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep4.Degree != 4 {
+		t.Errorf("degree-4 ordering has degree %d", rep4.Degree)
+	}
+}
+
+func TestVerifyOrdering(t *testing.T) {
+	for _, o := range Orderings() {
+		for d := 1; d <= 4; d++ {
+			if err := VerifyOrdering(o, d, 3); err != nil {
+				t.Errorf("%s d=%d: %v", o, d, err)
+			}
+		}
+	}
+}
+
+func TestSolveEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := matrix.RandomSymmetric(16, rng)
+	for _, pipelined := range []bool{false, true} {
+		res, err := Solve(a, SolveOptions{Dim: 2, Ordering: Degree4, Pipelined: pipelined})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Eigen.Converged {
+			t.Fatalf("pipelined=%v: no convergence", pipelined)
+		}
+		if r := matrix.EigenResidual(a, res.Eigen.Values, res.Eigen.Vectors); r > 1e-8 {
+			t.Errorf("pipelined=%v: residual %g", pipelined, r)
+		}
+		if res.Machine.Makespan <= 0 {
+			t.Errorf("pipelined=%v: no modeled time", pipelined)
+		}
+	}
+}
+
+func TestSolveSequentialMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := matrix.RandomSymmetric(12, rng)
+	seqRes, err := SolveSequential(a, 1, BR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := Solve(a, SolveOptions{Dim: 1, Ordering: BR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seqRes.Values {
+		if seqRes.Values[i] != parRes.Eigen.Values[i] {
+			t.Fatal("sequential and distributed differ")
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows, err := Table1(7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Valid {
+			t.Errorf("e=%d invalid", r.E)
+		}
+		if r.Ratio < 1 || r.Ratio > 1.45 {
+			t.Errorf("e=%d ratio %g", r.E, r.Ratio)
+		}
+	}
+	if _, err := Table1(5, 3); err == nil {
+		t.Error("bad range accepted")
+	}
+}
+
+func TestTable2Small(t *testing.T) {
+	cells, err := Table2(Table2Config{Sizes: []int{8}, Trials: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 { // P = 2, 4
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for _, c := range cells {
+		for fam, sweeps := range c.Sweeps {
+			if sweeps < 2 || sweeps > 12 {
+				t.Errorf("m=%d P=%d %s: %g sweeps", c.M, c.P, fam, sweeps)
+			}
+		}
+	}
+}
+
+func TestFigure2Small(t *testing.T) {
+	pts, err := Figure2(18, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Degree4 <= 0 || p.Degree4 > 1 {
+			t.Errorf("d=%d degree-4 ratio %g", p.D, p.Degree4)
+		}
+	}
+}

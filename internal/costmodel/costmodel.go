@@ -1,0 +1,206 @@
+// Package costmodel evaluates the analytic communication-cost models behind
+// the paper's performance evaluation (section 4, Figure 2): the cost of one
+// sweep of the one-sided Jacobi method on a multi-port hypercube under each
+// ordering, with and without communication pipelining, plus the lower bound.
+//
+// Conventions (DESIGN.md notes 7-8): a transition exchanges one block of
+// both A and U, S = 2·(m/2^(d+1))·m elements; exchange phases may be
+// pipelined with degree Q ≤ columns per block; division phases and the last
+// transition are never pipelined and are charged identically to every
+// ordering; the baseline is the unpipelined CC-cube with the BR ordering,
+// (2^(d+1)-1)·(Ts + S·Tw).
+package costmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ccube"
+	"repro/internal/ordering"
+	"repro/internal/sequence"
+)
+
+// Params holds the scenario of a model evaluation.
+type Params struct {
+	// M is the matrix size m. Figure 2 uses 2^18, 2^23 and 2^32; float64
+	// keeps the arithmetic exact enough at those magnitudes.
+	M float64
+	// Ts is the start-up time (1000 in Figure 2).
+	Ts float64
+	// Tw is the per-element transmission time (100 in Figure 2).
+	Tw float64
+	// Ports is the number of simultaneously usable links per node:
+	// 0 = all-port (the paper's multi-port setting), 1 = one-port,
+	// k >= 2 = k-port.
+	Ports int
+}
+
+func (p Params) costParams() ccube.CostParams {
+	return ccube.CostParams{Ts: p.Ts, Tw: p.Tw, Ports: p.Ports}
+}
+
+// BlockElems returns S, the number of elements exchanged per transition:
+// one block of m/2^(d+1) columns of height m, for both A and U.
+func BlockElems(m float64, d int) float64 {
+	return 2 * ordering.ColumnsPerBlock(m, d) * m
+}
+
+// MaxQ returns the largest usable pipelining degree: packets are groups of
+// the moving block's columns, so Q ≤ m/2^(d+1) (at least 1). The bound is
+// capped at 2^30 to stay a sane int.
+func MaxQ(m float64, d int) int {
+	c := ordering.ColumnsPerBlock(m, d)
+	if c < 1 {
+		return 1
+	}
+	if c > float64(int(1)<<30) {
+		return 1 << 30
+	}
+	return int(c)
+}
+
+// PhaseCost describes one exchange phase's contribution to a sweep.
+type PhaseCost struct {
+	E    int     // phase number (sequence dimension)
+	Q    int     // pipelining degree chosen
+	Deep bool    // deep (Q > 2^e-1) or shallow mode
+	Cost float64 // modeled communication time
+}
+
+// SweepCost describes a full sweep's modeled communication time.
+type SweepCost struct {
+	Total  float64
+	Phases []PhaseCost
+	// Tail is the unpipelined remainder: d division transitions plus the
+	// last transition, (d+1)·(Ts + S·Tw).
+	Tail float64
+}
+
+// tailCost returns the cost of the d divisions and the last transition.
+func tailCost(d int, s float64, p Params) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(d+1) * (p.Ts + s*p.Tw)
+}
+
+// BaselineSweepCost returns the unpipelined CC-cube sweep cost — the "BR
+// Algorithm" reference of Figure 2. Without pipelining all transitions cost
+// the same, so the ordering does not matter.
+func BaselineSweepCost(d int, p Params) float64 {
+	if d == 0 {
+		return 0
+	}
+	s := BlockElems(p.M, d)
+	steps := 2*(int(1)<<uint(d)) - 1
+	return float64(steps) * (p.Ts + s*p.Tw)
+}
+
+// PipelinedSweepCost returns the sweep cost for the given ordering family
+// with communication pipelining applied to every exchange phase, choosing
+// the optimal Q per phase (bounded by block granularity).
+func PipelinedSweepCost(d int, fam ordering.Family, p Params) (*SweepCost, error) {
+	if d < 0 || d > 16 {
+		return nil, fmt.Errorf("costmodel: dimension %d out of range [0,16]", d)
+	}
+	s := BlockElems(p.M, d)
+	maxQ := MaxQ(p.M, d)
+	out := &SweepCost{Tail: tailCost(d, s, p)}
+	out.Total = out.Tail
+	for e := d; e >= 1; e-- {
+		seq := fam.Phase(e)
+		if err := sequence.ValidateESequence(seq, e); err != nil {
+			return nil, fmt.Errorf("costmodel: family %q phase %d: %v", fam.Name(), e, err)
+		}
+		res := ccube.OptimalPhaseQ(seq, s, maxQ, p.costParams())
+		out.Phases = append(out.Phases, PhaseCost{E: e, Q: res.Q, Deep: res.Deep, Cost: res.Cost})
+		out.Total += res.Cost
+	}
+	return out, nil
+}
+
+// LowerBoundSweepCost returns the sweep cost for hypothetical ideal
+// sequences (every window maximally diverse; see ccube.IdealPhaseCommCost) —
+// the "Lower bound" curve of Figure 2.
+func LowerBoundSweepCost(d int, p Params) *SweepCost {
+	s := BlockElems(p.M, d)
+	maxQ := MaxQ(p.M, d)
+	out := &SweepCost{Tail: tailCost(d, s, p)}
+	out.Total = out.Tail
+	for e := d; e >= 1; e-- {
+		res := ccube.OptimalQ(maxQ, func(q int) float64 {
+			return ccube.IdealPhaseCommCost(e, q, s, p.costParams())
+		})
+		deep := res.Q > sequence.SeqLen(e)
+		out.Phases = append(out.Phases, PhaseCost{E: e, Q: res.Q, Deep: deep, Cost: res.Cost})
+		out.Total += res.Cost
+	}
+	return out
+}
+
+// Figure2Point is one x-position of Figure 2: every curve's communication
+// cost relative to the unpipelined BR CC-cube at hypercube dimension D.
+type Figure2Point struct {
+	D           int
+	PipelinedBR float64
+	PermutedBR  float64
+	Degree4     float64
+	LowerBound  float64
+	// PermutedBRDeep reports whether permuted-BR ran deep pipelining in
+	// every exchange phase (the filled vs unfilled symbols of Figure 2).
+	PermutedBRDeep bool
+}
+
+// Figure2Series computes the curves of one Figure 2 panel over the given
+// hypercube dimensions (the paper plots roughly d = 2..16).
+func Figure2Series(dims []int, p Params) ([]Figure2Point, error) {
+	br := ordering.NewBRFamily()
+	pbr := ordering.NewPermutedBRFamily()
+	d4 := ordering.NewDegree4Family()
+	var out []Figure2Point
+	for _, d := range dims {
+		base := BaselineSweepCost(d, p)
+		if base == 0 {
+			return nil, fmt.Errorf("costmodel: dimension %d has zero baseline", d)
+		}
+		pt := Figure2Point{D: d}
+		costBR, err := PipelinedSweepCost(d, br, p)
+		if err != nil {
+			return nil, err
+		}
+		pt.PipelinedBR = costBR.Total / base
+		costPBR, err := PipelinedSweepCost(d, pbr, p)
+		if err != nil {
+			return nil, err
+		}
+		pt.PermutedBR = costPBR.Total / base
+		pt.PermutedBRDeep = true
+		for _, ph := range costPBR.Phases {
+			if !ph.Deep {
+				pt.PermutedBRDeep = false
+				break
+			}
+		}
+		costD4, err := PipelinedSweepCost(d, d4, p)
+		if err != nil {
+			return nil, err
+		}
+		pt.Degree4 = costD4.Total / base
+		pt.LowerBound = LowerBoundSweepCost(d, p).Total / base
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// Figure2Panel reproduces one full panel of Figure 2 for matrix size
+// m = 2^logM with the paper's Ts = 1000, Tw = 100 over d = 2..maxD.
+func Figure2Panel(logM, maxD int) ([]Figure2Point, error) {
+	if maxD < 2 {
+		return nil, fmt.Errorf("costmodel: maxD %d too small", maxD)
+	}
+	dims := make([]int, 0, maxD-1)
+	for d := 2; d <= maxD; d++ {
+		dims = append(dims, d)
+	}
+	return Figure2Series(dims, Params{M: math.Pow(2, float64(logM)), Ts: 1000, Tw: 100})
+}

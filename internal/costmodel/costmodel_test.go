@@ -1,0 +1,185 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ordering"
+)
+
+var fig2 = Params{M: math.Pow(2, 23), Ts: 1000, Tw: 100}
+
+func TestBlockElems(t *testing.T) {
+	// m=16, d=1: blocks of 4 columns of height 16, times 2 matrices.
+	if got := BlockElems(16, 1); got != 2*4*16 {
+		t.Errorf("BlockElems = %g", got)
+	}
+}
+
+func TestMaxQ(t *testing.T) {
+	if got := MaxQ(16, 1); got != 4 {
+		t.Errorf("MaxQ(16,1) = %d", got)
+	}
+	if got := MaxQ(2, 3); got != 1 {
+		t.Errorf("MaxQ(2,3) = %d, want 1 (blocks smaller than a column)", got)
+	}
+	if got := MaxQ(math.Pow(2, 40), 1); got != 1<<30 {
+		t.Errorf("MaxQ huge = %d, want cap", got)
+	}
+}
+
+func TestBaselineSweepCost(t *testing.T) {
+	p := Params{M: 64, Ts: 10, Tw: 1}
+	// d=2: 7 transitions of S = 2*8*64 = 1024 elements.
+	want := 7 * (10 + 1024.0)
+	if got := BaselineSweepCost(2, p); math.Abs(got-want) > 1e-9 {
+		t.Errorf("baseline = %g, want %g", got, want)
+	}
+	if BaselineSweepCost(0, p) != 0 {
+		t.Error("d=0 baseline should be 0")
+	}
+}
+
+// Pipelining can only help: every pipelined sweep cost must be at most the
+// baseline (Q=1 is always available), and at least the lower bound.
+func TestPipelinedBetweenBounds(t *testing.T) {
+	for _, fam := range ordering.AllFamilies() {
+		for d := 1; d <= 10; d++ {
+			base := BaselineSweepCost(d, fig2)
+			sc, err := PipelinedSweepCost(d, fam, fig2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lb := LowerBoundSweepCost(d, fig2)
+			if sc.Total > base*(1+1e-12) {
+				t.Errorf("%s d=%d: pipelined %g above baseline %g", fam.Name(), d, sc.Total, base)
+			}
+			if sc.Total < lb.Total*(1-1e-12) {
+				t.Errorf("%s d=%d: pipelined %g below lower bound %g", fam.Name(), d, sc.Total, lb.Total)
+			}
+		}
+	}
+}
+
+// The paper's headline claims, as model invariants at d=10, m=2^23:
+// pipelined BR sits near 1/2; degree-4 near 1/4; permuted-BR below degree-4
+// (deep regime).
+func TestFigure2HeadlineClaims(t *testing.T) {
+	pts, err := Figure2Series([]int{10}, fig2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := pts[0]
+	if pt.PipelinedBR < 0.45 || pt.PipelinedBR > 0.55 {
+		t.Errorf("pipelined BR ratio %g, want ~0.5", pt.PipelinedBR)
+	}
+	if pt.Degree4 < 0.2 || pt.Degree4 > 0.3 {
+		t.Errorf("degree-4 ratio %g, want ~0.25", pt.Degree4)
+	}
+	if pt.PermutedBR >= pt.Degree4 {
+		t.Errorf("permuted-BR %g should beat degree-4 %g in the deep regime", pt.PermutedBR, pt.Degree4)
+	}
+	if pt.LowerBound > pt.PermutedBR {
+		t.Errorf("lower bound %g above permuted-BR %g", pt.LowerBound, pt.PermutedBR)
+	}
+}
+
+// Figure 2a's regime change: with m=2^18 the permuted-BR curve must
+// deteriorate toward pipelined BR at large d (shallow pipelining forced by
+// small blocks), while degree-4 stays near 1/4.
+func TestFigure2ShallowRegime(t *testing.T) {
+	p := Params{M: math.Pow(2, 18), Ts: 1000, Tw: 100}
+	pts, err := Figure2Series([]int{14}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := pts[0]
+	if pt.PermutedBR < 0.4 {
+		t.Errorf("m=2^18 d=14: permuted-BR ratio %g, expected degradation toward 0.5", pt.PermutedBR)
+	}
+	if pt.Degree4 > 0.3 {
+		t.Errorf("m=2^18 d=14: degree-4 ratio %g, want ~0.25", pt.Degree4)
+	}
+	if pt.PermutedBRDeep {
+		t.Error("m=2^18 d=14 should not be fully deep")
+	}
+}
+
+// Deep regime: with m=2^32 the permuted-BR curve approaches the lower bound
+// (within the 1.25x-ish factor of Theorem 3 plus overheads).
+func TestFigure2DeepRegime(t *testing.T) {
+	p := Params{M: math.Pow(2, 32), Ts: 1000, Tw: 100}
+	pts, err := Figure2Series([]int{13}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := pts[0]
+	if ratio := pt.PermutedBR / pt.LowerBound; ratio > 1.5 {
+		t.Errorf("m=2^32 d=13: permuted-BR/lower bound = %g, want <= 1.5", ratio)
+	}
+}
+
+// The one-port model must show no benefit from multi-port pipelining beyond
+// (at best) marginal start-up effects: the ratio stays near 1.
+func TestOnePortNoBenefit(t *testing.T) {
+	p := fig2
+	p.Ports = 1
+	base := BaselineSweepCost(8, p)
+	sc, err := PipelinedSweepCost(8, ordering.NewPermutedBRFamily(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := sc.Total / base; ratio < 0.95 {
+		t.Errorf("one-port pipelining ratio %g, expected ~1 (no communication parallelism)", ratio)
+	}
+}
+
+func TestPipelinedSweepCostPhases(t *testing.T) {
+	sc, err := PipelinedSweepCost(4, ordering.NewBRFamily(), fig2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Phases) != 4 {
+		t.Fatalf("phases = %d", len(sc.Phases))
+	}
+	// Phases are listed e = d..1 and costs sum to Total - Tail.
+	sum := 0.0
+	for i, ph := range sc.Phases {
+		if ph.E != 4-i {
+			t.Errorf("phase %d has e=%d", i, ph.E)
+		}
+		sum += ph.Cost
+	}
+	if math.Abs(sum+sc.Tail-sc.Total) > 1e-6 {
+		t.Errorf("phase sum %g + tail %g != total %g", sum, sc.Tail, sc.Total)
+	}
+}
+
+func TestPipelinedSweepCostErrors(t *testing.T) {
+	if _, err := PipelinedSweepCost(-1, ordering.NewBRFamily(), fig2); err == nil {
+		t.Error("negative d accepted")
+	}
+	if _, err := Figure2Panel(18, 1); err == nil {
+		t.Error("maxD=1 accepted")
+	}
+}
+
+func TestFigure2PanelShape(t *testing.T) {
+	pts, err := Figure2Panel(18, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 || pts[0].D != 2 || pts[4].D != 6 {
+		t.Errorf("panel dims: %+v", pts)
+	}
+	for _, pt := range pts {
+		for name, v := range map[string]float64{
+			"pipelinedBR": pt.PipelinedBR, "permutedBR": pt.PermutedBR,
+			"degree4": pt.Degree4, "lowerBound": pt.LowerBound,
+		} {
+			if v <= 0 || v > 1+1e-9 {
+				t.Errorf("d=%d %s ratio %g outside (0,1]", pt.D, name, v)
+			}
+		}
+	}
+}

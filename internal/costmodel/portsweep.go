@@ -1,0 +1,59 @@
+package costmodel
+
+import (
+	"fmt"
+
+	"repro/internal/ordering"
+)
+
+// PortPoint is one entry of the port-count ablation: the relative
+// communication cost of the pipelined orderings on a hypercube whose nodes
+// can drive K links simultaneously (K = 0 meaning all d links).
+type PortPoint struct {
+	K           int
+	PipelinedBR float64
+	PermutedBR  float64
+	Degree4     float64
+}
+
+// PortCountSweep evaluates how much of each ordering's benefit survives as
+// the architecture's port count shrinks from all-port to one-port. This is
+// the ablation behind the paper's framing: the degree-4 ordering only needs
+// 4 simultaneous ports (its windows use 4 distinct links), while permuted-BR
+// under deep pipelining benefits from every additional port. Costs are
+// relative to the unpipelined CC-cube baseline, which is port-independent
+// (one message per transition).
+func PortCountSweep(d int, ks []int, p Params) ([]PortPoint, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("costmodel: dimension %d too small", d)
+	}
+	base := BaselineSweepCost(d, p)
+	br := ordering.NewBRFamily()
+	pbr := ordering.NewPermutedBRFamily()
+	d4 := ordering.NewDegree4Family()
+	var out []PortPoint
+	for _, k := range ks {
+		if k < 0 {
+			return nil, fmt.Errorf("costmodel: invalid port count %d", k)
+		}
+		pk := p
+		pk.Ports = k
+		pt := PortPoint{K: k}
+		for _, entry := range []struct {
+			fam  ordering.Family
+			dest *float64
+		}{
+			{br, &pt.PipelinedBR},
+			{pbr, &pt.PermutedBR},
+			{d4, &pt.Degree4},
+		} {
+			sc, err := PipelinedSweepCost(d, entry.fam, pk)
+			if err != nil {
+				return nil, err
+			}
+			*entry.dest = sc.Total / base
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

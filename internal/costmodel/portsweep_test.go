@@ -1,0 +1,74 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPortCountSweepMonotone(t *testing.T) {
+	p := Params{M: math.Pow(2, 23), Ts: 1000, Tw: 100}
+	pts, err := PortCountSweep(8, []int{1, 2, 3, 4, 6, 8, 0}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More ports can only help (0 = unlimited comes last and must be best).
+	for i := 1; i < len(pts); i++ {
+		for name, pair := range map[string][2]float64{
+			"pipelinedBR": {pts[i-1].PipelinedBR, pts[i].PipelinedBR},
+			"permutedBR":  {pts[i-1].PermutedBR, pts[i].PermutedBR},
+			"degree4":     {pts[i-1].Degree4, pts[i].Degree4},
+		} {
+			if pair[1] > pair[0]*(1+1e-9) {
+				t.Errorf("%s worsened from k=%d (%g) to k=%d (%g)",
+					name, pts[i-1].K, pair[0], pts[i].K, pair[1])
+			}
+		}
+	}
+}
+
+// The degree-4 ordering's benefit saturates around 4 ports: its windows use
+// at most ~4 distinct links, so going from 4 ports to all-port buys little,
+// while going from 1 to 4 buys a lot.
+func TestPortCountSweepDegree4Saturation(t *testing.T) {
+	p := Params{M: math.Pow(2, 23), Ts: 1000, Tw: 100}
+	pts, err := PortCountSweep(8, []int{1, 4, 0}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, four, all := pts[0].Degree4, pts[1].Degree4, pts[2].Degree4
+	if gain14 := one / four; gain14 < 2 {
+		t.Errorf("degree-4 gain from 1 to 4 ports = %.2fx, want >= 2x", gain14)
+	}
+	if gain4all := four / all; gain4all > 1.2 {
+		t.Errorf("degree-4 gain from 4 ports to all-port = %.2fx, want saturation (<1.2x)", gain4all)
+	}
+}
+
+// One-port pipelined cost must essentially match the one-port baseline (no
+// communication parallelism to exploit), for every ordering.
+func TestPortCountSweepOnePortUseless(t *testing.T) {
+	p := Params{M: math.Pow(2, 23), Ts: 1000, Tw: 100}
+	pts, err := PortCountSweep(6, []int{1}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"pipelinedBR": pts[0].PipelinedBR,
+		"permutedBR":  pts[0].PermutedBR,
+		"degree4":     pts[0].Degree4,
+	} {
+		if v < 0.95 || v > 1.0+1e-9 {
+			t.Errorf("%s one-port ratio %g, want ~1", name, v)
+		}
+	}
+}
+
+func TestPortCountSweepErrors(t *testing.T) {
+	p := Params{M: 1 << 20, Ts: 1000, Tw: 100}
+	if _, err := PortCountSweep(0, []int{1}, p); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := PortCountSweep(4, []int{-1}, p); err == nil {
+		t.Error("negative k accepted")
+	}
+}

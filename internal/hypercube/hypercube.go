@@ -1,0 +1,181 @@
+// Package hypercube models the d-dimensional binary hypercube interconnect
+// used as the target topology throughout this repository.
+//
+// A d-cube has 2^d nodes labelled 0..2^d-1; two nodes are neighbors when
+// their labels differ in exactly one bit. The link connecting neighbors that
+// differ in bit i is called link i (equivalently, dimension i). Links are
+// therefore identified per node by the dimension they span, matching the
+// terminology of the paper (section 2.1).
+package hypercube
+
+import (
+	"fmt"
+
+	"repro/internal/bitutil"
+)
+
+// MaxDim bounds the supported hypercube dimension. 2^26 nodes is far beyond
+// anything the experiments require and keeps bitset sizes sane.
+const MaxDim = 26
+
+// Cube describes a d-dimensional hypercube.
+type Cube struct {
+	dim int
+}
+
+// New returns a d-cube. It panics if d is negative or larger than MaxDim;
+// dimension is a structural constant in all callers, so a bad value is a
+// programming error rather than a runtime condition.
+func New(d int) Cube {
+	if d < 0 || d > MaxDim {
+		panic(fmt.Sprintf("hypercube: dimension %d out of range [0,%d]", d, MaxDim))
+	}
+	return Cube{dim: d}
+}
+
+// Dim returns the cube's dimension d.
+func (c Cube) Dim() int { return c.dim }
+
+// Nodes returns the number of nodes, 2^d.
+func (c Cube) Nodes() int { return 1 << uint(c.dim) }
+
+// Links returns the number of links per node, which equals d.
+func (c Cube) Links() int { return c.dim }
+
+// Contains reports whether node is a valid label for this cube.
+func (c Cube) Contains(node int) bool {
+	return node >= 0 && node < c.Nodes()
+}
+
+// ValidLink reports whether link is a valid dimension index for this cube.
+func (c Cube) ValidLink(link int) bool {
+	return link >= 0 && link < c.dim
+}
+
+// Neighbor returns the node reached from node through the given link
+// (dimension). It panics on invalid arguments.
+func (c Cube) Neighbor(node, link int) int {
+	if !c.Contains(node) {
+		panic(fmt.Sprintf("hypercube: node %d outside %d-cube", node, c.dim))
+	}
+	if !c.ValidLink(link) {
+		panic(fmt.Sprintf("hypercube: link %d outside %d-cube", link, c.dim))
+	}
+	return bitutil.Flip(node, link)
+}
+
+// Neighbors returns all d neighbors of node, indexed by dimension.
+func (c Cube) Neighbors(node int) []int {
+	out := make([]int, c.dim)
+	for i := 0; i < c.dim; i++ {
+		out[i] = c.Neighbor(node, i)
+	}
+	return out
+}
+
+// LinkBetween returns the dimension of the link connecting a and b, or an
+// error if a and b are not neighbors.
+func (c Cube) LinkBetween(a, b int) (int, error) {
+	if !c.Contains(a) || !c.Contains(b) {
+		return 0, fmt.Errorf("hypercube: nodes %d,%d outside %d-cube", a, b, c.dim)
+	}
+	diff := a ^ b
+	if bitutil.OnesCount(diff) != 1 {
+		return 0, fmt.Errorf("hypercube: nodes %d and %d are not neighbors", a, b)
+	}
+	return bitutil.TrailingZeros(diff), nil
+}
+
+// Distance returns the Hamming distance between two node labels, which is the
+// length of a shortest path in the cube.
+func (c Cube) Distance(a, b int) int {
+	return bitutil.OnesCount(a ^ b)
+}
+
+// SubcubeOf returns the index of the e-dimensional subcube (spanned by
+// dimensions 0..e-1) that node belongs to. Nodes sharing the same high
+// d-e bits form one subcube.
+func (c Cube) SubcubeOf(node, e int) int {
+	if e < 0 || e > c.dim {
+		panic(fmt.Sprintf("hypercube: subcube dimension %d out of range", e))
+	}
+	return node >> uint(e)
+}
+
+// SubcubeNodes returns the node labels of the idx-th e-dimensional subcube
+// spanned by dimensions 0..e-1.
+func (c Cube) SubcubeNodes(e, idx int) []int {
+	n := 1 << uint(e)
+	if idx < 0 || idx >= c.Nodes()/n {
+		panic(fmt.Sprintf("hypercube: subcube index %d out of range", idx))
+	}
+	base := idx << uint(e)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = base | i
+	}
+	return out
+}
+
+// GrayPathLinks returns the canonical Hamiltonian-path link sequence of the
+// d-cube derived from the binary-reflected Gray code: element t is the
+// dimension flipped between the t-th and (t+1)-th Gray codes. The result has
+// 2^d - 1 elements. (For d-cubes this is exactly the BR sequence D_d^BR, a
+// fact the sequence package tests rely on.)
+func (c Cube) GrayPathLinks() []int {
+	n := c.Nodes()
+	out := make([]int, 0, n-1)
+	for i := 1; i < n; i++ {
+		diff := bitutil.Gray(i) ^ bitutil.Gray(i-1)
+		out = append(out, bitutil.TrailingZeros(diff))
+	}
+	return out
+}
+
+// WalkFrom follows the link sequence seq starting at node start and returns
+// every node visited, including the start (len(seq)+1 entries).
+func (c Cube) WalkFrom(start int, seq []int) []int {
+	if !c.Contains(start) {
+		panic(fmt.Sprintf("hypercube: node %d outside %d-cube", start, c.dim))
+	}
+	path := make([]int, 0, len(seq)+1)
+	path = append(path, start)
+	cur := start
+	for _, link := range seq {
+		cur = c.Neighbor(cur, link)
+		path = append(path, cur)
+	}
+	return path
+}
+
+// IsHamiltonianPath reports whether following seq from start visits every
+// node of the cube exactly once. seq must contain only valid link indices;
+// invalid links make the result false rather than panicking, so the function
+// can be used to screen untrusted sequences.
+func (c Cube) IsHamiltonianPath(start int, seq []int) bool {
+	if !c.Contains(start) {
+		return false
+	}
+	if len(seq) != c.Nodes()-1 {
+		return false
+	}
+	visited := make([]bool, c.Nodes())
+	visited[start] = true
+	cur := start
+	for _, link := range seq {
+		if !c.ValidLink(link) {
+			return false
+		}
+		cur = bitutil.Flip(cur, link)
+		if visited[cur] {
+			return false
+		}
+		visited[cur] = true
+	}
+	return true
+}
+
+// String implements fmt.Stringer.
+func (c Cube) String() string {
+	return fmt.Sprintf("%d-cube(%d nodes)", c.dim, c.Nodes())
+}

@@ -1,0 +1,173 @@
+package jacobi
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/matrix"
+	"repro/internal/ordering"
+)
+
+func parCfg(fam ordering.Family) ParallelConfig {
+	return ParallelConfig{
+		Family: fam,
+		Ts:     1000,
+		Tw:     100,
+	}
+}
+
+// The distributed solver must produce results bit-identical to the
+// schedule-driven sequential replay: the same rotations in the same global
+// order (disjoint columns across nodes within a step), with the
+// order-independent MaxRel criterion.
+func TestSolveParallelBitIdenticalToSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	cases := []struct{ m, d int }{
+		{8, 1}, {16, 2}, {12, 1}, {16, 3}, {10, 2},
+	}
+	for _, c := range cases {
+		a := matrix.RandomSymmetric(c.m, rng)
+		for _, fam := range []ordering.Family{ordering.NewBRFamily(), ordering.NewDegree4Family()} {
+			ref, err := SolveSchedule(a, c.d, fam, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := SolveParallel(a, c.d, parCfg(fam))
+			if err != nil {
+				t.Fatalf("m=%d d=%d %s: %v", c.m, c.d, fam.Name(), err)
+			}
+			if got.Sweeps != ref.Sweeps {
+				t.Errorf("m=%d d=%d %s: sweeps %d vs %d", c.m, c.d, fam.Name(), got.Sweeps, ref.Sweeps)
+			}
+			for i := range ref.Values {
+				if got.Values[i] != ref.Values[i] {
+					t.Fatalf("m=%d d=%d %s: eigenvalue %d differs: %g vs %g (should be bit-identical)",
+						c.m, c.d, fam.Name(), i, got.Values[i], ref.Values[i])
+				}
+			}
+			if !got.Vectors.Equal(ref.Vectors, 0) {
+				t.Errorf("m=%d d=%d %s: eigenvectors not bit-identical", c.m, c.d, fam.Name())
+			}
+		}
+	}
+}
+
+func TestSolveParallelResidualAndOrthogonality(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	a := matrix.RandomSymmetric(24, rng)
+	res, stats, err := SolveParallel(a, 2, parCfg(ordering.NewPermutedBRFamily()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("no convergence")
+	}
+	if r := matrix.EigenResidual(a, res.Values, res.Vectors); r > 1e-8 {
+		t.Errorf("residual %g", r)
+	}
+	if o := matrix.OrthogonalityError(res.Vectors); o > 1e-10 {
+		t.Errorf("orthogonality %g", o)
+	}
+	if stats.Makespan <= 0 {
+		t.Error("no virtual time accumulated")
+	}
+	if stats.Messages == 0 {
+		t.Error("no messages counted")
+	}
+}
+
+// FixedSweeps mode runs exactly the requested sweeps without convergence
+// reductions, so the message count is exactly nodes * transitions * sweeps.
+func TestSolveParallelFixedSweeps(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	a := matrix.RandomSymmetric(16, rng)
+	d := 2
+	cfg := parCfg(ordering.NewBRFamily())
+	cfg.FixedSweeps = 3
+	res, stats, err := SolveParallel(a, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sweeps != 3 {
+		t.Errorf("sweeps = %d, want 3", res.Sweeps)
+	}
+	nodes := 1 << uint(d)
+	transitions := 2*(1<<uint(d)) - 1
+	want := nodes * transitions * 3
+	if stats.Messages != want {
+		t.Errorf("messages = %d, want %d", stats.Messages, want)
+	}
+}
+
+// The virtual-time makespan of a fixed-sweep unpipelined run must equal the
+// analytic baseline sweep cost times the sweep count (the machine implements
+// exactly the model's Ts/Tw accounting; convergence reductions are off).
+func TestSolveParallelMakespanMatchesAnalyticBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	for _, c := range []struct{ m, d int }{{16, 1}, {16, 2}, {32, 2}, {32, 3}} {
+		a := matrix.RandomSymmetric(c.m, rng)
+		cfg := parCfg(ordering.NewBRFamily())
+		cfg.FixedSweeps = 2
+		_, stats, err := SolveParallel(a, c.d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Analytic: transitions * (Ts + S*Tw) per sweep, S = 2*(m/2^(d+1))*m.
+		nb := float64(int(2) << uint(c.d))
+		s := 2.0 * float64(c.m) / nb * float64(c.m)
+		perBlockMsg := s + 2 + float64(c.m)/nb // encoding adds id, ncols, col indices
+		transitions := float64(2*(int(1)<<uint(c.d)) - 1)
+		want := 2 * transitions * (1000 + perBlockMsg*100)
+		rel := (stats.Makespan - want) / want
+		if rel < -0.01 || rel > 0.01 {
+			t.Errorf("m=%d d=%d: makespan %g, analytic %g (rel err %.3f)", c.m, c.d, stats.Makespan, want, rel)
+		}
+	}
+}
+
+// Uneven block sizes (m not divisible by 2^(d+1)) must work end-to-end.
+func TestSolveParallelUnevenBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	a := matrix.RandomSymmetric(13, rng)
+	res, _, err := SolveParallel(a, 2, parCfg(ordering.NewBRFamily()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := SolveCyclic(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.SortedEigenvalueDistance(res.Values, ref.Values); d > 1e-8 {
+		t.Errorf("spectra differ by %g", d)
+	}
+}
+
+// One-port configuration must yield a strictly larger makespan than all-port
+// for the same pipelined workload, and identical numerics.
+func TestSolveParallelPortModelCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(127))
+	a := matrix.RandomSymmetric(16, rng)
+	cfgAll := parCfg(ordering.NewDegree4Family())
+	cfgAll.FixedSweeps = 2
+	cfgAll.PipelineQ = 2
+	cfgOne := cfgAll
+	cfgOne.Ports = machine.OnePort
+
+	resAll, statsAll, err := SolveParallelPipelined(a, 2, cfgAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resOne, statsOne, err := SolveParallelPipelined(a, 2, cfgOne)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsOne.Makespan <= statsAll.Makespan {
+		t.Errorf("one-port makespan %g should exceed all-port %g", statsOne.Makespan, statsAll.Makespan)
+	}
+	for i := range resAll.Values {
+		if resAll.Values[i] != resOne.Values[i] {
+			t.Fatal("port model changed numerics")
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package jacobi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/matrix"
+	"repro/internal/ordering"
+)
+
+// Criterion selects the sweep convergence test.
+type Criterion int
+
+const (
+	// MaxRelCriterion stops after the first sweep whose largest relative
+	// off-diagonal value |γ|/sqrt(αβ) is below Tol. It is the strictest
+	// per-pair test and the default.
+	MaxRelCriterion Criterion = iota
+	// OffFrobCriterion stops when sqrt(Σγ²) — the running estimate of
+	// off(AᵀA) gathered while the sweep visits each pair — falls below
+	// Tol·trace(AᵀA). The trace equals ‖A‖²_F and is invariant under the
+	// rotations, so the test is scale-free and needs no extra passes; it is
+	// the criterion used for the Table 2 reproduction (DESIGN.md note 10).
+	OffFrobCriterion
+)
+
+// Options configures a solve.
+type Options struct {
+	// Tol is the sweep convergence threshold; its meaning depends on
+	// Criterion. Default 1e-10.
+	Tol float64
+	// MaxSweeps bounds the number of sweeps. Default 40.
+	MaxSweeps int
+	// Criterion selects the convergence test. Default MaxRelCriterion.
+	Criterion Criterion
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.MaxSweeps <= 0 {
+		o.MaxSweeps = 40
+	}
+	return o
+}
+
+// converged applies the configured criterion to one sweep's statistics.
+// traceGram is trace(AᵀA) = ‖A‖²_F of the input (rotation-invariant).
+func (o Options) converged(conv ConvTracker, traceGram float64) bool {
+	switch o.Criterion {
+	case OffFrobCriterion:
+		if traceGram <= 0 {
+			return true
+		}
+		return math.Sqrt(conv.OffSq) < o.Tol*traceGram
+	default:
+		return conv.MaxRel < o.Tol
+	}
+}
+
+// EigenResult is the outcome of a solve.
+type EigenResult struct {
+	// Values are the eigenvalues in ascending order.
+	Values []float64
+	// Vectors holds the corresponding eigenvectors as columns.
+	Vectors *matrix.Dense
+	// Sweeps is the number of sweeps executed.
+	Sweeps int
+	// Converged reports whether Tol was reached within MaxSweeps.
+	Converged bool
+	// FinalMaxRel is the largest relative off-diagonal value of the final
+	// sweep.
+	FinalMaxRel float64
+	// Rotations is the total number of rotations applied.
+	Rotations int
+}
+
+// SolveCyclic runs the classic row-cyclic one-sided Jacobi method: each
+// sweep visits all column pairs (i, j), i < j, in lexicographic order. It is
+// the ordering-independent sequential baseline.
+func SolveCyclic(a *matrix.Dense, opts Options) (*EigenResult, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("jacobi: matrix is %dx%d, want square", a.Rows, a.Cols)
+	}
+	opts = opts.withDefaults()
+	m := a.Rows
+	w := a.Clone()
+	u := matrix.Identity(m)
+	traceGram := w.FrobeniusNorm()
+	traceGram *= traceGram
+	res := &EigenResult{}
+	for sweep := 0; sweep < opts.MaxSweeps; sweep++ {
+		var conv ConvTracker
+		for i := 0; i < m; i++ {
+			for j := i + 1; j < m; j++ {
+				RotatePair(w.Col(i), w.Col(j), u.Col(i), u.Col(j), &conv)
+			}
+		}
+		res.Sweeps++
+		res.Rotations += conv.Rotations
+		res.FinalMaxRel = conv.MaxRel
+		if opts.converged(conv, traceGram) {
+			res.Converged = true
+			break
+		}
+	}
+	finishEigen(a, w, u, res)
+	return res, nil
+}
+
+// SolveSchedule runs the one-sided Jacobi method following the exact
+// rotation order of the given parallel Jacobi ordering on a d-cube, executed
+// sequentially: per sweep, first the intra-block pairings of every block,
+// then the 2^(d+1)-1 steps, pairing the co-resident blocks of each node in
+// node order. The distributed solver performs the same rotations (disjoint
+// columns across nodes within a step), so its result is numerically
+// identical; tests assert this.
+func SolveSchedule(a *matrix.Dense, d int, fam ordering.Family, opts Options) (*EigenResult, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("jacobi: matrix is %dx%d, want square", a.Rows, a.Cols)
+	}
+	opts = opts.withDefaults()
+	sw, err := ordering.BuildSweep(d, fam)
+	if err != nil {
+		return nil, err
+	}
+	blocks, err := BuildBlocks(a, d)
+	if err != nil {
+		return nil, err
+	}
+	st := ordering.NewState(d)
+	nodes := 1 << uint(d)
+	traceGram := a.FrobeniusNorm()
+	traceGram *= traceGram
+	res := &EigenResult{}
+	for sweep := 0; sweep < opts.MaxSweeps; sweep++ {
+		var conv ConvTracker
+		// Step 1 of the block algorithm: intra-block pairings, performed on
+		// whichever node currently holds each block (node order).
+		for p := 0; p < nodes; p++ {
+			nb := st.Node(p)
+			PairWithin(blocks[nb.A], &conv)
+			PairWithin(blocks[nb.B], &conv)
+		}
+		st.RunSweep(sw, sweep, func(step int, cur *ordering.State) {
+			for p := 0; p < nodes; p++ {
+				nb := cur.Node(p)
+				PairCross(blocks[nb.A], blocks[nb.B], &conv)
+			}
+		})
+		res.Sweeps++
+		res.Rotations += conv.Rotations
+		res.FinalMaxRel = conv.MaxRel
+		if opts.converged(conv, traceGram) {
+			res.Converged = true
+			break
+		}
+	}
+	w := matrix.NewDense(a.Rows, a.Cols)
+	u := matrix.NewDense(a.Rows, a.Cols)
+	Gather(blocks, w, u)
+	finishEigen(a, w, u, res)
+	return res, nil
+}
+
+// finishEigen extracts sorted eigenpairs from the converged factors:
+// w = A·U with (near-)orthogonal columns, so λᵢ = uᵢᵀwᵢ and the eigenvector
+// is uᵢ. For symmetric A with distinct |λ| these are the eigenpairs of A;
+// a ±λ pair would need the Rayleigh-quotient refinement discussed in
+// DESIGN.md, which random test matrices avoid almost surely.
+func finishEigen(a, w, u *matrix.Dense, res *EigenResult) {
+	m := a.Rows
+	type pair struct {
+		value float64
+		col   int
+	}
+	pairs := make([]pair, m)
+	for i := 0; i < m; i++ {
+		pairs[i] = pair{value: matrix.Dot(u.Col(i), w.Col(i)), col: i}
+	}
+	sort.Slice(pairs, func(x, y int) bool { return pairs[x].value < pairs[y].value })
+	res.Values = make([]float64, m)
+	res.Vectors = matrix.NewDense(m, m)
+	for k, p := range pairs {
+		res.Values[k] = p.value
+		col := u.Col(p.col)
+		// Normalize defensively; accumulated rotations keep u orthonormal
+		// to machine precision already.
+		norm := matrix.Norm2(col)
+		dst := res.Vectors.Col(k)
+		copy(dst, col)
+		if norm > 0 && math.Abs(norm-1) > 1e-12 {
+			matrix.Scale(dst, 1/norm)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTest(t *testing.T, d int, ports PortModel) *Machine {
+	t.Helper()
+	m, err := New(Config{Dim: d, Ports: ports, Ts: 10, Tw: 1, ExchangeTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewRejectsBadDim(t *testing.T) {
+	if _, err := New(Config{Dim: -1}); err == nil {
+		t.Error("negative dim accepted")
+	}
+	if _, err := New(Config{Dim: 17}); err == nil {
+		t.Error("dim 17 accepted")
+	}
+}
+
+// Every node exchanges its ID across every dimension in order and must
+// receive the neighbor's ID.
+func TestExchangeDeliversPayloads(t *testing.T) {
+	m := newTest(t, 3, AllPort)
+	_, err := m.Run(func(ctx *NodeCtx) error {
+		for dim := 0; dim < ctx.Dim(); dim++ {
+			got, err := ctx.Exchange(dim, []float64{float64(ctx.ID())})
+			if err != nil {
+				return err
+			}
+			want := float64(ctx.ID() ^ (1 << uint(dim)))
+			if len(got) != 1 || got[0] != want {
+				return fmt.Errorf("node %d dim %d: got %v want %v", ctx.ID(), dim, got, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A single symmetric exchange of n elements costs Ts + n*Tw for both
+// endpoints under either port model.
+func TestExchangeCost(t *testing.T) {
+	for _, ports := range []PortModel{AllPort, OnePort} {
+		m := newTest(t, 1, ports)
+		stats, err := m.Run(func(ctx *NodeCtx) error {
+			_, err := ctx.Exchange(0, make([]float64, 5))
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 10.0 + 5.0*1.0
+		if math.Abs(stats.Makespan-want) > 1e-12 {
+			t.Errorf("%v: makespan %g, want %g", ports, stats.Makespan, want)
+		}
+	}
+}
+
+// An all-port batch over u links costs u*Ts + max(len)*Tw; one-port
+// serializes to Σ(Ts + len*Tw).
+func TestBatchCostModels(t *testing.T) {
+	payloads := [][]float64{make([]float64, 8), make([]float64, 3), make([]float64, 5)}
+	links := []int{0, 1, 2}
+
+	m := newTest(t, 3, AllPort)
+	stats, err := m.Run(func(ctx *NodeCtx) error {
+		_, err := ctx.ExchangeBatch(links, payloads)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAll := 3*10.0 + 8.0 // u*Ts + max*Tw
+	if math.Abs(stats.Makespan-wantAll) > 1e-12 {
+		t.Errorf("all-port makespan %g, want %g", stats.Makespan, wantAll)
+	}
+
+	m = newTest(t, 3, OnePort)
+	stats, err = m.Run(func(ctx *NodeCtx) error {
+		_, err := ctx.ExchangeBatch(links, payloads)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOne := (10.0 + 8) + (10 + 3) + (10 + 5)
+	if math.Abs(stats.Makespan-wantOne) > 1e-12 {
+		t.Errorf("one-port makespan %g, want %g", stats.Makespan, wantOne)
+	}
+}
+
+// Virtual time is deterministic: repeated runs give identical makespans
+// even though goroutine interleaving varies.
+func TestVirtualTimeDeterminism(t *testing.T) {
+	run := func() float64 {
+		m := newTest(t, 4, AllPort)
+		stats, err := m.Run(func(ctx *NodeCtx) error {
+			for rep := 0; rep < 10; rep++ {
+				for dim := 0; dim < ctx.Dim(); dim++ {
+					payload := make([]float64, 1+(ctx.ID()+rep)%7)
+					if _, err := ctx.Exchange(dim, payload); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Makespan
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d: makespan %g != %g", i, got, first)
+		}
+	}
+}
+
+// Mismatched schedules (one node exchanging on the wrong link) must be
+// detected as a timeout error, not hang forever.
+func TestDeadlockDetection(t *testing.T) {
+	m, err := New(Config{Dim: 1, Ts: 1, Tw: 1, ExchangeTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run(func(ctx *NodeCtx) error {
+		if ctx.ID() == 0 {
+			_, err := ctx.Exchange(0, nil)
+			return err
+		}
+		return nil // node 1 never exchanges
+	})
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("want timeout error, got %v", err)
+	}
+}
+
+// Node program panics become errors naming the node.
+func TestPanicRecovery(t *testing.T) {
+	m := newTest(t, 1, AllPort)
+	_, err := m.Run(func(ctx *NodeCtx) error {
+		if ctx.ID() == 1 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "node 1 panicked") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestExchangeBatchValidation(t *testing.T) {
+	m := newTest(t, 2, AllPort)
+	_, err := m.Run(func(ctx *NodeCtx) error {
+		if _, err := ctx.ExchangeBatch([]int{0}, nil); err == nil {
+			return fmt.Errorf("mismatched lengths accepted")
+		}
+		if _, err := ctx.ExchangeBatch([]int{5}, [][]float64{nil}); err == nil {
+			return fmt.Errorf("invalid link accepted")
+		}
+		if _, err := ctx.ExchangeBatch([]int{0, 0}, [][]float64{nil, nil}); err == nil {
+			return fmt.Errorf("duplicate link accepted")
+		}
+		got, err := ctx.ExchangeBatch(nil, nil)
+		if err != nil || got != nil {
+			return fmt.Errorf("empty batch should be a no-op, got %v %v", got, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReduce(t *testing.T) {
+	m := newTest(t, 3, AllPort)
+	_, err := m.Run(func(ctx *NodeCtx) error {
+		sum, err := ctx.AllReduceSum([]float64{float64(ctx.ID()), 1})
+		if err != nil {
+			return err
+		}
+		if sum[0] != 28 || sum[1] != 8 { // 0+1+...+7, 8 ones
+			return fmt.Errorf("node %d: sum = %v", ctx.ID(), sum)
+		}
+		max, err := ctx.AllReduceMax([]float64{float64(ctx.ID())})
+		if err != nil {
+			return err
+		}
+		if max[0] != 7 {
+			return fmt.Errorf("node %d: max = %v", ctx.ID(), max)
+		}
+		return ctx.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	m, err := New(Config{Dim: 0, Tc: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := m.Run(func(ctx *NodeCtx) error {
+		ctx.Compute(5)
+		ctx.AdvanceTime(3)
+		ctx.AdvanceTime(-1) // ignored
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Makespan != 13 {
+		t.Errorf("makespan %g, want 13", stats.Makespan)
+	}
+}
+
+func TestRunStatsCounters(t *testing.T) {
+	m := newTest(t, 2, AllPort)
+	stats, err := m.Run(func(ctx *NodeCtx) error {
+		_, err := ctx.Exchange(1, make([]float64, 4))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Messages != 4 { // each of 4 nodes sends one message
+		t.Errorf("messages = %d", stats.Messages)
+	}
+	if stats.Elements != 16 {
+		t.Errorf("elements = %d", stats.Elements)
+	}
+	if stats.ExchangeOps != 4 {
+		t.Errorf("exchange ops = %d", stats.ExchangeOps)
+	}
+	if stats.PerDimMessages[1] != 4 || stats.PerDimMessages[0] != 0 {
+		t.Errorf("per-dim = %v", stats.PerDimMessages)
+	}
+	if len(stats.NodeTimes) != 4 {
+		t.Errorf("node times = %v", stats.NodeTimes)
+	}
+	if stats.WallTime <= 0 {
+		t.Error("wall time not recorded")
+	}
+}
+
+// Nodes at different virtual times synchronize through exchanges: the slower
+// sender dominates the completion time.
+func TestVirtualTimeSynchronization(t *testing.T) {
+	m, err := New(Config{Dim: 1, Ts: 10, Tw: 1, Tc: 1, ExchangeTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := m.Run(func(ctx *NodeCtx) error {
+		if ctx.ID() == 0 {
+			ctx.Compute(100) // node 0 is busy first
+		}
+		_, errEx := ctx.Exchange(0, make([]float64, 5))
+		return errEx
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100.0 + 10 + 5
+	for p, vt := range stats.NodeTimes {
+		if math.Abs(vt-want) > 1e-12 {
+			t.Errorf("node %d time %g, want %g", p, vt, want)
+		}
+	}
+}
+
+func TestPortModelString(t *testing.T) {
+	if AllPort.String() != "all-port" || OnePort.String() != "one-port" {
+		t.Error("PortModel strings wrong")
+	}
+}
+
+// k-port batches: transmissions schedule onto k channels. With 3 equal
+// messages on 2 ports, one channel carries two: cost = 3*Ts + 2*size*Tw.
+func TestKPortBatchCost(t *testing.T) {
+	m, err := New(Config{Dim: 3, Ports: KPort(2), Ts: 10, Tw: 1, ExchangeTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := m.Run(func(ctx *NodeCtx) error {
+		_, err := ctx.ExchangeBatch([]int{0, 1, 2},
+			[][]float64{make([]float64, 4), make([]float64, 4), make([]float64, 4)})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3*10.0 + 2*4.0 // startups + two serialized transmissions on the busiest channel
+	if math.Abs(stats.Makespan-want) > 1e-12 {
+		t.Errorf("2-port makespan %g, want %g", stats.Makespan, want)
+	}
+}
+
+// k at least the batch size behaves like all-port; k = 1 like one-port (in
+// total completion time).
+func TestKPortDegenerateCases(t *testing.T) {
+	payloads := [][]float64{make([]float64, 8), make([]float64, 3), make([]float64, 5)}
+	run := func(ports PortModel) float64 {
+		m, err := New(Config{Dim: 3, Ports: ports, Ts: 10, Tw: 1, ExchangeTimeout: 2 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := m.Run(func(ctx *NodeCtx) error {
+			_, err := ctx.ExchangeBatch([]int{0, 1, 2}, payloads)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Makespan
+	}
+	if got, want := run(KPort(3)), run(AllPort); math.Abs(got-want) > 1e-12 {
+		t.Errorf("3-port %g != all-port %g for a 3-message batch", got, want)
+	}
+	if got, want := run(KPort(1)), run(OnePort); math.Abs(got-want) > 1e-12 {
+		t.Errorf("1-port %g != one-port %g", got, want)
+	}
+}
+
+func TestKPortString(t *testing.T) {
+	if KPort(4).String() != "4-port" {
+		t.Errorf("KPort(4) = %s", KPort(4).String())
+	}
+	if KPort(-2) != AllPort {
+		t.Error("negative k should clamp to all-port")
+	}
+}

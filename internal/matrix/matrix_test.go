@@ -1,0 +1,238 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDenseAndAccessors(t *testing.T) {
+	m := NewDense(3, 2)
+	m.Set(2, 1, 5)
+	if m.At(2, 1) != 5 {
+		t.Error("Set/At broken")
+	}
+	if len(m.Col(1)) != 3 || m.Col(1)[2] != 5 {
+		t.Error("Col view broken")
+	}
+	m.SetCol(0, []float64{1, 2, 3})
+	if m.At(1, 0) != 2 {
+		t.Error("SetCol broken")
+	}
+}
+
+func TestColIsView(t *testing.T) {
+	m := NewDense(2, 2)
+	c := m.Col(0)
+	c[0] = 7
+	if m.At(0, 0) != 7 {
+		t.Error("Col should share storage")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Fatalf("I[%d,%d] = %g", i, j, id.At(i, j))
+			}
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := NewDense(2, 2)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) == 9 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestRandomSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := RandomSymmetric(20, rng)
+	if !m.IsSymmetric(0) {
+		t.Error("not symmetric")
+	}
+	for _, v := range m.Data {
+		if v < -1 || v > 1 {
+			t.Fatalf("entry %g outside [-1,1]", v)
+		}
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(0, 1, 1)
+	if m.IsSymmetric(0) {
+		t.Error("asymmetric accepted")
+	}
+	if !m.IsSymmetric(2) {
+		t.Error("tolerance ignored: |1-0| <= 2 should pass")
+	}
+	if NewDense(2, 3).IsSymmetric(1) {
+		t.Error("non-square accepted")
+	}
+}
+
+func TestMulVecAndMul(t *testing.T) {
+	m := NewDense(2, 3)
+	// [[1,2,3],[4,5,6]]
+	vals := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			m.Set(i, j, vals[i][j])
+		}
+	}
+	y := m.MulVec([]float64{1, 1, 1})
+	if y[0] != 6 || y[1] != 15 {
+		t.Errorf("MulVec = %v", y)
+	}
+	n := NewDense(3, 1)
+	n.SetCol(0, []float64{1, 0, -1})
+	p := m.Mul(n)
+	if p.At(0, 0) != -2 || p.At(1, 0) != -2 {
+		t.Errorf("Mul = %v", p.Data)
+	}
+}
+
+func TestMulVecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("dimension mismatch did not panic")
+		}
+	}()
+	NewDense(2, 3).MulVec([]float64{1})
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(0, 2, 7)
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 0) != 7 {
+		t.Error("Transpose broken")
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(0, 0, 3)
+	m.Set(1, 1, 4)
+	if got := m.FrobeniusNorm(); math.Abs(got-5) > 1e-15 {
+		t.Errorf("norm = %g", got)
+	}
+}
+
+func TestGramOffDiagonal(t *testing.T) {
+	// Orthogonal columns -> zero.
+	id := Identity(3)
+	if got := id.GramOffDiagonal(); got != 0 {
+		t.Errorf("identity off = %g", got)
+	}
+	// Two identical unit columns -> inner product 1.
+	m := NewDense(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 1)
+	if got := m.GramOffDiagonal(); math.Abs(got-1) > 1e-15 {
+		t.Errorf("off = %g", got)
+	}
+}
+
+func TestMaxAbsAndEqual(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(1, 0, -3)
+	if m.MaxAbs() != 3 {
+		t.Error("MaxAbs broken")
+	}
+	n := m.Clone()
+	if !m.Equal(n, 0) {
+		t.Error("Equal(false negative)")
+	}
+	n.Set(0, 0, 1e-3)
+	if m.Equal(n, 1e-4) {
+		t.Error("Equal(false positive)")
+	}
+	if m.Equal(NewDense(2, 3), 1) {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if Dot(x, y) != 32 {
+		t.Error("Dot broken")
+	}
+	if math.Abs(Norm2([]float64{3, 4})-5) > 1e-15 {
+		t.Error("Norm2 broken")
+	}
+	z := append([]float64(nil), y...)
+	Axpy(2, x, z)
+	if z[0] != 6 || z[2] != 12 {
+		t.Errorf("Axpy = %v", z)
+	}
+	s := append([]float64(nil), x...)
+	Scale(s, -1)
+	if s[1] != -2 {
+		t.Error("Scale broken")
+	}
+	if math.Abs(SubNorm2(x, y)-math.Sqrt(27)) > 1e-15 {
+		t.Error("SubNorm2 broken")
+	}
+}
+
+func TestEigenResidualPerfect(t *testing.T) {
+	// Diagonal matrix: identity eigenvectors are exact.
+	a := NewDense(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(1, 1, 5)
+	if r := EigenResidual(a, []float64{2, 5}, Identity(2)); r > 1e-15 {
+		t.Errorf("residual %g", r)
+	}
+	if r := EigenResidual(a, []float64{2.1, 5}, Identity(2)); r < 1e-3 {
+		t.Errorf("wrong eigenvalue not flagged: %g", r)
+	}
+}
+
+func TestOrthogonalityError(t *testing.T) {
+	if e := OrthogonalityError(Identity(3)); e != 0 {
+		t.Errorf("identity error %g", e)
+	}
+	m := Identity(2)
+	m.Set(0, 1, 0.1)
+	if e := OrthogonalityError(m); math.Abs(e-0.1) > 1e-12 {
+		t.Errorf("error %g, want 0.1", e)
+	}
+}
+
+func TestSortedEigenvalueDistance(t *testing.T) {
+	if d := SortedEigenvalueDistance([]float64{3, 1, 2}, []float64{1, 2, 3}); d != 0 {
+		t.Errorf("distance %g", d)
+	}
+	if d := SortedEigenvalueDistance([]float64{1}, []float64{1, 2}); !math.IsInf(d, 1) {
+		t.Error("length mismatch should be Inf")
+	}
+	if d := SortedEigenvalueDistance([]float64{10, 0}, []float64{10, 1}); math.Abs(d-0.1) > 1e-15 {
+		t.Errorf("distance %g, want 0.1", d)
+	}
+}
+
+// Property: GramOffDiagonal is invariant under column reordering... not in
+// general, but always non-negative and zero only for orthogonal columns.
+func TestGramOffDiagonalNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := RandomDense(4, 4, rng)
+		return m.GramOffDiagonal() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,77 @@
+package matrix
+
+import "math"
+
+// EigenResidual returns the largest relative eigenpair residual
+// max_i ||A·vᵢ - λᵢ·vᵢ|| / ||A||_F for the eigenpairs (values[i],
+// vectors.Col(i)). It is the primary acceptance metric for the solvers.
+func EigenResidual(a *Dense, values []float64, vectors *Dense) float64 {
+	normA := a.FrobeniusNorm()
+	if normA == 0 {
+		normA = 1
+	}
+	worst := 0.0
+	for i, lambda := range values {
+		v := vectors.Col(i)
+		av := a.MulVec(v)
+		Axpy(-lambda, v, av)
+		if r := Norm2(av) / normA; r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// OrthogonalityError returns max |VᵀV - I|: how far the columns of V are
+// from an orthonormal set.
+func OrthogonalityError(v *Dense) float64 {
+	worst := 0.0
+	for i := 0; i < v.Cols; i++ {
+		ci := v.Col(i)
+		for j := i; j < v.Cols; j++ {
+			d := Dot(ci, v.Col(j))
+			if i == j {
+				d -= 1
+			}
+			if a := math.Abs(d); a > worst {
+				worst = a
+			}
+		}
+	}
+	return worst
+}
+
+// SortedEigenvalueDistance returns the largest absolute difference between
+// two eigenvalue lists after sorting both ascending, normalized by the
+// largest magnitude present (or 1 if all are tiny). It is used to compare
+// solver spectra against reference spectra.
+func SortedEigenvalueDistance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	insertionSort(as)
+	insertionSort(bs)
+	scale := 1.0
+	for i := range as {
+		if v := math.Abs(as[i]); v > scale {
+			scale = v
+		}
+	}
+	worst := 0.0
+	for i := range as {
+		if d := math.Abs(as[i] - bs[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst / scale
+}
+
+func insertionSort(x []float64) {
+	for i := 1; i < len(x); i++ {
+		for j := i; j > 0 && x[j] < x[j-1]; j-- {
+			x[j], x[j-1] = x[j-1], x[j]
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package matrix
+
+import "math"
+
+// Dot returns the inner product of x and y (which must have equal length).
+func Dot(x, y []float64) float64 {
+	s := 0.0
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	return math.Sqrt(Dot(x, x))
+}
+
+// Scale multiplies x by a in place.
+func Scale(x []float64, a float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Axpy computes y += a*x in place.
+func Axpy(a float64, x, y []float64) {
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// SubNorm2 returns ||x - y||₂.
+func SubNorm2(x, y []float64) float64 {
+	s := 0.0
+	for i, v := range x {
+		d := v - y[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

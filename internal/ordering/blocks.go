@@ -1,0 +1,53 @@
+package ordering
+
+import "fmt"
+
+// BlockRange is a half-open interval [Start, End) of column indices.
+type BlockRange struct {
+	Start, End int
+}
+
+// Len returns the number of columns in the block.
+func (b BlockRange) Len() int { return b.End - b.Start }
+
+// Columns returns the column indices of the block.
+func (b BlockRange) Columns() []int {
+	out := make([]int, 0, b.Len())
+	for c := b.Start; c < b.End; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// BlockRanges partitions m columns into 2^(d+1) contiguous blocks whose
+// sizes differ by at most one (the paper's footnote: non-power-of-two m
+// causes at most one column of imbalance). Blocks may be empty when
+// m < 2^(d+1).
+func BlockRanges(m, d int) ([]BlockRange, error) {
+	if m < 0 {
+		return nil, fmt.Errorf("ordering: negative matrix size %d", m)
+	}
+	if d < 0 || d > 20 {
+		return nil, fmt.Errorf("ordering: dimension %d out of range [0,20]", d)
+	}
+	nb := 2 << uint(d)
+	base := m / nb
+	rem := m % nb
+	out := make([]BlockRange, nb)
+	start := 0
+	for i := range out {
+		size := base
+		if i < rem {
+			size++
+		}
+		out[i] = BlockRange{Start: start, End: start + size}
+		start += size
+	}
+	return out, nil
+}
+
+// ColumnsPerBlock returns the nominal block size m/2^(d+1) used by the cost
+// models (as a float so enormous analytic m values stay exact enough).
+func ColumnsPerBlock(m float64, d int) float64 {
+	return m / float64(int64(2)<<uint(d))
+}

@@ -1,0 +1,95 @@
+package ordering
+
+import "testing"
+
+func TestBlockRangesEven(t *testing.T) {
+	ranges, err := BlockRanges(16, 2) // 8 blocks of 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranges) != 8 {
+		t.Fatalf("blocks = %d", len(ranges))
+	}
+	for i, r := range ranges {
+		if r.Len() != 2 || r.Start != 2*i {
+			t.Errorf("block %d = %+v", i, r)
+		}
+	}
+}
+
+func TestBlockRangesUneven(t *testing.T) {
+	ranges, err := BlockRanges(10, 1) // 4 blocks: 3,3,2,2
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{3, 3, 2, 2}
+	total := 0
+	for i, r := range ranges {
+		if r.Len() != sizes[i] {
+			t.Errorf("block %d size %d, want %d", i, r.Len(), sizes[i])
+		}
+		if r.Start != total {
+			t.Errorf("block %d start %d, want %d", i, r.Start, total)
+		}
+		total += r.Len()
+	}
+	if total != 10 {
+		t.Errorf("covered %d columns", total)
+	}
+}
+
+// Sizes differ by at most one, cover all columns contiguously, for a grid of
+// (m, d) combinations.
+func TestBlockRangesProperties(t *testing.T) {
+	for d := 0; d <= 5; d++ {
+		for m := 0; m <= 70; m++ {
+			ranges, err := BlockRanges(m, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			minSize, maxSize := 1<<30, 0
+			next := 0
+			for _, r := range ranges {
+				if r.Start != next {
+					t.Fatalf("m=%d d=%d: gap at %d", m, d, r.Start)
+				}
+				next = r.End
+				if r.Len() < minSize {
+					minSize = r.Len()
+				}
+				if r.Len() > maxSize {
+					maxSize = r.Len()
+				}
+			}
+			if next != m {
+				t.Fatalf("m=%d d=%d: covered %d", m, d, next)
+			}
+			if maxSize-minSize > 1 {
+				t.Fatalf("m=%d d=%d: imbalance %d", m, d, maxSize-minSize)
+			}
+		}
+	}
+}
+
+func TestBlockRangesErrors(t *testing.T) {
+	if _, err := BlockRanges(-1, 2); err == nil {
+		t.Error("negative m accepted")
+	}
+	if _, err := BlockRanges(8, -1); err == nil {
+		t.Error("negative d accepted")
+	}
+}
+
+func TestBlockRangeColumns(t *testing.T) {
+	r := BlockRange{Start: 3, End: 6}
+	cols := r.Columns()
+	if len(cols) != 3 || cols[0] != 3 || cols[2] != 5 {
+		t.Errorf("Columns = %v", cols)
+	}
+}
+
+func TestColumnsPerBlock(t *testing.T) {
+	if got := ColumnsPerBlock(1<<18, 4); got != float64(1<<18)/32 {
+		t.Errorf("ColumnsPerBlock = %g", got)
+	}
+}

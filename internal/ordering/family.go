@@ -1,0 +1,158 @@
+// Package ordering assembles link sequences into complete parallel Jacobi
+// orderings for hypercubes: the full sweep schedule of steps and transitions
+// that the one-sided Jacobi solver and the cost models execute.
+//
+// A sweep on a d-cube works on 2^(d+1) column blocks, two per node (a
+// stationary block in slot A and a moving block in slot B), and consists of
+// 2^(d+1)-1 steps; every step pairs the two blocks co-resident at each node
+// and is followed by a transition across one hypercube dimension (the same
+// dimension at every node — the CC-cube property). The structure, following
+// section 2.3.1 of the paper:
+//
+//   - exchange phase e (for e = d down to 1): 2^e-1 steps whose transitions
+//     follow the family's link sequence D_e; the moving blocks traverse a
+//     Hamiltonian path of an e-subcube, meeting every stationary block;
+//   - a division step and transition after each exchange phase: the blocks
+//     of each dimension-(e-1) edge regroup so ex-moving blocks gather on the
+//     bit=0 side and ex-stationary blocks on the bit=1 side, splitting the
+//     problem into two independent sub-problems on (e-1)-subcubes;
+//   - a final "last transition" through link d-1 after the last step.
+//
+// The paper's text says the division after phase e uses "link e", which does
+// not exist for e = d; link e-1 is the reading under which the construction
+// is correct (see DESIGN.md), and VerifySweep proves each sweep is an exact
+// round-robin for every family, including randomly generated ones.
+package ordering
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sequence"
+)
+
+// Family provides the link sequence D_e for every exchange phase of a sweep.
+// Implementations must return a valid e-sequence for every e >= 1.
+type Family interface {
+	// Name identifies the family (e.g. "BR", "permuted-BR").
+	Name() string
+	// Phase returns the link sequence used by exchange phase e (e >= 1).
+	Phase(e int) sequence.Seq
+}
+
+// cachingFamily memoizes phase sequences; generation is deterministic so a
+// plain map guarded by a mutex is sufficient and keeps families safe for
+// concurrent use by the per-node goroutines of the simulator.
+type cachingFamily struct {
+	name string
+	gen  func(e int) sequence.Seq
+
+	mu    sync.Mutex
+	cache map[int]sequence.Seq
+}
+
+func newCachingFamily(name string, gen func(e int) sequence.Seq) *cachingFamily {
+	return &cachingFamily{name: name, gen: gen, cache: make(map[int]sequence.Seq)}
+}
+
+func (f *cachingFamily) Name() string { return f.name }
+
+func (f *cachingFamily) Phase(e int) sequence.Seq {
+	if e < 1 {
+		panic(fmt.Sprintf("ordering: exchange phase %d out of range", e))
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.cache[e]; ok {
+		return s
+	}
+	s := f.gen(e)
+	f.cache[e] = s
+	return s
+}
+
+// NewBRFamily returns the Block-Recursive ordering family of Mantharam &
+// Eberlein (the baseline of the paper).
+func NewBRFamily() Family {
+	return newCachingFamily("BR", sequence.BR)
+}
+
+// NewPermutedBRFamily returns the permuted-BR ordering family (section 3.2),
+// near-optimal under deep pipelining.
+func NewPermutedBRFamily() Family {
+	return newCachingFamily("permuted-BR", sequence.PermutedBR)
+}
+
+// NewDegree4Family returns the degree-4 ordering family (section 3.3),
+// best under shallow pipelining. D_e^D4 is undefined for e < 4; those
+// (cost-negligible) phases fall back to BR, mirroring the substitution the
+// paper itself makes between p-BR and min-α sequences in its evaluation.
+func NewDegree4Family() Family {
+	return newCachingFamily("degree-4", func(e int) sequence.Seq {
+		s, err := sequence.Degree4(e)
+		if err != nil {
+			return sequence.BR(e)
+		}
+		return s
+	})
+}
+
+// NewMinAlphaFamily returns the minimum-α ordering family (section 3.1),
+// defined by exhaustive search only for e <= 6; larger phases fall back to
+// permuted-BR, as in the paper's evaluation footnote.
+func NewMinAlphaFamily() Family {
+	return newCachingFamily("minimum-α", func(e int) sequence.Seq {
+		s, err := sequence.MinAlpha(e)
+		if err != nil {
+			return sequence.PermutedBR(e)
+		}
+		return s
+	})
+}
+
+// CustomFamily wraps explicit sequences, falling back to BR for phases it
+// does not provide. It validates each provided sequence eagerly.
+func CustomFamily(name string, phases map[int]sequence.Seq) (Family, error) {
+	for e, s := range phases {
+		if err := sequence.ValidateESequence(s, e); err != nil {
+			return nil, fmt.Errorf("ordering: custom family %q phase %d: %v", name, e, err)
+		}
+	}
+	copied := make(map[int]sequence.Seq, len(phases))
+	for e, s := range phases {
+		copied[e] = s.Clone()
+	}
+	return newCachingFamily(name, func(e int) sequence.Seq {
+		if s, ok := copied[e]; ok {
+			return s
+		}
+		return sequence.BR(e)
+	}), nil
+}
+
+// FamilyByName resolves the family names used by the CLI and benchmarks:
+// "br", "pbr"/"permuted-br", "d4"/"degree-4", "minalpha"/"minimum-alpha".
+func FamilyByName(name string) (Family, error) {
+	switch name {
+	case "br", "BR":
+		return NewBRFamily(), nil
+	case "pbr", "permuted-br", "permuted-BR":
+		return NewPermutedBRFamily(), nil
+	case "d4", "degree-4", "degree4":
+		return NewDegree4Family(), nil
+	case "minalpha", "minimum-alpha", "min-alpha":
+		return NewMinAlphaFamily(), nil
+	default:
+		return nil, fmt.Errorf("ordering: unknown family %q (want br, pbr, d4 or minalpha)", name)
+	}
+}
+
+// AllFamilies returns the four families of the paper in presentation order.
+func AllFamilies() []Family {
+	return []Family{
+		NewBRFamily(),
+		NewPermutedBRFamily(),
+		NewDegree4Family(),
+		NewMinAlphaFamily(),
+	}
+}

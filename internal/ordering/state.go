@@ -1,0 +1,108 @@
+package ordering
+
+import (
+	"fmt"
+
+	"repro/internal/bitutil"
+)
+
+// NodeBlocks is the pair of block identifiers a node holds: A is the
+// stationary slot, B the moving slot.
+type NodeBlocks struct {
+	A, B int
+}
+
+// State tracks which blocks every node of a d-cube holds while a sweep
+// schedule executes. It is the central (omniscient) model used by the
+// verifier and by sequential replays; the distributed solver keeps only its
+// own node's state and applies the same per-node rules.
+type State struct {
+	d     int
+	nodes []NodeBlocks
+}
+
+// NewState allocates the canonical initial placement: node p holds blocks
+// 2p (slot A) and 2p+1 (slot B).
+func NewState(d int) *State {
+	n := 1 << uint(d)
+	st := &State{d: d, nodes: make([]NodeBlocks, n)}
+	for p := range st.nodes {
+		st.nodes[p] = NodeBlocks{A: 2 * p, B: 2*p + 1}
+	}
+	return st
+}
+
+// Dim returns the cube dimension.
+func (st *State) Dim() int { return st.d }
+
+// Node returns the blocks currently held by node p.
+func (st *State) Node(p int) NodeBlocks { return st.nodes[p] }
+
+// Blocks returns a copy of all node block assignments.
+func (st *State) Blocks() []NodeBlocks {
+	out := make([]NodeBlocks, len(st.nodes))
+	copy(out, st.nodes)
+	return out
+}
+
+// DivisionSend reports which slot a node sends during a division transition
+// on the given physical link: the bit=0 endpoint sends slot A (its
+// stationary block) and keeps its moving block; the bit=1 endpoint sends
+// slot B. After the division each node re-designates its kept block as the
+// new stationary (A) and the received block as the new moving (B).
+func DivisionSend(node, link int) (sendsA bool) {
+	return !bitutil.Bit(node, link)
+}
+
+// Apply advances the state across one transition using the physical link
+// (i.e. after SweepLink mapping). It panics on invalid links, which would be
+// schedule construction bugs.
+func (st *State) Apply(kind TransKind, physLink int) {
+	if physLink < 0 || physLink >= st.d {
+		panic(fmt.Sprintf("ordering: transition link %d outside %d-cube", physLink, st.d))
+	}
+	switch kind {
+	case ExchangeTrans, LastTrans:
+		for p := range st.nodes {
+			q := bitutil.Flip(p, physLink)
+			if p < q {
+				st.nodes[p].B, st.nodes[q].B = st.nodes[q].B, st.nodes[p].B
+			}
+		}
+	case DivisionTrans:
+		for p := range st.nodes {
+			q := bitutil.Flip(p, physLink)
+			if p >= q {
+				continue
+			}
+			// p has bit 0, q has bit 1: p sends A, q sends B.
+			pa, pb := st.nodes[p].A, st.nodes[p].B
+			qa, qb := st.nodes[q].A, st.nodes[q].B
+			// p keeps its moving block (new A) and receives q's moving
+			// block (new B): the bit=0 side now holds both moving blocks.
+			st.nodes[p] = NodeBlocks{A: pb, B: qb}
+			// q keeps its stationary block and receives p's stationary.
+			st.nodes[q] = NodeBlocks{A: qa, B: pa}
+		}
+	default:
+		panic(fmt.Sprintf("ordering: unknown transition kind %v", kind))
+	}
+}
+
+// RunSweep executes the sweep schedule for the given sweep index, invoking
+// onStep before each transition with the step number and current state. The
+// callback sees step 0..Steps()-1; transitions are applied after each call
+// (the final transition runs after the last step). The state is left ready
+// for the next sweep.
+func (st *State) RunSweep(sw *Sweep, sweepIdx int, onStep func(step int, st *State)) {
+	steps := sw.Steps()
+	for step := 0; step < steps; step++ {
+		if onStep != nil {
+			onStep(step, st)
+		}
+		if step < len(sw.Transitions) {
+			tr := sw.Transitions[step]
+			st.Apply(tr.Kind, SweepLink(tr.Link, sweepIdx, sw.D))
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package ordering
+
+import (
+	"fmt"
+
+	"repro/internal/sequence"
+)
+
+// TransKind distinguishes the three kinds of transition in a sweep.
+type TransKind int
+
+const (
+	// ExchangeTrans is a transition inside an exchange phase: every node
+	// exchanges its moving (slot B) block with its neighbor.
+	ExchangeTrans TransKind = iota
+	// DivisionTrans follows an exchange phase: across the division link,
+	// the bit=0 node sends its stationary (slot A) block and the bit=1 node
+	// sends its moving (slot B) block, regrouping blocks by kind.
+	DivisionTrans
+	// LastTrans is the final transition of a sweep (slot B exchange through
+	// link d-1), which sets up the block placement for the next sweep.
+	LastTrans
+)
+
+// String implements fmt.Stringer.
+func (k TransKind) String() string {
+	switch k {
+	case ExchangeTrans:
+		return "exchange"
+	case DivisionTrans:
+		return "division"
+	case LastTrans:
+		return "last"
+	default:
+		return fmt.Sprintf("TransKind(%d)", int(k))
+	}
+}
+
+// Transition is one communication operation of a sweep. Link is the logical
+// dimension for the first sweep; later sweeps map it through SweepLink.
+type Transition struct {
+	Kind  TransKind
+	Link  int
+	Phase int // exchange phase e for Exchange/Division transitions, 0 for Last
+}
+
+// Sweep is the complete schedule of one sweep of a parallel Jacobi ordering
+// on a d-cube: Steps() pairing steps, where step i is followed by
+// Transitions[i]. The schedule is identical on every node (CC-cube
+// property); only the division behavior depends on a node's bit at the
+// division link.
+type Sweep struct {
+	D           int
+	FamilyName  string
+	Transitions []Transition
+}
+
+// Steps returns the number of pairing steps in the sweep, 2^(d+1)-1.
+func (s *Sweep) Steps() int {
+	return 2*(1<<uint(s.D)) - 1
+}
+
+// NumBlocks returns the number of column blocks, 2^(d+1).
+func (s *Sweep) NumBlocks() int {
+	return 2 * (1 << uint(s.D))
+}
+
+// BuildSweep constructs the sweep schedule for a d-cube using the given
+// sequence family. For d = 0 the sweep is a single local step with no
+// transitions.
+func BuildSweep(d int, fam Family) (*Sweep, error) {
+	if d < 0 || d > 20 {
+		return nil, fmt.Errorf("ordering: dimension %d out of range [0,20]", d)
+	}
+	sw := &Sweep{D: d, FamilyName: fam.Name()}
+	if d == 0 {
+		return sw, nil
+	}
+	for e := d; e >= 1; e-- {
+		seq := fam.Phase(e)
+		if err := sequence.ValidateESequence(seq, e); err != nil {
+			return nil, fmt.Errorf("ordering: family %q phase %d: %v", fam.Name(), e, err)
+		}
+		for _, l := range seq {
+			sw.Transitions = append(sw.Transitions, Transition{Kind: ExchangeTrans, Link: l, Phase: e})
+		}
+		sw.Transitions = append(sw.Transitions, Transition{Kind: DivisionTrans, Link: e - 1, Phase: e})
+	}
+	sw.Transitions = append(sw.Transitions, Transition{Kind: LastTrans, Link: d - 1})
+	if len(sw.Transitions) != sw.Steps() {
+		return nil, fmt.Errorf("ordering: internal error: %d transitions for %d steps", len(sw.Transitions), sw.Steps())
+	}
+	return sw, nil
+}
+
+// SweepLink maps a logical link of the first-sweep schedule to the physical
+// link used during sweep s, implementing the paper's link permutation
+//
+//	σ_0(i) = i,   σ_s(i) = (σ_{s-1}(i) - 1) mod d
+//
+// so that after d sweeps the links repeat. d = 0 has no links; the function
+// returns the logical link unchanged then.
+func SweepLink(logical, sweep, d int) int {
+	if d <= 0 {
+		return logical
+	}
+	r := (logical - sweep) % d
+	if r < 0 {
+		r += d
+	}
+	return r
+}
+
+// PhaseLengths returns, for diagnostics and cost models, the number of
+// exchange transitions per phase e (index e, valid for 1..d).
+func PhaseLengths(d int) []int {
+	out := make([]int, d+1)
+	for e := 1; e <= d; e++ {
+		out[e] = sequence.SeqLen(e)
+	}
+	return out
+}

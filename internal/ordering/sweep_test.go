@@ -1,0 +1,198 @@
+package ordering
+
+import (
+	"testing"
+
+	"repro/internal/sequence"
+)
+
+func TestBuildSweepCounts(t *testing.T) {
+	for d := 0; d <= 7; d++ {
+		sw, err := BuildSweep(d, NewBRFamily())
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		wantSteps := 2*(1<<uint(d)) - 1
+		if sw.Steps() != wantSteps {
+			t.Errorf("d=%d: Steps = %d, want %d", d, sw.Steps(), wantSteps)
+		}
+		if sw.NumBlocks() != 2*(1<<uint(d)) {
+			t.Errorf("d=%d: NumBlocks = %d", d, sw.NumBlocks())
+		}
+		if d == 0 {
+			if len(sw.Transitions) != 0 {
+				t.Errorf("d=0: transitions %v", sw.Transitions)
+			}
+			continue
+		}
+		if len(sw.Transitions) != wantSteps {
+			t.Errorf("d=%d: %d transitions, want %d", d, len(sw.Transitions), wantSteps)
+		}
+	}
+}
+
+func TestBuildSweepRejectsBadDimension(t *testing.T) {
+	if _, err := BuildSweep(-1, NewBRFamily()); err == nil {
+		t.Error("d=-1 accepted")
+	}
+	if _, err := BuildSweep(21, NewBRFamily()); err == nil {
+		t.Error("d=21 accepted")
+	}
+}
+
+func TestCCubePropertyAllFamilies(t *testing.T) {
+	for _, fam := range AllFamilies() {
+		for d := 0; d <= 7; d++ {
+			sw, err := BuildSweep(d, fam)
+			if err != nil {
+				t.Fatalf("%s d=%d: %v", fam.Name(), d, err)
+			}
+			if err := CCubeProperty(sw); err != nil {
+				t.Errorf("%s d=%d: %v", fam.Name(), d, err)
+			}
+		}
+	}
+}
+
+// The full first-sweep transition sequence for d=2 with BR:
+// exchange phase 2 (<010>), division on link 1, exchange phase 1 (<0>),
+// division on link 0, last transition on link 1.
+func TestBuildSweepD2BRLayout(t *testing.T) {
+	sw, err := BuildSweep(2, NewBRFamily())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Transition{
+		{ExchangeTrans, 0, 2},
+		{ExchangeTrans, 1, 2},
+		{ExchangeTrans, 0, 2},
+		{DivisionTrans, 1, 2},
+		{ExchangeTrans, 0, 1},
+		{DivisionTrans, 0, 1},
+		{LastTrans, 1, 0},
+	}
+	if len(sw.Transitions) != len(want) {
+		t.Fatalf("transitions: %v", sw.Transitions)
+	}
+	for i, w := range want {
+		if sw.Transitions[i] != w {
+			t.Errorf("transition %d = %+v, want %+v", i, sw.Transitions[i], w)
+		}
+	}
+}
+
+func TestSweepLinkPermutation(t *testing.T) {
+	d := 4
+	// σ_0 = identity.
+	for i := 0; i < d; i++ {
+		if SweepLink(i, 0, d) != i {
+			t.Errorf("σ_0(%d) != %d", i, SweepLink(i, 0, d))
+		}
+	}
+	// σ_s(i) = (i - s) mod d.
+	if SweepLink(0, 1, d) != 3 {
+		t.Errorf("σ_1(0) = %d, want 3", SweepLink(0, 1, d))
+	}
+	if SweepLink(2, 1, d) != 1 {
+		t.Errorf("σ_1(2) = %d, want 1", SweepLink(2, 1, d))
+	}
+	// After d sweeps the permutation cycles back to the identity.
+	for i := 0; i < d; i++ {
+		if SweepLink(i, d, d) != i {
+			t.Errorf("σ_d(%d) = %d, want identity", i, SweepLink(i, d, d))
+		}
+	}
+	// d = 0: no links, passthrough.
+	if SweepLink(5, 3, 0) != 5 {
+		t.Error("d=0 should pass through")
+	}
+}
+
+// Each sweep's permuted links must remain valid for the cube, and within an
+// exchange phase e of sweep s the physical links must remain distinct per
+// the σ mapping (a bijection).
+func TestSweepLinkBijection(t *testing.T) {
+	d := 5
+	for s := 0; s < 2*d; s++ {
+		seen := make(map[int]bool)
+		for i := 0; i < d; i++ {
+			p := SweepLink(i, s, d)
+			if p < 0 || p >= d {
+				t.Fatalf("sweep %d: σ(%d) = %d out of range", s, i, p)
+			}
+			if seen[p] {
+				t.Fatalf("sweep %d: σ not injective at %d", s, i)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestPhaseLengths(t *testing.T) {
+	got := PhaseLengths(4)
+	want := []int{0, 1, 3, 7, 15}
+	for e, w := range want {
+		if got[e] != w {
+			t.Errorf("PhaseLengths[%d] = %d, want %d", e, got[e], w)
+		}
+	}
+}
+
+func TestFamilyByName(t *testing.T) {
+	for _, name := range []string{"br", "pbr", "d4", "minalpha", "permuted-BR", "degree-4", "minimum-alpha"} {
+		if _, err := FamilyByName(name); err != nil {
+			t.Errorf("FamilyByName(%q): %v", name, err)
+		}
+	}
+	if _, err := FamilyByName("nope"); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestFamilyPhaseSequencesValid(t *testing.T) {
+	for _, fam := range AllFamilies() {
+		for e := 1; e <= 10; e++ {
+			s := fam.Phase(e)
+			if err := sequence.ValidateESequence(s, e); err != nil {
+				t.Errorf("%s phase %d: %v", fam.Name(), e, err)
+			}
+		}
+	}
+}
+
+func TestFamilyPhaseCaching(t *testing.T) {
+	fam := NewPermutedBRFamily()
+	a := fam.Phase(8)
+	b := fam.Phase(8)
+	if &a[0] != &b[0] {
+		t.Error("phase sequences not cached")
+	}
+}
+
+func TestCustomFamily(t *testing.T) {
+	seqs := map[int]sequence.Seq{2: {1, 0, 1}}
+	fam, err := CustomFamily("custom", seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fam.Phase(2).String(); got != "<101>" {
+		t.Errorf("custom phase 2 = %s", got)
+	}
+	// Unspecified phases fall back to BR.
+	if got := fam.Phase(3).String(); got != "<0102010>" {
+		t.Errorf("custom phase 3 = %s", got)
+	}
+	// Invalid sequences are rejected eagerly.
+	if _, err := CustomFamily("bad", map[int]sequence.Seq{2: {0, 0, 1}}); err == nil {
+		t.Error("invalid custom sequence accepted")
+	}
+}
+
+func TestTransKindString(t *testing.T) {
+	if ExchangeTrans.String() != "exchange" || DivisionTrans.String() != "division" || LastTrans.String() != "last" {
+		t.Error("TransKind strings wrong")
+	}
+	if TransKind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}

@@ -1,0 +1,103 @@
+package ordering
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinkUsage summarizes how a sweep schedule loads the hypercube's physical
+// dimensions. The imbalance of this distribution is exactly what limits
+// communication pipelining: a link that carries a fraction f of the
+// transitions bounds the achievable speed-up by 1/f.
+type LinkUsage struct {
+	// PerDim[i] counts the transitions crossing physical dimension i.
+	PerDim []int
+	// Total is the number of transitions (2^(d+1)-1 for d >= 1).
+	Total int
+	// Max and Min are the heaviest and lightest dimension loads.
+	Max, Min int
+	// Imbalance is Max divided by the ideal Total/d load (1.0 = perfectly
+	// balanced).
+	Imbalance float64
+}
+
+// SweepLinkUsage counts, per physical dimension, the transitions of the
+// sweep at the given sweep index (after the σ_s link permutation).
+func SweepLinkUsage(sw *Sweep, sweepIdx int) (*LinkUsage, error) {
+	if sw.D == 0 {
+		return &LinkUsage{PerDim: nil}, nil
+	}
+	usage := &LinkUsage{PerDim: make([]int, sw.D)}
+	for _, tr := range sw.Transitions {
+		phys := SweepLink(tr.Link, sweepIdx, sw.D)
+		if phys < 0 || phys >= sw.D {
+			return nil, fmt.Errorf("ordering: transition link %d maps outside the cube", tr.Link)
+		}
+		usage.PerDim[phys]++
+		usage.Total++
+	}
+	usage.Min = usage.Total
+	for _, c := range usage.PerDim {
+		if c > usage.Max {
+			usage.Max = c
+		}
+		if c < usage.Min {
+			usage.Min = c
+		}
+	}
+	ideal := float64(usage.Total) / float64(sw.D)
+	if ideal > 0 {
+		usage.Imbalance = float64(usage.Max) / ideal
+	}
+	return usage, nil
+}
+
+// PhaseLinkUsage counts per-dimension usage of one exchange phase only
+// (logical links; the relevant view for pipelining, which is applied per
+// phase).
+func PhaseLinkUsage(fam Family, e int) (*LinkUsage, error) {
+	if e < 1 {
+		return nil, fmt.Errorf("ordering: phase %d out of range", e)
+	}
+	seq := fam.Phase(e)
+	usage := &LinkUsage{PerDim: make([]int, e)}
+	for _, l := range seq {
+		if l < 0 || l >= e {
+			return nil, fmt.Errorf("ordering: phase %d uses link %d", e, l)
+		}
+		usage.PerDim[l]++
+		usage.Total++
+	}
+	usage.Min = usage.Total
+	for _, c := range usage.PerDim {
+		if c > usage.Max {
+			usage.Max = c
+		}
+		if c < usage.Min {
+			usage.Min = c
+		}
+	}
+	ideal := float64(usage.Total) / float64(e)
+	if ideal > 0 {
+		usage.Imbalance = float64(usage.Max) / ideal
+	}
+	return usage, nil
+}
+
+// BalanceEntropy returns the normalized Shannon entropy of the load
+// distribution in [0, 1]: 1 means perfectly uniform link usage. It is a
+// scale-free companion to Imbalance.
+func (u *LinkUsage) BalanceEntropy() float64 {
+	if len(u.PerDim) <= 1 || u.Total == 0 {
+		return 1
+	}
+	h := 0.0
+	for _, c := range u.PerDim {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(u.Total)
+		h -= p * math.Log(p)
+	}
+	return h / math.Log(float64(len(u.PerDim)))
+}

@@ -1,0 +1,150 @@
+package ordering
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPhaseLinkUsageBRGeometric(t *testing.T) {
+	u, err := PhaseLinkUsage(NewBRFamily(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BR counts are 16, 8, 4, 2, 1.
+	want := []int{16, 8, 4, 2, 1}
+	for i, w := range want {
+		if u.PerDim[i] != w {
+			t.Errorf("dim %d: %d, want %d", i, u.PerDim[i], w)
+		}
+	}
+	if u.Total != 31 || u.Max != 16 || u.Min != 1 {
+		t.Errorf("usage = %+v", u)
+	}
+	// Imbalance of BR tends to e/2: heaviest link has 2^(e-1) of the
+	// (2^e - 1) transitions.
+	if u.Imbalance < 2.5 || u.Imbalance > 2.6 {
+		t.Errorf("BR imbalance %g, want ~16/6.2", u.Imbalance)
+	}
+}
+
+// The headline claim of section 3.2: permuted-BR uses the links almost
+// uniformly, unlike BR. Check both metrics at several phase sizes.
+func TestPermutedBRMoreBalancedThanBR(t *testing.T) {
+	for _, e := range []int{5, 8, 11, 14} {
+		br, err := PhaseLinkUsage(NewBRFamily(), e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pbr, err := PhaseLinkUsage(NewPermutedBRFamily(), e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pbr.Imbalance >= br.Imbalance {
+			t.Errorf("e=%d: permuted-BR imbalance %.2f not below BR's %.2f",
+				e, pbr.Imbalance, br.Imbalance)
+		}
+		// BR's imbalance grows like e/2 while permuted-BR's stays ~1.25, so
+		// the gap must widen with e.
+		if e >= 8 && pbr.Imbalance >= br.Imbalance/2 {
+			t.Errorf("e=%d: permuted-BR imbalance %.2f not far below BR's %.2f",
+				e, pbr.Imbalance, br.Imbalance)
+		}
+		if pbr.Imbalance > 1.40 {
+			t.Errorf("e=%d: permuted-BR imbalance %.2f, want <= 1.40 (~1.25 asymptotically)",
+				e, pbr.Imbalance)
+		}
+		if pbr.BalanceEntropy() <= br.BalanceEntropy() {
+			t.Errorf("e=%d: permuted-BR entropy %.3f not above BR's %.3f",
+				e, pbr.BalanceEntropy(), br.BalanceEntropy())
+		}
+	}
+}
+
+func TestSweepLinkUsageConservation(t *testing.T) {
+	for _, fam := range AllFamilies() {
+		sw, err := BuildSweep(4, fam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for sweepIdx := 0; sweepIdx < 4; sweepIdx++ {
+			u, err := SweepLinkUsage(sw, sweepIdx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if u.Total != sw.Steps() {
+				t.Errorf("%s sweep %d: total %d, want %d", fam.Name(), sweepIdx, u.Total, sw.Steps())
+			}
+			sum := 0
+			for _, c := range u.PerDim {
+				sum += c
+			}
+			if sum != u.Total {
+				t.Errorf("%s: per-dim sum %d != total %d", fam.Name(), sum, u.Total)
+			}
+		}
+	}
+}
+
+// The σ_s permutation rotates the load across physical links sweep by
+// sweep: the multiset of per-dim counts is invariant, but the assignment
+// shifts.
+func TestSweepLinkUsageRotation(t *testing.T) {
+	sw, err := BuildSweep(3, NewBRFamily())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u0, err := SweepLinkUsage(sw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1, err := SweepLinkUsage(sw, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// σ_1(i) = i-1 mod d: counts rotate by one position.
+	for i := range u0.PerDim {
+		j := i - 1
+		if j < 0 {
+			j += sw.D
+		}
+		if u0.PerDim[i] != u1.PerDim[j] {
+			t.Errorf("usage did not rotate: sweep0 %v, sweep1 %v", u0.PerDim, u1.PerDim)
+			break
+		}
+	}
+}
+
+func TestSweepLinkUsageD0(t *testing.T) {
+	sw, err := BuildSweep(0, NewBRFamily())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := SweepLinkUsage(sw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Total != 0 {
+		t.Errorf("d=0 usage = %+v", u)
+	}
+}
+
+func TestBalanceEntropyBounds(t *testing.T) {
+	uniform := &LinkUsage{PerDim: []int{5, 5, 5, 5}, Total: 20}
+	if e := uniform.BalanceEntropy(); math.Abs(e-1) > 1e-12 {
+		t.Errorf("uniform entropy %g", e)
+	}
+	skewed := &LinkUsage{PerDim: []int{20, 0, 0, 0}, Total: 20}
+	if e := skewed.BalanceEntropy(); e > 1e-12 {
+		t.Errorf("degenerate entropy %g", e)
+	}
+	single := &LinkUsage{PerDim: []int{3}, Total: 3}
+	if e := single.BalanceEntropy(); e != 1 {
+		t.Errorf("single-dim entropy %g", e)
+	}
+}
+
+func TestPhaseLinkUsageErrors(t *testing.T) {
+	if _, err := PhaseLinkUsage(NewBRFamily(), 0); err == nil {
+		t.Error("e=0 accepted")
+	}
+}

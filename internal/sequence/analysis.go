@@ -1,0 +1,87 @@
+package sequence
+
+import "fmt"
+
+// DiversityPoint describes how link-diverse the windows of one length are:
+// shallow pipelining with degree Q uses windows of length Q, and its
+// speed-up is governed by how many distinct links (MeanU) a window offers
+// and how many packets pile onto the busiest link (MeanR, MaxR).
+type DiversityPoint struct {
+	Window   int
+	MeanU    float64 // average distinct links per window
+	MinU     int     // worst window's distinct links
+	MeanR    float64 // average max-multiplicity per window
+	MaxR     int     // worst window's max multiplicity
+	Distinct int     // number of windows whose links are all distinct
+	Windows  int     // total windows of this length
+}
+
+// DiversityProfile computes DiversityPoints for window lengths 1..maxW
+// (capped at the sequence length). It is the quantitative backing for the
+// paper's Definition 2: a sequence "has degree n" when the majority of
+// length-n windows are fully distinct.
+func DiversityProfile(s Seq, maxW int) []DiversityPoint {
+	if maxW > len(s) {
+		maxW = len(s)
+	}
+	out := make([]DiversityPoint, 0, maxW)
+	for w := 1; w <= maxW; w++ {
+		stats := SlidingStats(s, w)
+		pt := DiversityPoint{Window: w, Windows: len(stats), MinU: w + 1}
+		sumU, sumR := 0, 0
+		for _, st := range stats {
+			sumU += st.U
+			sumR += st.R
+			if st.U < pt.MinU {
+				pt.MinU = st.U
+			}
+			if st.R > pt.MaxR {
+				pt.MaxR = st.R
+			}
+			if st.U == w {
+				pt.Distinct++
+			}
+		}
+		pt.MeanU = float64(sumU) / float64(len(stats))
+		pt.MeanR = float64(sumR) / float64(len(stats))
+		out = append(out, pt)
+	}
+	return out
+}
+
+// ShallowSpeedupEstimate estimates the communication speed-up shallow
+// pipelining with degree q extracts from the sequence on an all-port
+// machine, ignoring start-up costs: the window carries q packets and the
+// busiest link serializes MeanR of them, so the transmission-time gain is
+// q / MeanR.
+func ShallowSpeedupEstimate(s Seq, q int) (float64, error) {
+	if q < 1 || q > len(s) {
+		return 0, fmt.Errorf("sequence: window %d out of range [1,%d]", q, len(s))
+	}
+	stats := SlidingStats(s, q)
+	sumR := 0
+	for _, st := range stats {
+		sumR += st.R
+	}
+	meanR := float64(sumR) / float64(len(stats))
+	return float64(q) / meanR, nil
+}
+
+// CountSpread returns the minimum and maximum link occurrence counts over
+// links [0, e-1] — the raw numbers behind α and the balance claims.
+func CountSpread(s Seq, e int) (min, max int, err error) {
+	counts, err := s.Counts(e)
+	if err != nil {
+		return 0, 0, err
+	}
+	min, max = counts[0], counts[0]
+	for _, c := range counts[1:] {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	return min, max, nil
+}

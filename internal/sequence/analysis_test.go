@@ -1,0 +1,117 @@
+package sequence
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDiversityProfileBasics(t *testing.T) {
+	s := Seq{0, 1, 2, 0, 1, 2}
+	prof := DiversityProfile(s, 3)
+	if len(prof) != 3 {
+		t.Fatalf("profile length %d", len(prof))
+	}
+	// Window 1: always 1 distinct.
+	if prof[0].MeanU != 1 || prof[0].Distinct != 6 {
+		t.Errorf("w=1: %+v", prof[0])
+	}
+	// Window 3: every window of this periodic sequence is fully distinct.
+	if prof[2].Distinct != prof[2].Windows || prof[2].MaxR != 1 {
+		t.Errorf("w=3: %+v", prof[2])
+	}
+}
+
+// The degree-4 sequence's profile: window 4 is almost fully diverse, window
+// 5 is not — the quantitative version of Definition 2.
+func TestDiversityProfileDegree4(t *testing.T) {
+	s, err := Degree4(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := DiversityProfile(s, 5)
+	w4, w5 := prof[3], prof[4]
+	if frac := float64(w4.Distinct) / float64(w4.Windows); frac < 0.9 {
+		t.Errorf("degree-4 w=4 distinct fraction %.2f, want > 0.9", frac)
+	}
+	if frac := float64(w5.Distinct) / float64(w5.Windows); frac > 0.5 {
+		t.Errorf("degree-4 w=5 distinct fraction %.2f, want < 0.5", frac)
+	}
+}
+
+// BR windows are half zeros: MeanR of a window of length q approaches q/2,
+// so the shallow speed-up estimate caps near 2 (paper section 2.4).
+func TestShallowSpeedupBRCap(t *testing.T) {
+	s := BR(8)
+	for _, q := range []int{2, 4, 8} {
+		gain, err := ShallowSpeedupEstimate(s, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gain > 2.2 {
+			t.Errorf("BR q=%d speedup estimate %.2f, want <= ~2", q, gain)
+		}
+	}
+}
+
+// Degree-4 windows of length 4 are almost all distinct: the estimate comes
+// out near 4.
+func TestShallowSpeedupDegree4(t *testing.T) {
+	s, err := Degree4(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain, err := ShallowSpeedupEstimate(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain < 3.5 {
+		t.Errorf("degree-4 q=4 speedup estimate %.2f, want ~4", gain)
+	}
+}
+
+func TestShallowSpeedupErrors(t *testing.T) {
+	if _, err := ShallowSpeedupEstimate(BR(3), 0); err == nil {
+		t.Error("q=0 accepted")
+	}
+	if _, err := ShallowSpeedupEstimate(BR(3), 8); err == nil {
+		t.Error("q beyond length accepted")
+	}
+}
+
+func TestCountSpread(t *testing.T) {
+	min, max, err := CountSpread(BR(5), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min != 1 || max != 16 {
+		t.Errorf("BR(5) spread [%d,%d], want [1,16]", min, max)
+	}
+	// permuted-BR's spread must be far tighter.
+	minP, maxP, err := CountSpread(PermutedBR(9), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxP-minP >= 256 {
+		t.Errorf("permuted-BR(9) spread [%d,%d] too wide", minP, maxP)
+	}
+	if _, _, err := CountSpread(Seq{5}, 3); err == nil {
+		t.Error("out-of-range link accepted")
+	}
+}
+
+// Profile consistency: MeanR * windows must equal the sum of window R's
+// recomputed naively for a modest case.
+func TestDiversityProfileConsistency(t *testing.T) {
+	s := PermutedBR(6)
+	prof := DiversityProfile(s, 6)
+	for _, pt := range prof {
+		stats := SlidingStats(s, pt.Window)
+		sum := 0
+		for _, st := range stats {
+			sum += st.R
+		}
+		if math.Abs(pt.MeanR*float64(pt.Windows)-float64(sum)) > 1e-9 {
+			t.Errorf("w=%d MeanR inconsistent", pt.Window)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package sequence
+
+import (
+	"fmt"
+
+	"repro/internal/bitutil"
+)
+
+// BR returns the Block-Recursive link sequence D_e^BR of Mantharam & Eberlein
+// (paper section 2.3.1):
+//
+//	D_1^BR = <0>
+//	D_i^BR = <D_{i-1}^BR, i-1, D_{i-1}^BR>
+//
+// For example D_4^BR = <010201030102010>. The t-th element (0-based) equals
+// the ruler function trailingZeros(t+1), which also makes D_e^BR the link
+// sequence of the binary-reflected Gray-code Hamiltonian path.
+//
+// BR panics for e outside [0, hypercube.MaxDim]; e is a structural constant
+// in all callers.
+func BR(e int) Seq {
+	checkDim(e)
+	n := SeqLen(e)
+	out := make(Seq, n)
+	for t := 0; t < n; t++ {
+		out[t] = bitutil.TrailingZeros(t + 1)
+	}
+	return out
+}
+
+// BRAlpha returns α(D_e^BR) = 2^(e-1) without materializing the sequence:
+// link 0 appears in every other position (paper section 3.1).
+func BRAlpha(e int) int {
+	if e <= 0 {
+		return 0
+	}
+	return 1 << uint(e-1)
+}
+
+// BRCount returns the number of occurrences of link i in D_e^BR, which is
+// 2^(e-1-i). The geometric decay of these counts is what the permuted-BR
+// transformation balances out.
+func BRCount(e, i int) int {
+	if i < 0 || i >= e {
+		return 0
+	}
+	return 1 << uint(e-1-i)
+}
+
+// brSubsequenceOffsets returns the start offsets of the level-k blocks of
+// D_e^BR, i.e. of its (e-k-1)-subsequences. Block j occupies
+// [j*2^(e-k-1), (j+1)*2^(e-k-1)-1) and blocks are separated by single
+// separator elements.
+func brSubsequenceOffsets(e, k int) []int {
+	stride := 1 << uint(e-k-1)
+	n := 1 << uint(k+1)
+	out := make([]int, n)
+	for j := range out {
+		out[j] = j * stride
+	}
+	return out
+}
+
+func checkDim(e int) {
+	if e < 0 || e > 26 {
+		panic(fmt.Sprintf("sequence: dimension %d out of range [0,26]", e))
+	}
+}

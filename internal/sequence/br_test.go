@@ -1,0 +1,141 @@
+package sequence
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/hypercube"
+)
+
+func TestBRPaperExamples(t *testing.T) {
+	// Paper section 2.3.1: D_1^BR = <0> and D_4^BR = <010201030102010>.
+	if got := BR(1).String(); got != "<0>" {
+		t.Errorf("BR(1) = %s", got)
+	}
+	if got := BR(4).String(); got != "<010201030102010>" {
+		t.Errorf("BR(4) = %s", got)
+	}
+}
+
+func TestBRRecursiveStructure(t *testing.T) {
+	// D_i = <D_{i-1}, i-1, D_{i-1}>
+	for e := 2; e <= 12; e++ {
+		prev, cur := BR(e-1), BR(e)
+		if len(cur) != 2*len(prev)+1 {
+			t.Fatalf("e=%d: length %d", e, len(cur))
+		}
+		if cur[len(prev)] != e-1 {
+			t.Errorf("e=%d: separator = %d, want %d", e, cur[len(prev)], e-1)
+		}
+		if !reflect.DeepEqual(cur[:len(prev)], prev) {
+			t.Errorf("e=%d: first half differs from D_{e-1}", e)
+		}
+		if !reflect.DeepEqual(cur[len(prev)+1:], prev) {
+			t.Errorf("e=%d: second half differs from D_{e-1}", e)
+		}
+	}
+}
+
+func TestBRIsESequence(t *testing.T) {
+	for e := 1; e <= 16; e++ {
+		if err := ValidateESequence(BR(e), e); err != nil {
+			t.Errorf("BR(%d): %v", e, err)
+		}
+	}
+}
+
+func TestBRMatchesGrayPath(t *testing.T) {
+	for e := 1; e <= 12; e++ {
+		gray := Seq(hypercube.New(e).GrayPathLinks())
+		if !reflect.DeepEqual(BR(e), gray) {
+			t.Errorf("BR(%d) differs from Gray-code path links", e)
+		}
+	}
+}
+
+func TestBRAlphaClosedForm(t *testing.T) {
+	for e := 1; e <= 16; e++ {
+		if got, want := BR(e).Alpha(), BRAlpha(e); got != want {
+			t.Errorf("α(BR(%d)) = %d, closed form %d", e, got, want)
+		}
+	}
+	if BRAlpha(0) != 0 {
+		t.Error("BRAlpha(0) != 0")
+	}
+}
+
+func TestBRCountClosedForm(t *testing.T) {
+	for e := 1; e <= 12; e++ {
+		counts, err := BR(e).Counts(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < e; i++ {
+			if counts[i] != BRCount(e, i) {
+				t.Errorf("e=%d link %d: count %d, closed form %d", e, i, counts[i], BRCount(e, i))
+			}
+		}
+	}
+	if BRCount(4, -1) != 0 || BRCount(4, 4) != 0 {
+		t.Error("BRCount out of range should be 0")
+	}
+}
+
+// The paper notes that any window of Q consecutive elements of D_e^BR has at
+// least floor(Q/2) elements equal to 0, which is why pipelining BR cannot
+// beat a factor of 2 (section 2.4).
+func TestBRWindowHalfZeros(t *testing.T) {
+	for e := 2; e <= 10; e++ {
+		s := BR(e)
+		for _, q := range []int{2, 3, 4, 7} {
+			if q > len(s) {
+				continue
+			}
+			for i := 0; i+q <= len(s); i++ {
+				zeros := 0
+				for _, l := range s[i : i+q] {
+					if l == 0 {
+						zeros++
+					}
+				}
+				if zeros < q/2 {
+					t.Fatalf("e=%d window [%d,%d) has only %d zeros, want >= %d", e, i, i+q, zeros, q/2)
+				}
+			}
+		}
+	}
+}
+
+func TestBRSubsequenceOffsets(t *testing.T) {
+	// Level-0 blocks of D_5: two 4-subsequences at 0 and 16.
+	got := brSubsequenceOffsets(5, 0)
+	if !reflect.DeepEqual(got, []int{0, 16}) {
+		t.Errorf("offsets(5,0) = %v", got)
+	}
+	// Level-1: four 3-subsequences at 0,8,16,24.
+	got = brSubsequenceOffsets(5, 1)
+	if !reflect.DeepEqual(got, []int{0, 8, 16, 24}) {
+		t.Errorf("offsets(5,1) = %v", got)
+	}
+	// Each level-k block of BR(e) is itself a BR (e-k-1)-sequence.
+	for e := 3; e <= 8; e++ {
+		s := BR(e)
+		for k := 0; k < e-1; k++ {
+			blockLen := SeqLen(e - k - 1)
+			for _, off := range brSubsequenceOffsets(e, k) {
+				if !reflect.DeepEqual(s[off:off+blockLen], BR(e-k-1)) {
+					t.Fatalf("e=%d k=%d off=%d: block != BR(%d)", e, k, off, e-k-1)
+				}
+			}
+		}
+	}
+}
+
+func TestBRPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("BR(-1) did not panic")
+		}
+	}()
+	BR(-1)
+}

@@ -1,0 +1,142 @@
+package sequence
+
+import "fmt"
+
+// The minimum-α ordering (paper section 3.1) uses, for each exchange phase,
+// a Hamiltonian-path sequence with the smallest possible α. Finding such a
+// sequence is NP-hard; the paper could compute them only for e < 7. The
+// printed sequences are embedded below; our tests verify that each is a valid
+// e-sequence and that its α equals both the paper's claim and the lower bound
+// ceil((2^e-1)/e) — all five turn out to be exactly optimal.
+
+// MinAlphaMaxDim is the largest e for which a minimum-α sequence is known.
+const MinAlphaMaxDim = 6
+
+// paperMinAlpha holds the D_e^min-α sequences exactly as printed in the
+// paper, keyed by e. Each has been machine-validated.
+var paperMinAlpha = map[int]string{
+	2: "010",
+	3: "0102101",
+	4: "010203212303121",
+	5: "0102010301021412321230323414323",
+	6: "010201030102010401021312521312" +
+		"4323132343" +
+		"50542453542414345254345",
+}
+
+// MinAlpha returns D_e^min-α for e in [1, MinAlphaMaxDim]. e = 1 has the
+// single sequence <0>. For larger e the optimal sequence is unknown and an
+// error is returned; ordering families fall back to permuted-BR there, the
+// same substitution the paper makes (footnote in section 4).
+func MinAlpha(e int) (Seq, error) {
+	checkDim(e)
+	if e == 1 {
+		return Seq{0}, nil
+	}
+	text, ok := paperMinAlpha[e]
+	if !ok {
+		return nil, fmt.Errorf("sequence: minimum-α sequence unknown for e=%d (NP-hard; paper solved only e < 7)", e)
+	}
+	s, err := ParseSeq(text)
+	if err != nil {
+		return nil, fmt.Errorf("sequence: embedded min-α data for e=%d corrupt: %v", e, err)
+	}
+	return s, nil
+}
+
+// MinAlphaValue returns α(D_e^min-α) for known e: 2, 3, 4, 7, 11 for
+// e = 2..6 (each equal to LowerBoundAlpha(e)), and 1 for e = 1.
+func MinAlphaValue(e int) (int, error) {
+	s, err := MinAlpha(e)
+	if err != nil {
+		return 0, err
+	}
+	return s.Alpha(), nil
+}
+
+// FindLowAlphaSequence searches for an e-sequence whose α does not exceed
+// maxAlpha, using depth-first search over Hamiltonian paths of the e-cube
+// with two prunings: a branch is cut when a link's usage would exceed
+// maxAlpha, and candidate links are tried least-used first so balanced paths
+// are found early. maxSteps bounds the number of search-tree nodes expanded
+// (0 means a default budget); the search is deterministic.
+//
+// It returns the sequence and true on success, or nil and false if the
+// budget is exhausted or no such path exists.
+func FindLowAlphaSequence(e, maxAlpha, maxSteps int) (Seq, bool) {
+	checkDim(e)
+	if e == 0 {
+		return Seq{}, true
+	}
+	if maxAlpha < LowerBoundAlpha(e) {
+		return nil, false
+	}
+	if maxSteps <= 0 {
+		maxSteps = 2_000_000
+	}
+	n := 1 << uint(e)
+	st := &lowAlphaSearch{
+		e:        e,
+		maxAlpha: maxAlpha,
+		budget:   maxSteps,
+		visited:  make([]bool, n),
+		counts:   make([]int, e),
+		path:     make(Seq, 0, n-1),
+	}
+	st.visited[0] = true
+	if st.dfs(0, n-1) {
+		return st.path, true
+	}
+	return nil, false
+}
+
+type lowAlphaSearch struct {
+	e        int
+	maxAlpha int
+	budget   int
+	visited  []bool
+	counts   []int
+	path     Seq
+}
+
+// dfs extends the path from node cur with remaining nodes still to visit.
+func (st *lowAlphaSearch) dfs(cur, remaining int) bool {
+	if remaining == 0 {
+		return true
+	}
+	if st.budget <= 0 {
+		return false
+	}
+	st.budget--
+
+	// Try links ordered by current usage (ascending) to balance counts early.
+	order := make([]int, 0, st.e)
+	for l := 0; l < st.e; l++ {
+		order = append(order, l)
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && st.counts[order[j]] < st.counts[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+
+	for _, l := range order {
+		if st.counts[l] >= st.maxAlpha {
+			continue
+		}
+		next := cur ^ (1 << uint(l))
+		if st.visited[next] {
+			continue
+		}
+		st.visited[next] = true
+		st.counts[l]++
+		st.path = append(st.path, l)
+		if st.dfs(next, remaining-1) {
+			return true
+		}
+		st.path = st.path[:len(st.path)-1]
+		st.counts[l]--
+		st.visited[next] = false
+	}
+	return false
+}

@@ -1,0 +1,166 @@
+package sequence
+
+import "math/bits"
+
+// The permuted-BR sequence D_e^p-BR (paper section 3.2) is obtained from
+// D_e^BR by a series of link-permutation transformations that balance how
+// often each link appears, driving α from 2^(e-1) down to roughly
+// 1.25 * ceil((2^e-1)/e).
+//
+// Transformation k (k = 0,1,...) applies a link permutation to every other
+// (e-k-1)-subsequence of the current sequence, starting at the second one.
+// The base permutation of transformation k transposes i <-> h_k-1-i for
+// i in [0, h_k-1], where h_k = (e-1)/2^k; for the remaining transformed
+// subsequences the base permutation is compounded with (conjugated by) every
+// permutation previously applied to an enclosing subsequence.
+//
+// The paper defines h_k only when e-1 is a power of two (its appendix assumes
+// e = 2^S + 1). For general e the division (e-1)/2^k must be rounded. We use
+// floor division, which reproduces the paper's worked D_5^p-BR example
+// exactly and tracks its Table 1 α values within ±1 for six of eight entries
+// (and produces *smaller* α for e = 11 and 12). The residual deltas are
+// recorded in EXPERIMENTS.md; every generated sequence is machine-verified to
+// be a valid e-sequence regardless of convention.
+
+// PBRRounding selects how the half-range h_k = (e-1)/2^k is made integral
+// for general e. All conventions coincide when e-1 is a power of two.
+// (Iterated halving h_{k+1} = floor(h_k/2) coincides with PBRFloorDiv, and
+// h_{k+1} = ceil(h_k/2) with PBRCeilDiv, so only the three division rules
+// are distinct.)
+type PBRRounding int
+
+const (
+	// PBRFloorDiv uses h_k = floor((e-1) / 2^k).
+	PBRFloorDiv PBRRounding = iota
+	// PBRCeilDiv uses h_k = ceil((e-1) / 2^k).
+	PBRCeilDiv
+	// PBRRoundDiv uses h_k = round((e-1) / 2^k) (half away from zero).
+	PBRRoundDiv
+)
+
+// DefaultPBRRounding is the convention used by PermutedBR: the one that
+// reproduces the paper's printed D_5^p-BR and comes closest to its Table 1
+// (see TestPermutedBRTable1 for the calibration evidence).
+const DefaultPBRRounding = PBRFloorDiv
+
+// PermutedBR returns D_e^p-BR using the calibrated rounding convention.
+func PermutedBR(e int) Seq {
+	return PermutedBRWithRounding(e, DefaultPBRRounding)
+}
+
+// PermutedBRWithRounding returns D_e^p-BR under an explicit rounding
+// convention for the transposition half-ranges.
+func PermutedBRWithRounding(e int, r PBRRounding) Seq {
+	checkDim(e)
+	br := BR(e)
+	if e < 3 {
+		// log2(e-1) <= 0 transformations: the sequence is unchanged.
+		return br
+	}
+	sigmas := pbrSigmas(e, r)
+	return applyPBRTransforms(br, e, sigmas)
+}
+
+// pbrHalfRanges returns the transposition half-ranges h_0, h_1, ... for the
+// given rounding convention, stopping before the first h_k < 2 (a
+// transposition over fewer than two links is the identity). The count is
+// additionally capped at e-2 because transformation k permutes
+// (e-k-1)-subsequences, which need dimension at least 1.
+func pbrHalfRanges(e int, r PBRRounding) []int {
+	var out []int
+	for k := 0; k <= e; k++ {
+		num := e - 1
+		den := 1 << uint(k)
+		var h int
+		switch r {
+		case PBRCeilDiv:
+			h = (num + den - 1) / den
+		case PBRRoundDiv:
+			h = (2*num + den) / (2 * den)
+		default: // PBRFloorDiv
+			h = num / den
+		}
+		if h < 2 {
+			break
+		}
+		out = append(out, h)
+	}
+	if len(out) > e-2 {
+		out = out[:e-2]
+	}
+	return out
+}
+
+// pbrSigmas materializes the base permutation of each transformation as an
+// array over the link alphabet [0, e-1].
+func pbrSigmas(e int, r PBRRounding) [][]int {
+	ranges := pbrHalfRanges(e, r)
+	sigmas := make([][]int, len(ranges))
+	for k, h := range ranges {
+		sigma := make([]int, e)
+		for i := range sigma {
+			sigma[i] = i
+		}
+		for i := 0; i < h; i++ {
+			sigma[i] = h - 1 - i
+		}
+		sigmas[k] = sigma
+	}
+	return sigmas
+}
+
+// applyPBRTransforms applies the transformation cascade to a BR sequence.
+//
+// Rather than mutating the sequence level by level, each position's final
+// label is computed directly. A position p belongs, at transformation level
+// k, to the (e-k-1)-subsequence with index j = p >> (e-k-1) — unless p is a
+// separator element consumed at some earlier level. p separates two level-k
+// blocks exactly when its e-k-1 low bits are all ones, so p stops being part
+// of blocks from level kSep(p) = e-1-trailingOnes(p) onward.
+//
+// The compounding rule ("compound with the permutations applied to enclosing
+// subsequences" = conjugation) collapses to: apply, to the original BR label,
+// the base permutations of all levels k < kSep(p) whose block index j is odd,
+// with larger k applied first. The worked D_5^p-BR example in the tests
+// reproduces the paper's printed result exactly.
+func applyPBRTransforms(br Seq, e int, sigmas [][]int) Seq {
+	out := make(Seq, len(br))
+	for p, v := range br {
+		trailingOnes := bits.TrailingZeros(^uint(p))
+		kSep := e - 1 - trailingOnes
+		lim := len(sigmas)
+		if kSep < lim {
+			lim = kSep
+		}
+		for k := lim - 1; k >= 0; k-- {
+			j := p >> uint(e-k-1)
+			if j%2 == 1 {
+				v = sigmas[k][v]
+			}
+		}
+		out[p] = v
+	}
+	return out
+}
+
+// PermutedBRAlpha returns α(D_e^p-BR) for the calibrated convention. This is
+// the quantity tabulated in the paper's Table 1.
+func PermutedBRAlpha(e int) int {
+	return PermutedBR(e).Alpha()
+}
+
+// PBRUpperBoundAlpha returns the analytic upper bound on α(D_e^p-BR) from
+// Theorem 2 of the paper's appendix (derived assuming e-1 is a power of two):
+//
+//	α <= 2^e/(e-1) + 2^(e-2)/(e-1) - 2^e/(e-1)^2
+//
+// Theorem 3 shows this bound tends to 1.25 times the lower bound
+// ceil((2^e-1)/e) as e grows.
+func PBRUpperBoundAlpha(e int) float64 {
+	if e < 2 {
+		return float64(SeqLen(e))
+	}
+	f := float64(int64(1) << uint(e))
+	em1 := float64(e - 1)
+	return f/em1 + (f/4)/em1 - f/(em1*em1)
+}

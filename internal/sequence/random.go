@@ -1,0 +1,130 @@
+package sequence
+
+import "math/rand"
+
+// RandomESequence generates a random e-sequence: a random Hamiltonian path
+// of the e-cube. It is used by property tests to check that the
+// sweep-schedule construction is correct for *any* valid link-sequence
+// family, not just the ones from the paper.
+//
+// Two generation strategies are combined:
+//
+//   - for small cubes (e <= randomDFSMaxDim) a budgeted randomized
+//     depth-first search explores the full space of Hamiltonian paths;
+//   - for larger cubes (where naive DFS can backtrack exponentially) a BR
+//     path is scrambled through random hypercube automorphisms (dimension
+//     permutations) followed by random Property-1 subcube permutations,
+//     each application validated before being kept.
+//
+// Every returned sequence is validated; the function is deterministic for a
+// given rng state.
+func RandomESequence(e int, rng *rand.Rand) Seq {
+	checkDim(e)
+	if e == 0 {
+		return Seq{}
+	}
+	if e <= randomDFSMaxDim {
+		if s, ok := randomDFSSequence(e, rng, 200_000); ok {
+			return s
+		}
+	}
+	return randomScrambledSequence(e, rng)
+}
+
+// MaxRandomDim bounds the dimension for which RandomESequence stays fast.
+const MaxRandomDim = 12
+
+// randomDFSMaxDim bounds the pure-DFS strategy; beyond this the scramble
+// strategy is used directly.
+const randomDFSMaxDim = 5
+
+// randomDFSSequence attempts a randomized DFS Hamiltonian path with a step
+// budget, reporting failure instead of backtracking indefinitely.
+func randomDFSSequence(e int, rng *rand.Rand, budget int) (Seq, bool) {
+	n := 1 << uint(e)
+	visited := make([]bool, n)
+	path := make(Seq, 0, n-1)
+	visited[0] = true
+	if randomDFS(0, n-1, e, visited, &path, rng, &budget) {
+		return path, true
+	}
+	return nil, false
+}
+
+func randomDFS(cur, remaining, e int, visited []bool, path *Seq, rng *rand.Rand, budget *int) bool {
+	if remaining == 0 {
+		return true
+	}
+	if *budget <= 0 {
+		return false
+	}
+	*budget--
+	order := rng.Perm(e)
+	for _, l := range order {
+		next := cur ^ (1 << uint(l))
+		if visited[next] {
+			continue
+		}
+		visited[next] = true
+		*path = append(*path, l)
+		if randomDFS(next, remaining-1, e, visited, path, rng, budget) {
+			return true
+		}
+		*path = (*path)[:len(*path)-1]
+		visited[next] = false
+	}
+	return false
+}
+
+// randomScrambledSequence derives a random Hamiltonian path from BR(e) by a
+// random dimension relabelling (a hypercube automorphism, always safe)
+// followed by a number of random subcube-block permutations in the style of
+// the permuted-BR transformation. Each subcube permutation is validated and
+// discarded if it breaks the Hamiltonian property, so the result is always a
+// valid e-sequence.
+func randomScrambledSequence(e int, rng *rand.Rand) Seq {
+	seq, err := ApplyPermutation(BR(e), Permutation(rng.Perm(e)))
+	if err != nil {
+		panic("sequence: dimension permutation failed: " + err.Error())
+	}
+	rounds := 2 + rng.Intn(2*e)
+	for r := 0; r < rounds; r++ {
+		// Pick a level-k block of the BR layout and permute the links that
+		// occur inside it among themselves.
+		k := rng.Intn(e - 1) // level 0..e-2, block length 2^(e-k-1)-1 >= 1
+		stride := 1 << uint(e-k-1)
+		blockLen := stride - 1
+		j := rng.Intn(1 << uint(k+1))
+		from := j * stride
+		to := from + blockLen
+
+		present := make([]bool, e)
+		for _, l := range seq[from:to] {
+			present[l] = true
+		}
+		dimList := make([]int, 0, e)
+		for l := 0; l < e; l++ {
+			if present[l] {
+				dimList = append(dimList, l)
+			}
+		}
+		if len(dimList) < 2 {
+			continue
+		}
+		// Build a permutation of [0,e-1] that permutes dimList onto itself.
+		perm := IdentityPermutation(e)
+		shuffled := append([]int(nil), dimList...)
+		rng.Shuffle(len(shuffled), func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
+		for i, l := range dimList {
+			perm[l] = shuffled[i]
+		}
+		candidate := seq.Clone()
+		for i := from; i < to; i++ {
+			candidate[i] = perm[candidate[i]]
+		}
+		if IsESequence(candidate, e) {
+			seq = candidate
+		}
+	}
+	return seq
+}

@@ -1,0 +1,39 @@
+package sequence
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRandomESequenceValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for e := 0; e <= 8; e++ {
+		for trial := 0; trial < 10; trial++ {
+			s := RandomESequence(e, rng)
+			if err := ValidateESequence(s, e); err != nil {
+				t.Fatalf("e=%d: %v", e, err)
+			}
+		}
+	}
+}
+
+func TestRandomESequenceDeterministicPerSeed(t *testing.T) {
+	a := RandomESequence(6, rand.New(rand.NewSource(99)))
+	b := RandomESequence(6, rand.New(rand.NewSource(99)))
+	if a.String() != b.String() {
+		t.Error("same seed produced different sequences")
+	}
+}
+
+// Different seeds should usually produce different paths, demonstrating the
+// generator actually explores the space (statistical, not strict).
+func TestRandomESequenceVariety(t *testing.T) {
+	seen := make(map[string]bool)
+	for seed := int64(0); seed < 20; seed++ {
+		s := RandomESequence(5, rand.New(rand.NewSource(seed)))
+		seen[s.String()] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("only %d distinct sequences across 20 seeds", len(seen))
+	}
+}

@@ -1,0 +1,370 @@
+// Package sequence implements the link sequences D_e that define parallel
+// Jacobi orderings on hypercubes, together with the quantities the paper uses
+// to evaluate them.
+//
+// A link sequence for exchange phase e ("an e-sequence", Definition 1 of the
+// paper) is a sequence of 2^e-1 link identifiers in [0,e-1] that describes a
+// Hamiltonian path of an e-cube: starting at any node and crossing the listed
+// dimensions in order visits every node of the cube exactly once.
+//
+// The package provides the Block-Recursive (BR) sequences, the permuted-BR
+// sequences (section 3.2), the degree-4 sequences (section 3.3) and the
+// minimum-α sequences (section 3.1), plus the analysis functions the paper's
+// evaluation relies on: α (maximum number of repetitions of one link), the
+// lower bound ceil((2^e-1)/e), the degree of a sequence (Definition 2), and
+// sliding-window statistics used by the communication-pipelining cost model.
+package sequence
+
+import (
+	"fmt"
+
+	"repro/internal/hypercube"
+)
+
+// Seq is a sequence of hypercube link (dimension) identifiers.
+type Seq []int
+
+// Clone returns an independent copy of s.
+func (s Seq) Clone() Seq {
+	out := make(Seq, len(s))
+	copy(out, s)
+	return out
+}
+
+// String renders the sequence in the paper's compact notation, e.g.
+// "<0102010>". Link identifiers above 9 are rendered in brackets so the
+// notation stays unambiguous for large cubes, e.g. "<01[12]0>".
+func (s Seq) String() string {
+	buf := make([]byte, 0, len(s)+2)
+	buf = append(buf, '<')
+	for _, l := range s {
+		if l >= 0 && l <= 9 {
+			buf = append(buf, byte('0'+l))
+		} else {
+			buf = append(buf, fmt.Sprintf("[%d]", l)...)
+		}
+	}
+	buf = append(buf, '>')
+	return string(buf)
+}
+
+// ParseSeq parses the compact notation produced by Seq.String; it accepts
+// digits 0-9 and bracketed multi-digit identifiers, ignoring angle brackets
+// and whitespace. It is the inverse of String and is used to embed the
+// paper's printed sequences as test oracles.
+func ParseSeq(text string) (Seq, error) {
+	var out Seq
+	i := 0
+	for i < len(text) {
+		c := text[i]
+		switch {
+		case c == '<' || c == '>' || c == ' ' || c == '\n' || c == '\t':
+			i++
+		case c >= '0' && c <= '9':
+			out = append(out, int(c-'0'))
+			i++
+		case c == '[':
+			j := i + 1
+			v := 0
+			for j < len(text) && text[j] != ']' {
+				if text[j] < '0' || text[j] > '9' {
+					return nil, fmt.Errorf("sequence: bad bracketed link at byte %d", j)
+				}
+				v = v*10 + int(text[j]-'0')
+				j++
+			}
+			if j == len(text) {
+				return nil, fmt.Errorf("sequence: unterminated bracket at byte %d", i)
+			}
+			out = append(out, v)
+			i = j + 1
+		default:
+			return nil, fmt.Errorf("sequence: unexpected byte %q at %d", c, i)
+		}
+	}
+	return out, nil
+}
+
+// Counts returns how many times each link in [0,e-1] occurs in s.
+// Links outside the range cause an error.
+func (s Seq) Counts(e int) ([]int, error) {
+	counts := make([]int, e)
+	for i, l := range s {
+		if l < 0 || l >= e {
+			return nil, fmt.Errorf("sequence: element %d is link %d, outside [0,%d]", i, l, e-1)
+		}
+		counts[l]++
+	}
+	return counts, nil
+}
+
+// Alpha returns α(s): the maximum number of repetitions of a single link in
+// the sequence (section 3.1). α is what bounds the size of the combined
+// message that must cross the busiest link in a deep-pipelining kernel stage.
+func (s Seq) Alpha() int {
+	counts := make(map[int]int)
+	max := 0
+	for _, l := range s {
+		counts[l]++
+		if counts[l] > max {
+			max = counts[l]
+		}
+	}
+	return max
+}
+
+// LowerBoundAlpha returns the lower bound on α for any e-sequence:
+// ceil((2^e-1)/e). Every link in [0,e-1] must appear at least once in the
+// 2^e-1 elements, so some link must appear at least this often.
+func LowerBoundAlpha(e int) int {
+	if e <= 0 {
+		return 0
+	}
+	n := (1 << uint(e)) - 1
+	return (n + e - 1) / e
+}
+
+// SeqLen returns the length of an e-sequence, 2^e - 1.
+func SeqLen(e int) int {
+	if e <= 0 {
+		return 0
+	}
+	return (1 << uint(e)) - 1
+}
+
+// IsESequence reports whether s is an e-sequence: a Hamiltonian path of the
+// e-cube (paper Definition 1). By vertex-transitivity of the hypercube the
+// start node is irrelevant; node 0 is used.
+func IsESequence(s Seq, e int) bool {
+	if e < 0 || e > hypercube.MaxDim {
+		return false
+	}
+	if e == 0 {
+		return len(s) == 0
+	}
+	return hypercube.New(e).IsHamiltonianPath(0, []int(s))
+}
+
+// ValidateESequence is IsESequence with a diagnostic error explaining the
+// first violation found.
+func ValidateESequence(s Seq, e int) error {
+	if e < 0 || e > hypercube.MaxDim {
+		return fmt.Errorf("sequence: dimension %d out of range", e)
+	}
+	if len(s) != SeqLen(e) {
+		return fmt.Errorf("sequence: length %d, want %d for e=%d", len(s), SeqLen(e), e)
+	}
+	if e == 0 {
+		return nil
+	}
+	cube := hypercube.New(e)
+	visited := make([]bool, cube.Nodes())
+	visited[0] = true
+	cur := 0
+	for i, l := range s {
+		if !cube.ValidLink(l) {
+			return fmt.Errorf("sequence: element %d is link %d, outside [0,%d]", i, l, e-1)
+		}
+		cur = cube.Neighbor(cur, l)
+		if visited[cur] {
+			return fmt.Errorf("sequence: element %d (link %d) revisits node %d", i, l, cur)
+		}
+		visited[cur] = true
+	}
+	return nil
+}
+
+// Endpoint returns the node reached by following s from start in an e-cube.
+func Endpoint(s Seq, e, start int) int {
+	cur := start
+	for _, l := range s {
+		cur ^= 1 << uint(l)
+	}
+	return cur
+}
+
+// Degree returns the degree of the sequence per Definition 2 of the paper:
+// the largest n such that the majority (strictly more than half) of the
+// length-n windows of s consist of n distinct links. Shallow pipelining with
+// degree-n sequences can cut communication cost by a factor of about n.
+//
+// Every sequence with at least one element has degree >= 1; Hamiltonian-path
+// sequences have degree >= 2 since an immediately repeated link would revisit
+// a node.
+func (s Seq) Degree() int {
+	if len(s) == 0 {
+		return 0
+	}
+	distinctTotal := make(map[int]bool)
+	for _, l := range s {
+		distinctTotal[l] = true
+	}
+	deg := 1
+	for n := 2; n <= len(distinctTotal) && n <= len(s); n++ {
+		if majorityDistinct(s, n) {
+			deg = n
+		} else {
+			break
+		}
+	}
+	return deg
+}
+
+// majorityDistinct reports whether strictly more than half of the length-n
+// windows of s contain n distinct elements.
+func majorityDistinct(s Seq, n int) bool {
+	windows := len(s) - n + 1
+	if windows <= 0 {
+		return false
+	}
+	counts := make(map[int]int)
+	distinct := 0
+	good := 0
+	for i, l := range s {
+		counts[l]++
+		if counts[l] == 1 {
+			distinct++
+		}
+		if i >= n {
+			old := s[i-n]
+			counts[old]--
+			if counts[old] == 0 {
+				distinct--
+			}
+		}
+		if i >= n-1 && distinct == n {
+			good++
+		}
+	}
+	return 2*good > windows
+}
+
+// WindowStat summarizes one communication window of a pipelined schedule:
+// U is the number of distinct links in the window (how many messages are
+// sent, one per link, after combining) and R is the maximum number of packets
+// that share one link (how many packets are combined into the largest
+// message). The all-port stage cost is U*Ts + R*packetSize*Tw.
+type WindowStat struct {
+	U int // distinct links in the window
+	R int // maximum multiplicity of one link
+}
+
+// windowTracker maintains U and R incrementally while elements are added to
+// and removed from a multiset of links. Removal is supported in FIFO order
+// only by the callers here, but the tracker itself is order-agnostic.
+type windowTracker struct {
+	counts   []int // per link
+	histo    []int // histo[c] = number of links with count c, c >= 1
+	distinct int
+	maxMult  int
+}
+
+func newWindowTracker(maxLink, capacity int) *windowTracker {
+	return &windowTracker{
+		counts: make([]int, maxLink+1),
+		histo:  make([]int, capacity+2),
+	}
+}
+
+func (w *windowTracker) add(link int) {
+	c := w.counts[link]
+	w.counts[link] = c + 1
+	if c == 0 {
+		w.distinct++
+	} else {
+		w.histo[c]--
+	}
+	w.histo[c+1]++
+	if c+1 > w.maxMult {
+		w.maxMult = c + 1
+	}
+}
+
+func (w *windowTracker) remove(link int) {
+	c := w.counts[link]
+	w.counts[link] = c - 1
+	w.histo[c]--
+	if c == 1 {
+		w.distinct--
+	} else {
+		w.histo[c-1]++
+	}
+	if c == w.maxMult && w.histo[c] == 0 {
+		w.maxMult--
+	}
+}
+
+func (w *windowTracker) stat() WindowStat {
+	return WindowStat{U: w.distinct, R: w.maxMult}
+}
+
+// maxLinkOf returns the largest link identifier in s, or 0 for empty s.
+func maxLinkOf(s Seq) int {
+	max := 0
+	for _, l := range s {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// SlidingStats returns the WindowStat of every length-n window of s, in
+// order. It runs in O(len(s)) time. n must be in [1, len(s)].
+func SlidingStats(s Seq, n int) []WindowStat {
+	if n < 1 || n > len(s) {
+		return nil
+	}
+	out := make([]WindowStat, 0, len(s)-n+1)
+	tr := newWindowTracker(maxLinkOf(s), n)
+	for i, l := range s {
+		tr.add(l)
+		if i >= n {
+			tr.remove(s[i-n])
+		}
+		if i >= n-1 {
+			out = append(out, tr.stat())
+		}
+	}
+	return out
+}
+
+// PrefixStats returns the WindowStats of the prefixes of s with lengths
+// 1..n (n capped at len(s)).
+func PrefixStats(s Seq, n int) []WindowStat {
+	if n > len(s) {
+		n = len(s)
+	}
+	out := make([]WindowStat, 0, n)
+	tr := newWindowTracker(maxLinkOf(s), n)
+	for i := 0; i < n; i++ {
+		tr.add(s[i])
+		out = append(out, tr.stat())
+	}
+	return out
+}
+
+// SuffixStats returns the WindowStats of the suffixes of s with lengths
+// 1..n (n capped at len(s)), ordered by increasing length.
+func SuffixStats(s Seq, n int) []WindowStat {
+	if n > len(s) {
+		n = len(s)
+	}
+	out := make([]WindowStat, 0, n)
+	tr := newWindowTracker(maxLinkOf(s), n)
+	for i := 0; i < n; i++ {
+		tr.add(s[len(s)-1-i])
+		out = append(out, tr.stat())
+	}
+	return out
+}
+
+// FullStat returns the WindowStat of the entire sequence: U is the number of
+// distinct links and R equals Alpha().
+func FullStat(s Seq) WindowStat {
+	tr := newWindowTracker(maxLinkOf(s), len(s))
+	for _, l := range s {
+		tr.add(l)
+	}
+	return tr.stat()
+}

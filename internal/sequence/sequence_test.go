@@ -1,0 +1,283 @@
+package sequence
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeqStringAndParseRoundTrip(t *testing.T) {
+	cases := []Seq{
+		{},
+		{0},
+		{0, 1, 0, 2, 0, 1, 0},
+		{0, 11, 3, 25},
+	}
+	for _, s := range cases {
+		got, err := ParseSeq(s.String())
+		if err != nil {
+			t.Fatalf("ParseSeq(%q): %v", s.String(), err)
+		}
+		if !reflect.DeepEqual(got, s) && !(len(got) == 0 && len(s) == 0) {
+			t.Errorf("round trip of %v gave %v", s, got)
+		}
+	}
+}
+
+func TestSeqStringNotation(t *testing.T) {
+	if got := (Seq{0, 1, 0, 2}).String(); got != "<0102>" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Seq{0, 12}).String(); got != "<0[12]>" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestParseSeqErrors(t *testing.T) {
+	for _, text := range []string{"01a2", "0[12", "[x]"} {
+		if _, err := ParseSeq(text); err == nil {
+			t.Errorf("ParseSeq(%q) succeeded", text)
+		}
+	}
+	// Whitespace and angle brackets are ignored.
+	got, err := ParseSeq("<01 0\t2>\n")
+	if err != nil || !reflect.DeepEqual(got, Seq{0, 1, 0, 2}) {
+		t.Errorf("ParseSeq with whitespace = %v, %v", got, err)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	s := Seq{0, 1, 0, 2, 0, 1, 0}
+	counts, err := s.Counts(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(counts, []int{4, 2, 1}) {
+		t.Errorf("Counts = %v", counts)
+	}
+	if _, err := s.Counts(2); err == nil {
+		t.Error("Counts(2) should reject link 2")
+	}
+	if _, err := (Seq{-1}).Counts(2); err == nil {
+		t.Error("Counts should reject negative link")
+	}
+}
+
+func TestAlpha(t *testing.T) {
+	cases := []struct {
+		s    Seq
+		want int
+	}{
+		{Seq{}, 0},
+		{Seq{0}, 1},
+		{Seq{0, 1, 0, 2, 0, 1, 0}, 4},
+		{Seq{3, 3, 3}, 3},
+		{Seq{0, 1, 2, 3}, 1},
+	}
+	for _, c := range cases {
+		if got := c.s.Alpha(); got != c.want {
+			t.Errorf("Alpha(%v) = %d, want %d", c.s, got, c.want)
+		}
+	}
+}
+
+func TestLowerBoundAlpha(t *testing.T) {
+	cases := []struct{ e, want int }{
+		{1, 1}, {2, 2}, {3, 3}, {4, 4}, {5, 7}, {6, 11},
+		{7, 19}, {8, 32}, {9, 57}, {10, 103}, {11, 187},
+		{12, 342}, {13, 631}, {14, 1171},
+		{0, 0},
+	}
+	for _, c := range cases {
+		if got := LowerBoundAlpha(c.e); got != c.want {
+			t.Errorf("LowerBoundAlpha(%d) = %d, want %d", c.e, got, c.want)
+		}
+	}
+}
+
+// Any e-sequence has α >= LowerBoundAlpha(e): checked on random Hamiltonian
+// paths.
+func TestAlphaLowerBoundProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for e := 1; e <= 7; e++ {
+		for trial := 0; trial < 20; trial++ {
+			s := RandomESequence(e, rng)
+			if s.Alpha() < LowerBoundAlpha(e) {
+				t.Fatalf("e=%d: α=%d below bound %d for %v", e, s.Alpha(), LowerBoundAlpha(e), s)
+			}
+		}
+	}
+}
+
+func TestSeqLen(t *testing.T) {
+	for e := 0; e <= 10; e++ {
+		want := 1<<uint(e) - 1
+		if got := SeqLen(e); got != want {
+			t.Errorf("SeqLen(%d) = %d, want %d", e, got, want)
+		}
+	}
+}
+
+func TestIsESequence(t *testing.T) {
+	if !IsESequence(Seq{0, 1, 0, 2, 0, 1, 0}, 3) {
+		t.Error("BR 3-sequence rejected")
+	}
+	if IsESequence(Seq{0, 1, 0, 2, 0, 1, 1}, 3) {
+		t.Error("invalid sequence accepted")
+	}
+	if IsESequence(Seq{0}, 3) {
+		t.Error("wrong length accepted")
+	}
+	if !IsESequence(Seq{}, 0) {
+		t.Error("empty 0-sequence rejected")
+	}
+	if IsESequence(Seq{}, -1) {
+		t.Error("negative dimension accepted")
+	}
+}
+
+func TestValidateESequenceDiagnostics(t *testing.T) {
+	if err := ValidateESequence(Seq{0, 1, 0, 2, 0, 1, 0}, 3); err != nil {
+		t.Errorf("valid sequence rejected: %v", err)
+	}
+	if err := ValidateESequence(Seq{0, 1}, 3); err == nil {
+		t.Error("short sequence accepted")
+	}
+	if err := ValidateESequence(Seq{0, 3, 0, 2, 0, 1, 0}, 3); err == nil {
+		t.Error("out-of-range link accepted")
+	}
+	if err := ValidateESequence(Seq{0, 0, 1, 2, 0, 1, 0}, 3); err == nil {
+		t.Error("revisiting sequence accepted")
+	}
+}
+
+func TestEndpoint(t *testing.T) {
+	// BR sequence of a 3-cube ends at node 4 when started at 0
+	// (Gray path: 0,1,3,2,6,7,5,4).
+	if got := Endpoint(BR(3), 3, 0); got != 4 {
+		t.Errorf("Endpoint(BR(3)) = %d, want 4", got)
+	}
+	// XOR-translation property: endpoint from s equals endpoint from 0
+	// xor s.
+	f := func(start uint8) bool {
+		s := int(start) & 7
+		return Endpoint(BR(3), 3, s) == (4 ^ s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDegreeDefinitionExamples(t *testing.T) {
+	// Paper Definition 2: D_e^BR has degree 2 for any e.
+	for e := 2; e <= 10; e++ {
+		if got := BR(e).Degree(); got != 2 {
+			t.Errorf("Degree(BR(%d)) = %d, want 2", e, got)
+		}
+	}
+	// Degenerate cases.
+	if got := (Seq{}).Degree(); got != 0 {
+		t.Errorf("Degree(empty) = %d", got)
+	}
+	if got := (Seq{0}).Degree(); got != 1 {
+		t.Errorf("Degree(<0>) = %d", got)
+	}
+	if got := (Seq{0, 0, 0}).Degree(); got != 1 {
+		t.Errorf("Degree(<000>) = %d", got)
+	}
+	// A perfectly periodic sequence over k links has degree k.
+	if got := (Seq{0, 1, 2, 0, 1, 2, 0, 1, 2}).Degree(); got != 3 {
+		t.Errorf("Degree(<012012012>) = %d, want 3", got)
+	}
+}
+
+// naiveWindowStat recomputes a window's stats from scratch.
+func naiveWindowStat(s Seq) WindowStat {
+	counts := make(map[int]int)
+	for _, l := range s {
+		counts[l]++
+	}
+	st := WindowStat{}
+	for _, c := range counts {
+		st.U++
+		if c > st.R {
+			st.R = c
+		}
+	}
+	return st
+}
+
+func TestSlidingStatsMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(60)
+		s := make(Seq, n)
+		for i := range s {
+			s[i] = rng.Intn(5)
+		}
+		for L := 1; L <= n; L++ {
+			got := SlidingStats(s, L)
+			if len(got) != n-L+1 {
+				t.Fatalf("len(SlidingStats) = %d, want %d", len(got), n-L+1)
+			}
+			for i := range got {
+				want := naiveWindowStat(s[i : i+L])
+				if got[i] != want {
+					t.Fatalf("window %d len %d of %v: got %+v want %+v", i, L, s, got[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestSlidingStatsEdgeCases(t *testing.T) {
+	if got := SlidingStats(Seq{0, 1}, 0); got != nil {
+		t.Error("n=0 should return nil")
+	}
+	if got := SlidingStats(Seq{0, 1}, 3); got != nil {
+		t.Error("n>len should return nil")
+	}
+}
+
+func TestPrefixSuffixStats(t *testing.T) {
+	s := Seq{0, 1, 0, 2, 0, 1, 0}
+	pre := PrefixStats(s, 3)
+	wantPre := []WindowStat{{1, 1}, {2, 1}, {2, 2}}
+	if !reflect.DeepEqual(pre, wantPre) {
+		t.Errorf("PrefixStats = %v, want %v", pre, wantPre)
+	}
+	suf := SuffixStats(s, 3)
+	wantSuf := []WindowStat{{1, 1}, {2, 1}, {2, 2}}
+	if !reflect.DeepEqual(suf, wantSuf) {
+		t.Errorf("SuffixStats = %v, want %v", suf, wantSuf)
+	}
+	// Capping beyond length returns full-length stats.
+	all := PrefixStats(s, 100)
+	if len(all) != len(s) {
+		t.Errorf("PrefixStats capped length = %d", len(all))
+	}
+	if all[len(all)-1] != FullStat(s) {
+		t.Errorf("last prefix stat %v != FullStat %v", all[len(all)-1], FullStat(s))
+	}
+}
+
+func TestFullStat(t *testing.T) {
+	s := BR(4)
+	st := FullStat(s)
+	if st.U != 4 {
+		t.Errorf("U = %d, want 4", st.U)
+	}
+	if st.R != s.Alpha() {
+		t.Errorf("R = %d, want α = %d", st.R, s.Alpha())
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := Seq{1, 2, 3}
+	c := s.Clone()
+	c[0] = 9
+	if s[0] != 1 {
+		t.Error("Clone aliases the original")
+	}
+}

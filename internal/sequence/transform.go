@@ -1,0 +1,136 @@
+package sequence
+
+import "fmt"
+
+// Property 1 of the paper: link permutations applied to subsequences that are
+// themselves Hamiltonian paths of subcubes preserve the Hamiltonian property
+// of the whole sequence. These helpers implement the transformations and the
+// associated validity checks. ApplySubcubePermutation additionally verifies
+// the *result*, because the property as printed requires the permutation to
+// map the subsequence's dimension set onto itself (which every use in the
+// paper satisfies); verifying the output makes misuse impossible.
+
+// Permutation is a bijection on link identifiers represented as a lookup
+// slice: p[i] is the image of link i.
+type Permutation []int
+
+// IdentityPermutation returns the identity on [0, n).
+func IdentityPermutation(n int) Permutation {
+	p := make(Permutation, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Transposition returns the permutation on [0, n) that swaps a and b.
+func Transposition(n, a, b int) Permutation {
+	p := IdentityPermutation(n)
+	p[a], p[b] = b, a
+	return p
+}
+
+// Compose returns p∘q: the permutation that applies q first, then p.
+func Compose(p, q Permutation) Permutation {
+	out := make(Permutation, len(p))
+	for i := range out {
+		out[i] = p[q[i]]
+	}
+	return out
+}
+
+// Inverse returns the inverse permutation.
+func (p Permutation) Inverse() Permutation {
+	out := make(Permutation, len(p))
+	for i, v := range p {
+		out[v] = i
+	}
+	return out
+}
+
+// Valid reports whether p is a bijection on [0, len(p)).
+func (p Permutation) Valid() bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// ApplyPermutation returns a copy of s with every link relabelled through p.
+// Per Property 1, if s is an e-sequence and p is a valid permutation of
+// [0, e-1] then the result is an e-sequence too.
+func ApplyPermutation(s Seq, p Permutation) (Seq, error) {
+	if !p.Valid() {
+		return nil, fmt.Errorf("sequence: invalid permutation %v", p)
+	}
+	out := make(Seq, len(s))
+	for i, l := range s {
+		if l < 0 || l >= len(p) {
+			return nil, fmt.Errorf("sequence: element %d is link %d, outside permutation domain [0,%d]", i, l, len(p)-1)
+		}
+		out[i] = p[l]
+	}
+	return out, nil
+}
+
+// IsSubcubePath reports whether sub is a Hamiltonian path of some subcube:
+// it uses j distinct links and visits 2^j distinct nodes of the subcube they
+// span. This is the precondition of Property 1.
+func IsSubcubePath(sub Seq) bool {
+	dims := make(map[int]int) // link -> local bit index
+	for _, l := range sub {
+		if l < 0 {
+			return false
+		}
+		if _, ok := dims[l]; !ok {
+			dims[l] = len(dims)
+		}
+	}
+	j := len(dims)
+	if j > 26 || len(sub) != SeqLen(j) {
+		return false
+	}
+	visited := make([]bool, 1<<uint(j))
+	visited[0] = true
+	cur := 0
+	for _, l := range sub {
+		cur ^= 1 << uint(dims[l])
+		if visited[cur] {
+			return false
+		}
+		visited[cur] = true
+	}
+	return true
+}
+
+// ApplySubcubePermutation applies permutation p to the subsequence
+// s[from:to] of an e-sequence s and returns the transformed copy. It
+// enforces the Property-1 preconditions (the range is a subcube path and p
+// is a valid permutation of [0, e-1]) and verifies that the result is still
+// an e-sequence, returning an error otherwise.
+func ApplySubcubePermutation(s Seq, e, from, to int, p Permutation) (Seq, error) {
+	if err := ValidateESequence(s, e); err != nil {
+		return nil, fmt.Errorf("sequence: input is not an e-sequence: %v", err)
+	}
+	if from < 0 || to > len(s) || from >= to {
+		return nil, fmt.Errorf("sequence: bad range [%d,%d) for length %d", from, to, len(s))
+	}
+	if !IsSubcubePath(s[from:to]) {
+		return nil, fmt.Errorf("sequence: range [%d,%d) is not a Hamiltonian path of a subcube", from, to)
+	}
+	if len(p) != e || !p.Valid() {
+		return nil, fmt.Errorf("sequence: permutation must be a bijection on [0,%d)", e)
+	}
+	out := s.Clone()
+	for i := from; i < to; i++ {
+		out[i] = p[out[i]]
+	}
+	if err := ValidateESequence(out, e); err != nil {
+		return nil, fmt.Errorf("sequence: permutation broke the Hamiltonian property (it must map the subsequence's dimensions onto themselves): %v", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package sequence
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestPermutationBasics(t *testing.T) {
+	id := IdentityPermutation(4)
+	if !id.Valid() {
+		t.Error("identity invalid")
+	}
+	tr := Transposition(4, 1, 3)
+	if !tr.Valid() || tr[1] != 3 || tr[3] != 1 || tr[0] != 0 {
+		t.Errorf("Transposition = %v", tr)
+	}
+	if !reflect.DeepEqual(Compose(tr, tr), id) {
+		t.Error("transposition not involutive under Compose")
+	}
+	if !reflect.DeepEqual(tr.Inverse(), tr) {
+		t.Error("transposition not self-inverse")
+	}
+	bad := Permutation{0, 0, 2}
+	if bad.Valid() {
+		t.Error("non-bijection accepted")
+	}
+	if (Permutation{0, 5}).Valid() {
+		t.Error("out-of-range image accepted")
+	}
+}
+
+// Compose(p, q) applies q first: verified against explicit evaluation.
+func TestComposeOrder(t *testing.T) {
+	p := Permutation{1, 2, 0} // 0->1,1->2,2->0
+	q := Permutation{2, 1, 0} // 0->2,2->0
+	pq := Compose(p, q)
+	for i := 0; i < 3; i++ {
+		if pq[i] != p[q[i]] {
+			t.Fatalf("Compose wrong at %d", i)
+		}
+	}
+}
+
+// Paper's first Property-1 example: <010> with links 0,1 exchanged is <101>.
+func TestApplyPermutationPaperExample(t *testing.T) {
+	s, _ := ParseSeq("010")
+	got, err := ApplyPermutation(s, Transposition(2, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != "<101>" {
+		t.Errorf("got %s", got.String())
+	}
+	if !IsESequence(got, 2) {
+		t.Error("result not a 2-sequence")
+	}
+}
+
+// Paper's second Property-1 example: applying the (0 1) transposition to the
+// last 3 elements of <0102010> yields <0102101>, still a 3-sequence.
+func TestApplySubcubePermutationPaperExample(t *testing.T) {
+	s, _ := ParseSeq("0102010")
+	p := Transposition(3, 0, 1)
+	got, err := ApplySubcubePermutation(s, 3, 4, 7, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != "<0102101>" {
+		t.Errorf("got %s", got.String())
+	}
+}
+
+func TestApplySubcubePermutationErrors(t *testing.T) {
+	s, _ := ParseSeq("0102010")
+	p := Transposition(3, 0, 1)
+	if _, err := ApplySubcubePermutation(s, 3, 3, 7, p); err == nil {
+		t.Error("range [3,7) is not a subcube path; should fail")
+	}
+	if _, err := ApplySubcubePermutation(s, 3, 5, 5, p); err == nil {
+		t.Error("empty range should fail")
+	}
+	if _, err := ApplySubcubePermutation(Seq{0, 1, 1}, 2, 0, 1, Transposition(2, 0, 1)); err == nil {
+		t.Error("invalid input sequence should fail")
+	}
+	if _, err := ApplySubcubePermutation(s, 3, 4, 7, Permutation{0, 1}); err == nil {
+		t.Error("wrong-size permutation should fail")
+	}
+	// A permutation that maps the subsequence's dimensions outside
+	// themselves can break Hamiltonicity; the function must detect it.
+	if _, err := ApplySubcubePermutation(s, 3, 4, 7, Permutation{2, 1, 0}); err == nil {
+		t.Error("dimension-escaping permutation should be rejected by result validation")
+	}
+}
+
+func TestIsSubcubePath(t *testing.T) {
+	cases := []struct {
+		s    string
+		want bool
+	}{
+		{"0", true},
+		{"010", true},
+		{"232", true}, // 2-cube over dims {2,3}
+		{"0102010", true},
+		{"01", false},   // wrong length for 2 dims
+		{"00", false},   // revisits
+		{"0120", false}, // wrong length for 3 dims
+	}
+	for _, c := range cases {
+		s, err := ParseSeq(c.s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := IsSubcubePath(s); got != c.want {
+			t.Errorf("IsSubcubePath(%s) = %v, want %v", c.s, got, c.want)
+		}
+	}
+	if IsSubcubePath(Seq{-1}) {
+		t.Error("negative link accepted")
+	}
+}
+
+// Property test: whole-sequence permutations always preserve the Hamiltonian
+// property (the un-caveated half of Property 1).
+func TestWholeSequencePermutationPreservesHamiltonian(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for e := 2; e <= 7; e++ {
+		for trial := 0; trial < 30; trial++ {
+			s := RandomESequence(e, rng)
+			perm := Permutation(rng.Perm(e))
+			got, err := ApplyPermutation(s, perm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !IsESequence(got, e) {
+				t.Fatalf("e=%d: permuted sequence invalid: %v via %v", e, s, perm)
+			}
+		}
+	}
+}
+
+// Property test: pBR-style usage of Property 1 — permuting the second half
+// (an (e-1)-subsequence of a BR sequence) with any permutation of [0, e-2]
+// onto itself — always yields a valid e-sequence.
+func TestSubcubePermutationPBRStyle(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for e := 3; e <= 8; e++ {
+		s := BR(e)
+		half := SeqLen(e - 1)
+		for trial := 0; trial < 20; trial++ {
+			inner := rng.Perm(e - 1)
+			perm := make(Permutation, e)
+			for i, v := range inner {
+				perm[i] = v
+			}
+			perm[e-1] = e - 1
+			got, err := ApplySubcubePermutation(s, e, half+1, len(s), perm)
+			if err != nil {
+				t.Fatalf("e=%d trial=%d: %v", e, trial, err)
+			}
+			if !IsESequence(got, e) {
+				t.Fatalf("e=%d: invalid result", e)
+			}
+		}
+	}
+}

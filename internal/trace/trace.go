@@ -1,0 +1,161 @@
+// Package trace collects and summarizes communication events from the
+// emulated hypercube machine: per-dimension traffic shares, per-node
+// communication time, and a coarse ASCII timeline. It is the observability
+// layer used to confirm — on real executions rather than static schedules —
+// the paper's claims about link balance (permuted-BR spreads traffic across
+// all dimensions; BR concentrates half of it on link 0).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/machine"
+)
+
+// Collector accumulates machine events; safe for concurrent use. Install it
+// with machine.Config{OnEvent: collector.Record}.
+type Collector struct {
+	mu     sync.Mutex
+	events []machine.Event
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{}
+}
+
+// Record appends one event; it is the machine.Config.OnEvent callback.
+func (c *Collector) Record(ev machine.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, ev)
+}
+
+// Events returns a copy of all recorded events sorted by (Start, Node).
+func (c *Collector) Events() []machine.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := append([]machine.Event(nil), c.events...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// Len returns the number of recorded events.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// Reset discards all events.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = nil
+}
+
+// Summary condenses a trace.
+type Summary struct {
+	// Events is the total number of communication operations.
+	Events int
+	// Makespan is the latest End time observed.
+	Makespan float64
+	// DimMessages counts messages per hypercube dimension.
+	DimMessages []int
+	// DimShare is each dimension's fraction of all messages.
+	DimShare []float64
+	// MaxDimShare is the busiest dimension's share — the quantity the
+	// permuted-BR ordering minimizes (1/d is perfect balance).
+	MaxDimShare float64
+	// CommTime is the summed per-node communication time (End - Start).
+	CommTime float64
+}
+
+// Summarize computes the Summary for a d-dimensional machine's trace.
+func (c *Collector) Summarize(d int) *Summary {
+	evs := c.Events()
+	s := &Summary{Events: len(evs), DimMessages: make([]int, d), DimShare: make([]float64, d)}
+	total := 0
+	for _, ev := range evs {
+		if ev.End > s.Makespan {
+			s.Makespan = ev.End
+		}
+		s.CommTime += ev.End - ev.Start
+		for _, l := range ev.Links {
+			if l >= 0 && l < d {
+				s.DimMessages[l]++
+				total++
+			}
+		}
+	}
+	for i, c := range s.DimMessages {
+		if total > 0 {
+			s.DimShare[i] = float64(c) / float64(total)
+		}
+		if s.DimShare[i] > s.MaxDimShare {
+			s.MaxDimShare = s.DimShare[i]
+		}
+	}
+	return s
+}
+
+// FormatDimShares renders the per-dimension traffic distribution as an
+// ASCII bar chart.
+func (s *Summary) FormatDimShares() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "per-dimension message share (%d messages total):\n", s.Events)
+	for i, share := range s.DimShare {
+		bar := strings.Repeat("#", int(share*60+0.5))
+		fmt.Fprintf(&b, "  dim %2d %5.1f%% %s\n", i, share*100, bar)
+	}
+	return b.String()
+}
+
+// Timeline renders a coarse per-node activity chart: one row per node,
+// buckets of the virtual-time axis marked '#' when the node was inside a
+// communication operation. Width is the number of buckets.
+func Timeline(evs []machine.Event, nodes int, width int) string {
+	if width < 1 {
+		width = 60
+	}
+	makespan := 0.0
+	for _, ev := range evs {
+		if ev.End > makespan {
+			makespan = ev.End
+		}
+	}
+	if makespan == 0 {
+		return "(empty trace)\n"
+	}
+	rows := make([][]byte, nodes)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	for _, ev := range evs {
+		if ev.Node < 0 || ev.Node >= nodes {
+			continue
+		}
+		lo := int(ev.Start / makespan * float64(width))
+		hi := int(ev.End / makespan * float64(width))
+		if hi >= width {
+			hi = width - 1
+		}
+		for x := lo; x <= hi; x++ {
+			rows[ev.Node][x] = '#'
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "communication timeline (0 .. %.0f model units):\n", makespan)
+	for i, row := range rows {
+		fmt.Fprintf(&b, "  node %2d %s\n", i, row)
+	}
+	return b.String()
+}
