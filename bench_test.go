@@ -16,6 +16,7 @@ import (
 	"repro/internal/ccube"
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/engine"
 	"repro/internal/jacobi"
 	"repro/internal/machine"
 	"repro/internal/matrix"
@@ -358,6 +359,55 @@ func BenchmarkTwoSidedReference(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// E12 — engine backends: the same n=512 eigensolve on the emulated machine
+// (serialized payloads + virtual clock) and on the shared-memory multicore
+// backend (pointer handoff, no clock). Multicore must win wall-clock: the
+// work is identical, the serialization is not.
+
+func benchmarkBackend512(b *testing.B, be engine.ExecBackend) {
+	rng := rand.New(rand.NewSource(512))
+	a := matrix.RandomSymmetric(512, rng)
+	cfg := jacobi.ParallelConfig{Family: ordering.NewPermutedBRFamily(), Ts: 1000, Tw: 100, FixedSweeps: 1, Backend: be}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := jacobi.SolveParallel(a, 3, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBackendEmulated512(b *testing.B)  { benchmarkBackend512(b, nil) }
+func BenchmarkBackendMulticore512(b *testing.B) { benchmarkBackend512(b, &engine.Multicore{}) }
+func BenchmarkBackendAnalytic512(b *testing.B) {
+	benchmarkBackend512(b, &engine.Analytic{Ts: 1000, Tw: 100})
+}
+
+// ---------------------------------------------------------------------------
+// E13 — the sweep-schedule cache: repeated schedule construction must cost
+// zero allocations after the first build (compare BenchmarkSweepBuild).
+
+func BenchmarkSweepCached(b *testing.B) {
+	fam := ordering.NewPermutedBRFamily()
+	if _, err := ordering.CachedSweep(10, fam); err != nil {
+		b.Fatal(err)
+	}
+	before := ordering.SweepCacheStats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ordering.CachedSweep(10, fam); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	after := ordering.SweepCacheStats()
+	if builds := after.Builds - before.Builds; builds != 0 {
+		b.Fatalf("cached sweep performed %d rebuilds", builds)
+	}
+	b.ReportMetric(float64(after.Hits-before.Hits)/float64(b.N), "hits/op")
 }
 
 // ---------------------------------------------------------------------------

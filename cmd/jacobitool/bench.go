@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/engine"
+	"repro/internal/jacobi"
+	"repro/internal/matrix"
+	"repro/internal/ordering"
+)
+
+// benchReport is the headline-metric record the bench command emits; one
+// BENCH_<date>.json per run accumulates the performance trajectory of the
+// repository over time.
+type benchReport struct {
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version,omitempty"`
+	MatrixSize int    `json:"matrix_size"`
+	Dim        int    `json:"dim"`
+	Sweeps     int    `json:"sweeps"`
+	Ordering   string `json:"ordering"`
+
+	EmulatedWallMs  float64 `json:"emulated_wall_ms"`
+	MulticoreWallMs float64 `json:"multicore_wall_ms"`
+	Speedup         float64 `json:"speedup"`
+
+	AnalyticMakespan float64 `json:"analytic_makespan"`
+	BaselineModel    float64 `json:"baseline_model"`
+	AnalyticRelErr   float64 `json:"analytic_rel_err"`
+
+	EmulatedMakespan float64 `json:"emulated_makespan"`
+	Messages         int     `json:"messages"`
+	Elements         int     `json:"elements"`
+
+	ScheduleCacheBuilds int64 `json:"schedule_cache_builds"`
+	ScheduleCacheHits   int64 `json:"schedule_cache_hits"`
+}
+
+// cmdBench runs the headline benchmark suite: the same fixed-sweep
+// eigensolve on the emulated and the multicore backends (wall-clock), the
+// analytic backend against the closed-form cost model, and the sweep-
+// schedule cache counters. With -json the metrics land in BENCH_<date>.json
+// so the perf trajectory accumulates across runs.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	m := fs.Int("m", 512, "matrix size")
+	d := fs.Int("d", 3, "hypercube dimension")
+	sweeps := fs.Int("sweeps", 1, "fixed sweep count")
+	ord := fs.String("o", "pbr", "ordering (br, pbr, d4, minalpha)")
+	seed := fs.Int64("seed", 2026, "random matrix seed")
+	asJSON := fs.Bool("json", false, "write the metrics to BENCH_<date>.json")
+	out := fs.String("out", "", "JSON output path (default BENCH_<date>.json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fam, err := ordering.FamilyByName(*ord)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	a := matrix.RandomSymmetric(*m, rng)
+	base := jacobi.ParallelConfig{Family: fam, Ts: 1000, Tw: 100, FixedSweeps: *sweeps}
+
+	rep := benchReport{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		MatrixSize: *m,
+		Dim:        *d,
+		Sweeps:     *sweeps,
+		Ordering:   fam.Name(),
+	}
+
+	fmt.Printf("bench: m=%d, d=%d (%d nodes), %d fixed sweep(s), %s ordering\n",
+		*m, *d, 1<<uint(*d), *sweeps, fam.Name())
+
+	// Emulated backend: real serialized payloads + virtual clock.
+	emuCfg := base
+	_, emuStats, err := jacobi.SolveParallel(a, *d, emuCfg)
+	if err != nil {
+		return fmt.Errorf("emulated solve: %w", err)
+	}
+	rep.EmulatedWallMs = float64(emuStats.WallTime.Microseconds()) / 1000
+	rep.EmulatedMakespan = emuStats.Makespan
+	rep.Messages = emuStats.Messages
+	rep.Elements = emuStats.Elements
+	fmt.Printf("  emulated:  wall %8.1f ms   makespan %.0f units   %d messages\n",
+		rep.EmulatedWallMs, emuStats.Makespan, emuStats.Messages)
+
+	// Multicore backend: shared memory, no clock — hardware speed.
+	mcCfg := base
+	mcCfg.Backend = &engine.Multicore{}
+	_, mcStats, err := jacobi.SolveParallel(a, *d, mcCfg)
+	if err != nil {
+		return fmt.Errorf("multicore solve: %w", err)
+	}
+	rep.MulticoreWallMs = float64(mcStats.WallTime.Microseconds()) / 1000
+	if rep.MulticoreWallMs > 0 {
+		rep.Speedup = rep.EmulatedWallMs / rep.MulticoreWallMs
+	}
+	fmt.Printf("  multicore: wall %8.1f ms   (%.2fx vs emulated)\n",
+		rep.MulticoreWallMs, rep.Speedup)
+
+	// Analytic backend vs the closed-form model.
+	anCfg := base
+	anCfg.Backend = &engine.Analytic{Ts: 1000, Tw: 100}
+	_, anStats, err := jacobi.SolveParallel(a, *d, anCfg)
+	if err != nil {
+		return fmt.Errorf("analytic solve: %w", err)
+	}
+	rep.AnalyticMakespan = anStats.Makespan
+	rep.BaselineModel = float64(*sweeps) * costmodel.BaselineSweepCost(*d, costmodel.Params{M: float64(*m), Ts: 1000, Tw: 100})
+	if rep.BaselineModel > 0 {
+		rep.AnalyticRelErr = (anStats.Makespan - rep.BaselineModel) / rep.BaselineModel
+	}
+	fmt.Printf("  analytic:  makespan %.0f units   closed-form %.0f   rel err %+.2e\n",
+		rep.AnalyticMakespan, rep.BaselineModel, rep.AnalyticRelErr)
+
+	cache := ordering.SweepCacheStats()
+	rep.ScheduleCacheBuilds = cache.Builds
+	rep.ScheduleCacheHits = cache.Hits
+	fmt.Printf("  schedule cache: %d build(s), %d hit(s)\n", cache.Builds, cache.Hits)
+
+	if !*asJSON {
+		return nil
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", rep.Date)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", path)
+	return nil
+}

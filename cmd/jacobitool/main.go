@@ -18,8 +18,9 @@
 //	alphatable α for every ordering and phase (ablation E7)
 //	degrees    sequence degree for every ordering and phase (ablation E8)
 //	pipeline   print a communication-pipelining stage schedule
-//	solve      run a distributed eigensolve on the emulated hypercube
+//	solve      run a distributed eigensolve on a pluggable execution backend
 //	simulate   compare emulated communication time against the analytic model
+//	bench      headline backend metrics, optionally written as BENCH_<date>.json
 package main
 
 import (
@@ -61,6 +62,8 @@ func main() {
 		err = cmdBalance(args)
 	case "svd":
 		err = cmdSVD(args)
+	case "bench":
+		err = cmdBench(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -88,8 +91,9 @@ commands:
   alphatable  [-max E]             α for every ordering (ablation)
   degrees     [-max E]             sequence degree for every ordering
   pipeline    -e E -q Q [-o ORD]   print a pipelined stage schedule
-  solve       -m N [-d D] [-o ORD] [-pipelined] [-oneport] eigensolve
+  solve       -m N [-d D] [-o ORD] [-backend B] [-pipelined] [-oneport] eigensolve
   simulate    -m N [-d D] [-sweeps S] emulated vs analytic communication time
+  bench       [-m N] [-d D] [-json]  headline backend metrics (BENCH_<date>.json)
   portsweep   [-d D] [-m LOGM]     cost vs number of ports (k-port ablation)
   balance     [-d D] [-m N]        static + traced link-balance comparison
   svd         [-rows R] [-cols C]  singular value decomposition demo

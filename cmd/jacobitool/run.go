@@ -98,12 +98,13 @@ func cmdPipeline(args []string) error {
 	return nil
 }
 
-// cmdSolve runs a distributed eigensolve on the emulated machine.
+// cmdSolve runs a distributed eigensolve on the selected execution backend.
 func cmdSolve(args []string) error {
 	fs := flag.NewFlagSet("solve", flag.ContinueOnError)
 	m := fs.Int("m", 32, "matrix size")
 	d := fs.Int("d", 2, "hypercube dimension")
 	ord := fs.String("o", "pbr", "ordering (br, pbr, d4, minalpha)")
+	backend := fs.String("backend", "emulated", "execution backend (emulated, multicore, analytic)")
 	pipelined := fs.Bool("pipelined", false, "apply communication pipelining")
 	onePort := fs.Bool("oneport", false, "one-port machine configuration")
 	seed := fs.Int64("seed", 42, "random matrix seed")
@@ -115,20 +116,21 @@ func cmdSolve(args []string) error {
 	res, err := core.Solve(a, core.SolveOptions{
 		Dim:       *d,
 		Ordering:  core.Ordering(*ord),
+		Backend:   core.Backend(*backend),
 		Pipelined: *pipelined,
 		OnePort:   *onePort,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("solved %dx%d random symmetric matrix on %d-node hypercube (%s ordering, pipelined=%v)\n",
-		*m, *m, 1<<uint(*d), *ord, *pipelined)
+	fmt.Printf("solved %dx%d random symmetric matrix on %d-node hypercube (%s ordering, %s backend, pipelined=%v)\n",
+		*m, *m, 1<<uint(*d), *ord, *backend, *pipelined)
 	fmt.Printf("  sweeps: %d (converged=%v), rotations: %d\n",
 		res.Eigen.Sweeps, res.Eigen.Converged, res.Eigen.Rotations)
 	fmt.Printf("  residual max_i ||A·vᵢ-λᵢvᵢ||/||A||_F: %.2e\n",
 		matrix.EigenResidual(a, res.Eigen.Values, res.Eigen.Vectors))
-	fmt.Printf("  modeled time: %.0f units; messages: %d; elements: %d\n",
-		res.Machine.Makespan, res.Machine.Messages, res.Machine.Elements)
+	fmt.Printf("  modeled time: %.0f units; messages: %d; elements: %d; wall: %v\n",
+		res.Machine.Makespan, res.Machine.Messages, res.Machine.Elements, res.Machine.WallTime)
 	n := len(res.Eigen.Values)
 	show := n
 	if show > 8 {

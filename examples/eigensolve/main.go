@@ -68,6 +68,19 @@ func main() {
 			plain.Machine.Makespan/piped.Machine.Makespan)
 	}
 
+	fmt.Println()
+	fmt.Println("one engine, three execution backends (identical numerics):")
+	fmt.Println("  backend     sweeps   vs-exact   modeled-time   wall-clock")
+	for _, be := range core.Backends() {
+		res, err := core.Solve(a, core.SolveOptions{Dim: 3, Ordering: core.PermutedBR, Backend: be})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dist := matrix.SortedEigenvalueDistance(res.Eigen.Values, exact)
+		fmt.Printf("  %-9s   %4d     %.2e   %12.0f   %v\n",
+			be, res.Eigen.Sweeps, dist, res.Machine.Makespan, res.Machine.WallTime)
+	}
+
 	// Show the fundamental mode: the lowest eigenvector should be a
 	// half-sine across the chain.
 	res, err := core.Solve(a, core.SolveOptions{Dim: 3, Ordering: core.Degree4})

@@ -11,12 +11,34 @@ import (
 	"fmt"
 
 	"repro/internal/costmodel"
+	"repro/internal/engine"
 	"repro/internal/jacobi"
 	"repro/internal/machine"
 	"repro/internal/matrix"
 	"repro/internal/ordering"
 	"repro/internal/sequence"
 )
+
+// Backend names one of the engine's execution substrates.
+type Backend string
+
+const (
+	// Emulated runs on the channel-based multi-port hypercube emulator with
+	// its deterministic virtual clock (the default).
+	Emulated Backend = "emulated"
+	// Multicore runs on the shared-memory worker pool: no virtual clock,
+	// blocks handed over by pointer, hardware speed.
+	Multicore Backend = "multicore"
+	// Analytic replays the timing model on raw payload sizes without
+	// serializing data: Makespan is the cost-model prediction, produced by
+	// the same code path as the measured runs.
+	Analytic Backend = "analytic"
+)
+
+// Backends lists the execution backends.
+func Backends() []Backend {
+	return []Backend{Emulated, Multicore, Analytic}
+}
 
 // Ordering names one of the paper's Jacobi ordering families.
 type Ordering string
@@ -110,6 +132,8 @@ type SolveOptions struct {
 	// Ts, Tw, Tc are the machine cost parameters (model time units).
 	// Defaults: Ts=1000, Tw=100, Tc=0, the paper's Figure 2 setting.
 	Ts, Tw, Tc float64
+	// Backend selects the execution substrate. Default Emulated.
+	Backend Backend
 }
 
 func (o SolveOptions) withDefaults() SolveOptions {
@@ -125,7 +149,25 @@ func (o SolveOptions) withDefaults() SolveOptions {
 	if o.Tw == 0 {
 		o.Tw = 100
 	}
+	if o.Backend == "" {
+		o.Backend = Emulated
+	}
 	return o
+}
+
+// execBackend resolves the options to an engine backend (nil means the
+// solver's default, the emulated machine).
+func (o SolveOptions) execBackend(ports machine.PortModel) (engine.ExecBackend, error) {
+	switch o.Backend {
+	case Emulated:
+		return nil, nil
+	case Multicore:
+		return &engine.Multicore{}, nil
+	case Analytic:
+		return &engine.Analytic{Ports: ports, Ts: o.Ts, Tw: o.Tw, Tc: o.Tc}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown backend %q (want emulated, multicore or analytic)", o.Backend)
+	}
 }
 
 // SolveResult bundles the eigensolution with the machine's measurements.
@@ -135,7 +177,8 @@ type SolveResult struct {
 }
 
 // Solve computes the eigendecomposition of the symmetric matrix a on the
-// emulated multi-port hypercube.
+// selected execution backend (the emulated multi-port hypercube by
+// default).
 func Solve(a *matrix.Dense, opts SolveOptions) (*SolveResult, error) {
 	opts = opts.withDefaults()
 	fam, err := opts.Ordering.Family()
@@ -152,6 +195,10 @@ func Solve(a *matrix.Dense, opts SolveOptions) (*SolveResult, error) {
 	}
 	if opts.OnePort {
 		cfg.Ports = machine.OnePort
+	}
+	cfg.Backend, err = opts.execBackend(cfg.Ports)
+	if err != nil {
+		return nil, err
 	}
 	var (
 		res   *jacobi.EigenResult
@@ -186,7 +233,7 @@ func VerifyOrdering(o Ordering, d, sweeps int) error {
 	if err != nil {
 		return err
 	}
-	sw, err := ordering.BuildSweep(d, fam)
+	sw, err := ordering.CachedSweep(d, fam)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,57 @@
+package engine
+
+import "repro/internal/machine"
+
+// Stats aggregates a backend run's instrumentation. It reuses the machine
+// package's RunStats shape so emulated, multicore and analytic runs report
+// uniformly: Makespan/NodeTimes are modeled virtual times (zero for the
+// multicore backend, which has no clock), Messages/Elements/ExchangeOps
+// count communication operations, WallTime is host time.
+type Stats = machine.RunStats
+
+// NodeCtx is the execution substrate a backend provides to one logical node
+// of the run. The engine's sweep programs are written once against this
+// interface; backends differ only in how a block crosses a hypercube link
+// (serialized through emulated channels, handed over as a pointer in shared
+// memory, or accounted by the analytic clock) and in what a Compute call
+// costs. A NodeCtx must only be used from the goroutine running the node's
+// program.
+type NodeCtx interface {
+	// ID returns the node's label in [0, 2^d).
+	ID() int
+	// ExchangeBlock performs a symmetric exchange with the neighbor across
+	// the given link: the block is sent and the neighbor's block returned.
+	// Ownership of the sent block transfers to the neighbor.
+	ExchangeBlock(link int, b *Block) (*Block, error)
+	// ExchangeSlices performs one multi-port communication operation: per
+	// listed (distinct) link, one combined message carrying a group of block
+	// slices. The received groups are returned in link order. It is the
+	// primitive behind the pipelined solver's stage sends.
+	ExchangeSlices(links []int, groups [][]*Block) ([][]*Block, error)
+	// Compute charges modeled local computation (a flop count).
+	Compute(flops float64)
+	// AllReduceMax combines a per-node vector across all nodes with
+	// elementwise max; every node returns the same result.
+	AllReduceMax(vals []float64) ([]float64, error)
+	// AllReduceSum combines a per-node vector across all nodes with
+	// elementwise addition.
+	AllReduceSum(vals []float64) ([]float64, error)
+}
+
+// ExecBackend executes one program per node of a d-cube. Implementations:
+//
+//   - Emulated: the channel-based multi-port hypercube emulator with its
+//     deterministic virtual clock (real serialized payloads);
+//   - Multicore: a shared-memory worker pool, one goroutine per node, blocks
+//     handed over by pointer — no virtual clock, hardware speed;
+//   - Analytic: the same shared-memory execution with the paper's timing
+//     model replayed on raw payload sizes, so cost predictions and measured
+//     runs share one code path.
+type ExecBackend interface {
+	// Name identifies the backend ("emulated", "multicore", "analytic").
+	Name() string
+	// Run executes program concurrently on every node of a d-cube.
+	// blockHeight is the column height used when a backend must serialize
+	// blocks (the emulated machine's wire format).
+	Run(d, blockHeight int, program func(NodeCtx) error) (*Stats, error)
+}

@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"time"
+
+	"repro/internal/machine"
+)
+
+// Emulated is the ExecBackend running on the channel-based multi-port
+// hypercube emulator: one goroutine per node, blocks serialized to
+// []float64 payloads and exchanged through per-dimension channels, with the
+// machine's deterministic virtual clock measuring the modeled time.
+type Emulated struct {
+	// Ports, Ts, Tw, Tc parameterize the emulated machine's cost model.
+	Ports machine.PortModel
+	Ts    float64
+	Tw    float64
+	Tc    float64
+	// ExchangeTimeout bounds rendezvous waits (machine deadlock detection).
+	ExchangeTimeout time.Duration
+	// OnEvent, when non-nil, receives every communication event (tracing).
+	OnEvent func(machine.Event)
+}
+
+// Name implements ExecBackend.
+func (e *Emulated) Name() string { return "emulated" }
+
+// Run implements ExecBackend.
+func (e *Emulated) Run(d, blockHeight int, program func(NodeCtx) error) (*Stats, error) {
+	mach, err := machine.New(machine.Config{
+		Dim:             d,
+		Ports:           e.Ports,
+		Ts:              e.Ts,
+		Tw:              e.Tw,
+		Tc:              e.Tc,
+		ExchangeTimeout: e.ExchangeTimeout,
+		OnEvent:         e.OnEvent,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mach.Run(func(mc *machine.NodeCtx) error {
+		return program(&emulatedCtx{mc: mc, height: blockHeight})
+	})
+}
+
+// emulatedCtx adapts machine.NodeCtx to the engine's NodeCtx: blocks are
+// encoded to the machine's wire format on send and decoded on receive, so
+// the payload sizes the virtual clock charges are the real serialized sizes.
+type emulatedCtx struct {
+	mc     *machine.NodeCtx
+	height int
+}
+
+func (c *emulatedCtx) ID() int               { return c.mc.ID() }
+func (c *emulatedCtx) Compute(flops float64) { c.mc.Compute(flops) }
+
+func (c *emulatedCtx) ExchangeBlock(link int, b *Block) (*Block, error) {
+	got, err := c.mc.Exchange(link, EncodeBlock(b, c.height))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeBlock(got, c.height)
+}
+
+func (c *emulatedCtx) ExchangeSlices(links []int, groups [][]*Block) ([][]*Block, error) {
+	payloads := make([][]float64, len(groups))
+	for i, g := range groups {
+		payloads[i] = EncodeBlocks(g, c.height)
+	}
+	got, err := c.mc.ExchangeBatch(links, payloads)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]*Block, len(got))
+	for i, msg := range got {
+		blocks, err := DecodeBlocks(msg, c.height)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = blocks
+	}
+	return out, nil
+}
+
+func (c *emulatedCtx) AllReduceMax(vals []float64) ([]float64, error) {
+	return c.mc.AllReduceMax(vals)
+}
+
+func (c *emulatedCtx) AllReduceSum(vals []float64) ([]float64, error) {
+	return c.mc.AllReduceSum(vals)
+}

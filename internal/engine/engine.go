@@ -1,0 +1,344 @@
+// Package engine is the single one-sided Jacobi solver engine behind every
+// solver flavor of the repository. It owns the sweep loop, the convergence
+// checks and the block-pairing structure of the paper's block algorithm,
+// parameterized by an ExecBackend that supplies the execution substrate:
+//
+//   - Emulated — the channel-based multi-port hypercube emulator with its
+//     deterministic virtual clock (real serialized payloads through links);
+//   - Multicore — a shared-memory worker pool (one goroutine per node,
+//     pointer handoff, no clock) that runs large eigensolves at hardware
+//     speed;
+//   - Analytic — the same execution with the paper's timing model replayed
+//     on raw payload sizes, so cost predictions and measured runs share one
+//     code path.
+//
+// Within a pairing step the paper's round-robin property makes every node's
+// rotations touch disjoint columns, so all backends produce bit-identical
+// numerical results for the same problem (tests assert this). Besides the
+// backend-driven distributed path, the engine provides a centralized replay
+// (RunCentral — the sequential reference, also used by the SVD solver) and
+// the classic cyclic loop (RunCyclic). Sweep schedules come from the
+// process-wide cache (ordering.CachedSweep), built once per (d, family).
+//
+// See DESIGN.md for the architecture notes.
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ordering"
+)
+
+// flopsPerRotationPerRow approximates the floating-point work of one column
+// rotation per matrix row: three dot products over A (6 flops/row for
+// α, β, γ) and the 2x2 updates of both A and U columns (8 flops/row).
+const flopsPerRotationPerRow = 14
+
+// Problem is one prepared solve: the partitioned columns plus everything the
+// sweep loop needs. Blocks are mutated in place by the run.
+type Problem struct {
+	// Blocks are the 2^(Dim+1) column blocks in canonical initial placement
+	// (node p holds blocks 2p and 2p+1).
+	Blocks []*Block
+	// Dim is the hypercube dimension d.
+	Dim int
+	// Family is the Jacobi ordering; nil defaults to BR.
+	Family ordering.Family
+	// Opts are the numerical options (tolerance, criterion, max sweeps).
+	Opts Options
+	// FixedSweeps, when positive, runs exactly that many sweeps with no
+	// convergence reduction — used when comparing measured or analytic time
+	// against closed-form cost models, which do not include the convergence
+	// allreduce.
+	FixedSweeps int
+	// Rows is the working-column height m, used for flop accounting and for
+	// the emulated machine's wire format.
+	Rows int
+	// TraceGram is trace(AᵀA) = ‖A‖²_F of the input (rotation-invariant),
+	// the normalizer of the OffFrob criterion.
+	TraceGram float64
+	// Pipelined applies communication pipelining to the exchange phases.
+	Pipelined bool
+	// PipelineQ forces a pipelining degree (0 = cost-model optimum per
+	// phase).
+	PipelineQ int
+	// PipelineTs, PipelineTw, PipelinePorts parameterize the cost model that
+	// picks the optimal pipelining degree per phase when PipelineQ is 0.
+	PipelineTs    float64
+	PipelineTw    float64
+	PipelinePorts int
+}
+
+// Outcome is the result of a run: convergence bookkeeping plus the final
+// blocks (every column of W and U exactly once, placement unspecified).
+type Outcome struct {
+	Sweeps      int
+	Converged   bool
+	Rotations   int
+	FinalMaxRel float64
+	Blocks      []*Block
+}
+
+func (p *Problem) withDefaults() (*Problem, Options) {
+	q := *p
+	if q.Family == nil {
+		q.Family = ordering.NewBRFamily()
+	}
+	return &q, q.Opts.WithDefaults()
+}
+
+// nodeOutcome is what each node reports back after a distributed run.
+type nodeOutcome struct {
+	blocks    [2]*Block
+	sweeps    int
+	converged bool
+	rotations int
+	finalRel  float64
+}
+
+// Run executes the problem's sweep loop distributed over the backend's
+// 2^Dim nodes, two blocks per node, following the ordering's (cached) sweep
+// schedule. Rotations are identical to RunCentral's (disjoint columns across
+// nodes within a step), so with the MaxRelCriterion every backend produces
+// bit-identical results; tests assert this.
+func (p *Problem) Run(be ExecBackend) (*Outcome, *Stats, error) {
+	p, opts := p.withDefaults()
+	sw, err := ordering.CachedSweep(p.Dim, p.Family)
+	if err != nil {
+		return nil, nil, err
+	}
+	nodes := 1 << uint(p.Dim)
+	if len(p.Blocks) != 2*nodes {
+		return nil, nil, fmt.Errorf("engine: %d blocks for a %d-cube, want %d", len(p.Blocks), p.Dim, 2*nodes)
+	}
+	var phaseQ []int
+	if p.Pipelined {
+		phaseQ = p.phaseDegrees()
+	}
+	outcomes := make([]nodeOutcome, nodes)
+	program := func(ctx NodeCtx) error {
+		if p.Pipelined {
+			return p.pipelinedNodeProgram(ctx, phaseQ, opts, &outcomes[ctx.ID()])
+		}
+		return p.nodeProgram(ctx, sw, opts, &outcomes[ctx.ID()])
+	}
+	stats, err := be.Run(p.Dim, p.Rows, program)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := &Outcome{
+		Sweeps:      outcomes[0].sweeps,
+		Converged:   outcomes[0].converged,
+		FinalMaxRel: outcomes[0].finalRel,
+	}
+	for _, o := range outcomes {
+		out.Rotations += o.rotations
+		for _, b := range o.blocks {
+			if b == nil {
+				return nil, nil, fmt.Errorf("engine: node finished without blocks")
+			}
+			out.Blocks = append(out.Blocks, b)
+		}
+	}
+	return out, stats, nil
+}
+
+// nodeProgram is the unpipelined per-node sweep loop: intra-block pairings,
+// then the 2^(d+1)-1 steps with their transitions, then the sweep-end
+// convergence decision.
+func (p *Problem) nodeProgram(ctx NodeCtx, sw *ordering.Sweep, opts Options, out *nodeOutcome) error {
+	id := ctx.ID()
+	slotA, slotB := p.Blocks[2*id], p.Blocks[2*id+1]
+	for sweep := 0; ; sweep++ {
+		var conv ConvTracker
+		PairWithin(slotA, &conv)
+		PairWithin(slotB, &conv)
+		ctx.Compute(pairFlops(p.Rows, within(slotA)+within(slotB)))
+		for step := 0; step < sw.Steps(); step++ {
+			PairCross(slotA, slotB, &conv)
+			ctx.Compute(pairFlops(p.Rows, slotA.NumCols()*slotB.NumCols()))
+			if step < len(sw.Transitions) {
+				tr := sw.Transitions[step]
+				phys := ordering.SweepLink(tr.Link, sweep, p.Dim)
+				var err error
+				slotA, slotB, err = transitionExchange(ctx, tr.Kind, phys, slotA, slotB)
+				if err != nil {
+					return fmt.Errorf("sweep %d step %d: %w", sweep, step, err)
+				}
+			}
+		}
+		out.sweeps = sweep + 1
+		out.rotations += conv.Rotations
+		done, global, err := sweepDecision(ctx, conv, opts, p.TraceGram, p.FixedSweeps, sweep)
+		if err != nil {
+			return err
+		}
+		out.finalRel = global.MaxRel
+		if done.converged {
+			out.converged = true
+		}
+		if done.stop {
+			break
+		}
+	}
+	out.blocks = [2]*Block{slotA, slotB}
+	return nil
+}
+
+// within returns the number of intra-block pairs of b.
+func within(b *Block) int {
+	n := b.NumCols()
+	return n * (n - 1) / 2
+}
+
+// pairFlops returns the modeled flop count of `pairs` column rotations on
+// height-m columns.
+func pairFlops(m, pairs int) float64 {
+	return float64(flopsPerRotationPerRow) * float64(m) * float64(pairs)
+}
+
+// transitionExchange performs one sweep transition for a node, returning the
+// new (slotA, slotB). Exchange and Last transitions swap the moving block;
+// Division regroups per ordering.DivisionSend and re-designates the kept
+// block as stationary and the received one as moving.
+func transitionExchange(ctx NodeCtx, kind ordering.TransKind, physLink int, slotA, slotB *Block) (*Block, *Block, error) {
+	switch kind {
+	case ordering.ExchangeTrans, ordering.LastTrans:
+		nb, err := ctx.ExchangeBlock(physLink, slotB)
+		if err != nil {
+			return nil, nil, err
+		}
+		return slotA, nb, nil
+	case ordering.DivisionTrans:
+		if ordering.DivisionSend(ctx.ID(), physLink) {
+			nb, err := ctx.ExchangeBlock(physLink, slotA)
+			if err != nil {
+				return nil, nil, err
+			}
+			// Kept moving block becomes the new stationary one.
+			return slotB, nb, nil
+		}
+		nb, err := ctx.ExchangeBlock(physLink, slotB)
+		if err != nil {
+			return nil, nil, err
+		}
+		return slotA, nb, nil
+	default:
+		return nil, nil, fmt.Errorf("engine: unknown transition kind %v", kind)
+	}
+}
+
+// sweepOutcome reports a sweep-end decision.
+type sweepOutcome struct {
+	stop      bool
+	converged bool
+}
+
+// sweepDecision combines every node's convergence tracker (unless
+// FixedSweeps is set) and decides whether to stop. All nodes reach the same
+// decision: the reductions are deterministic.
+func sweepDecision(ctx NodeCtx, conv ConvTracker, opts Options, traceGram float64, fixedSweeps, sweep int) (sweepOutcome, ConvTracker, error) {
+	if fixedSweeps > 0 {
+		return sweepOutcome{stop: sweep+1 >= fixedSweeps}, conv, nil
+	}
+	maxes, err := ctx.AllReduceMax([]float64{conv.MaxRel})
+	if err != nil {
+		return sweepOutcome{}, conv, err
+	}
+	sums, err := ctx.AllReduceSum([]float64{conv.OffSq, float64(conv.Rotations)})
+	if err != nil {
+		return sweepOutcome{}, conv, err
+	}
+	global := ConvTracker{MaxRel: maxes[0], OffSq: sums[0], Rotations: int(math.Round(sums[1]))}
+	if opts.Converged(global, traceGram) {
+		return sweepOutcome{stop: true, converged: true}, global, nil
+	}
+	if sweep+1 >= opts.MaxSweeps {
+		return sweepOutcome{stop: true}, global, nil
+	}
+	return sweepOutcome{}, global, nil
+}
+
+// RunCentral replays the problem's sweep schedule sequentially with an
+// omniscient placement state — the numerical reference for the distributed
+// backends (same rotations, disjoint columns across nodes within a step)
+// and the execution path of the schedule-driven sequential solvers. The
+// convergence tracker is shared across the whole sweep, exactly as the
+// original sequential solver accumulated it.
+func (p *Problem) RunCentral() (*Outcome, error) {
+	p, opts := p.withDefaults()
+	sw, err := ordering.CachedSweep(p.Dim, p.Family)
+	if err != nil {
+		return nil, err
+	}
+	nodes := 1 << uint(p.Dim)
+	if len(p.Blocks) != 2*nodes {
+		return nil, fmt.Errorf("engine: %d blocks for a %d-cube, want %d", len(p.Blocks), p.Dim, 2*nodes)
+	}
+	st := ordering.NewState(p.Dim)
+	out := &Outcome{}
+	// FixedSweeps overrides MaxSweeps entirely, exactly as in the
+	// distributed node programs, so the two paths always run the same
+	// number of sweeps.
+	for sweep := 0; ; sweep++ {
+		var conv ConvTracker
+		// Step 1 of the block algorithm: intra-block pairings, performed on
+		// whichever node currently holds each block (node order).
+		for n := 0; n < nodes; n++ {
+			nb := st.Node(n)
+			PairWithin(p.Blocks[nb.A], &conv)
+			PairWithin(p.Blocks[nb.B], &conv)
+		}
+		st.RunSweep(sw, sweep, func(step int, cur *ordering.State) {
+			for n := 0; n < nodes; n++ {
+				nb := cur.Node(n)
+				PairCross(p.Blocks[nb.A], p.Blocks[nb.B], &conv)
+			}
+		})
+		out.Sweeps++
+		out.Rotations += conv.Rotations
+		out.FinalMaxRel = conv.MaxRel
+		if p.FixedSweeps > 0 {
+			if out.Sweeps >= p.FixedSweeps {
+				break
+			}
+			continue
+		}
+		if opts.Converged(conv, p.TraceGram) {
+			out.Converged = true
+			break
+		}
+		if out.Sweeps >= opts.MaxSweeps {
+			break
+		}
+	}
+	out.Blocks = p.Blocks
+	return out, nil
+}
+
+// RunCyclic runs the classic row-cyclic sweep loop over the columns of w and
+// u in place: each sweep visits all column pairs (i, j), i < j, in
+// lexicographic order — the ordering-independent sequential baseline.
+// Callers pass column views (w.Col(i) style); heights need not match.
+func RunCyclic(wCols, uCols [][]float64, opts Options, traceGram float64) *Outcome {
+	opts = opts.WithDefaults()
+	m := len(wCols)
+	out := &Outcome{}
+	for sweep := 0; sweep < opts.MaxSweeps; sweep++ {
+		var conv ConvTracker
+		for i := 0; i < m; i++ {
+			for j := i + 1; j < m; j++ {
+				RotatePair(wCols[i], wCols[j], uCols[i], uCols[j], &conv)
+			}
+		}
+		out.Sweeps++
+		out.Rotations += conv.Rotations
+		out.FinalMaxRel = conv.MaxRel
+		if opts.Converged(conv, traceGram) {
+			out.Converged = true
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package engine
+
+import "math"
+
+// Criterion selects the sweep convergence test.
+type Criterion int
+
+const (
+	// MaxRelCriterion stops after the first sweep whose largest relative
+	// off-diagonal value |γ|/sqrt(αβ) is below Tol. It is the strictest
+	// per-pair test and the default.
+	MaxRelCriterion Criterion = iota
+	// OffFrobCriterion stops when sqrt(Σγ²) — the running estimate of
+	// off(AᵀA) gathered while the sweep visits each pair — falls below
+	// Tol·trace(AᵀA). The trace equals ‖A‖²_F and is invariant under the
+	// rotations, so the test is scale-free and needs no extra passes; it is
+	// the criterion used for the Table 2 reproduction (DESIGN.md note 10).
+	OffFrobCriterion
+)
+
+// Options configures a solve.
+type Options struct {
+	// Tol is the sweep convergence threshold; its meaning depends on
+	// Criterion. Default 1e-10.
+	Tol float64
+	// MaxSweeps bounds the number of sweeps. Default 40.
+	MaxSweeps int
+	// Criterion selects the convergence test. Default MaxRelCriterion.
+	Criterion Criterion
+}
+
+// WithDefaults fills the zero fields with the package defaults.
+func (o Options) WithDefaults() Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.MaxSweeps <= 0 {
+		o.MaxSweeps = 40
+	}
+	return o
+}
+
+// Converged applies the configured criterion to one sweep's statistics.
+// traceGram is trace(AᵀA) = ‖A‖²_F of the input (rotation-invariant).
+func (o Options) Converged(conv ConvTracker, traceGram float64) bool {
+	switch o.Criterion {
+	case OffFrobCriterion:
+		if traceGram <= 0 {
+			return true
+		}
+		return math.Sqrt(conv.OffSq) < o.Tol*traceGram
+	default:
+		return conv.MaxRel < o.Tol
+	}
+}

@@ -1,0 +1,183 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/ccube"
+	"repro/internal/costmodel"
+	"repro/internal/ordering"
+)
+
+// phaseDegrees picks the pipelining degree per exchange phase once,
+// identically on every node (the choice only depends on shared
+// configuration): the forced PipelineQ when set, otherwise the cost-model
+// optimum, both capped by block granularity (packets are column groups).
+func (p *Problem) phaseDegrees() []int {
+	minCols := p.Rows
+	for _, b := range p.Blocks {
+		if b.NumCols() < minCols {
+			minCols = b.NumCols()
+		}
+	}
+	if minCols < 1 {
+		minCols = 1
+	}
+	phaseQ := make([]int, p.Dim+1)
+	for e := 1; e <= p.Dim; e++ {
+		if p.PipelineQ > 0 {
+			phaseQ[e] = min(p.PipelineQ, minCols)
+			continue
+		}
+		seq := p.Family.Phase(e)
+		res := ccube.OptimalPhaseQ(seq, costmodel.BlockElems(float64(p.Rows), p.Dim), minCols,
+			ccube.CostParams{Ts: p.PipelineTs, Tw: p.PipelineTw, Ports: p.PipelinePorts})
+		phaseQ[e] = res.Q
+	}
+	return phaseQ
+}
+
+// pipelinedNodeProgram is the per-node sweep loop with communication
+// pipelining (section 2.4 of the paper and [9]) applied to every exchange
+// phase: each iteration's moving block is split into Q column-slice packets,
+// and each pipeline stage computes the packets on its anti-diagonal and
+// ships them through multiple links at once as a single multi-port
+// communication operation, with same-link packets combined. Division steps
+// and the last transition stay unpipelined, exactly as in the paper's model.
+//
+// With Q = 1 the stage order degenerates to the unpipelined iteration order
+// and the program produces bit-identical results to nodeProgram (tests
+// assert this). For Q > 1 the rotation order inside a phase is reorganized
+// (packets execute along stage anti-diagonals — an inherent property of the
+// transformation, DESIGN.md note 11), so results match to convergence
+// tolerance rather than bitwise; every column pair is still rotated exactly
+// once per sweep.
+func (p *Problem) pipelinedNodeProgram(ctx NodeCtx, phaseQ []int, opts Options, out *nodeOutcome) error {
+	id := ctx.ID()
+	d := p.Dim
+	slotA, slotB := p.Blocks[2*id], p.Blocks[2*id+1]
+	for sweep := 0; ; sweep++ {
+		var conv ConvTracker
+		PairWithin(slotA, &conv)
+		PairWithin(slotB, &conv)
+		ctx.Compute(pairFlops(p.Rows, within(slotA)+within(slotB)))
+		for e := d; e >= 1; e-- {
+			nb, err := p.runPipelinedPhase(ctx, p.Family.Phase(e), phaseQ[e], sweep, slotA, slotB, &conv)
+			if err != nil {
+				return fmt.Errorf("sweep %d phase %d: %w", sweep, e, err)
+			}
+			slotB = nb
+			// Division step pairing, then the division transition.
+			PairCross(slotA, slotB, &conv)
+			ctx.Compute(pairFlops(p.Rows, slotA.NumCols()*slotB.NumCols()))
+			phys := ordering.SweepLink(e-1, sweep, d)
+			slotA, slotB, err = transitionExchange(ctx, ordering.DivisionTrans, phys, slotA, slotB)
+			if err != nil {
+				return fmt.Errorf("sweep %d division %d: %w", sweep, e, err)
+			}
+		}
+		// Last step and last transition.
+		PairCross(slotA, slotB, &conv)
+		ctx.Compute(pairFlops(p.Rows, slotA.NumCols()*slotB.NumCols()))
+		if d >= 1 {
+			phys := ordering.SweepLink(d-1, sweep, d)
+			var err error
+			slotA, slotB, err = transitionExchange(ctx, ordering.LastTrans, phys, slotA, slotB)
+			if err != nil {
+				return fmt.Errorf("sweep %d last transition: %w", sweep, err)
+			}
+		}
+		out.sweeps = sweep + 1
+		out.rotations += conv.Rotations
+		done, global, err := sweepDecision(ctx, conv, opts, p.TraceGram, p.FixedSweeps, sweep)
+		if err != nil {
+			return err
+		}
+		out.finalRel = global.MaxRel
+		if done.converged {
+			out.converged = true
+		}
+		if done.stop {
+			break
+		}
+	}
+	out.blocks = [2]*Block{slotA, slotB}
+	return nil
+}
+
+// runPipelinedPhase executes one exchange phase under the pipelined CC-cube
+// schedule and returns the node's new moving block (the fully assembled
+// block received through the phase's final exchanges).
+//
+// Data flow per stage s: for each packet (k,q) on the stage's anti-diagonal
+// (ascending k, preserving per-node sequential semantics) the node pairs its
+// stationary block against slice q of moving block b_k — slice views for
+// k = 1, received slices for k > 1 — then ships the updated slice through
+// the physical link of iteration k, combined per link. The symmetric
+// receive delivers the neighbor's slice (k,q), which is slice q of this
+// node's next moving block b_{k+1}.
+func (p *Problem) runPipelinedPhase(ctx NodeCtx, seq []int, q, sweep int, slotA, slotB *Block, conv *ConvTracker) (*Block, error) {
+	sched, err := ccube.Build(seq, q)
+	if err != nil {
+		return nil, err
+	}
+	k := len(seq)
+	// Slices of moving block b_k: cur[1] = views into slotB; incoming
+	// blocks are assembled slice by slice as packets arrive.
+	slices := make(map[int][]*Block, k+1)
+	slices[1] = SplitBlock(slotB, q)
+	for _, st := range sched.Stages {
+		// Compute this stage's packets in ascending-iteration order.
+		for _, pk := range st.Packets {
+			group := slices[pk.K]
+			if group == nil || group[pk.Q-1] == nil {
+				return nil, fmt.Errorf("stage %d: slice (%d,%d) not available", st.Index, pk.K, pk.Q)
+			}
+			sl := group[pk.Q-1]
+			PairCross(slotA, sl, conv)
+			ctx.Compute(pairFlops(p.Rows, slotA.NumCols()*sl.NumCols()))
+		}
+		// One multi-port communication operation: per distinct link, the
+		// combined message of this stage's same-link packets.
+		links := make([]int, 0, len(st.Sends))
+		groups := make([][]*Block, 0, len(st.Sends))
+		for _, send := range st.Sends {
+			group := make([]*Block, 0, len(send.Packets))
+			for _, pk := range send.Packets {
+				group = append(group, slices[pk.K][pk.Q-1])
+			}
+			links = append(links, ordering.SweepLink(send.Link, sweep, p.Dim))
+			groups = append(groups, group)
+		}
+		got, err := ctx.ExchangeSlices(links, groups)
+		if err != nil {
+			return nil, fmt.Errorf("stage %d: %w", st.Index, err)
+		}
+		// The neighbor executed the same stage shape: its packet (k,q)
+		// slice is slice q of our incoming block b_{k+1}.
+		for i, send := range st.Sends {
+			if len(got[i]) != len(send.Packets) {
+				return nil, fmt.Errorf("stage %d link %d: %d slices, want %d", st.Index, send.Link, len(got[i]), len(send.Packets))
+			}
+			for j, pk := range send.Packets {
+				if slices[pk.K+1] == nil {
+					slices[pk.K+1] = make([]*Block, q)
+				}
+				slices[pk.K+1][pk.Q-1] = got[i][j]
+			}
+		}
+	}
+	next := slices[k+1]
+	for qi, sl := range next {
+		if sl == nil {
+			return nil, fmt.Errorf("phase end: slice %d of final block missing", qi+1)
+		}
+	}
+	return AssembleBlock(next), nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/ordering"
+)
+
+// TestConcurrentMulticoreSolvesSharedFamily runs many multicore solves
+// concurrently, all sharing one ordering.Family instance and the process-
+// wide sweep-schedule cache. Under -race this proves the schedule cache,
+// the shared family memoization and the shared-memory backend do not
+// interleave state across solves; the bitwise comparison proves each solve
+// stays deterministic under contention.
+func TestConcurrentMulticoreSolvesSharedFamily(t *testing.T) {
+	fam := ordering.NewDegree4Family()
+	const d = 2
+	const solvers = 8
+
+	// Per-goroutine matrices, plus single-threaded reference results.
+	mats := make([]*matrix.Dense, solvers)
+	refs := make([]*matrix.Dense, solvers)
+	for i := range mats {
+		rng := rand.New(rand.NewSource(int64(100 + i)))
+		mats[i] = matrix.RandomSymmetric(24, rng)
+		blocks, err := BuildBlocks(mats[i], d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tg := mats[i].FrobeniusNorm()
+		out, err := (&Problem{Blocks: blocks, Dim: d, Family: fam, Rows: 24, TraceGram: tg * tg}).RunCentral()
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := matrix.NewDense(24, 24)
+		u := matrix.NewDense(24, 24)
+		Gather(out.Blocks, w, u)
+		refs[i] = w
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < solvers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for rep := 0; rep < 2; rep++ {
+				blocks, err := BuildBlocks(mats[i], d)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				tg := mats[i].FrobeniusNorm()
+				prob := &Problem{Blocks: blocks, Dim: d, Family: fam, Rows: 24, TraceGram: tg * tg}
+				out, _, err := prob.Run(&Multicore{})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				w := matrix.NewDense(24, 24)
+				u := matrix.NewDense(24, 24)
+				Gather(out.Blocks, w, u)
+				if !denseEqual(w, refs[i]) {
+					t.Errorf("solver %d rep %d: concurrent multicore solve diverged from reference", i, rep)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentMixedBackends interleaves multicore, analytic and emulated
+// solves that all pull the same cached schedules; -race must stay quiet.
+func TestConcurrentMixedBackends(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := matrix.RandomSymmetric(16, rng)
+	backends := []ExecBackend{
+		&Multicore{},
+		&Analytic{Ts: 1000, Tw: 100},
+		&Emulated{Ts: 1000, Tw: 100},
+	}
+	var wg sync.WaitGroup
+	for _, be := range backends {
+		for rep := 0; rep < 3; rep++ {
+			wg.Add(1)
+			go func(be ExecBackend) {
+				defer wg.Done()
+				blocks, err := BuildBlocks(a, 1)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				tg := a.FrobeniusNorm()
+				prob := &Problem{Blocks: blocks, Dim: 1, Family: ordering.NewPermutedBRFamily(), Rows: 16, TraceGram: tg * tg}
+				if _, _, err := prob.Run(be); err != nil {
+					t.Errorf("%s: %v", be.Name(), err)
+				}
+			}(be)
+		}
+	}
+	wg.Wait()
+}

@@ -1,222 +1,74 @@
 package jacobi
 
 import (
-	"fmt"
-
+	"repro/internal/engine"
 	"repro/internal/matrix"
-	"repro/internal/ordering"
 )
 
-// Block is the unit of data movement of the parallel algorithm: a group of
-// columns of both the working matrix W and the eigenvector matrix U,
-// together with their original column indices.
-type Block struct {
-	ID   int
-	Cols []int       // original column indices
-	A    [][]float64 // working columns (W)
-	U    [][]float64 // eigenvector columns
-}
-
-// NumCols returns the number of columns in the block.
-func (b *Block) NumCols() int { return len(b.Cols) }
+// Block is the unit of data movement of the parallel algorithm; see
+// engine.Block.
+type Block = engine.Block
 
 // BuildBlocks splits the m columns of the symmetric input into 2^(d+1)
-// blocks per the ordering's partition, pairing each working column with the
-// corresponding identity column of U.
+// blocks per the ordering's partition; see engine.BuildBlocks.
 func BuildBlocks(a *matrix.Dense, d int) ([]*Block, error) {
-	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("jacobi: matrix is %dx%d, want square", a.Rows, a.Cols)
-	}
-	ranges, err := ordering.BlockRanges(a.Cols, d)
-	if err != nil {
-		return nil, err
-	}
-	m := a.Rows
-	blocks := make([]*Block, len(ranges))
-	for id, r := range ranges {
-		b := &Block{ID: id}
-		for c := r.Start; c < r.End; c++ {
-			ac := make([]float64, m)
-			copy(ac, a.Col(c))
-			uc := make([]float64, m)
-			uc[c] = 1
-			b.Cols = append(b.Cols, c)
-			b.A = append(b.A, ac)
-			b.U = append(b.U, uc)
-		}
-		blocks[id] = b
-	}
-	return blocks, nil
+	return engine.BuildBlocks(a, d)
 }
 
 // PairWithin rotates every column pair inside the block (step 1 of the
-// paper's block algorithm), in ascending (i, j) order.
+// paper's block algorithm); see engine.PairWithin.
 func PairWithin(b *Block, conv *ConvTracker) {
-	for i := 0; i < len(b.Cols); i++ {
-		for j := i + 1; j < len(b.Cols); j++ {
-			RotatePair(b.A[i], b.A[j], b.U[i], b.U[j], conv)
-		}
-	}
+	engine.PairWithin(b, conv)
 }
 
-// PairCross rotates every (column of x, column of y) pair — the pairing of
-// two blocks (step 2 of the paper's block algorithm) — iterating x's columns
-// in the outer loop. The fixed order keeps every solver flavor numerically
-// identical.
+// PairCross rotates every (column of x, column of y) pair (step 2 of the
+// paper's block algorithm); see engine.PairCross.
 func PairCross(x, y *Block, conv *ConvTracker) {
-	for i := range x.Cols {
-		for j := range y.Cols {
-			RotatePair(x.A[i], y.A[j], x.U[i], y.U[j], conv)
-		}
-	}
+	engine.PairCross(x, y, conv)
 }
 
 // PairCrossSlice rotates x's columns against the sub-range [lo, hi) of y's
-// columns. It is the packet-granular kernel of the pipelined solver: packet
-// q of an iteration covers one such slice of the moving block.
+// columns; see engine.PairCrossSlice.
 func PairCrossSlice(x, y *Block, lo, hi int, conv *ConvTracker) {
-	for i := range x.Cols {
-		for j := lo; j < hi; j++ {
-			RotatePair(x.A[i], y.A[j], x.U[i], y.U[j], conv)
-		}
-	}
+	engine.PairCrossSlice(x, y, lo, hi, conv)
 }
 
-// Gather writes the blocks' columns back into full matrices W and U
-// (allocated by the caller with the original dimensions).
+// Gather writes the blocks' columns back into full matrices W and U; see
+// engine.Gather.
 func Gather(blocks []*Block, w, u *matrix.Dense) {
-	for _, b := range blocks {
-		for k, c := range b.Cols {
-			w.SetCol(c, b.A[k])
-			u.SetCol(c, b.U[k])
-		}
-	}
+	engine.Gather(blocks, w, u)
 }
 
 // EncodeBlock flattens a block into a []float64 message for transport over
-// the simulated machine: [id, ncols, col₀, m A-values, m U-values, ...].
-// DecodeBlock reverses it. m is the column height.
+// the emulated machine; see engine.EncodeBlock.
 func EncodeBlock(b *Block, m int) []float64 {
-	msg := make([]float64, 0, 2+len(b.Cols)*(2*m+1))
-	msg = append(msg, float64(b.ID), float64(len(b.Cols)))
-	for k := range b.Cols {
-		msg = append(msg, float64(b.Cols[k]))
-		msg = append(msg, b.A[k]...)
-		msg = append(msg, b.U[k]...)
-	}
-	return msg
+	return engine.EncodeBlock(b, m)
 }
 
 // DecodeBlock parses a message produced by EncodeBlock.
 func DecodeBlock(msg []float64, m int) (*Block, error) {
-	b, rest, err := decodeBlockPrefix(msg, m)
-	if err != nil {
-		return nil, err
-	}
-	if len(rest) != 0 {
-		return nil, fmt.Errorf("jacobi: %d trailing values after block message", len(rest))
-	}
-	return b, nil
+	return engine.DecodeBlock(msg, m)
 }
 
-// decodeBlockPrefix parses one block from the front of msg, returning the
-// remainder — the sequential decoder behind DecodeBlock and DecodeBlocks.
-func decodeBlockPrefix(msg []float64, m int) (*Block, []float64, error) {
-	if len(msg) < 2 {
-		return nil, nil, fmt.Errorf("jacobi: block message too short (%d)", len(msg))
-	}
-	b := &Block{ID: int(msg[0])}
-	n := int(msg[1])
-	want := 2 + n*(2*m+1)
-	if n < 0 || len(msg) < want {
-		return nil, nil, fmt.Errorf("jacobi: block message length %d, want at least %d", len(msg), want)
-	}
-	off := 2
-	for k := 0; k < n; k++ {
-		b.Cols = append(b.Cols, int(msg[off]))
-		off++
-		ac := make([]float64, m)
-		copy(ac, msg[off:off+m])
-		off += m
-		uc := make([]float64, m)
-		copy(uc, msg[off:off+m])
-		off += m
-		b.A = append(b.A, ac)
-		b.U = append(b.U, uc)
-	}
-	return b, msg[want:], nil
-}
-
-// EncodeBlocks concatenates several blocks into one combined message — the
-// "message combining" of the pipelined CC-cube, where packets sharing a link
-// within a stage travel as one message.
+// EncodeBlocks concatenates several blocks into one combined message; see
+// engine.EncodeBlocks.
 func EncodeBlocks(blocks []*Block, m int) []float64 {
-	msg := []float64{float64(len(blocks))}
-	for _, b := range blocks {
-		msg = append(msg, EncodeBlock(b, m)...)
-	}
-	return msg
+	return engine.EncodeBlocks(blocks, m)
 }
 
 // DecodeBlocks parses a combined message produced by EncodeBlocks.
 func DecodeBlocks(msg []float64, m int) ([]*Block, error) {
-	if len(msg) < 1 {
-		return nil, fmt.Errorf("jacobi: empty combined message")
-	}
-	n := int(msg[0])
-	rest := msg[1:]
-	out := make([]*Block, 0, n)
-	for k := 0; k < n; k++ {
-		b, r, err := decodeBlockPrefix(rest, m)
-		if err != nil {
-			return nil, fmt.Errorf("jacobi: combined message part %d: %w", k, err)
-		}
-		rest = r
-		out = append(out, b)
-	}
-	if len(rest) != 0 {
-		return nil, fmt.Errorf("jacobi: %d trailing values after combined message", len(rest))
-	}
-	return out, nil
+	return engine.DecodeBlocks(msg, m)
 }
 
-// SplitBlock partitions a block's columns into q contiguous slices of
-// near-equal size (first slices one column larger when uneven). The slices
-// share the parent's column storage, so rotating a slice rotates the parent.
-// Slices may be empty when q exceeds the column count.
+// SplitBlock partitions a block's columns into q contiguous slices sharing
+// the parent's storage; see engine.SplitBlock.
 func SplitBlock(b *Block, q int) []*Block {
-	n := b.NumCols()
-	base := n / q
-	rem := n % q
-	out := make([]*Block, q)
-	start := 0
-	for i := 0; i < q; i++ {
-		size := base
-		if i < rem {
-			size++
-		}
-		out[i] = &Block{
-			ID:   b.ID,
-			Cols: b.Cols[start : start+size],
-			A:    b.A[start : start+size],
-			U:    b.U[start : start+size],
-		}
-		start += size
-	}
-	return out
+	return engine.SplitBlock(b, q)
 }
 
-// AssembleBlock concatenates slices (as produced by SplitBlock on the
-// sender) back into one block.
+// AssembleBlock concatenates slices back into one block; see
+// engine.AssembleBlock.
 func AssembleBlock(slices []*Block) *Block {
-	out := &Block{}
-	for i, s := range slices {
-		if i == 0 {
-			out.ID = s.ID
-		}
-		out.Cols = append(out.Cols, s.Cols...)
-		out.A = append(out.A, s.A...)
-		out.U = append(out.U, s.U...)
-	}
-	return out
+	return engine.AssembleBlock(slices)
 }

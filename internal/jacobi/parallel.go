@@ -2,17 +2,12 @@ package jacobi
 
 import (
 	"fmt"
-	"math"
 
+	"repro/internal/engine"
 	"repro/internal/machine"
 	"repro/internal/matrix"
 	"repro/internal/ordering"
 )
-
-// flopsPerRotationPerRow approximates the floating-point work of one column
-// rotation per matrix row: three dot products over A (6 flops/row for
-// α, β, γ) and the 2x2 updates of both A and U columns (8 flops/row).
-const flopsPerRotationPerRow = 14
 
 // ParallelConfig configures the distributed solvers.
 type ParallelConfig struct {
@@ -20,7 +15,8 @@ type ParallelConfig struct {
 	Family ordering.Family
 	// Options are the numerical options (tolerance, criterion, max sweeps).
 	Options Options
-	// Ports, Ts, Tw, Tc parameterize the emulated machine's cost model.
+	// Ports, Ts, Tw, Tc parameterize the emulated machine's cost model (and
+	// the analytic backend's clock).
 	Ports machine.PortModel
 	Ts    float64
 	Tw    float64
@@ -35,15 +31,23 @@ type ParallelConfig struct {
 	// forces that degree (capped by block granularity).
 	PipelineQ int
 	// Trace, when non-nil, receives every communication event of the
-	// emulated machine (see the trace package).
+	// emulated machine (see the trace package). Only the emulated backend
+	// emits events.
 	Trace func(machine.Event)
+	// Backend selects the execution substrate. Nil defaults to the emulated
+	// multi-port hypercube built from Ports/Ts/Tw/Tc/Trace; pass
+	// &engine.Multicore{} for hardware-speed shared-memory execution or
+	// &engine.Analytic{...} for a cost-model replay.
+	Backend engine.ExecBackend
 }
 
-// machineConfig builds the emulated machine's configuration from the solver
-// configuration.
-func (cfg ParallelConfig) machineConfig(d int) machine.Config {
-	return machine.Config{
-		Dim:     d,
+// backend returns the configured execution backend, defaulting to the
+// emulated machine.
+func (cfg ParallelConfig) backend() engine.ExecBackend {
+	if cfg.Backend != nil {
+		return cfg.Backend
+	}
+	return &engine.Emulated{
 		Ports:   cfg.Ports,
 		Ts:      cfg.Ts,
 		Tw:      cfg.Tw,
@@ -52,200 +56,63 @@ func (cfg ParallelConfig) machineConfig(d int) machine.Config {
 	}
 }
 
-// nodeOutcome is what each node reports back after a run.
-type nodeOutcome struct {
-	blocks    [2]*Block
-	sweeps    int
-	converged bool
-	rotations int
-	finalRel  float64
-}
-
-// SolveParallel runs the one-sided Jacobi method distributed over the
-// 2^d-node emulated hypercube, one goroutine per node, exchanging real
-// column blocks through the machine's channels according to the ordering's
-// sweep schedule. Rotations are identical to SolveSchedule's (disjoint
-// columns across nodes within a step), so with the MaxRelCriterion the two
-// produce bit-identical results; tests assert this.
-func SolveParallel(a *matrix.Dense, d int, cfg ParallelConfig) (*EigenResult, *machine.RunStats, error) {
+// problem assembles the engine problem shared by the distributed solvers.
+func (cfg ParallelConfig) problem(a *matrix.Dense, d int, pipelined bool) (*engine.Problem, error) {
 	if a.Rows != a.Cols {
-		return nil, nil, fmt.Errorf("jacobi: matrix is %dx%d, want square", a.Rows, a.Cols)
-	}
-	if cfg.Family == nil {
-		cfg.Family = ordering.NewBRFamily()
-	}
-	opts := cfg.Options.withDefaults()
-	sw, err := ordering.BuildSweep(d, cfg.Family)
-	if err != nil {
-		return nil, nil, err
+		return nil, fmt.Errorf("jacobi: matrix is %dx%d, want square", a.Rows, a.Cols)
 	}
 	blocks, err := BuildBlocks(a, d)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	mach, err := machine.New(cfg.machineConfig(d))
+	fam := cfg.Family
+	if fam == nil {
+		fam = ordering.NewBRFamily()
+	}
+	return &engine.Problem{
+		Blocks:        blocks,
+		Dim:           d,
+		Family:        fam,
+		Opts:          cfg.Options,
+		FixedSweeps:   cfg.FixedSweeps,
+		Rows:          a.Rows,
+		TraceGram:     traceGram(a),
+		Pipelined:     pipelined,
+		PipelineQ:     cfg.PipelineQ,
+		PipelineTs:    cfg.Ts,
+		PipelineTw:    cfg.Tw,
+		PipelinePorts: int(cfg.Ports),
+	}, nil
+}
+
+// SolveParallel runs the one-sided Jacobi method distributed over the 2^d
+// nodes of the configured execution backend (by default the emulated
+// multi-port hypercube, one goroutine per node, exchanging real column
+// blocks through the machine's channels) according to the ordering's sweep
+// schedule. Rotations are identical to SolveSchedule's (disjoint columns
+// across nodes within a step), so with the MaxRelCriterion the two produce
+// bit-identical results — as do the multicore and analytic backends; tests
+// assert this.
+func SolveParallel(a *matrix.Dense, d int, cfg ParallelConfig) (*EigenResult, *machine.RunStats, error) {
+	prob, err := cfg.problem(a, d, false)
 	if err != nil {
 		return nil, nil, err
 	}
+	out, stats, err := prob.Run(cfg.backend())
+	if err != nil {
+		return nil, nil, err
+	}
+	return gatherEigen(a, out), stats, nil
+}
+
+// gatherEigen collects the final block placement into full factors and
+// extracts the eigenpairs.
+func gatherEigen(a *matrix.Dense, out *engine.Outcome) *EigenResult {
 	m := a.Rows
-	traceGram := a.FrobeniusNorm()
-	traceGram *= traceGram
-	outcomes := make([]nodeOutcome, mach.Nodes())
-
-	program := func(ctx *machine.NodeCtx) error {
-		p := ctx.ID()
-		slotA, slotB := blocks[2*p], blocks[2*p+1]
-		out := &outcomes[p]
-		for sweep := 0; ; sweep++ {
-			var conv ConvTracker
-			PairWithin(slotA, &conv)
-			PairWithin(slotB, &conv)
-			ctx.Compute(pairFlops(m, within(slotA)+within(slotB)))
-			for step := 0; step < sw.Steps(); step++ {
-				PairCross(slotA, slotB, &conv)
-				ctx.Compute(pairFlops(m, slotA.NumCols()*slotB.NumCols()))
-				if step < len(sw.Transitions) {
-					tr := sw.Transitions[step]
-					phys := ordering.SweepLink(tr.Link, sweep, d)
-					var err error
-					slotA, slotB, err = transitionExchange(ctx, tr.Kind, phys, slotA, slotB, m)
-					if err != nil {
-						return fmt.Errorf("sweep %d step %d: %w", sweep, step, err)
-					}
-				}
-			}
-			out.sweeps = sweep + 1
-			out.rotations += conv.Rotations
-			done, global, err := sweepDecision(ctx, conv, opts, traceGram, cfg.FixedSweeps, sweep)
-			if err != nil {
-				return err
-			}
-			out.finalRel = global.MaxRel
-			if done.converged {
-				out.converged = true
-			}
-			if done.stop {
-				break
-			}
-		}
-		out.blocks = [2]*Block{slotA, slotB}
-		return nil
-	}
-
-	stats, err := mach.Run(program)
-	if err != nil {
-		return nil, nil, err
-	}
-
-	// Gather the final block placement and extract eigenpairs.
 	w := matrix.NewDense(m, m)
 	u := matrix.NewDense(m, m)
-	res := &EigenResult{
-		Sweeps:      outcomes[0].sweeps,
-		Converged:   outcomes[0].converged,
-		FinalMaxRel: outcomes[0].finalRel,
-	}
-	for _, out := range outcomes {
-		res.Rotations += out.rotations
-		for _, b := range out.blocks {
-			if b == nil {
-				return nil, nil, fmt.Errorf("jacobi: node finished without blocks")
-			}
-			for k, c := range b.Cols {
-				w.SetCol(c, b.A[k])
-				u.SetCol(c, b.U[k])
-			}
-		}
-	}
+	Gather(out.Blocks, w, u)
+	res := eigenFromOutcome(out)
 	finishEigen(a, w, u, res)
-	return res, stats, nil
-}
-
-// within returns the number of intra-block pairs of b.
-func within(b *Block) int {
-	n := b.NumCols()
-	return n * (n - 1) / 2
-}
-
-// pairFlops returns the modeled flop count of `pairs` column rotations on
-// height-m columns.
-func pairFlops(m, pairs int) float64 {
-	return float64(flopsPerRotationPerRow) * float64(m) * float64(pairs)
-}
-
-// transitionExchange performs one sweep transition for a node, returning the
-// new (slotA, slotB). Exchange and Last transitions swap the moving block;
-// Division regroups per ordering.DivisionSend and re-designates the kept
-// block as stationary and the received one as moving.
-func transitionExchange(ctx *machine.NodeCtx, kind ordering.TransKind, physLink int, slotA, slotB *Block, m int) (*Block, *Block, error) {
-	switch kind {
-	case ordering.ExchangeTrans, ordering.LastTrans:
-		got, err := ctx.Exchange(physLink, EncodeBlock(slotB, m))
-		if err != nil {
-			return nil, nil, err
-		}
-		nb, err := DecodeBlock(got, m)
-		if err != nil {
-			return nil, nil, err
-		}
-		return slotA, nb, nil
-	case ordering.DivisionTrans:
-		var payload []float64
-		if ordering.DivisionSend(ctx.ID(), physLink) {
-			payload = EncodeBlock(slotA, m)
-			got, err := ctx.Exchange(physLink, payload)
-			if err != nil {
-				return nil, nil, err
-			}
-			nb, err := DecodeBlock(got, m)
-			if err != nil {
-				return nil, nil, err
-			}
-			// Kept moving block becomes the new stationary one.
-			return slotB, nb, nil
-		}
-		payload = EncodeBlock(slotB, m)
-		got, err := ctx.Exchange(physLink, payload)
-		if err != nil {
-			return nil, nil, err
-		}
-		nb, err := DecodeBlock(got, m)
-		if err != nil {
-			return nil, nil, err
-		}
-		return slotA, nb, nil
-	default:
-		return nil, nil, fmt.Errorf("jacobi: unknown transition kind %v", kind)
-	}
-}
-
-// sweepOutcome reports a sweep-end decision.
-type sweepOutcome struct {
-	stop      bool
-	converged bool
-}
-
-// sweepDecision combines every node's convergence tracker (unless
-// FixedSweeps is set) and decides whether to stop. All nodes reach the same
-// decision: the reductions are deterministic.
-func sweepDecision(ctx *machine.NodeCtx, conv ConvTracker, opts Options, traceGram float64, fixedSweeps, sweep int) (sweepOutcome, ConvTracker, error) {
-	if fixedSweeps > 0 {
-		return sweepOutcome{stop: sweep+1 >= fixedSweeps}, conv, nil
-	}
-	maxes, err := ctx.AllReduceMax([]float64{conv.MaxRel})
-	if err != nil {
-		return sweepOutcome{}, conv, err
-	}
-	sums, err := ctx.AllReduceSum([]float64{conv.OffSq, float64(conv.Rotations)})
-	if err != nil {
-		return sweepOutcome{}, conv, err
-	}
-	global := ConvTracker{MaxRel: maxes[0], OffSq: sums[0], Rotations: int(math.Round(sums[1]))}
-	if opts.converged(global, traceGram) {
-		return sweepOutcome{stop: true, converged: true}, global, nil
-	}
-	if sweep+1 >= opts.MaxSweeps {
-		return sweepOutcome{stop: true}, global, nil
-	}
-	return sweepOutcome{}, global, nil
+	return res
 }

@@ -1,13 +1,8 @@
 package jacobi
 
 import (
-	"fmt"
-
-	"repro/internal/ccube"
-	"repro/internal/costmodel"
 	"repro/internal/machine"
 	"repro/internal/matrix"
-	"repro/internal/ordering"
 )
 
 // SolveParallelPipelined runs the distributed one-sided Jacobi solver with
@@ -17,7 +12,9 @@ import (
 // anti-diagonal and ships them through multiple links at once as a single
 // multi-port communication operation, with same-link packets combined.
 // Division steps and the last transition stay unpipelined, exactly as in the
-// paper's model.
+// paper's model. The stage-structured sweep loop lives in the engine
+// (Problem.Run with Pipelined set) and works on any backend that supports
+// multi-port slice exchange — all three do.
 //
 // With Q = 1 the stage order degenerates to the unpipelined iteration order,
 // and the solver produces bit-identical results to SolveParallel (tests
@@ -27,215 +24,13 @@ import (
 // tolerance rather than bitwise; every column pair is still rotated exactly
 // once per sweep.
 func SolveParallelPipelined(a *matrix.Dense, d int, cfg ParallelConfig) (*EigenResult, *machine.RunStats, error) {
-	if a.Rows != a.Cols {
-		return nil, nil, fmt.Errorf("jacobi: matrix is %dx%d, want square", a.Rows, a.Cols)
-	}
-	if cfg.Family == nil {
-		cfg.Family = ordering.NewBRFamily()
-	}
-	opts := cfg.Options.withDefaults()
-	blocks, err := BuildBlocks(a, d)
+	prob, err := cfg.problem(a, d, true)
 	if err != nil {
 		return nil, nil, err
 	}
-	mach, err := machine.New(cfg.machineConfig(d))
+	out, stats, err := prob.Run(cfg.backend())
 	if err != nil {
 		return nil, nil, err
 	}
-	m := a.Rows
-	traceGram := a.FrobeniusNorm()
-	traceGram *= traceGram
-
-	// The pipelining degree is bounded by the smallest block's column count
-	// (packets are column groups).
-	ranges, err := ordering.BlockRanges(m, d)
-	if err != nil {
-		return nil, nil, err
-	}
-	minCols := m
-	for _, r := range ranges {
-		if r.Len() < minCols {
-			minCols = r.Len()
-		}
-	}
-	if minCols < 1 {
-		minCols = 1
-	}
-
-	// Pick the pipelining degree per exchange phase once, identically on
-	// every node (the choice only depends on shared configuration).
-	phaseQ := make([]int, d+1)
-	for e := 1; e <= d; e++ {
-		if cfg.PipelineQ > 0 {
-			phaseQ[e] = min(cfg.PipelineQ, minCols)
-			continue
-		}
-		seq := cfg.Family.Phase(e)
-		res := ccube.OptimalPhaseQ(seq, costmodel.BlockElems(float64(m), d), minCols,
-			ccube.CostParams{Ts: cfg.Ts, Tw: cfg.Tw, Ports: int(cfg.Ports)})
-		phaseQ[e] = res.Q
-	}
-
-	outcomes := make([]nodeOutcome, mach.Nodes())
-
-	program := func(ctx *machine.NodeCtx) error {
-		p := ctx.ID()
-		slotA, slotB := blocks[2*p], blocks[2*p+1]
-		out := &outcomes[p]
-		for sweep := 0; ; sweep++ {
-			var conv ConvTracker
-			PairWithin(slotA, &conv)
-			PairWithin(slotB, &conv)
-			ctx.Compute(pairFlops(m, within(slotA)+within(slotB)))
-			for e := d; e >= 1; e-- {
-				nb, err := runPipelinedPhase(ctx, cfg.Family.Phase(e), phaseQ[e], sweep, d, slotA, slotB, m, &conv)
-				if err != nil {
-					return fmt.Errorf("sweep %d phase %d: %w", sweep, e, err)
-				}
-				slotB = nb
-				// Division step pairing, then the division transition.
-				PairCross(slotA, slotB, &conv)
-				ctx.Compute(pairFlops(m, slotA.NumCols()*slotB.NumCols()))
-				phys := ordering.SweepLink(e-1, sweep, d)
-				slotA, slotB, err = transitionExchange(ctx, ordering.DivisionTrans, phys, slotA, slotB, m)
-				if err != nil {
-					return fmt.Errorf("sweep %d division %d: %w", sweep, e, err)
-				}
-			}
-			// Last step and last transition.
-			PairCross(slotA, slotB, &conv)
-			ctx.Compute(pairFlops(m, slotA.NumCols()*slotB.NumCols()))
-			if d >= 1 {
-				phys := ordering.SweepLink(d-1, sweep, d)
-				var err error
-				slotA, slotB, err = transitionExchange(ctx, ordering.LastTrans, phys, slotA, slotB, m)
-				if err != nil {
-					return fmt.Errorf("sweep %d last transition: %w", sweep, err)
-				}
-			}
-			out.sweeps = sweep + 1
-			out.rotations += conv.Rotations
-			done, global, err := sweepDecision(ctx, conv, opts, traceGram, cfg.FixedSweeps, sweep)
-			if err != nil {
-				return err
-			}
-			out.finalRel = global.MaxRel
-			if done.converged {
-				out.converged = true
-			}
-			if done.stop {
-				break
-			}
-		}
-		out.blocks = [2]*Block{slotA, slotB}
-		return nil
-	}
-
-	stats, err := mach.Run(program)
-	if err != nil {
-		return nil, nil, err
-	}
-	w := matrix.NewDense(m, m)
-	u := matrix.NewDense(m, m)
-	res := &EigenResult{
-		Sweeps:      outcomes[0].sweeps,
-		Converged:   outcomes[0].converged,
-		FinalMaxRel: outcomes[0].finalRel,
-	}
-	for _, out := range outcomes {
-		res.Rotations += out.rotations
-		for _, b := range out.blocks {
-			if b == nil {
-				return nil, nil, fmt.Errorf("jacobi: node finished without blocks")
-			}
-			for k, c := range b.Cols {
-				w.SetCol(c, b.A[k])
-				u.SetCol(c, b.U[k])
-			}
-		}
-	}
-	finishEigen(a, w, u, res)
-	return res, stats, nil
-}
-
-// runPipelinedPhase executes one exchange phase under the pipelined CC-cube
-// schedule and returns the node's new moving block (the fully assembled
-// block received through the phase's final exchanges).
-//
-// Data flow per stage s: for each packet (k,q) on the stage's anti-diagonal
-// (ascending k, preserving per-node sequential semantics) the node pairs its
-// stationary block against slice q of moving block b_k — slice views for
-// k = 1, received slices for k > 1 — then ships the updated slice through
-// the physical link of iteration k, combined per link. The symmetric
-// receive delivers the neighbor's slice (k,q), which is slice q of this
-// node's next moving block b_{k+1}.
-func runPipelinedPhase(ctx *machine.NodeCtx, seq []int, q, sweep, d int, slotA, slotB *Block, m int, conv *ConvTracker) (*Block, error) {
-	sched, err := ccube.Build(seq, q)
-	if err != nil {
-		return nil, err
-	}
-	k := len(seq)
-	// Slices of moving block b_k: cur[1] = views into slotB; incoming
-	// blocks are assembled slice by slice as packets arrive.
-	slices := make(map[int][]*Block, k+1)
-	slices[1] = SplitBlock(slotB, q)
-	for _, st := range sched.Stages {
-		// Compute this stage's packets in ascending-iteration order.
-		for _, pk := range st.Packets {
-			group := slices[pk.K]
-			if group == nil || group[pk.Q-1] == nil {
-				return nil, fmt.Errorf("stage %d: slice (%d,%d) not available", st.Index, pk.K, pk.Q)
-			}
-			sl := group[pk.Q-1]
-			PairCross(slotA, sl, conv)
-			ctx.Compute(pairFlops(m, slotA.NumCols()*sl.NumCols()))
-		}
-		// One multi-port communication operation: per distinct link, the
-		// combined message of this stage's same-link packets.
-		links := make([]int, 0, len(st.Sends))
-		payloads := make([][]float64, 0, len(st.Sends))
-		for _, send := range st.Sends {
-			group := make([]*Block, 0, len(send.Packets))
-			for _, pk := range send.Packets {
-				group = append(group, slices[pk.K][pk.Q-1])
-			}
-			links = append(links, ordering.SweepLink(send.Link, sweep, d))
-			payloads = append(payloads, EncodeBlocks(group, m))
-		}
-		got, err := ctx.ExchangeBatch(links, payloads)
-		if err != nil {
-			return nil, fmt.Errorf("stage %d: %w", st.Index, err)
-		}
-		// The neighbor executed the same stage shape: its packet (k,q)
-		// slice is slice q of our incoming block b_{k+1}.
-		for i, send := range st.Sends {
-			decoded, err := DecodeBlocks(got[i], m)
-			if err != nil {
-				return nil, fmt.Errorf("stage %d link %d: %w", st.Index, send.Link, err)
-			}
-			if len(decoded) != len(send.Packets) {
-				return nil, fmt.Errorf("stage %d link %d: %d slices, want %d", st.Index, send.Link, len(decoded), len(send.Packets))
-			}
-			for j, pk := range send.Packets {
-				if slices[pk.K+1] == nil {
-					slices[pk.K+1] = make([]*Block, q)
-				}
-				slices[pk.K+1][pk.Q-1] = decoded[j]
-			}
-		}
-	}
-	next := slices[k+1]
-	for qi, sl := range next {
-		if sl == nil {
-			return nil, fmt.Errorf("phase end: slice %d of final block missing", qi+1)
-		}
-	}
-	return AssembleBlock(next), nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	return gatherEigen(a, out), stats, nil
 }

@@ -5,60 +5,25 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/engine"
 	"repro/internal/matrix"
 	"repro/internal/ordering"
 )
 
-// Criterion selects the sweep convergence test.
-type Criterion int
+// Criterion selects the sweep convergence test; see engine.Criterion.
+type Criterion = engine.Criterion
 
 const (
 	// MaxRelCriterion stops after the first sweep whose largest relative
-	// off-diagonal value |γ|/sqrt(αβ) is below Tol. It is the strictest
-	// per-pair test and the default.
-	MaxRelCriterion Criterion = iota
-	// OffFrobCriterion stops when sqrt(Σγ²) — the running estimate of
-	// off(AᵀA) gathered while the sweep visits each pair — falls below
-	// Tol·trace(AᵀA). The trace equals ‖A‖²_F and is invariant under the
-	// rotations, so the test is scale-free and needs no extra passes; it is
+	// off-diagonal value |γ|/sqrt(αβ) is below Tol (the default).
+	MaxRelCriterion = engine.MaxRelCriterion
+	// OffFrobCriterion stops when sqrt(Σγ²) falls below Tol·trace(AᵀA) —
 	// the criterion used for the Table 2 reproduction (DESIGN.md note 10).
-	OffFrobCriterion
+	OffFrobCriterion = engine.OffFrobCriterion
 )
 
-// Options configures a solve.
-type Options struct {
-	// Tol is the sweep convergence threshold; its meaning depends on
-	// Criterion. Default 1e-10.
-	Tol float64
-	// MaxSweeps bounds the number of sweeps. Default 40.
-	MaxSweeps int
-	// Criterion selects the convergence test. Default MaxRelCriterion.
-	Criterion Criterion
-}
-
-func (o Options) withDefaults() Options {
-	if o.Tol <= 0 {
-		o.Tol = 1e-10
-	}
-	if o.MaxSweeps <= 0 {
-		o.MaxSweeps = 40
-	}
-	return o
-}
-
-// converged applies the configured criterion to one sweep's statistics.
-// traceGram is trace(AᵀA) = ‖A‖²_F of the input (rotation-invariant).
-func (o Options) converged(conv ConvTracker, traceGram float64) bool {
-	switch o.Criterion {
-	case OffFrobCriterion:
-		if traceGram <= 0 {
-			return true
-		}
-		return math.Sqrt(conv.OffSq) < o.Tol*traceGram
-	default:
-		return conv.MaxRel < o.Tol
-	}
-}
+// Options configures a solve; see engine.Options.
+type Options = engine.Options
 
 // EigenResult is the outcome of a solve.
 type EigenResult struct {
@@ -77,6 +42,13 @@ type EigenResult struct {
 	Rotations int
 }
 
+// traceGram returns trace(AᵀA) = ‖A‖²_F, the rotation-invariant normalizer
+// of the OffFrob criterion.
+func traceGram(a *matrix.Dense) float64 {
+	t := a.FrobeniusNorm()
+	return t * t
+}
+
 // SolveCyclic runs the classic row-cyclic one-sided Jacobi method: each
 // sweep visits all column pairs (i, j), i < j, in lexicographic order. It is
 // the ordering-independent sequential baseline.
@@ -84,28 +56,17 @@ func SolveCyclic(a *matrix.Dense, opts Options) (*EigenResult, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("jacobi: matrix is %dx%d, want square", a.Rows, a.Cols)
 	}
-	opts = opts.withDefaults()
 	m := a.Rows
 	w := a.Clone()
 	u := matrix.Identity(m)
-	traceGram := w.FrobeniusNorm()
-	traceGram *= traceGram
-	res := &EigenResult{}
-	for sweep := 0; sweep < opts.MaxSweeps; sweep++ {
-		var conv ConvTracker
-		for i := 0; i < m; i++ {
-			for j := i + 1; j < m; j++ {
-				RotatePair(w.Col(i), w.Col(j), u.Col(i), u.Col(j), &conv)
-			}
-		}
-		res.Sweeps++
-		res.Rotations += conv.Rotations
-		res.FinalMaxRel = conv.MaxRel
-		if opts.converged(conv, traceGram) {
-			res.Converged = true
-			break
-		}
+	wCols := make([][]float64, m)
+	uCols := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		wCols[i] = w.Col(i)
+		uCols[i] = u.Col(i)
 	}
+	out := engine.RunCyclic(wCols, uCols, opts, traceGram(a))
+	res := eigenFromOutcome(out)
 	finishEigen(a, w, u, res)
 	return res, nil
 }
@@ -114,55 +75,46 @@ func SolveCyclic(a *matrix.Dense, opts Options) (*EigenResult, error) {
 // rotation order of the given parallel Jacobi ordering on a d-cube, executed
 // sequentially: per sweep, first the intra-block pairings of every block,
 // then the 2^(d+1)-1 steps, pairing the co-resident blocks of each node in
-// node order. The distributed solver performs the same rotations (disjoint
-// columns across nodes within a step), so its result is numerically
-// identical; tests assert this.
+// node order (the engine's central replay). The distributed solver performs
+// the same rotations (disjoint columns across nodes within a step), so its
+// result is numerically identical; tests assert this.
 func SolveSchedule(a *matrix.Dense, d int, fam ordering.Family, opts Options) (*EigenResult, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("jacobi: matrix is %dx%d, want square", a.Rows, a.Cols)
-	}
-	opts = opts.withDefaults()
-	sw, err := ordering.BuildSweep(d, fam)
-	if err != nil {
-		return nil, err
 	}
 	blocks, err := BuildBlocks(a, d)
 	if err != nil {
 		return nil, err
 	}
-	st := ordering.NewState(d)
-	nodes := 1 << uint(d)
-	traceGram := a.FrobeniusNorm()
-	traceGram *= traceGram
-	res := &EigenResult{}
-	for sweep := 0; sweep < opts.MaxSweeps; sweep++ {
-		var conv ConvTracker
-		// Step 1 of the block algorithm: intra-block pairings, performed on
-		// whichever node currently holds each block (node order).
-		for p := 0; p < nodes; p++ {
-			nb := st.Node(p)
-			PairWithin(blocks[nb.A], &conv)
-			PairWithin(blocks[nb.B], &conv)
-		}
-		st.RunSweep(sw, sweep, func(step int, cur *ordering.State) {
-			for p := 0; p < nodes; p++ {
-				nb := cur.Node(p)
-				PairCross(blocks[nb.A], blocks[nb.B], &conv)
-			}
-		})
-		res.Sweeps++
-		res.Rotations += conv.Rotations
-		res.FinalMaxRel = conv.MaxRel
-		if opts.converged(conv, traceGram) {
-			res.Converged = true
-			break
-		}
+	prob := &engine.Problem{
+		Blocks:    blocks,
+		Dim:       d,
+		Family:    fam,
+		Opts:      opts,
+		Rows:      a.Rows,
+		TraceGram: traceGram(a),
 	}
+	out, err := prob.RunCentral()
+	if err != nil {
+		return nil, err
+	}
+	res := eigenFromOutcome(out)
 	w := matrix.NewDense(a.Rows, a.Cols)
 	u := matrix.NewDense(a.Rows, a.Cols)
-	Gather(blocks, w, u)
+	Gather(out.Blocks, w, u)
 	finishEigen(a, w, u, res)
 	return res, nil
+}
+
+// eigenFromOutcome copies the engine's convergence bookkeeping into a fresh
+// EigenResult.
+func eigenFromOutcome(out *engine.Outcome) *EigenResult {
+	return &EigenResult{
+		Sweeps:      out.Sweeps,
+		Converged:   out.Converged,
+		FinalMaxRel: out.FinalMaxRel,
+		Rotations:   out.Rotations,
+	}
 }
 
 // finishEigen extracts sorted eigenpairs from the converged factors:

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/engine"
 	"repro/internal/matrix"
 	"repro/internal/ordering"
 )
@@ -14,8 +15,8 @@ import (
 // compute the singular value decomposition of an arbitrary (even
 // rectangular) matrix. The paper's ordering machinery applies unchanged —
 // its reference [7] (Gao & Thomas) is exactly the SVD variant — so the
-// solver below rounds out the library: it reuses the rotation kernel, the
-// block partition and the sweep schedules.
+// solver below rounds out the library: it reuses the engine's rotation
+// kernel, block partition and sweep replay.
 
 // SVDResult holds a thin singular value decomposition A = U·diag(Σ)·Vᵀ with
 // singular values in descending order.
@@ -34,8 +35,9 @@ type SVDResult struct {
 
 // SolveSVD computes the singular value decomposition of a (rows >= cols
 // required; transpose first otherwise) by one-sided Jacobi with the given
-// parallel ordering replayed sequentially on a virtual d-cube. d = 0 gives
-// the plain cyclic method.
+// parallel ordering replayed sequentially on a virtual d-cube (the engine's
+// central path, with rectangular blocks accumulating V). d = 0 gives the
+// plain cyclic method.
 func SolveSVD(a *matrix.Dense, d int, fam ordering.Family, opts Options) (*SVDResult, error) {
 	if a.Rows < a.Cols {
 		return nil, fmt.Errorf("jacobi: SVD requires rows >= cols (got %dx%d); pass the transpose", a.Rows, a.Cols)
@@ -43,61 +45,29 @@ func SolveSVD(a *matrix.Dense, d int, fam ordering.Family, opts Options) (*SVDRe
 	if a.Cols == 0 {
 		return nil, fmt.Errorf("jacobi: empty matrix")
 	}
-	if fam == nil {
-		fam = ordering.NewBRFamily()
-	}
-	opts = opts.withDefaults()
-	sw, err := ordering.BuildSweep(d, fam)
-	if err != nil {
-		return nil, err
-	}
-
 	// Work on columns of W (initially A) while accumulating V (initially I
-	// of size cols). The block machinery expects square U columns, so build
-	// the blocks by hand here: the same partition, rectangular payload.
-	ranges, err := ordering.BlockRanges(a.Cols, d)
+	// of size cols): the same partition as the eigensolve, rectangular
+	// payload.
+	blocks, err := engine.BuildFactorBlocks(a, d, a.Cols)
 	if err != nil {
 		return nil, err
 	}
-	blocks := make([]*Block, len(ranges))
-	for id, r := range ranges {
-		b := &Block{ID: id}
-		for c := r.Start; c < r.End; c++ {
-			wc := make([]float64, a.Rows)
-			copy(wc, a.Col(c))
-			vc := make([]float64, a.Cols)
-			vc[c] = 1
-			b.Cols = append(b.Cols, c)
-			b.A = append(b.A, wc)
-			b.U = append(b.U, vc)
-		}
-		blocks[id] = b
+	prob := &engine.Problem{
+		Blocks:    blocks,
+		Dim:       d,
+		Family:    fam,
+		Opts:      opts,
+		Rows:      a.Rows,
+		TraceGram: traceGram(a),
 	}
-
-	st := ordering.NewState(d)
-	nodes := 1 << uint(d)
-	traceGram := a.FrobeniusNorm()
-	traceGram *= traceGram
-	res := &SVDResult{}
-	for sweep := 0; sweep < opts.MaxSweeps; sweep++ {
-		var conv ConvTracker
-		for p := 0; p < nodes; p++ {
-			nb := st.Node(p)
-			PairWithin(blocks[nb.A], &conv)
-			PairWithin(blocks[nb.B], &conv)
-		}
-		st.RunSweep(sw, sweep, func(step int, cur *ordering.State) {
-			for p := 0; p < nodes; p++ {
-				nb := cur.Node(p)
-				PairCross(blocks[nb.A], blocks[nb.B], &conv)
-			}
-		})
-		res.Sweeps++
-		res.Rotations += conv.Rotations
-		if opts.converged(conv, traceGram) {
-			res.Converged = true
-			break
-		}
+	out, err := prob.RunCentral()
+	if err != nil {
+		return nil, err
+	}
+	res := &SVDResult{
+		Sweeps:    out.Sweeps,
+		Converged: out.Converged,
+		Rotations: out.Rotations,
 	}
 
 	// Extract: σᵢ = ||wᵢ||, uᵢ = wᵢ/σᵢ, vᵢ accumulated.
@@ -106,7 +76,7 @@ func SolveSVD(a *matrix.Dense, d int, fam ordering.Family, opts Options) (*SVDRe
 		w, v  []float64
 	}
 	cols := make([]col, 0, a.Cols)
-	for _, b := range blocks {
+	for _, b := range out.Blocks {
 		for k := range b.Cols {
 			cols = append(cols, col{sigma: matrix.Norm2(b.A[k]), w: b.A[k], v: b.U[k]})
 		}

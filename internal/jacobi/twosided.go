@@ -8,6 +8,10 @@ import (
 	"repro/internal/matrix"
 )
 
+// twoSidedSkipEps mirrors the one-sided kernel's rotation-skip threshold
+// (engine.RotatePair): far below any convergence tolerance.
+const twoSidedSkipEps = 1e-15
+
 // SolveTwoSided runs the classic cyclic two-sided Jacobi eigensolver
 // (A ← JᵀAJ), the independent reference implementation used to validate the
 // one-sided solvers: it shares no rotation kernel or data layout with them.
@@ -18,7 +22,7 @@ func SolveTwoSided(a *matrix.Dense, opts Options) (*EigenResult, error) {
 	if !a.IsSymmetric(1e-12 * (1 + a.MaxAbs())) {
 		return nil, fmt.Errorf("jacobi: two-sided solver requires a symmetric matrix")
 	}
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	m := a.Rows
 	w := a.Clone()
 	v := matrix.Identity(m)
@@ -36,7 +40,7 @@ func SolveTwoSided(a *matrix.Dense, opts Options) (*EigenResult, error) {
 				if rel > maxRel {
 					maxRel = rel
 				}
-				if math.Abs(aij) <= rotationSkipEps*denom {
+				if math.Abs(aij) <= twoSidedSkipEps*denom {
 					continue
 				}
 				res.Rotations++

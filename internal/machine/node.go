@@ -102,7 +102,7 @@ func (c *NodeCtx) ExchangeBatch(links []int, payloads [][]float64) ([][]float64,
 	}
 
 	// Model the send side: when does each outgoing transmission complete?
-	doneTimes := c.sendDoneTimes(links, payloads)
+	doneTimes := c.sendDoneTimes(payloads)
 	ownDone := c.vtime
 	for _, t := range doneTimes {
 		if t > ownDone {
@@ -160,50 +160,15 @@ func (c *NodeCtx) ExchangeBatch(links []int, payloads [][]float64) ([][]float64,
 }
 
 // sendDoneTimes returns, for each outgoing message, the virtual time at
-// which its transmission completes under the configured port model.
-func (c *NodeCtx) sendDoneTimes(links []int, payloads [][]float64) []float64 {
+// which its transmission completes under the configured port model (the
+// shared BatchDoneTimes formulas applied to the payload sizes).
+func (c *NodeCtx) sendDoneTimes(payloads [][]float64) []float64 {
 	cfg := c.machine.cfg
-	out := make([]float64, len(links))
-	switch {
-	case cfg.Ports == OnePort:
-		t := c.vtime
-		for i, p := range payloads {
-			t += cfg.Ts + float64(len(p))*cfg.Tw
-			out[i] = t
-		}
-	case cfg.Ports >= 2 && int(cfg.Ports) < len(links):
-		// k-port: u start-ups serialize, then transmissions are scheduled
-		// on k channels, longest-processing-time first.
-		startups := c.vtime + float64(len(links))*cfg.Ts
-		order := make([]int, len(payloads))
-		for i := range order {
-			order[i] = i
-		}
-		// Insertion sort by payload size, descending (batches are tiny).
-		for i := 1; i < len(order); i++ {
-			for j := i; j > 0 && len(payloads[order[j]]) > len(payloads[order[j-1]]); j-- {
-				order[j], order[j-1] = order[j-1], order[j]
-			}
-		}
-		avail := make([]float64, int(cfg.Ports))
-		for _, idx := range order {
-			// Pick the channel that frees up earliest.
-			best := 0
-			for ch := 1; ch < len(avail); ch++ {
-				if avail[ch] < avail[best] {
-					best = ch
-				}
-			}
-			avail[best] += float64(len(payloads[idx])) * cfg.Tw
-			out[idx] = startups + avail[best]
-		}
-	default: // AllPort (or k >= batch size): transmissions fully overlap.
-		startups := c.vtime + float64(len(links))*cfg.Ts
-		for i, p := range payloads {
-			out[i] = startups + float64(len(p))*cfg.Tw
-		}
+	sizes := make([]int, len(payloads))
+	for i, p := range payloads {
+		sizes[i] = len(p)
 	}
-	return out
+	return BatchDoneTimes(cfg.Ports, cfg.Ts, cfg.Tw, c.vtime, sizes)
 }
 
 // AllReduce combines a per-node vector across all nodes with the given

@@ -1,0 +1,60 @@
+package machine
+
+// BatchDoneTimes returns, for each message of a multi-port batch issued at
+// virtual time now, the time at which its transmission completes under the
+// given port model:
+//
+//   - one-port: the batch fully serializes, message i completes at
+//     now + Σ_{j<=i} (ts + sizes[j]·tw);
+//   - k-port (2 <= k < len(sizes)): the len(sizes) start-ups serialize on
+//     the node processor, then transmissions are packed onto k channels
+//     longest-processing-time first;
+//   - all-port (or k >= batch size): start-ups serialize, transmissions
+//     fully overlap.
+//
+// This is the single timing model shared by the emulated machine's real
+// channel exchanges (NodeCtx.ExchangeBatch) and the engine's analytic
+// backend, which replays the same formulas without moving data.
+func BatchDoneTimes(ports PortModel, ts, tw, now float64, sizes []int) []float64 {
+	out := make([]float64, len(sizes))
+	switch {
+	case ports == OnePort:
+		t := now
+		for i, s := range sizes {
+			t += ts + float64(s)*tw
+			out[i] = t
+		}
+	case ports >= 2 && int(ports) < len(sizes):
+		// k-port: start-ups serialize, then transmissions are scheduled on k
+		// channels, longest-processing-time first.
+		startups := now + float64(len(sizes))*ts
+		order := make([]int, len(sizes))
+		for i := range order {
+			order[i] = i
+		}
+		// Insertion sort by payload size, descending (batches are tiny).
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0 && sizes[order[j]] > sizes[order[j-1]]; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+		avail := make([]float64, int(ports))
+		for _, idx := range order {
+			// Pick the channel that frees up earliest.
+			best := 0
+			for ch := 1; ch < len(avail); ch++ {
+				if avail[ch] < avail[best] {
+					best = ch
+				}
+			}
+			avail[best] += float64(sizes[idx]) * tw
+			out[idx] = startups + avail[best]
+		}
+	default: // AllPort (or k >= batch size): transmissions fully overlap.
+		startups := now + float64(len(sizes))*ts
+		for i, s := range sizes {
+			out[i] = startups + float64(s)*tw
+		}
+	}
+	return out
+}

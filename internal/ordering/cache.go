@@ -1,0 +1,89 @@
+package ordering
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The sweep-schedule cache. Every solver flavor and every cost sweep needs
+// the full 2^(d+1)-1-step schedule of its (dimension, family) pair, and the
+// schedule is deterministic and immutable once built, so building it more
+// than once per process is pure waste — BuildSweep validates each phase's
+// Hamiltonian-path property, which costs O(2^e) work per phase. CachedSweep
+// memoizes the result per (d, family name) behind a sync.Once per key,
+// making concurrent solves on shared families race-free while building each
+// schedule exactly once.
+//
+// Only the canonical families (BR, permuted-BR, degree-4, minimum-α, as
+// constructed by this package) are cached: their name fully determines
+// their sequences. CustomFamily instances — and any other Family
+// implementation — bypass the cache regardless of what they call
+// themselves, so a custom family named "BR" can neither poison the cache
+// nor be served the real BR schedule (counted in
+// SweepCacheStats.Bypasses).
+
+// sweepKey identifies one cached schedule.
+type sweepKey struct {
+	d      int
+	family string
+}
+
+// sweepEntry holds one memoized BuildSweep result.
+type sweepEntry struct {
+	once sync.Once
+	sw   *Sweep
+	err  error
+}
+
+var (
+	sweepCache sync.Map // sweepKey -> *sweepEntry
+
+	sweepBuilds   atomic.Int64
+	sweepHits     atomic.Int64
+	sweepBypasses atomic.Int64
+)
+
+// CachedSweep returns the sweep schedule for a d-cube under the given
+// family, memoized process-wide for the canonical families. The returned
+// Sweep is shared: callers must treat it as read-only (every consumer in
+// this repository already does — schedules are replayed, never mutated).
+func CachedSweep(d int, fam Family) (*Sweep, error) {
+	if !isCanonicalFamily(fam) {
+		sweepBypasses.Add(1)
+		return BuildSweep(d, fam)
+	}
+	key := sweepKey{d: d, family: fam.Name()}
+	v, loaded := sweepCache.Load(key)
+	if !loaded {
+		v, loaded = sweepCache.LoadOrStore(key, &sweepEntry{})
+	}
+	entry := v.(*sweepEntry)
+	entry.once.Do(func() {
+		sweepBuilds.Add(1)
+		entry.sw, entry.err = BuildSweep(d, fam)
+	})
+	if loaded {
+		sweepHits.Add(1)
+	}
+	return entry.sw, entry.err
+}
+
+// SweepCacheCounters reports the cache's cumulative effectiveness counters.
+type SweepCacheCounters struct {
+	// Builds is the number of cold schedule constructions performed.
+	Builds int64
+	// Hits is the number of CachedSweep calls served from the cache.
+	Hits int64
+	// Bypasses counts calls for non-canonical families, which are always
+	// built fresh.
+	Bypasses int64
+}
+
+// SweepCacheStats returns a snapshot of the cache counters.
+func SweepCacheStats() SweepCacheCounters {
+	return SweepCacheCounters{
+		Builds:   sweepBuilds.Load(),
+		Hits:     sweepHits.Load(),
+		Bypasses: sweepBypasses.Load(),
+	}
+}

@@ -1,0 +1,164 @@
+package ordering
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/sequence"
+)
+
+func TestCachedSweepReturnsSameSchedule(t *testing.T) {
+	fam := NewPermutedBRFamily()
+	first, err := CachedSweep(7, fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second call — even through a different instance of the same family —
+	// must return the identical memoized schedule.
+	again, err := CachedSweep(7, NewPermutedBRFamily())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Error("CachedSweep rebuilt a canonical schedule instead of reusing it")
+	}
+	fresh, err := BuildSweep(7, fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Transitions, fresh.Transitions) {
+		t.Error("cached schedule differs from a fresh BuildSweep")
+	}
+}
+
+func TestCachedSweepCountsBuildsOnce(t *testing.T) {
+	fam := NewDegree4Family()
+	before := SweepCacheStats()
+	if _, err := CachedSweep(9, fam); err != nil {
+		t.Fatal(err)
+	}
+	mid := SweepCacheStats()
+	for i := 0; i < 16; i++ {
+		if _, err := CachedSweep(9, fam); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := SweepCacheStats()
+	if builds := mid.Builds - before.Builds; builds > 1 {
+		t.Errorf("first CachedSweep(9) performed %d builds, want at most 1", builds)
+	}
+	if after.Builds != mid.Builds {
+		t.Errorf("repeated CachedSweep(9) performed %d extra builds, want 0", after.Builds-mid.Builds)
+	}
+	if hits := after.Hits - mid.Hits; hits < 16 {
+		t.Errorf("repeated CachedSweep(9) recorded %d hits, want >= 16", hits)
+	}
+}
+
+func TestCachedSweepBypassesCustomFamilies(t *testing.T) {
+	fam, err := CustomFamily("my-sequences", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := SweepCacheStats()
+	a, err := CachedSweep(4, fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CachedSweep(4, fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("custom family schedules must not be cached")
+	}
+	after := SweepCacheStats()
+	if bypasses := after.Bypasses - before.Bypasses; bypasses < 2 {
+		t.Errorf("recorded %d bypasses, want >= 2", bypasses)
+	}
+}
+
+// TestCachedSweepImpersonatorCannotPoison: a CustomFamily that calls itself
+// "BR" must neither store its schedule under the canonical key nor be
+// served the canonical BR schedule.
+func TestCachedSweepImpersonatorCannotPoison(t *testing.T) {
+	// A custom phase-3 sequence that differs from BR's (permuted-BR's does;
+	// BR sequences are palindromes, so e.g. reversing would not).
+	impostor, err := CustomFamily("BR", map[int]sequence.Seq{
+		3: sequence.PermutedBR(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const d = 3
+	fromImpostor, err := CachedSweep(d, impostor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical, err := CachedSweep(d, NewBRFamily())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromImpostor == canonical {
+		t.Fatal("impostor family shared a schedule instance with canonical BR")
+	}
+	if reflect.DeepEqual(fromImpostor.Transitions, canonical.Transitions) {
+		t.Fatal("impostor family received canonical BR's schedule (cache poisoned or wrongly hit)")
+	}
+	// And the canonical schedule must match a fresh build, i.e. the
+	// impostor did not poison the key.
+	fresh, err := BuildSweep(d, NewBRFamily())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(canonical.Transitions, fresh.Transitions) {
+		t.Fatal("canonical BR schedule was poisoned by the impostor family")
+	}
+}
+
+// TestCachedSweepConcurrent hammers the cache from many goroutines across
+// several (d, family) keys; run with -race this proves the cache and the
+// shared schedules are race-free, and the pointer comparison proves each key
+// is built exactly once.
+func TestCachedSweepConcurrent(t *testing.T) {
+	families := AllFamilies()
+	dims := []int{3, 5, 8}
+	type key struct {
+		fam int
+		d   int
+	}
+	results := make(map[key][]*Sweep)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for fi := range families {
+		for _, d := range dims {
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(fi, d int) {
+					defer wg.Done()
+					sw, err := CachedSweep(d, families[fi])
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					// Read the shared schedule the way solvers do.
+					if sw.Steps() != 2*(1<<uint(d))-1 {
+						t.Errorf("d=%d: wrong step count %d", d, sw.Steps())
+					}
+					mu.Lock()
+					results[key{fi, d}] = append(results[key{fi, d}], sw)
+					mu.Unlock()
+				}(fi, d)
+			}
+		}
+	}
+	wg.Wait()
+	for k, sws := range results {
+		for _, sw := range sws[1:] {
+			if sw != sws[0] {
+				t.Errorf("key %v: goroutines saw distinct schedule instances", k)
+			}
+		}
+	}
+}

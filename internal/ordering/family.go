@@ -46,6 +46,10 @@ type Family interface {
 type cachingFamily struct {
 	name string
 	gen  func(e int) sequence.Seq
+	// canonical marks the four paper families, whose name fully determines
+	// their sequences — the property the sweep-schedule cache relies on.
+	// CustomFamily instances are never canonical, whatever their name.
+	canonical bool
 
 	mu    sync.Mutex
 	cache map[int]sequence.Seq
@@ -53,6 +57,20 @@ type cachingFamily struct {
 
 func newCachingFamily(name string, gen func(e int) sequence.Seq) *cachingFamily {
 	return &cachingFamily{name: name, gen: gen, cache: make(map[int]sequence.Seq)}
+}
+
+// newCanonicalFamily builds one of the four paper families.
+func newCanonicalFamily(name string, gen func(e int) sequence.Seq) *cachingFamily {
+	f := newCachingFamily(name, gen)
+	f.canonical = true
+	return f
+}
+
+// isCanonicalFamily reports whether fam is one of the package's own paper
+// families (safe to key the sweep-schedule cache by name).
+func isCanonicalFamily(fam Family) bool {
+	cf, ok := fam.(*cachingFamily)
+	return ok && cf.canonical
 }
 
 func (f *cachingFamily) Name() string { return f.name }
@@ -74,13 +92,13 @@ func (f *cachingFamily) Phase(e int) sequence.Seq {
 // NewBRFamily returns the Block-Recursive ordering family of Mantharam &
 // Eberlein (the baseline of the paper).
 func NewBRFamily() Family {
-	return newCachingFamily("BR", sequence.BR)
+	return newCanonicalFamily("BR", sequence.BR)
 }
 
 // NewPermutedBRFamily returns the permuted-BR ordering family (section 3.2),
 // near-optimal under deep pipelining.
 func NewPermutedBRFamily() Family {
-	return newCachingFamily("permuted-BR", sequence.PermutedBR)
+	return newCanonicalFamily("permuted-BR", sequence.PermutedBR)
 }
 
 // NewDegree4Family returns the degree-4 ordering family (section 3.3),
@@ -88,7 +106,7 @@ func NewPermutedBRFamily() Family {
 // (cost-negligible) phases fall back to BR, mirroring the substitution the
 // paper itself makes between p-BR and min-α sequences in its evaluation.
 func NewDegree4Family() Family {
-	return newCachingFamily("degree-4", func(e int) sequence.Seq {
+	return newCanonicalFamily("degree-4", func(e int) sequence.Seq {
 		s, err := sequence.Degree4(e)
 		if err != nil {
 			return sequence.BR(e)
@@ -101,7 +119,7 @@ func NewDegree4Family() Family {
 // defined by exhaustive search only for e <= 6; larger phases fall back to
 // permuted-BR, as in the paper's evaluation footnote.
 func NewMinAlphaFamily() Family {
-	return newCachingFamily("minimum-α", func(e int) sequence.Seq {
+	return newCanonicalFamily("minimum-α", func(e int) sequence.Seq {
 		s, err := sequence.MinAlpha(e)
 		if err != nil {
 			return sequence.PermutedBR(e)
