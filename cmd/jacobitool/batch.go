@@ -1,0 +1,177 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/jacobi"
+	"repro/internal/ordering"
+	"repro/internal/service"
+)
+
+// cmdBatch solves a manifest of problems concurrently through the batch
+// service and prints a per-job summary table. The manifest is a JSON array
+// of service.JobRequest objects; without -manifest a built-in 16-problem
+// demo manifest runs. With -check every (non-fixed-sweep) job's
+// eigenvalues are verified bit-identical against a sequential single-solve
+// run of the same problem.
+func cmdBatch(args []string) error {
+	fs := flag.NewFlagSet("batch", flag.ContinueOnError)
+	manifest := fs.String("manifest", "", "path to a JSON manifest (array of job requests); default: built-in 16-problem demo")
+	workers := fs.Int("workers", 4, "solve concurrency")
+	check := fs.Bool("check", false, "verify each job against a sequential single-solve run")
+	timeout := fs.Duration("timeout", 10*time.Minute, "overall batch deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var reqs []service.JobRequest
+	if *manifest == "" {
+		reqs = demoManifest()
+		fmt.Printf("batch: built-in demo manifest (%d problems)\n", len(reqs))
+	} else {
+		data, err := os.ReadFile(*manifest)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &reqs); err != nil {
+			return fmt.Errorf("parse %s: %w", *manifest, err)
+		}
+		fmt.Printf("batch: %s (%d problems)\n", *manifest, len(reqs))
+	}
+
+	specs := make([]service.JobSpec, len(reqs))
+	for i, r := range reqs {
+		spec, err := r.Spec()
+		if err != nil {
+			return fmt.Errorf("manifest entry %d: %w", i, err)
+		}
+		specs[i] = spec
+	}
+
+	svc := service.New(service.Config{Workers: *workers})
+	defer svc.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	start := time.Now()
+	jobs, err := svc.SubmitAll(ctx, specs)
+	if err != nil {
+		return err
+	}
+	if err := service.WaitAll(ctx, jobs); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("%-12s %5s %3s %-9s %-10s %-8s %6s %5s %12s %9s %5s\n",
+		"job", "n", "d", "ordering", "backend", "state", "sweeps", "conv", "makespan", "wall ms", "cache")
+	failed := 0
+	for _, j := range jobs {
+		st := j.Status()
+		label := st.Label
+		if label == "" {
+			label = st.ID
+		}
+		res, err := j.Result()
+		if err != nil {
+			failed++
+			fmt.Printf("%-12s %5d %3d %-9s %-10s %-8s %v\n", label, st.N, st.Dim, st.Ordering, st.Backend, st.State, err)
+			continue
+		}
+		cache := ""
+		if st.CacheHit {
+			cache = "hit"
+		}
+		fmt.Printf("%-12s %5d %3d %-9s %-10s %-8s %6d %5v %12.0f %9.1f %5s\n",
+			label, st.N, st.Dim, st.Ordering, st.Backend, st.State,
+			res.Sweeps, res.Converged, res.Makespan, res.WallMs, cache)
+	}
+
+	m := svc.Metrics()
+	fmt.Printf("\n%d jobs in %v at concurrency %d (%.1f jobs/sec)\n",
+		len(jobs), elapsed.Round(time.Millisecond), *workers, float64(len(jobs))/elapsed.Seconds())
+	fmt.Printf("  wall p50 %.1f ms, p99 %.1f ms; cache hits %d; aggregate modeled makespan %.0f units\n",
+		m.WallP50Ms, m.WallP99Ms, m.CacheHits, m.TotalModeledMakespan)
+	sc := m.ScheduleCache
+	fmt.Printf("  schedule cache: %d build(s), %d hit(s)\n", sc.Builds, sc.Hits)
+
+	if failed > 0 {
+		return fmt.Errorf("%d job(s) did not complete", failed)
+	}
+	if *check {
+		return checkBatch(jobs, specs)
+	}
+	return nil
+}
+
+// checkBatch re-runs every job sequentially (the engine's central replay —
+// the single-solve reference) and verifies bit-identical eigenvalues. The
+// job's normalized spec supplies the solve options; the input matrix comes
+// from the caller-held specs, since the service releases its copy when a
+// job completes. Two job kinds are skipped: fixed-sweep jobs (including
+// cost-only queries — the sequential solver always runs to convergence)
+// and pipelined jobs with a degree other than 1 (Q > 1 reorganizes the
+// rotation order, so they match to convergence tolerance, not bitwise).
+func checkBatch(jobs []*service.Job, specs []service.JobSpec) error {
+	checked, skipped := 0, 0
+	for i, j := range jobs {
+		spec := j.Spec()
+		if spec.FixedSweeps > 0 || (spec.Pipelined && spec.PipelineQ != 1) {
+			skipped++
+			continue
+		}
+		res, err := j.Result()
+		if err != nil {
+			return fmt.Errorf("job %d: %w", i, err)
+		}
+		fam, err := ordering.FamilyByName(spec.Ordering)
+		if err != nil {
+			return err
+		}
+		seq, err := jacobi.SolveSchedule(specs[i].Matrix, spec.Dim, fam, jacobi.Options{Tol: spec.Tol, MaxSweeps: spec.MaxSweeps})
+		if err != nil {
+			return fmt.Errorf("job %d sequential reference: %w", i, err)
+		}
+		if len(seq.Values) != len(res.Values) {
+			return fmt.Errorf("job %d: %d values vs sequential %d", i, len(res.Values), len(seq.Values))
+		}
+		for k := range seq.Values {
+			if res.Values[k] != seq.Values[k] {
+				return fmt.Errorf("job %d eigenvalue %d: batch %.17g != sequential %.17g",
+					i, k, res.Values[k], seq.Values[k])
+			}
+		}
+		checked++
+	}
+	fmt.Printf("  check: %d job(s) bit-identical to sequential single-solve runs, %d skipped (fixed-sweep or deep-pipelined)\n", checked, skipped)
+	return nil
+}
+
+// demoManifest builds the default 16-problem batch: a spread of sizes,
+// dimensions, orderings and job kinds (plain, pipelined, cost-only,
+// traced, and one deliberate duplicate to exercise the result cache).
+func demoManifest() []service.JobRequest {
+	orderings := []string{"br", "pbr", "d4", "minalpha"}
+	var reqs []service.JobRequest
+	for i := 0; i < 12; i++ {
+		reqs = append(reqs, service.JobRequest{
+			Label:    fmt.Sprintf("solve-%02d", i),
+			Random:   &service.RandomSpec{N: 24 + 8*(i%4), Seed: int64(1000 + i)},
+			Dim:      1 + i%2,
+			Ordering: orderings[i%len(orderings)],
+		})
+	}
+	reqs = append(reqs,
+		service.JobRequest{Label: "dup-of-00", Random: &service.RandomSpec{N: 24, Seed: 1000}, Dim: 1, Ordering: "br"},
+		service.JobRequest{Label: "cost-query", Random: &service.RandomSpec{N: 64, Seed: 2000}, Dim: 2, Ordering: "br", CostOnly: true},
+		service.JobRequest{Label: "traced", Random: &service.RandomSpec{N: 32, Seed: 2001}, Dim: 2, Ordering: "pbr", Trace: true},
+		service.JobRequest{Label: "pipelined", Random: &service.RandomSpec{N: 32, Seed: 2002}, Dim: 2, Ordering: "d4", Pipelined: true, PipelineQ: 1},
+	)
+	return reqs
+}

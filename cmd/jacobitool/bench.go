@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/jacobi"
 	"repro/internal/matrix"
 	"repro/internal/ordering"
+	"repro/internal/service"
 )
 
 // benchReport is the headline-metric record the bench command emits; one
@@ -41,6 +43,12 @@ type benchReport struct {
 
 	ScheduleCacheBuilds int64 `json:"schedule_cache_builds"`
 	ScheduleCacheHits   int64 `json:"schedule_cache_hits"`
+
+	BatchJobs        int     `json:"batch_jobs"`
+	BatchConcurrency int     `json:"batch_concurrency"`
+	BatchMatrixSize  int     `json:"batch_matrix_size"`
+	BatchJobsPerSec  float64 `json:"batch_jobs_per_sec"`
+	BatchWallP99Ms   float64 `json:"batch_wall_p99_ms"`
 }
 
 // cmdBench runs the headline benchmark suite: the same fixed-sweep
@@ -55,6 +63,9 @@ func cmdBench(args []string) error {
 	sweeps := fs.Int("sweeps", 1, "fixed sweep count")
 	ord := fs.String("o", "pbr", "ordering (br, pbr, d4, minalpha)")
 	seed := fs.Int64("seed", 2026, "random matrix seed")
+	batchN := fs.Int("batch", 16, "batch-throughput job count")
+	batchC := fs.Int("batchc", 4, "batch-throughput concurrency")
+	batchM := fs.Int("batchm", 96, "batch-throughput matrix size")
 	asJSON := fs.Bool("json", false, "write the metrics to BENCH_<date>.json")
 	out := fs.String("out", "", "JSON output path (default BENCH_<date>.json)")
 	if err := fs.Parse(args); err != nil {
@@ -121,6 +132,50 @@ func cmdBench(args []string) error {
 	}
 	fmt.Printf("  analytic:  makespan %.0f units   closed-form %.0f   rel err %+.2e\n",
 		rep.AnalyticMakespan, rep.BaselineModel, rep.AnalyticRelErr)
+
+	// Batch-solve service throughput: batchN distinct convergent solves at
+	// fixed concurrency through the worker pool (cache disabled so every
+	// job is a real solve) — the headline jobs/sec of the service layer.
+	svc := service.New(service.Config{Workers: *batchC, CacheCap: -1})
+	specs := make([]service.JobSpec, *batchN)
+	for i := range specs {
+		srng := rand.New(rand.NewSource(int64(3000 + i)))
+		specs[i] = service.JobSpec{
+			Matrix:   matrix.RandomSymmetric(*batchM, srng),
+			Dim:      2,
+			Ordering: fam.Name(),
+			Backend:  service.BackendMulticore,
+		}
+	}
+	batchStart := time.Now()
+	jobs, err := svc.SubmitAll(context.Background(), specs)
+	if err == nil {
+		err = service.WaitAll(context.Background(), jobs)
+	}
+	if err == nil {
+		// WaitAll swallows per-job failures by design; a headline metric
+		// computed over failed jobs would corrupt the BENCH trajectory.
+		for i, j := range jobs {
+			if _, jerr := j.Result(); jerr != nil {
+				err = fmt.Errorf("job %d: %w", i, jerr)
+				break
+			}
+		}
+	}
+	if err != nil {
+		svc.Close()
+		return fmt.Errorf("batch throughput: %w", err)
+	}
+	batchDur := time.Since(batchStart)
+	snap := svc.Metrics()
+	svc.Close()
+	rep.BatchJobs = *batchN
+	rep.BatchConcurrency = *batchC
+	rep.BatchMatrixSize = *batchM
+	rep.BatchJobsPerSec = float64(*batchN) / batchDur.Seconds()
+	rep.BatchWallP99Ms = snap.WallP99Ms
+	fmt.Printf("  batch:     %d jobs (n=%d) at concurrency %d in %v — %.1f jobs/sec (p99 %.1f ms)\n",
+		*batchN, *batchM, *batchC, batchDur.Round(time.Millisecond), rep.BatchJobsPerSec, rep.BatchWallP99Ms)
 
 	cache := ordering.SweepCacheStats()
 	rep.ScheduleCacheBuilds = cache.Builds

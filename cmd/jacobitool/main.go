@@ -21,6 +21,8 @@
 //	solve      run a distributed eigensolve on a pluggable execution backend
 //	simulate   compare emulated communication time against the analytic model
 //	bench      headline backend metrics, optionally written as BENCH_<date>.json
+//	serve      the concurrent batch-solve service over an HTTP JSON API
+//	batch      solve a manifest of problems concurrently, with a summary table
 package main
 
 import (
@@ -64,6 +66,10 @@ func main() {
 		err = cmdSVD(args)
 	case "bench":
 		err = cmdBench(args)
+	case "serve":
+		err = cmdServe(args)
+	case "batch":
+		err = cmdBatch(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -94,6 +100,8 @@ commands:
   solve       -m N [-d D] [-o ORD] [-backend B] [-pipelined] [-oneport] eigensolve
   simulate    -m N [-d D] [-sweeps S] emulated vs analytic communication time
   bench       [-m N] [-d D] [-json]  headline backend metrics (BENCH_<date>.json)
+  serve       [-addr A] [-workers W] batch-solve service over an HTTP JSON API
+  batch       [-manifest F] [-workers W] [-check] solve a manifest of problems concurrently
   portsweep   [-d D] [-m LOGM]     cost vs number of ports (k-port ablation)
   balance     [-d D] [-m N]        static + traced link-balance comparison
   svd         [-rows R] [-cols C]  singular value decomposition demo

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+
+	"repro/internal/service"
+)
+
+// cmdServe runs the batch-solve service behind its HTTP JSON API.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8473", "listen address")
+	workers := fs.Int("workers", 0, "solve-pool size (0 = GOMAXPROCS, capped at 8)")
+	queueCap := fs.Int("queue", 0, "queued-job capacity (0 = 1024)")
+	threshold := fs.Int("threshold", 0, "matrix size at which auto-selection picks the multicore backend (0 = 128)")
+	cacheCap := fs.Int("cache", 0, "result-cache capacity in entries (0 = 256, negative disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	svc := service.New(service.Config{
+		Workers:            *workers,
+		QueueCap:           *queueCap,
+		MulticoreThreshold: *threshold,
+		CacheCap:           *cacheCap,
+	})
+	defer svc.Close()
+
+	fmt.Printf("jacobitool serve: batch-solve service on %s (%d workers)\n", *addr, svc.Workers())
+	fmt.Println("  POST   /api/v1/jobs             submit {random:{n,seed}|matrix:{n,data}, dim, ordering, backend, ...}")
+	fmt.Println("  GET    /api/v1/jobs             list job statuses")
+	fmt.Println("  GET    /api/v1/jobs/{id}        job status")
+	fmt.Println("  DELETE /api/v1/jobs/{id}        cancel a job")
+	fmt.Println("  GET    /api/v1/jobs/{id}/result finished job's result")
+	fmt.Println("  GET    /api/v1/metrics          service metrics")
+	fmt.Println("  GET    /healthz                 liveness")
+	return http.ListenAndServe(*addr, service.NewHandler(svc))
+}

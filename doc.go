@@ -18,7 +18,15 @@
 //
 //   - internal/core: the public facade (orderings, analysis, solvers,
 //     experiment drivers)
-//   - cmd/jacobitool: command-line access to everything
+//   - internal/service: the concurrent batch-solve service (priority job
+//     queue, per-job backend auto-selection, fingerprint result cache,
+//     HTTP JSON API)
+//   - cmd/jacobitool: command-line access to everything, including
+//     `jacobitool serve` (the batch-solve service over HTTP: submit,
+//     status, result, metrics) and `jacobitool batch` (solve a JSON
+//     manifest of problems concurrently and print a summary table;
+//     -check verifies every job bit-identical against a sequential
+//     single-solve run)
 //   - examples/: runnable walkthroughs (quickstart, orderinglab,
 //     eigensolve, commcost, pipelinelab)
 //   - bench_test.go: one benchmark per paper table/figure plus ablations

@@ -1,0 +1,120 @@
+package bitutil
+
+import "testing"
+
+// Fuzz targets for the bit-manipulation substrate the hypercube topology
+// sits on: involution, idempotence and round-trip invariants over
+// arbitrary inputs. CI runs these as a short -fuzztime smoke.
+
+// bound keeps fuzzed values in the non-negative range the helpers are
+// specified for (node labels are non-negative ints).
+func bound(x int64) int {
+	v := int(x)
+	if v < 0 {
+		v = -(v + 1)
+	}
+	return v & (1<<62 - 1)
+}
+
+// FuzzBitOps: Flip is an involution that changes exactly its bit, Set and
+// Clear are idempotent and consistent with Bit and OnesCount.
+func FuzzBitOps(f *testing.F) {
+	f.Add(int64(0), uint8(0))
+	f.Add(int64(0b1011), uint8(2))
+	f.Add(int64(-7), uint8(61))
+	f.Fuzz(func(t *testing.T, xRaw int64, iRaw uint8) {
+		x := bound(xRaw)
+		i := int(iRaw % 62)
+		if Flip(Flip(x, i), i) != x {
+			t.Fatalf("Flip not involutive: x=%d i=%d", x, i)
+		}
+		if Bit(x, i) == Bit(Flip(x, i), i) {
+			t.Fatalf("Flip(%d,%d) did not toggle the bit", x, i)
+		}
+		if Flip(x, i)^x != 1<<uint(i) {
+			t.Fatalf("Flip(%d,%d) changed other bits", x, i)
+		}
+		if s := Set(x, i); !Bit(s, i) || Set(s, i) != s {
+			t.Fatalf("Set(%d,%d) not idempotent or bit unset", x, i)
+		}
+		if c := Clear(x, i); Bit(c, i) || Clear(c, i) != c {
+			t.Fatalf("Clear(%d,%d) not idempotent or bit set", x, i)
+		}
+		want := OnesCount(x)
+		if Bit(x, i) {
+			want--
+		}
+		if got := OnesCount(Clear(x, i)); got != want {
+			t.Fatalf("OnesCount(Clear(%d,%d)) = %d, want %d", x, i, got, want)
+		}
+	})
+}
+
+// FuzzGrayRoundTrip: GrayRank inverts Gray, and consecutive Gray codes
+// differ in exactly one bit (the property hypercube Hamiltonian paths are
+// built from).
+func FuzzGrayRoundTrip(f *testing.F) {
+	f.Add(int64(0))
+	f.Add(int64(5))
+	f.Add(int64(1 << 40))
+	f.Fuzz(func(t *testing.T, iRaw int64) {
+		i := bound(iRaw) & (1<<60 - 1)
+		if got := GrayRank(Gray(i)); got != i {
+			t.Fatalf("GrayRank(Gray(%d)) = %d", i, got)
+		}
+		diff := Gray(i) ^ Gray(i+1)
+		if !IsPow2(diff) {
+			t.Fatalf("Gray(%d) and Gray(%d) differ in %d bits", i, i+1, OnesCount(diff))
+		}
+	})
+}
+
+// FuzzReverseLow: reversing the low n bits twice restores them, the result
+// stays inside the mask, and single-bit inputs land mirrored.
+func FuzzReverseLow(f *testing.F) {
+	f.Add(int64(0b1101), uint8(4))
+	f.Add(int64(1), uint8(20))
+	f.Fuzz(func(t *testing.T, xRaw int64, nRaw uint8) {
+		x := bound(xRaw)
+		n := int(nRaw % 60)
+		r := ReverseLow(x, n)
+		if r&^LowBitsMask(n) != 0 {
+			t.Fatalf("ReverseLow(%d,%d) = %d has bits above the mask", x, n, r)
+		}
+		if got, want := ReverseLow(r, n), x&LowBitsMask(n); got != want {
+			t.Fatalf("double reverse of %d (n=%d) = %d, want %d", x, n, got, want)
+		}
+		if OnesCount(r) != OnesCount(x&LowBitsMask(n)) {
+			t.Fatalf("ReverseLow changed the popcount")
+		}
+		for i := 0; i < n; i++ {
+			if Bit(x, i) != Bit(r, n-1-i) {
+				t.Fatalf("bit %d of %d not mirrored to %d (n=%d)", i, x, n-1-i, n)
+			}
+		}
+	})
+}
+
+// FuzzLogs: Log2/CeilLog2 bracket their argument and agree exactly on
+// powers of two.
+func FuzzLogs(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(6))
+	f.Add(int64(1 << 50))
+	f.Fuzz(func(t *testing.T, xRaw int64) {
+		x := bound(xRaw)
+		if x <= 0 {
+			if Log2(x) != -1 || CeilLog2(x) != -1 {
+				t.Fatalf("logs of %d should be -1", x)
+			}
+			return
+		}
+		lo, hi := Log2(x), CeilLog2(x)
+		if 1<<uint(lo) > x || (hi < 62 && 1<<uint(hi) < x) {
+			t.Fatalf("logs of %d do not bracket it: floor %d ceil %d", x, lo, hi)
+		}
+		if IsPow2(x) != (lo == hi) {
+			t.Fatalf("IsPow2(%d)=%v but floor %d ceil %d", x, IsPow2(x), lo, hi)
+		}
+	})
+}

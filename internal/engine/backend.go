@@ -51,7 +51,9 @@ type ExecBackend interface {
 	// Name identifies the backend ("emulated", "multicore", "analytic").
 	Name() string
 	// Run executes program concurrently on every node of a d-cube.
-	// blockHeight is the column height used when a backend must serialize
-	// blocks (the emulated machine's wire format).
-	Run(d, blockHeight int, program func(NodeCtx) error) (*Stats, error)
+	// blockHeight and factorHeight are the working-column and factor-column
+	// heights used when a backend must serialize blocks (the emulated
+	// machine's wire format); they coincide for the symmetric eigensolve and
+	// differ for the rectangular SVD blocks.
+	Run(d, blockHeight, factorHeight int, program func(NodeCtx) error) (*Stats, error)
 }

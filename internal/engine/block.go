@@ -112,10 +112,11 @@ func Gather(blocks []*Block, w, u *matrix.Dense) {
 }
 
 // EncodeBlock flattens a block into a []float64 message for transport over
-// the emulated machine: [id, ncols, col₀, m A-values, m U-values, ...].
-// DecodeBlock reverses it. m is the column height.
-func EncodeBlock(b *Block, m int) []float64 {
-	msg := make([]float64, 0, 2+len(b.Cols)*(2*m+1))
+// the emulated machine: [id, ncols, col₀, m A-values, fm U-values, ...].
+// DecodeBlock reverses it. m is the working-column height, fm the factor
+// height (equal for the symmetric eigensolve; fm = cols for the SVD blocks).
+func EncodeBlock(b *Block, m, fm int) []float64 {
+	msg := make([]float64, 0, 2+len(b.Cols)*(m+fm+1))
 	msg = append(msg, float64(b.ID), float64(len(b.Cols)))
 	for k := range b.Cols {
 		msg = append(msg, float64(b.Cols[k]))
@@ -126,8 +127,8 @@ func EncodeBlock(b *Block, m int) []float64 {
 }
 
 // DecodeBlock parses a message produced by EncodeBlock.
-func DecodeBlock(msg []float64, m int) (*Block, error) {
-	b, rest, err := decodeBlockPrefix(msg, m)
+func DecodeBlock(msg []float64, m, fm int) (*Block, error) {
+	b, rest, err := decodeBlockPrefix(msg, m, fm)
 	if err != nil {
 		return nil, err
 	}
@@ -139,13 +140,13 @@ func DecodeBlock(msg []float64, m int) (*Block, error) {
 
 // decodeBlockPrefix parses one block from the front of msg, returning the
 // remainder — the sequential decoder behind DecodeBlock and DecodeBlocks.
-func decodeBlockPrefix(msg []float64, m int) (*Block, []float64, error) {
+func decodeBlockPrefix(msg []float64, m, fm int) (*Block, []float64, error) {
 	if len(msg) < 2 {
 		return nil, nil, fmt.Errorf("engine: block message too short (%d)", len(msg))
 	}
 	b := &Block{ID: int(msg[0])}
 	n := int(msg[1])
-	want := 2 + n*(2*m+1)
+	want := 2 + n*(m+fm+1)
 	if n < 0 || len(msg) < want {
 		return nil, nil, fmt.Errorf("engine: block message length %d, want at least %d", len(msg), want)
 	}
@@ -156,9 +157,9 @@ func decodeBlockPrefix(msg []float64, m int) (*Block, []float64, error) {
 		ac := make([]float64, m)
 		copy(ac, msg[off:off+m])
 		off += m
-		uc := make([]float64, m)
-		copy(uc, msg[off:off+m])
-		off += m
+		uc := make([]float64, fm)
+		copy(uc, msg[off:off+fm])
+		off += fm
 		b.A = append(b.A, ac)
 		b.U = append(b.U, uc)
 	}
@@ -168,16 +169,16 @@ func decodeBlockPrefix(msg []float64, m int) (*Block, []float64, error) {
 // EncodeBlocks concatenates several blocks into one combined message — the
 // "message combining" of the pipelined CC-cube, where packets sharing a link
 // within a stage travel as one message.
-func EncodeBlocks(blocks []*Block, m int) []float64 {
+func EncodeBlocks(blocks []*Block, m, fm int) []float64 {
 	msg := []float64{float64(len(blocks))}
 	for _, b := range blocks {
-		msg = append(msg, EncodeBlock(b, m)...)
+		msg = append(msg, EncodeBlock(b, m, fm)...)
 	}
 	return msg
 }
 
 // DecodeBlocks parses a combined message produced by EncodeBlocks.
-func DecodeBlocks(msg []float64, m int) ([]*Block, error) {
+func DecodeBlocks(msg []float64, m, fm int) ([]*Block, error) {
 	if len(msg) < 1 {
 		return nil, fmt.Errorf("engine: empty combined message")
 	}
@@ -185,7 +186,7 @@ func DecodeBlocks(msg []float64, m int) ([]*Block, error) {
 	rest := msg[1:]
 	out := make([]*Block, 0, n)
 	for k := 0; k < n; k++ {
-		b, r, err := decodeBlockPrefix(rest, m)
+		b, r, err := decodeBlockPrefix(rest, m, fm)
 		if err != nil {
 			return nil, fmt.Errorf("engine: combined message part %d: %w", k, err)
 		}

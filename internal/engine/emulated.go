@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sync/atomic"
 	"time"
 
 	"repro/internal/machine"
@@ -26,7 +27,7 @@ type Emulated struct {
 func (e *Emulated) Name() string { return "emulated" }
 
 // Run implements ExecBackend.
-func (e *Emulated) Run(d, blockHeight int, program func(NodeCtx) error) (*Stats, error) {
+func (e *Emulated) Run(d, blockHeight, factorHeight int, program func(NodeCtx) error) (*Stats, error) {
 	mach, err := machine.New(machine.Config{
 		Dim:             d,
 		Ports:           e.Ports,
@@ -39,34 +40,49 @@ func (e *Emulated) Run(d, blockHeight int, program func(NodeCtx) error) (*Stats,
 	if err != nil {
 		return nil, err
 	}
-	return mach.Run(func(mc *machine.NodeCtx) error {
-		return program(&emulatedCtx{mc: mc, height: blockHeight})
+	// The machine only sees serialized payloads; the engine knows the raw
+	// (header-free) sizes the analytic model charges, so it accumulates them
+	// here across all node contexts.
+	var raw atomic.Int64
+	stats, err := mach.Run(func(mc *machine.NodeCtx) error {
+		return program(&emulatedCtx{mc: mc, height: blockHeight, factorHeight: factorHeight, raw: &raw})
 	})
+	if err != nil {
+		return nil, err
+	}
+	stats.RawElements = int(raw.Load())
+	return stats, nil
 }
 
 // emulatedCtx adapts machine.NodeCtx to the engine's NodeCtx: blocks are
 // encoded to the machine's wire format on send and decoded on receive, so
 // the payload sizes the virtual clock charges are the real serialized sizes.
 type emulatedCtx struct {
-	mc     *machine.NodeCtx
-	height int
+	mc           *machine.NodeCtx
+	height       int
+	factorHeight int
+	raw          *atomic.Int64
 }
 
 func (c *emulatedCtx) ID() int               { return c.mc.ID() }
 func (c *emulatedCtx) Compute(flops float64) { c.mc.Compute(flops) }
 
 func (c *emulatedCtx) ExchangeBlock(link int, b *Block) (*Block, error) {
-	got, err := c.mc.Exchange(link, EncodeBlock(b, c.height))
+	c.raw.Add(int64(b.rawElems()))
+	got, err := c.mc.Exchange(link, EncodeBlock(b, c.height, c.factorHeight))
 	if err != nil {
 		return nil, err
 	}
-	return DecodeBlock(got, c.height)
+	return DecodeBlock(got, c.height, c.factorHeight)
 }
 
 func (c *emulatedCtx) ExchangeSlices(links []int, groups [][]*Block) ([][]*Block, error) {
 	payloads := make([][]float64, len(groups))
 	for i, g := range groups {
-		payloads[i] = EncodeBlocks(g, c.height)
+		for _, b := range g {
+			c.raw.Add(int64(b.rawElems()))
+		}
+		payloads[i] = EncodeBlocks(g, c.height, c.factorHeight)
 	}
 	got, err := c.mc.ExchangeBatch(links, payloads)
 	if err != nil {
@@ -74,7 +90,7 @@ func (c *emulatedCtx) ExchangeSlices(links []int, groups [][]*Block) ([][]*Block
 	}
 	out := make([][]*Block, len(got))
 	for i, msg := range got {
-		blocks, err := DecodeBlocks(msg, c.height)
+		blocks, err := DecodeBlocks(msg, c.height, c.factorHeight)
 		if err != nil {
 			return nil, err
 		}
@@ -84,9 +100,13 @@ func (c *emulatedCtx) ExchangeSlices(links []int, groups [][]*Block) ([][]*Block
 }
 
 func (c *emulatedCtx) AllReduceMax(vals []float64) ([]float64, error) {
+	// The machine's butterfly sends the unmodified vector through every
+	// dimension: d messages of len(vals) raw elements per node.
+	c.raw.Add(int64(c.mc.Dim() * len(vals)))
 	return c.mc.AllReduceMax(vals)
 }
 
 func (c *emulatedCtx) AllReduceSum(vals []float64) ([]float64, error) {
+	c.raw.Add(int64(c.mc.Dim() * len(vals)))
 	return c.mc.AllReduceSum(vals)
 }

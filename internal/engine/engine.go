@@ -24,6 +24,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -55,6 +56,17 @@ type Problem struct {
 	// Rows is the working-column height m, used for flop accounting and for
 	// the emulated machine's wire format.
 	Rows int
+	// FactorRows is the accumulated-factor column height; 0 defaults to
+	// Rows (the symmetric eigensolve). The SVD blocks are rectangular:
+	// working columns of height Rows, factor columns of height m (= Cols).
+	FactorRows int
+	// Interrupt, when non-nil, is polled at every sweep boundary; once it
+	// returns true the run stops after the current sweep with
+	// Outcome.Interrupted set. On the distributed path the flag rides the
+	// convergence allreduce, so every node reaches the same decision and no
+	// exchange ever goes unanswered. FixedSweeps runs skip the allreduce and
+	// are therefore not interruptible (they are bounded by construction).
+	Interrupt func() bool
 	// TraceGram is trace(AᵀA) = ‖A‖²_F of the input (rotation-invariant),
 	// the normalizer of the OffFrob criterion.
 	TraceGram float64
@@ -75,6 +87,7 @@ type Problem struct {
 type Outcome struct {
 	Sweeps      int
 	Converged   bool
+	Interrupted bool
 	Rotations   int
 	FinalMaxRel float64
 	Blocks      []*Block
@@ -90,11 +103,21 @@ func (p *Problem) withDefaults() (*Problem, Options) {
 
 // nodeOutcome is what each node reports back after a distributed run.
 type nodeOutcome struct {
-	blocks    [2]*Block
-	sweeps    int
-	converged bool
-	rotations int
-	finalRel  float64
+	blocks      [2]*Block
+	sweeps      int
+	converged   bool
+	interrupted bool
+	rotations   int
+	finalRel    float64
+}
+
+// factorHeight returns the factor-column height (FactorRows, defaulting to
+// Rows for the square eigensolve).
+func (p *Problem) factorHeight() int {
+	if p.FactorRows > 0 {
+		return p.FactorRows
+	}
+	return p.Rows
 }
 
 // Run executes the problem's sweep loop distributed over the backend's
@@ -123,13 +146,14 @@ func (p *Problem) Run(be ExecBackend) (*Outcome, *Stats, error) {
 		}
 		return p.nodeProgram(ctx, sw, opts, &outcomes[ctx.ID()])
 	}
-	stats, err := be.Run(p.Dim, p.Rows, program)
+	stats, err := be.Run(p.Dim, p.Rows, p.factorHeight(), program)
 	if err != nil {
 		return nil, nil, err
 	}
 	out := &Outcome{
 		Sweeps:      outcomes[0].sweeps,
 		Converged:   outcomes[0].converged,
+		Interrupted: outcomes[0].interrupted,
 		FinalMaxRel: outcomes[0].finalRel,
 	}
 	for _, o := range outcomes {
@@ -139,6 +163,33 @@ func (p *Problem) Run(be ExecBackend) (*Outcome, *Stats, error) {
 				return nil, nil, fmt.Errorf("engine: node finished without blocks")
 			}
 			out.Blocks = append(out.Blocks, b)
+		}
+	}
+	return out, stats, nil
+}
+
+// RunContext is the job-level entry point used by the batch-solve service:
+// Run with the problem's Interrupt wired to the context, so a cancellation
+// stops the solve at the next sweep boundary (every node reaches the same
+// decision through the convergence allreduce). A run cut short by the
+// context returns the partial outcome together with ctx.Err().
+func (p *Problem) RunContext(ctx context.Context, be ExecBackend) (*Outcome, *Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	q := *p
+	if prev := q.Interrupt; prev != nil {
+		q.Interrupt = func() bool { return prev() || ctx.Err() != nil }
+	} else {
+		q.Interrupt = func() bool { return ctx.Err() != nil }
+	}
+	out, stats, err := q.Run(be)
+	if err != nil {
+		return nil, nil, err
+	}
+	if out.Interrupted {
+		if cerr := ctx.Err(); cerr != nil {
+			return out, stats, cerr
 		}
 	}
 	return out, stats, nil
@@ -170,13 +221,16 @@ func (p *Problem) nodeProgram(ctx NodeCtx, sw *ordering.Sweep, opts Options, out
 		}
 		out.sweeps = sweep + 1
 		out.rotations += conv.Rotations
-		done, global, err := sweepDecision(ctx, conv, opts, p.TraceGram, p.FixedSweeps, sweep)
+		done, global, err := p.sweepDecision(ctx, conv, opts, sweep)
 		if err != nil {
 			return err
 		}
 		out.finalRel = global.MaxRel
 		if done.converged {
 			out.converged = true
+		}
+		if done.interrupted {
+			out.interrupted = true
 		}
 		if done.stop {
 			break
@@ -231,18 +285,29 @@ func transitionExchange(ctx NodeCtx, kind ordering.TransKind, physLink int, slot
 
 // sweepOutcome reports a sweep-end decision.
 type sweepOutcome struct {
-	stop      bool
-	converged bool
+	stop        bool
+	converged   bool
+	interrupted bool
 }
 
 // sweepDecision combines every node's convergence tracker (unless
 // FixedSweeps is set) and decides whether to stop. All nodes reach the same
-// decision: the reductions are deterministic.
-func sweepDecision(ctx NodeCtx, conv ConvTracker, opts Options, traceGram float64, fixedSweeps, sweep int) (sweepOutcome, ConvTracker, error) {
-	if fixedSweeps > 0 {
-		return sweepOutcome{stop: sweep+1 >= fixedSweeps}, conv, nil
+// decision: the reductions are deterministic, and the interrupt flag — a
+// per-node poll that could disagree across nodes — is resolved by riding
+// the same allreduce.
+func (p *Problem) sweepDecision(ctx NodeCtx, conv ConvTracker, opts Options, sweep int) (sweepOutcome, ConvTracker, error) {
+	if p.FixedSweeps > 0 {
+		return sweepOutcome{stop: sweep+1 >= p.FixedSweeps}, conv, nil
 	}
-	maxes, err := ctx.AllReduceMax([]float64{conv.MaxRel})
+	vec := []float64{conv.MaxRel}
+	if p.Interrupt != nil {
+		flag := 0.0
+		if p.Interrupt() {
+			flag = 1
+		}
+		vec = append(vec, flag)
+	}
+	maxes, err := ctx.AllReduceMax(vec)
 	if err != nil {
 		return sweepOutcome{}, conv, err
 	}
@@ -251,7 +316,10 @@ func sweepDecision(ctx NodeCtx, conv ConvTracker, opts Options, traceGram float6
 		return sweepOutcome{}, conv, err
 	}
 	global := ConvTracker{MaxRel: maxes[0], OffSq: sums[0], Rotations: int(math.Round(sums[1]))}
-	if opts.Converged(global, traceGram) {
+	if p.Interrupt != nil && maxes[1] > 0 {
+		return sweepOutcome{stop: true, interrupted: true}, global, nil
+	}
+	if opts.Converged(global, p.TraceGram) {
 		return sweepOutcome{stop: true, converged: true}, global, nil
 	}
 	if sweep+1 >= opts.MaxSweeps {
@@ -304,6 +372,12 @@ func (p *Problem) RunCentral() (*Outcome, error) {
 				break
 			}
 			continue
+		}
+		// Same decision order as the distributed sweepDecision: interrupt
+		// first, then convergence, then the sweep bound.
+		if p.Interrupt != nil && p.Interrupt() {
+			out.Interrupted = true
+			break
 		}
 		if opts.Converged(conv, p.TraceGram) {
 			out.Converged = true

@@ -88,13 +88,16 @@ func (p *Problem) pipelinedNodeProgram(ctx NodeCtx, phaseQ []int, opts Options, 
 		}
 		out.sweeps = sweep + 1
 		out.rotations += conv.Rotations
-		done, global, err := sweepDecision(ctx, conv, opts, p.TraceGram, p.FixedSweeps, sweep)
+		done, global, err := p.sweepDecision(ctx, conv, opts, sweep)
 		if err != nil {
 			return err
 		}
 		out.finalRel = global.MaxRel
 		if done.converged {
 			out.converged = true
+		}
+		if done.interrupted {
+			out.interrupted = true
 		}
 		if done.stop {
 			break

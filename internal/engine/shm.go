@@ -25,7 +25,7 @@ type Multicore struct {
 func (b *Multicore) Name() string { return "multicore" }
 
 // Run implements ExecBackend.
-func (b *Multicore) Run(d, blockHeight int, program func(NodeCtx) error) (*Stats, error) {
+func (b *Multicore) Run(d, blockHeight, factorHeight int, program func(NodeCtx) error) (*Stats, error) {
 	return shmRun(d, program, nil, b.ExchangeTimeout)
 }
 
@@ -52,7 +52,7 @@ type Analytic struct {
 func (b *Analytic) Name() string { return "analytic" }
 
 // Run implements ExecBackend.
-func (b *Analytic) Run(d, blockHeight int, program func(NodeCtx) error) (*Stats, error) {
+func (b *Analytic) Run(d, blockHeight, factorHeight int, program func(NodeCtx) error) (*Stats, error) {
 	tm := &timingParams{Ports: b.Ports, Ts: b.Ts, Tw: b.Tw, Tc: b.Tc}
 	return shmRun(d, program, tm, b.ExchangeTimeout)
 }
@@ -140,6 +140,9 @@ func shmRun(d int, program func(NodeCtx) error, tm *timingParams, timeout time.D
 			stats.PerDimMessages[dim] += c
 		}
 	}
+	// Shared-memory payloads are never serialized, so the counted elements
+	// are already the raw modeled sizes.
+	stats.RawElements = stats.Elements
 	return stats, nil
 }
 

@@ -39,26 +39,27 @@ func Gather(blocks []*Block, w, u *matrix.Dense) {
 	engine.Gather(blocks, w, u)
 }
 
-// EncodeBlock flattens a block into a []float64 message for transport over
-// the emulated machine; see engine.EncodeBlock.
+// EncodeBlock flattens a square-solve block (factor height = column height)
+// into a []float64 message for transport over the emulated machine; see
+// engine.EncodeBlock.
 func EncodeBlock(b *Block, m int) []float64 {
-	return engine.EncodeBlock(b, m)
+	return engine.EncodeBlock(b, m, m)
 }
 
 // DecodeBlock parses a message produced by EncodeBlock.
 func DecodeBlock(msg []float64, m int) (*Block, error) {
-	return engine.DecodeBlock(msg, m)
+	return engine.DecodeBlock(msg, m, m)
 }
 
-// EncodeBlocks concatenates several blocks into one combined message; see
-// engine.EncodeBlocks.
+// EncodeBlocks concatenates several square-solve blocks into one combined
+// message; see engine.EncodeBlocks.
 func EncodeBlocks(blocks []*Block, m int) []float64 {
-	return engine.EncodeBlocks(blocks, m)
+	return engine.EncodeBlocks(blocks, m, m)
 }
 
 // DecodeBlocks parses a combined message produced by EncodeBlocks.
 func DecodeBlocks(msg []float64, m int) ([]*Block, error) {
-	return engine.DecodeBlocks(msg, m)
+	return engine.DecodeBlocks(msg, m, m)
 }
 
 // SplitBlock partitions a block's columns into q contiguous slices sharing

@@ -1,6 +1,7 @@
 package jacobi
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/engine"
@@ -34,6 +35,11 @@ type ParallelConfig struct {
 	// emulated machine (see the trace package). Only the emulated backend
 	// emits events.
 	Trace func(machine.Event)
+	// Interrupt, when non-nil, is polled at every sweep boundary; once it
+	// returns true the solve stops after the current sweep with
+	// EigenResult.Interrupted set (see engine.Problem.Interrupt). The
+	// batch-solve service wires this to each job's context.
+	Interrupt func() bool
 	// Backend selects the execution substrate. Nil defaults to the emulated
 	// multi-port hypercube built from Ports/Ts/Tw/Tc/Trace; pass
 	// &engine.Multicore{} for hardware-speed shared-memory execution or
@@ -77,6 +83,7 @@ func (cfg ParallelConfig) problem(a *matrix.Dense, d int, pipelined bool) (*engi
 		FixedSweeps:   cfg.FixedSweeps,
 		Rows:          a.Rows,
 		TraceGram:     traceGram(a),
+		Interrupt:     cfg.Interrupt,
 		Pipelined:     pipelined,
 		PipelineQ:     cfg.PipelineQ,
 		PipelineTs:    cfg.Ts,
@@ -99,6 +106,23 @@ func SolveParallel(a *matrix.Dense, d int, cfg ParallelConfig) (*EigenResult, *m
 		return nil, nil, err
 	}
 	out, stats, err := prob.Run(cfg.backend())
+	if err != nil {
+		return nil, nil, err
+	}
+	return gatherEigen(a, out), stats, nil
+}
+
+// SolveParallelContext is SolveParallel (or, with pipelined set,
+// SolveParallelPipelined) with the solve's Interrupt wired to ctx
+// (engine.Problem.RunContext): a cancellation stops the sweep loop at the
+// next sweep boundary and the context's error is returned. It is the
+// job-level entry point of the batch-solve service.
+func SolveParallelContext(ctx context.Context, a *matrix.Dense, d int, cfg ParallelConfig, pipelined bool) (*EigenResult, *machine.RunStats, error) {
+	prob, err := cfg.problem(a, d, pipelined)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, stats, err := prob.RunContext(ctx, cfg.backend())
 	if err != nil {
 		return nil, nil, err
 	}

@@ -35,6 +35,9 @@ type EigenResult struct {
 	Sweeps int
 	// Converged reports whether Tol was reached within MaxSweeps.
 	Converged bool
+	// Interrupted reports that the solve was stopped early at a sweep
+	// boundary by an Interrupt hook (e.g. a canceled job context).
+	Interrupted bool
 	// FinalMaxRel is the largest relative off-diagonal value of the final
 	// sweep.
 	FinalMaxRel float64
@@ -112,6 +115,7 @@ func eigenFromOutcome(out *engine.Outcome) *EigenResult {
 	return &EigenResult{
 		Sweeps:      out.Sweeps,
 		Converged:   out.Converged,
+		Interrupted: out.Interrupted,
 		FinalMaxRel: out.FinalMaxRel,
 		Rotations:   out.Rotations,
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/engine"
+	"repro/internal/machine"
 	"repro/internal/matrix"
 	"repro/internal/ordering"
 )
@@ -33,44 +34,41 @@ type SVDResult struct {
 	Rotations int
 }
 
-// SolveSVD computes the singular value decomposition of a (rows >= cols
-// required; transpose first otherwise) by one-sided Jacobi with the given
-// parallel ordering replayed sequentially on a virtual d-cube (the engine's
-// central path, with rectangular blocks accumulating V). d = 0 gives the
-// plain cyclic method.
-func SolveSVD(a *matrix.Dense, d int, fam ordering.Family, opts Options) (*SVDResult, error) {
+// svdProblem assembles the engine problem of an SVD solve: the same column
+// partition as the eigensolve with rectangular payload — working columns of
+// height rows, factor (V) columns of height cols.
+func svdProblem(a *matrix.Dense, d int, fam ordering.Family, opts Options, fixedSweeps int, interrupt func() bool) (*engine.Problem, error) {
 	if a.Rows < a.Cols {
 		return nil, fmt.Errorf("jacobi: SVD requires rows >= cols (got %dx%d); pass the transpose", a.Rows, a.Cols)
 	}
 	if a.Cols == 0 {
 		return nil, fmt.Errorf("jacobi: empty matrix")
 	}
-	// Work on columns of W (initially A) while accumulating V (initially I
-	// of size cols): the same partition as the eigensolve, rectangular
-	// payload.
 	blocks, err := engine.BuildFactorBlocks(a, d, a.Cols)
 	if err != nil {
 		return nil, err
 	}
-	prob := &engine.Problem{
-		Blocks:    blocks,
-		Dim:       d,
-		Family:    fam,
-		Opts:      opts,
-		Rows:      a.Rows,
-		TraceGram: traceGram(a),
-	}
-	out, err := prob.RunCentral()
-	if err != nil {
-		return nil, err
-	}
+	return &engine.Problem{
+		Blocks:      blocks,
+		Dim:         d,
+		Family:      fam,
+		Opts:        opts,
+		FixedSweeps: fixedSweeps,
+		Rows:        a.Rows,
+		FactorRows:  a.Cols,
+		TraceGram:   traceGram(a),
+		Interrupt:   interrupt,
+	}, nil
+}
+
+// svdFromOutcome extracts the decomposition from the converged blocks:
+// σᵢ = ||wᵢ||, uᵢ = wᵢ/σᵢ, vᵢ accumulated.
+func svdFromOutcome(a *matrix.Dense, out *engine.Outcome) *SVDResult {
 	res := &SVDResult{
 		Sweeps:    out.Sweeps,
 		Converged: out.Converged,
 		Rotations: out.Rotations,
 	}
-
-	// Extract: σᵢ = ||wᵢ||, uᵢ = wᵢ/σᵢ, vᵢ accumulated.
 	type col struct {
 		sigma float64
 		w, v  []float64
@@ -94,7 +92,46 @@ func SolveSVD(a *matrix.Dense, d int, fam ordering.Family, opts Options) (*SVDRe
 		}
 		res.V.SetCol(i, c.v)
 	}
-	return res, nil
+	return res
+}
+
+// SolveSVD computes the singular value decomposition of a (rows >= cols
+// required; transpose first otherwise) by one-sided Jacobi with the given
+// parallel ordering replayed sequentially on a virtual d-cube (the engine's
+// central path, with rectangular blocks accumulating V). d = 0 gives the
+// plain cyclic method.
+func SolveSVD(a *matrix.Dense, d int, fam ordering.Family, opts Options) (*SVDResult, error) {
+	prob, err := svdProblem(a, d, fam, opts, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	out, err := prob.RunCentral()
+	if err != nil {
+		return nil, err
+	}
+	return svdFromOutcome(a, out), nil
+}
+
+// SolveSVDParallel computes the same decomposition distributed over the 2^d
+// nodes of the configured execution backend. The rotations are identical to
+// SolveSVD's central replay (disjoint columns across nodes within a step),
+// so all backends produce bit-identical singular values and factors —
+// rectangular blocks travel the emulated machine's wire format with their
+// true factor height. The conformance suite asserts the equivalence.
+func SolveSVDParallel(a *matrix.Dense, d int, cfg ParallelConfig) (*SVDResult, *machine.RunStats, error) {
+	fam := cfg.Family
+	if fam == nil {
+		fam = ordering.NewBRFamily()
+	}
+	prob, err := svdProblem(a, d, fam, cfg.Options, cfg.FixedSweeps, cfg.Interrupt)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, stats, err := prob.Run(cfg.backend())
+	if err != nil {
+		return nil, nil, err
+	}
+	return svdFromOutcome(a, out), stats, nil
 }
 
 // SVDReconstructionError returns ||A - U·diag(Σ)·Vᵀ||_F / ||A||_F.

@@ -160,8 +160,16 @@ type RunStats struct {
 	NodeTimes []float64
 	// Messages is the total number of point-to-point messages sent.
 	Messages int
-	// Elements is the total number of payload elements sent.
+	// Elements is the total number of payload elements sent. For the
+	// emulated machine this is the serialized wire size (encoding headers
+	// included).
 	Elements int
+	// RawElements is the total number of modeled raw payload elements sent
+	// (no encoding headers) — the quantity the analytic cost model charges.
+	// The machine itself only sees serialized payloads, so this field is
+	// filled in by the layer that knows the raw sizes (the solver engine);
+	// it stays zero for programs run directly on the machine.
+	RawElements int
 	// ExchangeOps is the total number of exchange operations (batches count
 	// once per node).
 	ExchangeOps int

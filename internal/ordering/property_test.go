@@ -1,0 +1,123 @@
+package ordering
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sequence"
+)
+
+// Property-based checks of the full sweep-schedule construction: for every
+// ordering family — the paper's four plus a random (seeded, reproducible)
+// family of valid link sequences — and every dimension d in 2..6, a sweep
+// must pair every block pair exactly once (the round-robin property), obey
+// the CC-cube port/link constraints, and remain correct at column
+// granularity and across consecutive sweeps (the link rotation).
+
+// propertyFamilies returns the families under test for one dimension: the
+// canonical four plus a CustomFamily built from random e-sequences with a
+// fixed per-dimension seed.
+func propertyFamilies(t *testing.T, d int) []Family {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(900 + d)))
+	phases := make(map[int]sequence.Seq, d)
+	for e := 1; e <= d; e++ {
+		phases[e] = sequence.RandomESequence(e, rng)
+	}
+	randFam, err := CustomFamily(fmt.Sprintf("random-seed%d", 900+d), phases)
+	if err != nil {
+		t.Fatalf("random family d=%d: %v", d, err)
+	}
+	return append(AllFamilies(), randFam)
+}
+
+// TestSweepPropertiesMatrix is the family × dimension table: round-robin
+// coverage (3 consecutive sweeps), the CC-cube property, and per-phase link
+// constraints.
+func TestSweepPropertiesMatrix(t *testing.T) {
+	const sweeps = 3
+	for d := 2; d <= 6; d++ {
+		for _, fam := range propertyFamilies(t, d) {
+			t.Run(fmt.Sprintf("%s/d=%d", fam.Name(), d), func(t *testing.T) {
+				sw, err := CachedSweep(d, fam)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := sw.Steps(), (1<<uint(d+1))-1; got != want {
+					t.Fatalf("sweep has %d steps, want %d", got, want)
+				}
+				// Port/link constraints: every transition crosses exactly one
+				// dimension valid for its phase subcube, phases descend d..1
+				// with 2^e-1 exchanges + one division each, and the sweep ends
+				// with the last transition (CCubeProperty checks all of it).
+				if err := CCubeProperty(sw); err != nil {
+					t.Errorf("CC-cube property: %v", err)
+				}
+				// All-pairs coverage per sweep, with the state advanced
+				// through consecutive sweeps (exercising the sweep-indexed
+				// link rotation).
+				st := NewState(d)
+				for s := 0; s < sweeps; s++ {
+					if err := VerifySweep(st, sw, s); err != nil {
+						t.Errorf("sweep %d: %v", s, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSweepColumnCoverageMatrix re-verifies the round-robin property at
+// column granularity, with deliberately uneven block sizes (m not a
+// multiple of the block count).
+func TestSweepColumnCoverageMatrix(t *testing.T) {
+	for d := 2; d <= 4; d++ {
+		nb := 1 << uint(d+1)
+		m := 3*nb + nb/2 + 1 // uneven partition
+		for _, fam := range propertyFamilies(t, d) {
+			t.Run(fmt.Sprintf("%s/d=%d/m=%d", fam.Name(), d, m), func(t *testing.T) {
+				if err := VerifySweepColumns(m, d, fam, 2); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+	}
+}
+
+// TestSweepLinkRotation pins the sweep-to-sweep link rotation: the physical
+// link of a logical link l in sweep s is (l+s) mod d, so over d sweeps a
+// logical link visits every physical dimension exactly once.
+func TestSweepLinkRotation(t *testing.T) {
+	for d := 2; d <= 6; d++ {
+		for l := 0; l < d; l++ {
+			seen := make([]bool, d)
+			for s := 0; s < d; s++ {
+				phys := SweepLink(l, s, d)
+				if phys < 0 || phys >= d {
+					t.Fatalf("d=%d: SweepLink(%d,%d) = %d out of range", d, l, s, phys)
+				}
+				if seen[phys] {
+					t.Errorf("d=%d l=%d: physical link %d repeated within %d sweeps", d, l, phys, d)
+				}
+				seen[phys] = true
+			}
+		}
+	}
+}
+
+// TestRandomFamiliesAreValidESequences guards the generator the random
+// family builds on: every phase sequence must be a valid e-sequence (the
+// CustomFamily constructor validates, but the property deserves its own
+// witness across many seeds).
+func TestRandomFamiliesAreValidESequences(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for e := 1; e <= 7; e++ {
+			s := sequence.RandomESequence(e, rng)
+			if err := sequence.ValidateESequence(s, e); err != nil {
+				t.Errorf("seed %d e=%d: %v", seed, e, err)
+			}
+		}
+	}
+}

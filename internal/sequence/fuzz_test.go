@@ -1,0 +1,121 @@
+package sequence
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Fuzz targets for the Property-1 transformation machinery: permutations
+// applied to e-sequences must be invertible (round-trip) and must preserve
+// the Hamiltonian-path property; the validity checkers must never panic on
+// arbitrary input. CI runs these as a short -fuzztime smoke on every push.
+
+// FuzzApplyPermutationRoundTrip: for any dimension and any seeded random
+// permutation p of [0,e), ApplyPermutation is defined, preserves the
+// e-sequence property (Property 1 with the whole sequence as the subcube
+// path), and composes with its inverse to the identity.
+func FuzzApplyPermutationRoundTrip(f *testing.F) {
+	f.Add(uint8(3), int64(1))
+	f.Add(uint8(5), int64(7))
+	f.Add(uint8(8), int64(42))
+	f.Fuzz(func(t *testing.T, eRaw uint8, seed int64) {
+		e := 2 + int(eRaw%7) // dimensions 2..8
+		s := BR(e)
+		rng := rand.New(rand.NewSource(seed))
+		p := Permutation(rng.Perm(e))
+		if !p.Valid() {
+			t.Fatalf("rng.Perm produced invalid permutation %v", p)
+		}
+		out, err := ApplyPermutation(s, p)
+		if err != nil {
+			t.Fatalf("ApplyPermutation(BR(%d), %v): %v", e, p, err)
+		}
+		if !IsESequence(out, e) {
+			t.Fatalf("permuted BR(%d) under %v is not an e-sequence", e, p)
+		}
+		back, err := ApplyPermutation(out, p.Inverse())
+		if err != nil {
+			t.Fatalf("inverse application: %v", err)
+		}
+		if len(back) != len(s) {
+			t.Fatalf("round trip changed length: %d vs %d", len(back), len(s))
+		}
+		for i := range s {
+			if back[i] != s[i] {
+				t.Fatalf("round trip diverges at %d: %d vs %d", i, back[i], s[i])
+			}
+		}
+		// Compose(p, p⁻¹) is the identity.
+		id := Compose(p, p.Inverse())
+		for i, v := range id {
+			if v != i {
+				t.Fatalf("Compose(p, p.Inverse())[%d] = %d", i, v)
+			}
+		}
+	})
+}
+
+// FuzzSubcubePermutation: whatever range and permutation the fuzzer picks,
+// ApplySubcubePermutation either rejects the input or returns a valid
+// e-sequence — and never mutates its input (clone semantics).
+func FuzzSubcubePermutation(f *testing.F) {
+	f.Add(uint8(4), int64(3), uint16(0), uint16(7))
+	f.Add(uint8(6), int64(9), uint16(8), uint16(3))
+	f.Fuzz(func(t *testing.T, eRaw uint8, seed int64, fromRaw, lenRaw uint16) {
+		e := 3 + int(eRaw%6) // 3..8
+		s := PermutedBR(e)
+		orig := s.Clone()
+		from := int(fromRaw) % len(s)
+		to := from + 1 + int(lenRaw)%(len(s)-from)
+		rng := rand.New(rand.NewSource(seed))
+		p := Permutation(rng.Perm(e))
+		out, err := ApplySubcubePermutation(s, e, from, to, p)
+		if err == nil {
+			if err := ValidateESequence(out, e); err != nil {
+				t.Fatalf("accepted result is not an e-sequence: %v", err)
+			}
+		}
+		for i := range orig {
+			if s[i] != orig[i] {
+				t.Fatalf("input mutated at %d", i)
+			}
+		}
+	})
+}
+
+// FuzzSequenceValidators: the validity checkers accept arbitrary garbage
+// without panicking, and agree with each other where their domains
+// overlap (an e-sequence over e distinct links is in particular a
+// Hamiltonian subcube path).
+func FuzzSequenceValidators(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 0, 1, 0})
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<12 {
+			data = data[:1<<12]
+		}
+		seq := make(Seq, len(data))
+		for i, b := range data {
+			seq[i] = int(b%14) - 1 // includes the invalid link -1
+		}
+		sub := IsSubcubePath(seq)
+		for e := 0; e <= 10; e++ {
+			valid := IsESequence(seq, e)
+			if valid != (ValidateESequence(seq, e) == nil) {
+				t.Fatalf("IsESequence and ValidateESequence disagree at e=%d", e)
+			}
+			if valid && e >= 1 {
+				// An e-sequence that actually uses all e links is a
+				// Hamiltonian path of the full e-cube.
+				distinct := map[int]bool{}
+				for _, l := range seq {
+					distinct[l] = true
+				}
+				if len(distinct) == e && !sub {
+					t.Fatalf("valid e-sequence (e=%d) rejected by IsSubcubePath", e)
+				}
+			}
+		}
+	})
+}

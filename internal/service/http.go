@@ -1,0 +1,200 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+
+	"repro/internal/matrix"
+)
+
+// The HTTP JSON API surfaced by `jacobitool serve`:
+//
+//	POST   /api/v1/jobs            submit a job (returns its status, 202)
+//	GET    /api/v1/jobs            list job statuses
+//	GET    /api/v1/jobs/{id}       one job's status
+//	DELETE /api/v1/jobs/{id}       cancel a job
+//	GET    /api/v1/jobs/{id}/result  the finished job's result
+//	GET    /api/v1/metrics         service metrics snapshot
+//	GET    /healthz                liveness probe
+//
+// Submissions carry either the full symmetric matrix ("matrix") or a seeded
+// generator ("random"), so load generators need not ship n² values.
+
+// MatrixSpec is an explicit symmetric input: n×n column-major values.
+type MatrixSpec struct {
+	N    int       `json:"n"`
+	Data []float64 `json:"data"`
+}
+
+// RandomSpec asks the server to generate matrix.RandomSymmetric(n, seed) —
+// the paper's test-matrix distribution, deterministic per seed.
+type RandomSpec struct {
+	N    int   `json:"n"`
+	Seed int64 `json:"seed"`
+}
+
+// maxRequestMatrixN bounds the matrix size a single API request may ask
+// the server to materialize (a 4096² matrix is already 128 MiB); without
+// it one request could allocate arbitrarily much memory before any spec
+// validation runs.
+const maxRequestMatrixN = 4096
+
+// maxRequestBody bounds the submit payload (an explicit 4096² matrix in
+// JSON text stays well under this).
+const maxRequestBody = 512 << 20
+
+// JobRequest is the submission payload: exactly one of Matrix or Random,
+// plus the JobSpec options.
+type JobRequest struct {
+	Label       string      `json:"label,omitempty"`
+	Matrix      *MatrixSpec `json:"matrix,omitempty"`
+	Random      *RandomSpec `json:"random,omitempty"`
+	Dim         int         `json:"dim"`
+	Ordering    string      `json:"ordering,omitempty"`
+	Backend     string      `json:"backend,omitempty"`
+	Pipelined   bool        `json:"pipelined,omitempty"`
+	PipelineQ   int         `json:"pipeline_q,omitempty"`
+	Tol         float64     `json:"tol,omitempty"`
+	MaxSweeps   int         `json:"max_sweeps,omitempty"`
+	FixedSweeps int         `json:"fixed_sweeps,omitempty"`
+	CostOnly    bool        `json:"cost_only,omitempty"`
+	Trace       bool        `json:"trace,omitempty"`
+	OnePort     bool        `json:"one_port,omitempty"`
+	Ts          float64     `json:"ts,omitempty"`
+	Tw          float64     `json:"tw,omitempty"`
+	Tc          float64     `json:"tc,omitempty"`
+	Priority    int         `json:"priority,omitempty"`
+}
+
+// Spec materializes the request into a JobSpec (generating the random
+// matrix when requested).
+func (r JobRequest) Spec() (JobSpec, error) {
+	var a *matrix.Dense
+	switch {
+	case r.Matrix != nil && r.Random != nil:
+		return JobSpec{}, fmt.Errorf("service: request has both matrix and random")
+	case r.Matrix != nil:
+		n := r.Matrix.N
+		if n <= 0 || n > maxRequestMatrixN {
+			return JobSpec{}, fmt.Errorf("service: matrix size %d out of range [1,%d]", n, maxRequestMatrixN)
+		}
+		if len(r.Matrix.Data) != n*n {
+			return JobSpec{}, fmt.Errorf("service: matrix n=%d wants %d values, got %d", n, n*n, len(r.Matrix.Data))
+		}
+		a = &matrix.Dense{Rows: n, Cols: n, Data: append([]float64(nil), r.Matrix.Data...)}
+		if !a.IsSymmetric(0) {
+			return JobSpec{}, fmt.Errorf("service: matrix is not symmetric")
+		}
+	case r.Random != nil:
+		if r.Random.N <= 0 || r.Random.N > maxRequestMatrixN {
+			return JobSpec{}, fmt.Errorf("service: random matrix size %d out of range [1,%d]", r.Random.N, maxRequestMatrixN)
+		}
+		a = matrix.RandomSymmetric(r.Random.N, rand.New(rand.NewSource(r.Random.Seed)))
+	default:
+		return JobSpec{}, fmt.Errorf("service: request has neither matrix nor random")
+	}
+	return JobSpec{
+		Matrix:      a,
+		Dim:         r.Dim,
+		Ordering:    r.Ordering,
+		Backend:     r.Backend,
+		Pipelined:   r.Pipelined,
+		PipelineQ:   r.PipelineQ,
+		Tol:         r.Tol,
+		MaxSweeps:   r.MaxSweeps,
+		FixedSweeps: r.FixedSweeps,
+		CostOnly:    r.CostOnly,
+		WantTrace:   r.Trace,
+		OnePort:     r.OnePort,
+		Ts:          r.Ts,
+		Tw:          r.Tw,
+		Tc:          r.Tc,
+		Priority:    Priority(r.Priority),
+		Label:       r.Label,
+	}, nil
+}
+
+// NewHandler returns the service's HTTP API.
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req JobRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+			return
+		}
+		spec, err := req.Spec()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		// The job outlives the HTTP request: it is canceled through the
+		// DELETE endpoint, not by the submitting connection going away.
+		j, err := s.Submit(context.Background(), spec)
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, j.Status())
+	})
+	mux.HandleFunc("GET /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := s.Jobs()
+		out := make([]Status, len(jobs))
+		for i, j := range jobs {
+			out[i] = j.Status()
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Status())
+	})
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		j.Cancel()
+		writeJSON(w, http.StatusOK, j.Status())
+	})
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		res, err := j.Result()
+		if err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("GET /api/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,259 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func postJob(t *testing.T, srv *httptest.Server, req JobRequest) Status {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit returned %d", resp.StatusCode)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestHTTPSubmitAndResult exercises the full submit → poll → result →
+// metrics flow over the JSON API.
+func TestHTTPSubmitAndResult(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	st := postJob(t, srv, JobRequest{
+		Label:  "api-job",
+		Random: &RandomSpec{N: 16, Seed: 42},
+		Dim:    1,
+	})
+	if st.ID == "" || st.Backend == "" {
+		t.Fatalf("submit status incomplete: %+v", st)
+	}
+
+	// Poll until done.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var cur Status
+		if code := getJSON(t, srv.URL+"/api/v1/jobs/"+st.ID, &cur); code != http.StatusOK {
+			t.Fatalf("status returned %d", code)
+		}
+		if cur.State == StateDone {
+			break
+		}
+		if cur.State == StateFailed || cur.State == StateCanceled {
+			t.Fatalf("job ended %s: %s", cur.State, cur.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var res Result
+	if code := getJSON(t, srv.URL+"/api/v1/jobs/"+st.ID+"/result", &res); code != http.StatusOK {
+		t.Fatalf("result returned %d", code)
+	}
+	if len(res.Values) != 16 || !res.Converged {
+		t.Fatalf("result incomplete: %d values, converged=%v", len(res.Values), res.Converged)
+	}
+
+	var list []Status
+	if code := getJSON(t, srv.URL+"/api/v1/jobs", &list); code != http.StatusOK || len(list) != 1 {
+		t.Fatalf("job list: code %d, %d entries", code, len(list))
+	}
+
+	var m Snapshot
+	if code := getJSON(t, srv.URL+"/api/v1/metrics", &m); code != http.StatusOK {
+		t.Fatalf("metrics returned %d", code)
+	}
+	if m.Completed != 1 || m.Submitted != 1 {
+		t.Errorf("metrics submitted=%d completed=%d, want 1/1", m.Submitted, m.Completed)
+	}
+	if code := getJSON(t, srv.URL+"/healthz", nil); code != http.StatusOK {
+		t.Errorf("healthz returned %d", code)
+	}
+}
+
+// TestHTTPExplicitMatrix submits the matrix inline and requires symmetry.
+func TestHTTPExplicitMatrix(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	a := randSym(8, 3)
+	st := postJob(t, srv, JobRequest{Matrix: &MatrixSpec{N: 8, Data: a.Data}, Dim: 1})
+	var res Result
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if code := getJSON(t, srv.URL+"/api/v1/jobs/"+st.ID+"/result", &res); code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(res.Values) != 8 {
+		t.Fatalf("got %d values", len(res.Values))
+	}
+
+	// Asymmetric input is rejected up front.
+	bad := append([]float64(nil), a.Data...)
+	bad[1] += 1
+	body, _ := json.Marshal(JobRequest{Matrix: &MatrixSpec{N: 8, Data: bad}, Dim: 1})
+	resp, err := http.Post(srv.URL+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("asymmetric matrix accepted with %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPErrors covers the failure paths: bad payloads and unknown jobs.
+func TestHTTPErrors(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/api/v1/jobs", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON accepted with %d", resp.StatusCode)
+	}
+
+	for _, req := range []JobRequest{
+		{Dim: 1}, // neither matrix nor random
+		{Random: &RandomSpec{N: 16, Seed: 1}, Matrix: &MatrixSpec{N: 2, Data: []float64{1, 0, 0, 1}}, Dim: 1},
+		{Random: &RandomSpec{N: 0}, Dim: 1},
+		{Random: &RandomSpec{N: maxRequestMatrixN + 1}, Dim: 1}, // oversized allocation request
+		{Matrix: &MatrixSpec{N: maxRequestMatrixN + 1}, Dim: 1},
+	} {
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(srv.URL+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad request %+v accepted with %d", req, resp.StatusCode)
+		}
+	}
+
+	if code := getJSON(t, srv.URL+"/api/v1/jobs/job-999", nil); code != http.StatusNotFound {
+		t.Errorf("unknown job status returned %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/api/v1/jobs/job-999/result", nil); code != http.StatusNotFound {
+		t.Errorf("unknown job result returned %d", code)
+	}
+
+	// Result of a queued/running job conflicts rather than blocking.
+	st := postJob(t, srv, JobRequest{Random: &RandomSpec{N: 64, Seed: 9}, Dim: 2})
+	code := getJSON(t, srv.URL+"/api/v1/jobs/"+st.ID+"/result", nil)
+	if code != http.StatusConflict && code != http.StatusOK {
+		t.Errorf("pending result returned %d", code)
+	}
+}
+
+// TestHTTPCancel cancels through the DELETE endpoint.
+func TestHTTPCancel(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	cancelJob := func(id string) Status {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/api/v1/jobs/%s", srv.URL, id), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("cancel returned %d", resp.StatusCode)
+		}
+		var st Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	// Fill the single worker with a very heavy emulated solve (seconds of
+	// runtime), and poll until it is actually running. The margin matters:
+	// under CPU contention a single HTTP round-trip can stall for hundreds
+	// of milliseconds, so the blocker must outlast several of them.
+	blocker := postJob(t, srv, JobRequest{Random: &RandomSpec{N: 384, Seed: 1}, Dim: 2, Backend: BackendEmulated})
+	bj, ok := s.Job(blocker.ID)
+	if !ok {
+		t.Fatal("blocker vanished")
+	}
+	waitForState(t, bj, StateRunning)
+
+	victim := postJob(t, srv, JobRequest{Random: &RandomSpec{N: 16, Seed: 2}, Dim: 1})
+	cancelJob(victim.ID)
+	vj, ok := s.Job(victim.ID)
+	if !ok {
+		t.Fatal("canceled job vanished")
+	}
+
+	// Cancel the running blocker too: it stops at its next sweep boundary
+	// instead of running to convergence, which also lets the worker reach
+	// the (withdrawn) victim promptly.
+	cancelJob(blocker.ID)
+	if _, err := bj.Wait(t.Context()); err == nil {
+		t.Error("canceled blocker produced a result")
+	}
+	if st := bj.State(); st != StateCanceled {
+		t.Errorf("blocker state %s, want %s", st, StateCanceled)
+	}
+	if _, err := vj.Wait(t.Context()); err == nil {
+		t.Error("canceled job produced a result")
+	}
+	if st := vj.State(); st != StateCanceled {
+		t.Errorf("victim state %s, want %s", st, StateCanceled)
+	}
+}

@@ -1,0 +1,138 @@
+package service
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/ordering"
+)
+
+// latencyWindow bounds the per-job wall-time sample buffer the percentile
+// estimates are computed over (a ring of the most recent completions).
+const latencyWindow = 4096
+
+// metrics is the service's internal counter set, guarded by Service.mu.
+type metrics struct {
+	start         time.Time
+	submitted     int64
+	completed     int64
+	failed        int64
+	canceled      int64
+	cacheHits     int64
+	totalMakespan float64
+	wallMs        []float64 // ring buffer of completed-job wall times
+	wallNext      int
+}
+
+// observe records one completed job's wall time and modeled makespan.
+func (m *metrics) observe(wallMs, makespan float64) {
+	m.completed++
+	m.totalMakespan += makespan
+	if len(m.wallMs) < latencyWindow {
+		m.wallMs = append(m.wallMs, wallMs)
+		return
+	}
+	m.wallMs[m.wallNext] = wallMs
+	m.wallNext = (m.wallNext + 1) % latencyWindow
+}
+
+// percentile returns the p-quantile (0..1) of the sorted sample set.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted)-1) + 0.5)
+	return sorted[idx]
+}
+
+// Snapshot is a JSON-ready view of the service's cumulative metrics.
+type Snapshot struct {
+	Workers   int     `json:"workers"`
+	UptimeSec float64 `json:"uptime_sec"`
+
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+
+	QueueDepth int `json:"queue_depth"`
+	InFlight   int `json:"in_flight"`
+
+	CacheHits int64 `json:"cache_hits"`
+	CacheSize int   `json:"cache_size"`
+
+	// WallP50Ms / WallP99Ms are percentiles of completed-job wall times
+	// over the most recent latencyWindow completions (cache hits count as
+	// near-zero-latency completions).
+	WallP50Ms float64 `json:"wall_p50_ms"`
+	WallP99Ms float64 `json:"wall_p99_ms"`
+
+	// TotalModeledMakespan accumulates every completed job's virtual-time
+	// makespan: the modeled cost of all work served, in machine time units.
+	TotalModeledMakespan float64 `json:"total_modeled_makespan"`
+
+	// JobsPerSec is completed jobs over uptime — the batch-throughput
+	// headline.
+	JobsPerSec float64 `json:"jobs_per_sec"`
+
+	// ScheduleCache reports the process-wide sweep-schedule cache the
+	// service's solves share (builds, hits, bypasses).
+	ScheduleCache ordering.SweepCacheCounters `json:"schedule_cache"`
+}
+
+// recordDone folds a finished job into the metrics. A cache hit counts as
+// a completion with its (near-zero) service latency, but its modeled
+// makespan is not re-added: the aggregate tracks work actually executed.
+func (s *Service) recordDone(j *Job, res *Result, cacheHit bool) {
+	st := j.Status()
+	makespan := res.Makespan
+	if cacheHit {
+		makespan = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics.observe(st.RunMs, makespan)
+}
+
+// countFinish tallies a failed or canceled job.
+func (s *Service) countFinish(state State) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch state {
+	case StateFailed:
+		s.metrics.failed++
+	case StateCanceled:
+		s.metrics.canceled++
+	}
+}
+
+// Metrics returns a snapshot of the service's counters. The latency
+// samples are copied under the scheduler lock but sorted outside it, so a
+// metrics scrape never stalls job scheduling for the sort.
+func (s *Service) Metrics() Snapshot {
+	s.mu.Lock()
+	samples := append([]float64(nil), s.metrics.wallMs...)
+	up := time.Since(s.metrics.start).Seconds()
+	snap := Snapshot{
+		Workers:              s.cfg.Workers,
+		UptimeSec:            up,
+		Submitted:            s.metrics.submitted,
+		Completed:            s.metrics.completed,
+		Failed:               s.metrics.failed,
+		Canceled:             s.metrics.canceled,
+		QueueDepth:           len(s.queue),
+		InFlight:             s.inflight,
+		CacheHits:            s.metrics.cacheHits,
+		CacheSize:            len(s.cache),
+		TotalModeledMakespan: s.metrics.totalMakespan,
+	}
+	s.mu.Unlock()
+	sort.Float64s(samples)
+	snap.WallP50Ms = percentile(samples, 0.50)
+	snap.WallP99Ms = percentile(samples, 0.99)
+	snap.ScheduleCache = ordering.SweepCacheStats()
+	if up > 0 {
+		snap.JobsPerSec = float64(snap.Completed) / up
+	}
+	return snap
+}

@@ -1,0 +1,490 @@
+// Package service is the concurrent batch-solve layer of the repository:
+// it accepts many eigensolve Problems at once, runs them through a bounded
+// worker pool over the engine's execution backends, and picks a backend per
+// job when the caller does not care (analytic for cost-only queries,
+// multicore for large matrices, emulated when a virtual-clock trace is
+// requested). A multi-port hypercube is a throughput device — the paper's
+// orderings pay off when many solves are in flight — and this package is
+// the layer that keeps them in flight.
+//
+// Structure:
+//
+//   - a priority queue with FIFO order inside each priority class and
+//     context-aware cancellation (queued jobs are withdrawn; running jobs
+//     are interrupted at the next sweep boundary via engine.Problem's
+//     Interrupt hook);
+//   - a result cache keyed by a problem fingerprint (matrix hash + d +
+//     family + options + resolved backend), layered on top of the
+//     process-wide ordering.CachedSweep schedule cache: the schedule cache
+//     removes redundant schedule builds across different problems, the
+//     fingerprint cache removes redundant solves of identical problems;
+//   - per-service metrics (job counts, cache hits, p50/p99 wall time,
+//     aggregate modeled makespan).
+//
+// jacobitool serve exposes the service over an HTTP JSON API; jacobitool
+// batch drives it from a manifest. See DESIGN.md, "Service layer".
+package service
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/jacobi"
+	"repro/internal/machine"
+	"repro/internal/ordering"
+	"repro/internal/trace"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the solve-pool size. Default: GOMAXPROCS, capped at 8 —
+	// every distributed solve already runs 2^d node goroutines.
+	Workers int
+	// QueueCap bounds the number of queued (not yet running) jobs; Submit
+	// fails once it is reached. Default 1024.
+	QueueCap int
+	// MulticoreThreshold is the matrix size n at and above which backend
+	// auto-selection switches from the emulated machine to the multicore
+	// backend. Default 128.
+	MulticoreThreshold int
+	// CacheCap bounds the result cache (entries); 0 defaults to 256,
+	// negative disables caching.
+	CacheCap int
+	// RetainJobs bounds the finished-job records kept for status/result
+	// queries: once exceeded, the oldest terminal jobs are dropped (live
+	// jobs are never evicted). 0 defaults to 4096, negative retains
+	// everything.
+	RetainJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Workers > 8 {
+			c.Workers = 8
+		}
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 1024
+	}
+	if c.MulticoreThreshold <= 0 {
+		c.MulticoreThreshold = 128
+	}
+	if c.CacheCap == 0 {
+		c.CacheCap = 256
+	}
+	if c.RetainJobs == 0 {
+		c.RetainJobs = 4096
+	}
+	return c
+}
+
+// jobHeap orders queued jobs by priority (high first), then submission
+// sequence (FIFO).
+type jobHeap []*Job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *jobHeap) Push(x any) {
+	j := x.(*Job)
+	j.index = len(*h)
+	*h = append(*h, j)
+}
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.index = -1
+	*h = old[:n-1]
+	return j
+}
+
+// Service is the concurrent batch-solve subsystem. Create with New, stop
+// with Close.
+type Service struct {
+	cfg Config
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     jobHeap
+	jobs      map[string]*Job
+	order     []string // job IDs in submission order, for listings
+	cache     map[uint64]*Result
+	cacheKeys []uint64 // FIFO eviction order
+	seq       uint64
+	inflight  int
+	closed    bool
+
+	metrics metrics
+	wg      sync.WaitGroup
+}
+
+// New starts a service with cfg.Workers solve workers.
+func New(cfg Config) *Service {
+	s := &Service{
+		cfg:   cfg.withDefaults(),
+		jobs:  make(map[string]*Job),
+		cache: make(map[uint64]*Result),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.metrics.start = time.Now()
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Workers returns the solve-pool size.
+func (s *Service) Workers() int { return s.cfg.Workers }
+
+// Submit validates and enqueues one job. The returned Job is immediately
+// trackable; cancel it through the job or by canceling ctx. Submit fails
+// when the spec is invalid, the queue is full, or the service is closed.
+func (s *Service) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	backend := spec.selectBackend(s.cfg.MulticoreThreshold)
+	var fp uint64
+	if s.cfg.CacheCap >= 0 {
+		// The fingerprint hashes the whole matrix; skip the O(n²) pass
+		// when the result cache is disabled and nothing would consume it.
+		fp = spec.fingerprint(backend)
+	}
+	jctx, cancel := context.WithCancel(ctx)
+	j := &Job{
+		spec:      spec,
+		n:         spec.Matrix.Rows,
+		backend:   backend,
+		fp:        fp,
+		priority:  spec.Priority,
+		ctx:       jctx,
+		cancel:    cancel,
+		svc:       s,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+		index:     -1,
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		return nil, fmt.Errorf("service: closed")
+	}
+	if len(s.queue) >= s.cfg.QueueCap {
+		s.mu.Unlock()
+		cancel()
+		return nil, fmt.Errorf("service: queue full (%d jobs)", s.cfg.QueueCap)
+	}
+	s.seq++
+	j.seq = s.seq
+	j.id = fmt.Sprintf("job-%d", s.seq)
+	heap.Push(&s.queue, j)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.metrics.submitted++
+	s.evictOldJobsLocked()
+	s.mu.Unlock()
+
+	s.cond.Signal()
+	return j, nil
+}
+
+// SubmitAll enqueues a batch of specs, failing fast on the first rejected
+// spec (already-accepted jobs keep running).
+func (s *Service) SubmitAll(ctx context.Context, specs []JobSpec) ([]*Job, error) {
+	jobs := make([]*Job, 0, len(specs))
+	for i, spec := range specs {
+		j, err := s.Submit(ctx, spec)
+		if err != nil {
+			return jobs, fmt.Errorf("spec %d: %w", i, err)
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs, nil
+}
+
+// WaitAll blocks until every job finishes or ctx expires.
+func WaitAll(ctx context.Context, jobs []*Job) error {
+	for _, j := range jobs {
+		if _, err := j.Wait(ctx); err != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// dropQueued removes a still-queued job from the priority queue (called by
+// Job.Cancel), finalizing it as canceled without waiting for a worker to
+// reach it — so canceled jobs stop occupying QueueCap slots.
+func (s *Service) dropQueued(j *Job) {
+	s.mu.Lock()
+	removed := j.index >= 0 && j.index < len(s.queue) && s.queue[j.index] == j
+	if removed {
+		heap.Remove(&s.queue, j.index)
+	}
+	s.mu.Unlock()
+	if removed {
+		j.finish(StateCanceled, nil, context.Cause(j.ctx), false)
+		s.countFinish(StateCanceled)
+	}
+}
+
+// evictOldJobsLocked drops the oldest terminal job records past the
+// RetainJobs bound, so a long-running server's memory stays flat (each job
+// retains its full input matrix). Queued and running jobs are never
+// evicted. Caller holds s.mu.
+func (s *Service) evictOldJobsLocked() {
+	if s.cfg.RetainJobs < 0 || len(s.order) <= s.cfg.RetainJobs {
+		return
+	}
+	excess := len(s.order) - s.cfg.RetainJobs
+	kept := s.order[:0]
+	for i, id := range s.order {
+		if excess == 0 {
+			// Terminal jobs cluster at the front (live ones are recent),
+			// so the scan typically stops after O(evicted) entries.
+			kept = append(kept, s.order[i:]...)
+			break
+		}
+		switch s.jobs[id].State() {
+		case StateDone, StateFailed, StateCanceled:
+			delete(s.jobs, id)
+			excess--
+		default:
+			kept = append(kept, id)
+		}
+	}
+	s.order = kept
+}
+
+// Job looks a job up by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every tracked job in submission order.
+func (s *Service) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Close stops the workers. Queued jobs are canceled; running jobs are
+// canceled too — interrupting their solve at the next sweep boundary —
+// and awaited.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	drained := make([]*Job, len(s.queue))
+	copy(drained, s.queue)
+	for _, j := range drained {
+		j.index = -1 // the queue is gone; Cancel must not heap.Remove
+	}
+	s.queue = nil
+	// Cancel everything still tracked: terminal jobs already released
+	// their contexts (cancel is idempotent), running ones get interrupted.
+	inflight := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		inflight = append(inflight, j)
+	}
+	s.mu.Unlock()
+
+	for _, j := range drained {
+		j.cancel()
+		j.finish(StateCanceled, nil, context.Canceled, false)
+		s.countFinish(StateCanceled)
+	}
+	for _, j := range inflight {
+		j.cancel()
+	}
+	s.cond.Broadcast()
+	s.wg.Wait()
+}
+
+// worker pops the highest-priority job and runs it, until the service
+// closes and the queue drains.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for !s.closed && len(s.queue) == 0 {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 { // closed and drained
+			s.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&s.queue).(*Job)
+		s.inflight++
+		s.mu.Unlock()
+
+		s.execute(j)
+
+		s.mu.Lock()
+		s.inflight--
+		s.mu.Unlock()
+	}
+}
+
+// execute runs one dequeued job: cancellation check, cache lookup, solve,
+// cache fill, bookkeeping.
+func (s *Service) execute(j *Job) {
+	if j.ctx.Err() != nil {
+		j.finish(StateCanceled, nil, context.Cause(j.ctx), false)
+		s.countFinish(StateCanceled)
+		return
+	}
+	if res, ok := s.cacheLookup(j.fp); ok {
+		j.mu.Lock()
+		j.started = time.Now()
+		j.mu.Unlock()
+		j.finish(StateDone, res, nil, true)
+		s.recordDone(j, res, true)
+		return
+	}
+
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	res, err := s.solve(j)
+	switch {
+	case err != nil && j.ctx.Err() != nil:
+		j.finish(StateCanceled, nil, context.Cause(j.ctx), false)
+		s.countFinish(StateCanceled)
+	case err != nil:
+		j.finish(StateFailed, nil, err, false)
+		s.countFinish(StateFailed)
+	default:
+		s.cacheStore(j.fp, res)
+		j.finish(StateDone, res, nil, false)
+		s.recordDone(j, res, false)
+	}
+}
+
+// solve runs the job's problem on its resolved backend.
+func (s *Service) solve(j *Job) (*Result, error) {
+	spec := j.spec
+	fam, err := ordering.FamilyByName(spec.Ordering)
+	if err != nil {
+		return nil, err
+	}
+	cfg := jacobi.ParallelConfig{
+		Family:      fam,
+		Options:     jacobi.Options{Tol: spec.Tol, MaxSweeps: spec.MaxSweeps},
+		Ts:          spec.Ts,
+		Tw:          spec.Tw,
+		Tc:          spec.Tc,
+		FixedSweeps: spec.FixedSweeps,
+		PipelineQ:   spec.PipelineQ,
+	}
+	if spec.OnePort {
+		cfg.Ports = machine.OnePort
+	}
+	var col *trace.Collector
+	switch j.backend {
+	case BackendEmulated:
+		if spec.WantTrace {
+			col = trace.NewCollector()
+			cfg.Trace = col.Record
+		}
+		// cfg.Backend nil selects the emulated machine built from the
+		// config's Ports/Ts/Tw/Tc/Trace.
+	case BackendMulticore:
+		cfg.Backend = &engine.Multicore{}
+	case BackendAnalytic:
+		cfg.Backend = &engine.Analytic{Ports: cfg.Ports, Ts: spec.Ts, Tw: spec.Tw, Tc: spec.Tc}
+	default:
+		return nil, fmt.Errorf("service: job %s resolved to unknown backend %q", j.id, j.backend)
+	}
+
+	start := time.Now()
+	eig, stats, err := jacobi.SolveParallelContext(j.ctx, spec.Matrix, spec.Dim, cfg, spec.Pipelined)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Backend:     j.backend,
+		Values:      eig.Values,
+		Sweeps:      eig.Sweeps,
+		Converged:   eig.Converged,
+		Interrupted: eig.Interrupted,
+		Rotations:   eig.Rotations,
+		FinalMaxRel: eig.FinalMaxRel,
+		Makespan:    stats.Makespan,
+		Messages:    stats.Messages,
+		Elements:    stats.Elements,
+		RawElements: stats.RawElements,
+		WallMs:      float64(time.Since(start).Microseconds()) / 1000,
+	}
+	if col != nil {
+		res.Trace = col.Summarize(spec.Dim)
+	}
+	return res, nil
+}
+
+// cacheLookup returns the cached result for a fingerprint, if any.
+func (s *Service) cacheLookup(fp uint64) (*Result, bool) {
+	if s.cfg.CacheCap < 0 {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, ok := s.cache[fp]
+	if ok {
+		s.metrics.cacheHits++
+	}
+	return res, ok
+}
+
+// cacheStore inserts a result, evicting the oldest entries past CacheCap.
+func (s *Service) cacheStore(fp uint64, res *Result) {
+	if s.cfg.CacheCap < 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.cache[fp]; !exists {
+		s.cacheKeys = append(s.cacheKeys, fp)
+	}
+	s.cache[fp] = res
+	for len(s.cacheKeys) > s.cfg.CacheCap {
+		old := s.cacheKeys[0]
+		s.cacheKeys = s.cacheKeys[1:]
+		delete(s.cache, old)
+	}
+}
