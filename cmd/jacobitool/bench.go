@@ -33,6 +33,15 @@ type benchReport struct {
 	MulticoreWallMs float64 `json:"multicore_wall_ms"`
 	Speedup         float64 `json:"speedup"`
 
+	// Per-pair kernel rates: wall time divided by the sweep's column-pair
+	// count n(n-1)/2 per sweep — the regression guard's machine-size-free
+	// compute metric.
+	EmulatedNsPerPair  float64 `json:"emulated_ns_per_pair"`
+	MulticoreNsPerPair float64 `json:"multicore_ns_per_pair"`
+	// SweepAllocsPerOp is the measured allocation count of one fused block
+	// pairing with a warm worker scratch — the sweep inner loop. Must be 0.
+	SweepAllocsPerOp float64 `json:"sweep_allocs_per_op"`
+
 	AnalyticMakespan float64 `json:"analytic_makespan"`
 	BaselineModel    float64 `json:"baseline_model"`
 	AnalyticRelErr   float64 `json:"analytic_rel_err"`
@@ -91,7 +100,12 @@ func cmdBench(args []string) error {
 	fmt.Printf("bench: m=%d, d=%d (%d nodes), %d fixed sweep(s), %s ordering\n",
 		*m, *d, 1<<uint(*d), *sweeps, fam.Name())
 
-	// Emulated backend: real serialized payloads + virtual clock.
+	// pairsPerRun is the rotation-pair count the wall-clock figures cover:
+	// every column pair once per sweep.
+	pairsPerRun := float64(*sweeps) * float64(*m) * float64(*m-1) / 2
+
+	// Emulated backend: real serialized payloads + virtual clock, on the
+	// reference kernels.
 	emuCfg := base
 	_, emuStats, err := jacobi.SolveParallel(a, *d, emuCfg)
 	if err != nil {
@@ -101,10 +115,12 @@ func cmdBench(args []string) error {
 	rep.EmulatedMakespan = emuStats.Makespan
 	rep.Messages = emuStats.Messages
 	rep.Elements = emuStats.Elements
-	fmt.Printf("  emulated:  wall %8.1f ms   makespan %.0f units   %d messages\n",
-		rep.EmulatedWallMs, emuStats.Makespan, emuStats.Messages)
+	rep.EmulatedNsPerPair = rep.EmulatedWallMs * 1e6 / pairsPerRun
+	fmt.Printf("  emulated:  wall %8.1f ms   makespan %.0f units   %d messages   %.0f ns/pair\n",
+		rep.EmulatedWallMs, emuStats.Makespan, emuStats.Messages, rep.EmulatedNsPerPair)
 
-	// Multicore backend: shared memory, no clock — hardware speed.
+	// Multicore backend: shared memory, no clock, fused kernels — hardware
+	// speed.
 	mcCfg := base
 	mcCfg.Backend = &engine.Multicore{}
 	_, mcStats, err := jacobi.SolveParallel(a, *d, mcCfg)
@@ -115,8 +131,10 @@ func cmdBench(args []string) error {
 	if rep.MulticoreWallMs > 0 {
 		rep.Speedup = rep.EmulatedWallMs / rep.MulticoreWallMs
 	}
-	fmt.Printf("  multicore: wall %8.1f ms   (%.2fx vs emulated)\n",
-		rep.MulticoreWallMs, rep.Speedup)
+	rep.MulticoreNsPerPair = rep.MulticoreWallMs * 1e6 / pairsPerRun
+	rep.SweepAllocsPerOp = sweepInnerLoopAllocs(a, *d)
+	fmt.Printf("  multicore: wall %8.1f ms   (%.2fx vs emulated)   %.0f ns/pair   %.0f allocs/op\n",
+		rep.MulticoreWallMs, rep.Speedup, rep.MulticoreNsPerPair, rep.SweepAllocsPerOp)
 
 	// Analytic backend vs the closed-form model.
 	anCfg := base
@@ -199,4 +217,31 @@ func cmdBench(args []string) error {
 	}
 	fmt.Printf("  wrote %s\n", path)
 	return nil
+}
+
+// sweepInnerLoopAllocs measures the allocation count of the sweep inner
+// loop — one fused block pairing on a warm worker scratch, exactly what
+// every multicore node runs per step — as the heap-allocation delta
+// (runtime.MemStats.Mallocs) averaged over a few runs, pinned to this
+// goroutine's OS thread so the counter reflects only the measured loop.
+// The regression guard fails the build on any nonzero value.
+func sweepInnerLoopAllocs(a *matrix.Dense, d int) float64 {
+	blocks, err := engine.BuildBlocks(a, d)
+	if err != nil || len(blocks) < 2 {
+		return -1
+	}
+	sc := &engine.Scratch{}
+	var conv engine.ConvTracker
+	engine.PairCrossFused(blocks[0], blocks[1], sc, &conv) // warm the scratch
+	const runs = 3
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		engine.PairCrossFused(blocks[0], blocks[1], sc, &conv)
+		engine.PairWithinFused(blocks[0], sc, &conv)
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / runs
 }

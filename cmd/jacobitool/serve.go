@@ -14,7 +14,7 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", ":8473", "listen address")
 	workers := fs.Int("workers", 0, "solve-pool size (0 = GOMAXPROCS, capped at 8)")
 	queueCap := fs.Int("queue", 0, "queued-job capacity (0 = 1024)")
-	threshold := fs.Int("threshold", 0, "matrix size at which auto-selection picks the multicore backend (0 = 128)")
+	threshold := fs.Int("threshold", 0, "matrix size at which auto-selection picks the multicore backend (0 = 64)")
 	cacheCap := fs.Int("cache", 0, "result-cache capacity in entries (0 = 256, negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return err

@@ -1,0 +1,108 @@
+// Package bench is the bench-regression harness: it loads the repository's
+// BENCH_*.json trajectory files (written by `jacobitool bench -json`) and
+// exposes the comparison the regression-guard test enforces in CI.
+//
+// Two kinds of comparison, because wall-clock numbers only compare within
+// one host:
+//
+//   - portable guards run on any pair of reports: the sweep inner loop must
+//     stay allocation-free and the multicore-vs-emulated speedup must not
+//     regress by more than the tolerance (both are host-size-free ratios);
+//   - same-host guards additionally bound the multicore wall-clock and
+//     ns/pair regression; CI produces a same-host pair by running the bench
+//     twice and the guard test reads them via the BENCH_GUARD_NEW
+//     environment variable.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Report mirrors the fields of jacobitool's bench JSON that the guard
+// consumes; unknown fields are ignored so the formats can grow
+// independently.
+type Report struct {
+	Date               string  `json:"date"`
+	MatrixSize         int     `json:"matrix_size"`
+	Dim                int     `json:"dim"`
+	EmulatedWallMs     float64 `json:"emulated_wall_ms"`
+	MulticoreWallMs    float64 `json:"multicore_wall_ms"`
+	Speedup            float64 `json:"speedup"`
+	MulticoreNsPerPair float64 `json:"multicore_ns_per_pair"`
+	SweepAllocsPerOp   float64 `json:"sweep_allocs_per_op"`
+
+	// Path records where the report was loaded from (not part of the JSON).
+	Path string `json:"-"`
+}
+
+// Load reads one report.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	r.Path = path
+	return &r, nil
+}
+
+// LoadDir returns every BENCH_*.json in dir, sorted ascending by file name
+// (the names embed the ISO date, so name order is trajectory order).
+func LoadDir(dir string) ([]*Report, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	out := make([]*Report, 0, len(paths))
+	for _, p := range paths {
+		r, err := Load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Tolerances of the guard: relative regression allowed before failing.
+const (
+	// WallTol is the same-host wall-clock and ns/pair tolerance (10%).
+	WallTol = 0.10
+	// SpeedupTol is the portable speedup-ratio tolerance. Looser than
+	// WallTol: the ratio moves with host core count as well as kernel
+	// speed, and cross-host comparisons must not flap.
+	SpeedupTol = 0.25
+)
+
+// Compare checks cur against prev and returns every violated guard.
+// sameHost enables the wall-clock guards.
+func Compare(prev, cur *Report, sameHost bool) []string {
+	var bad []string
+	if cur.SweepAllocsPerOp > prev.SweepAllocsPerOp || cur.SweepAllocsPerOp > 0 {
+		bad = append(bad, fmt.Sprintf("sweep inner loop allocates: %.2f allocs/op (previous %.2f)",
+			cur.SweepAllocsPerOp, prev.SweepAllocsPerOp))
+	}
+	if prev.Speedup > 0 && cur.Speedup < prev.Speedup*(1-SpeedupTol) {
+		bad = append(bad, fmt.Sprintf("multicore speedup regressed: %.2fx -> %.2fx (tolerance %.0f%%)",
+			prev.Speedup, cur.Speedup, SpeedupTol*100))
+	}
+	if sameHost {
+		if prev.MulticoreWallMs > 0 && cur.MulticoreWallMs > prev.MulticoreWallMs*(1+WallTol) {
+			bad = append(bad, fmt.Sprintf("multicore wall-clock regressed: %.1fms -> %.1fms (tolerance %.0f%%)",
+				prev.MulticoreWallMs, cur.MulticoreWallMs, WallTol*100))
+		}
+		if prev.MulticoreNsPerPair > 0 && cur.MulticoreNsPerPair > prev.MulticoreNsPerPair*(1+WallTol) {
+			bad = append(bad, fmt.Sprintf("multicore ns/pair regressed: %.0f -> %.0f (tolerance %.0f%%)",
+				prev.MulticoreNsPerPair, cur.MulticoreNsPerPair, WallTol*100))
+		}
+	}
+	return bad
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBenchRegressionGuard is the CI regression gate. It assembles the
+// trajectory from the repository's committed BENCH_*.json files plus any
+// fresh reports named in BENCH_GUARD_NEW (colon-separated paths, appended
+// in order), then:
+//
+//   - compares the two newest reports with the portable guards (allocs,
+//     speedup ratio);
+//   - when BENCH_GUARD_NEW supplies two or more fresh reports — CI runs the
+//     bench twice on the same host — additionally applies the wall-clock
+//     guards to that same-host pair.
+//
+// With fewer than two reports in total the test skips (a fresh clone with
+// one committed snapshot has nothing to compare).
+func TestBenchRegressionGuard(t *testing.T) {
+	reports, err := LoadDir(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fresh []*Report
+	if env := os.Getenv("BENCH_GUARD_NEW"); env != "" {
+		for _, p := range strings.Split(env, ":") {
+			if p == "" {
+				continue
+			}
+			r, err := Load(p)
+			if err != nil {
+				t.Fatalf("BENCH_GUARD_NEW: %v", err)
+			}
+			fresh = append(fresh, r)
+		}
+		reports = append(reports, fresh...)
+	}
+	if len(reports) < 2 {
+		t.Skipf("only %d bench report(s) available, nothing to compare", len(reports))
+	}
+	prev, cur := reports[len(reports)-2], reports[len(reports)-1]
+	t.Logf("comparing %s -> %s", prev.Path, cur.Path)
+	for _, msg := range Compare(prev, cur, false) {
+		t.Error(msg)
+	}
+	if len(fresh) >= 2 {
+		p, c := fresh[len(fresh)-2], fresh[len(fresh)-1]
+		t.Logf("same-host pair %s -> %s", p.Path, c.Path)
+		for _, msg := range Compare(p, c, true) {
+			t.Error(msg)
+		}
+	}
+}
+
+// repoRoot walks up from the package directory to the module root (where
+// the BENCH_*.json trajectory lives, next to go.mod).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("module root not found")
+		}
+		dir = parent
+	}
+}
+
+// TestCompareGuards pins the guard semantics on synthetic reports.
+func TestCompareGuards(t *testing.T) {
+	base := &Report{
+		MulticoreWallMs:    100,
+		EmulatedWallMs:     400,
+		Speedup:            4.0,
+		MulticoreNsPerPair: 500,
+		SweepAllocsPerOp:   0,
+	}
+	clone := func(mut func(*Report)) *Report {
+		r := *base
+		mut(&r)
+		return &r
+	}
+
+	if bad := Compare(base, clone(func(r *Report) {}), true); len(bad) != 0 {
+		t.Errorf("identical reports flagged: %v", bad)
+	}
+	// Any allocation in the sweep inner loop fails, portable mode included.
+	if bad := Compare(base, clone(func(r *Report) { r.SweepAllocsPerOp = 1 }), false); len(bad) != 1 {
+		t.Errorf("alloc increase not flagged: %v", bad)
+	}
+	// Speedup regression beyond tolerance fails portably.
+	if bad := Compare(base, clone(func(r *Report) { r.Speedup = 2.0 }), false); len(bad) != 1 {
+		t.Errorf("speedup regression not flagged: %v", bad)
+	}
+	// Small speedup wobble passes.
+	if bad := Compare(base, clone(func(r *Report) { r.Speedup = 3.5 }), false); len(bad) != 0 {
+		t.Errorf("speedup wobble flagged: %v", bad)
+	}
+	// Wall-clock regression only fails in same-host mode.
+	slow := clone(func(r *Report) { r.MulticoreWallMs = 150; r.MulticoreNsPerPair = 750 })
+	if bad := Compare(base, slow, false); len(bad) != 0 {
+		t.Errorf("cross-host wall regression flagged: %v", bad)
+	}
+	if bad := Compare(base, slow, true); len(bad) != 2 {
+		t.Errorf("same-host wall regression not fully flagged: %v", bad)
+	}
+	// 10%-boundary wobble passes same-host.
+	if bad := Compare(base, clone(func(r *Report) { r.MulticoreWallMs = 108 }), true); len(bad) != 0 {
+		t.Errorf("within-tolerance wall wobble flagged: %v", bad)
+	}
+}

@@ -68,7 +68,8 @@ func BuildFactorBlocks(a *matrix.Dense, d, factorRows int) ([]*Block, error) {
 }
 
 // PairWithin rotates every column pair inside the block (step 1 of the
-// paper's block algorithm), in ascending (i, j) order.
+// paper's block algorithm), in ascending (i, j) order, on the reference
+// kernel.
 func PairWithin(b *Block, conv *ConvTracker) {
 	for i := 0; i < len(b.Cols); i++ {
 		for j := i + 1; j < len(b.Cols); j++ {
@@ -79,14 +80,47 @@ func PairWithin(b *Block, conv *ConvTracker) {
 
 // PairCross rotates every (column of x, column of y) pair — the pairing of
 // two blocks (step 2 of the paper's block algorithm) — iterating x's columns
-// in the outer loop. The fixed order keeps every solver flavor and backend
-// numerically identical.
+// in the outer loop, on the reference kernel. The fixed order keeps every
+// solver flavor and backend numerically identical.
 func PairCross(x, y *Block, conv *ConvTracker) {
 	for i := range x.Cols {
 		for j := range y.Cols {
 			RotatePair(x.A[i], y.A[j], x.U[i], y.U[j], conv)
 		}
 	}
+}
+
+// PairWithinFused is PairWithin on the fused blocked kernels: same pairs in
+// the same order, each streamed through cache once, with the worker's
+// scratch carrying the column norms (see kernel.Scratch.Within).
+func PairWithinFused(b *Block, sc *Scratch, conv *ConvTracker) {
+	sc.Within(b.A, b.U, conv)
+}
+
+// PairCrossFused is PairCross on the fused blocked kernels (see
+// kernel.Scratch.Cross).
+func PairCrossFused(x, y *Block, sc *Scratch, conv *ConvTracker) {
+	sc.Cross(x.A, x.U, y.A, y.U, conv)
+}
+
+// pairWithin dispatches one intra-block pairing to the fused kernels when
+// the run's backend asked for them (sc non-nil) and to the reference kernel
+// otherwise.
+func pairWithin(b *Block, sc *Scratch, conv *ConvTracker) {
+	if sc != nil {
+		PairWithinFused(b, sc, conv)
+		return
+	}
+	PairWithin(b, conv)
+}
+
+// pairCross dispatches one block pairing like pairWithin.
+func pairCross(x, y *Block, sc *Scratch, conv *ConvTracker) {
+	if sc != nil {
+		PairCrossFused(x, y, sc, conv)
+		return
+	}
+	PairCross(x, y, conv)
 }
 
 // PairCrossSlice rotates x's columns against the sub-range [lo, hi) of y's

@@ -120,11 +120,31 @@ func (p *Problem) factorHeight() int {
 	return p.Rows
 }
 
+// FusedKernelBackend is the optional capability an ExecBackend implements
+// to pick the compute kernels its node programs run: true selects the fused
+// blocked kernels (internal/kernel's Scratch pairings — the hardware-speed
+// path, within the documented ulp bound of the reference), false the
+// unfused reference kernels (bit-for-bit the original numerics). Backends
+// without the interface run the reference path, which keeps the emulated
+// and analytic backends and the sequential replays in one bit-identical
+// equivalence class, as the paper's experiments require.
+type FusedKernelBackend interface {
+	FusedKernels() bool
+}
+
+// fusedFor reports whether a backend asked for the fused kernels.
+func fusedFor(be ExecBackend) bool {
+	fb, ok := be.(FusedKernelBackend)
+	return ok && fb.FusedKernels()
+}
+
 // Run executes the problem's sweep loop distributed over the backend's
 // 2^Dim nodes, two blocks per node, following the ordering's (cached) sweep
-// schedule. Rotations are identical to RunCentral's (disjoint columns across
-// nodes within a step), so with the MaxRelCriterion every backend produces
-// bit-identical results; tests assert this.
+// schedule. Rotations visit identical pairs in identical order on every
+// backend; backends running the same kernel path (see FusedKernelBackend)
+// produce bit-identical results, and the fused path stays within the
+// kernel package's documented ulp bound of the reference; tests assert
+// both.
 func (p *Problem) Run(be ExecBackend) (*Outcome, *Stats, error) {
 	p, opts := p.withDefaults()
 	sw, err := ordering.CachedSweep(p.Dim, p.Family)
@@ -139,12 +159,19 @@ func (p *Problem) Run(be ExecBackend) (*Outcome, *Stats, error) {
 	if p.Pipelined {
 		phaseQ = p.phaseDegrees()
 	}
+	fused := fusedFor(be)
 	outcomes := make([]nodeOutcome, nodes)
 	program := func(ctx NodeCtx) error {
-		if p.Pipelined {
-			return p.pipelinedNodeProgram(ctx, phaseQ, opts, &outcomes[ctx.ID()])
+		// Each node's scratch is that worker's: allocated once per run,
+		// reused across every pairing of every sweep.
+		var sc *Scratch
+		if fused {
+			sc = &Scratch{}
 		}
-		return p.nodeProgram(ctx, sw, opts, &outcomes[ctx.ID()])
+		if p.Pipelined {
+			return p.pipelinedNodeProgram(ctx, phaseQ, opts, sc, &outcomes[ctx.ID()])
+		}
+		return p.nodeProgram(ctx, sw, opts, sc, &outcomes[ctx.ID()])
 	}
 	stats, err := be.Run(p.Dim, p.Rows, p.factorHeight(), program)
 	if err != nil {
@@ -197,17 +224,17 @@ func (p *Problem) RunContext(ctx context.Context, be ExecBackend) (*Outcome, *St
 
 // nodeProgram is the unpipelined per-node sweep loop: intra-block pairings,
 // then the 2^(d+1)-1 steps with their transitions, then the sweep-end
-// convergence decision.
-func (p *Problem) nodeProgram(ctx NodeCtx, sw *ordering.Sweep, opts Options, out *nodeOutcome) error {
+// convergence decision. sc selects the kernel path (nil = reference).
+func (p *Problem) nodeProgram(ctx NodeCtx, sw *ordering.Sweep, opts Options, sc *Scratch, out *nodeOutcome) error {
 	id := ctx.ID()
 	slotA, slotB := p.Blocks[2*id], p.Blocks[2*id+1]
 	for sweep := 0; ; sweep++ {
 		var conv ConvTracker
-		PairWithin(slotA, &conv)
-		PairWithin(slotB, &conv)
+		pairWithin(slotA, sc, &conv)
+		pairWithin(slotB, sc, &conv)
 		ctx.Compute(pairFlops(p.Rows, within(slotA)+within(slotB)))
 		for step := 0; step < sw.Steps(); step++ {
-			PairCross(slotA, slotB, &conv)
+			pairCross(slotA, slotB, sc, &conv)
 			ctx.Compute(pairFlops(p.Rows, slotA.NumCols()*slotB.NumCols()))
 			if step < len(sw.Transitions) {
 				tr := sw.Transitions[step]

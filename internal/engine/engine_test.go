@@ -56,10 +56,27 @@ func denseEqual(a, b *matrix.Dense) bool {
 	return true
 }
 
-// TestBackendsBitIdentical: the engine's three execution backends perform
-// the same rotations in the same per-node order on disjoint columns, so a
-// solve must produce bit-identical factors on all of them, and they must
-// match the central sequential replay.
+// denseClose reports whether two matrices agree entrywise within tol — the
+// integration-level budget for the fused kernel path, whose sums are
+// reassociations of the reference path's (see internal/kernel).
+func denseClose(a, b *matrix.Dense, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for k := range a.Data {
+		if math.Abs(a.Data[k]-b.Data[k]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBackendsBitIdentical: every backend running the reference kernel path
+// (emulated, analytic, multicore opted into ReferenceKernels) performs the
+// same rotations in the same per-node order on disjoint columns, so a solve
+// must produce bit-identical factors on all of them, and they must match
+// the central sequential replay. The production multicore backend runs the
+// fused kernels instead and must stay within the documented ulp budget.
 func TestBackendsBitIdentical(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	a := matrix.RandomSymmetric(32, rng)
@@ -89,7 +106,7 @@ func TestBackendsBitIdentical(t *testing.T) {
 			central.Sweeps, central.Rotations, refOut.Sweeps, refOut.Rotations)
 	}
 
-	for _, be := range []ExecBackend{&Multicore{}, &Analytic{Ts: 1000, Tw: 100}} {
+	for _, be := range []ExecBackend{&Multicore{ReferenceKernels: true}, &Analytic{Ts: 1000, Tw: 100}} {
 		out, _, w, u := solveWith(t, a, d, fam, 0, be, false, 0)
 		if !denseEqual(refW, w) || !denseEqual(refU, u) {
 			t.Errorf("%s backend disagrees bitwise with emulated", be.Name())
@@ -99,22 +116,35 @@ func TestBackendsBitIdentical(t *testing.T) {
 				be.Name(), out.Sweeps, out.Rotations, out.Converged, refOut.Sweeps, refOut.Rotations, refOut.Converged)
 		}
 	}
+
+	fusedOut, _, fw, fu := solveWith(t, a, d, fam, 0, &Multicore{}, false, 0)
+	if !fusedOut.Converged {
+		t.Error("fused multicore solve did not converge")
+	}
+	if !denseClose(refW, fw, 1e-8) || !denseClose(refU, fu, 1e-8) {
+		t.Error("fused multicore factors drift past the integration ulp budget")
+	}
 }
 
 // TestPipelinedBackendsBitIdentical: the pipelined stage order is a per-node
-// property, so multicore and analytic runs of the pipelined sweep must match
-// the emulated one bitwise too.
+// property, so reference-kernel multicore and analytic runs of the
+// pipelined sweep must match the emulated one bitwise too; the fused
+// multicore run stays within the integration budget.
 func TestPipelinedBackendsBitIdentical(t *testing.T) {
 	rng := rand.New(rand.NewSource(43))
 	a := matrix.RandomSymmetric(32, rng)
 	const d = 2
 	fam := ordering.NewBRFamily()
 	_, _, refW, refU := solveWith(t, a, d, fam, 0, &Emulated{Ts: 1000, Tw: 100}, true, 2)
-	for _, be := range []ExecBackend{&Multicore{}, &Analytic{Ts: 1000, Tw: 100}} {
+	for _, be := range []ExecBackend{&Multicore{ReferenceKernels: true}, &Analytic{Ts: 1000, Tw: 100}} {
 		_, _, w, u := solveWith(t, a, d, fam, 0, be, true, 2)
 		if !denseEqual(refW, w) || !denseEqual(refU, u) {
 			t.Errorf("pipelined %s backend disagrees bitwise with emulated", be.Name())
 		}
+	}
+	_, _, fw, fu := solveWith(t, a, d, fam, 0, &Multicore{}, true, 2)
+	if !denseClose(refW, fw, 1e-8) || !denseClose(refU, fu, 1e-8) {
+		t.Error("pipelined fused multicore factors drift past the integration ulp budget")
 	}
 }
 
@@ -226,7 +256,7 @@ func TestFixedSweepsOverridesMaxSweeps(t *testing.T) {
 	if central.Sweeps != fixed {
 		t.Errorf("central ran %d sweeps, want %d", central.Sweeps, fixed)
 	}
-	dist, _, err := build().Run(&Multicore{})
+	dist, _, err := build().Run(&Multicore{ReferenceKernels: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,6 +265,16 @@ func TestFixedSweepsOverridesMaxSweeps(t *testing.T) {
 	}
 	if dist.Rotations != central.Rotations {
 		t.Errorf("rotation counts diverge: distributed %d, central %d", dist.Rotations, central.Rotations)
+	}
+	// The fused path must honor the same fixed sweep budget (rotation counts
+	// are not pinned across kernel paths: a pair within an ulp of the skip
+	// threshold may rotate on one path and not the other).
+	fused, _, err := build().Run(&Multicore{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.Sweeps != fixed {
+		t.Errorf("fused distributed ran %d sweeps, want %d", fused.Sweeps, fixed)
 	}
 }
 

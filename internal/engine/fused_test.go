@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/ordering"
+)
+
+// Full-solve differential coverage for the fused kernel path: the fused
+// multicore backend against the reference-kernel multicore backend on the
+// same problem, across matrix sizes (odd and even, prime, non-multiples of
+// the SIMD width) and cube dimensions up to d=6 — the solve-level
+// counterpart of the kernel package's differential suite.
+
+func TestFusedSolveMatchesReferenceAcrossShapes(t *testing.T) {
+	cases := []struct {
+		n, d   int
+		sweeps int // 0 = run to convergence
+	}{
+		{8, 0, 0},
+		{9, 1, 0},
+		{17, 1, 0},
+		{32, 2, 0},
+		{37, 2, 0},
+		{63, 2, 2},
+		{100, 3, 2},
+		{129, 4, 2},
+		{160, 5, 1},
+		{256, 6, 1},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("n=%d_d=%d", tc.n, tc.d), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(tc.n*31 + tc.d)))
+			a := matrix.RandomSymmetric(tc.n, rng)
+			fam := ordering.NewPermutedBRFamily()
+			_, _, refW, refU := solveWith(t, a, tc.d, fam, tc.sweeps, &Multicore{ReferenceKernels: true}, false, 0)
+			fusedOut, _, fw, fu := solveWith(t, a, tc.d, fam, tc.sweeps, &Multicore{}, false, 0)
+			if tc.sweeps > 0 && fusedOut.Sweeps != tc.sweeps {
+				t.Errorf("fused ran %d sweeps, want %d", fusedOut.Sweeps, tc.sweeps)
+			}
+			// The budget scales with the matrix norm (entries up to ~n in
+			// magnitude are spread across the factors).
+			tol := 1e-8 * (1 + a.FrobeniusNorm())
+			if !denseClose(refW, fw, tol) || !denseClose(refU, fu, tol) {
+				t.Errorf("fused solve drifts past the budget %g", tol)
+			}
+			// The factor columns must stay orthonormal on the fused path
+			// regardless of kernel reassociation.
+			if tc.sweeps == 0 {
+				if oe := matrix.OrthogonalityError(fu); oe > 1e-8 {
+					t.Errorf("fused factor orthogonality error %g", oe)
+				}
+			}
+		})
+	}
+}
+
+// TestFusedSolveDeterministic: the fused path must be reproducible run to
+// run on the same host (lane-level reassociation is fixed per host, not
+// per run).
+func TestFusedSolveDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	a := matrix.RandomSymmetric(48, rng)
+	_, _, w1, u1 := solveWith(t, a, 2, ordering.NewBRFamily(), 0, &Multicore{}, false, 0)
+	_, _, w2, u2 := solveWith(t, a, 2, ordering.NewBRFamily(), 0, &Multicore{}, false, 0)
+	if !denseEqual(w1, w2) || !denseEqual(u1, u2) {
+		t.Error("fused solve is not deterministic across runs")
+	}
+}
+
+// TestFusedEigenResidual: end to end, the fused path's eigenpairs satisfy
+// the solver's primary acceptance metric.
+func TestFusedEigenResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	a := matrix.RandomSymmetric(64, rng)
+	out, _, w, u := solveWith(t, a, 2, ordering.NewPermutedBRFamily(), 0, &Multicore{}, false, 0)
+	if !out.Converged {
+		t.Fatal("fused solve did not converge")
+	}
+	values := make([]float64, a.Rows)
+	for i := range values {
+		values[i] = matrix.Dot(u.Col(i), w.Col(i))
+	}
+	if r := matrix.EigenResidual(a, values, u); r > 1e-9 {
+		t.Errorf("fused eigen residual %g", r)
+	}
+	if math.IsNaN(values[0]) {
+		t.Error("NaN eigenvalue")
+	}
+}

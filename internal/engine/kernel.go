@@ -1,109 +1,38 @@
 package engine
 
 import (
-	"math"
-
-	"repro/internal/matrix"
+	"repro/internal/kernel"
 )
 
-// Rotation is a plane rotation (cosine, sine).
-type Rotation struct {
-	C, S float64
-}
+// The compute primitives live in internal/kernel, which provides both the
+// retained unfused reference path (bit-for-bit the original numerics — what
+// the emulated and analytic backends and the sequential replays run) and
+// the fused blocked path the multicore backend runs (see the kernel package
+// comment for the layering and the documented ulp bound). The engine
+// re-exports the shared types so existing callers and tests keep working.
+
+// Rotation is a plane rotation (cosine, sine); see kernel.Rotation.
+type Rotation = kernel.Rotation
 
 // ComputeRotation returns the one-sided Jacobi rotation that orthogonalizes
-// a column pair with Gram entries alpha = aᵢᵀaᵢ, beta = aⱼᵀaⱼ and
-// gamma = aᵢᵀaⱼ, using the numerically stable smaller-angle formulation:
-//
-//	ζ = (β-α)/(2γ),  t = sgn(ζ)/(|ζ|+sqrt(1+ζ²)),  c = 1/sqrt(1+t²),  s = t·c
+// a column pair with Gram entries alpha, beta, gamma; see
+// kernel.ComputeRotation.
 func ComputeRotation(alpha, beta, gamma float64) Rotation {
-	if gamma == 0 {
-		return Rotation{C: 1, S: 0}
-	}
-	zeta := (beta - alpha) / (2 * gamma)
-	var t float64
-	if zeta >= 0 {
-		t = 1 / (zeta + math.Sqrt(1+zeta*zeta))
-	} else {
-		t = -1 / (-zeta + math.Sqrt(1+zeta*zeta))
-	}
-	c := 1 / math.Sqrt(1+t*t)
-	return Rotation{C: c, S: t * c}
+	return kernel.ComputeRotation(alpha, beta, gamma)
 }
 
-// Apply rotates the column pair (x, y) in place:
-//
-//	x' = c·x - s·y,  y' = s·x + c·y
-func (r Rotation) Apply(x, y []float64) {
-	c, s := r.C, r.S
-	for k := range x {
-		xi, yi := x[k], y[k]
-		x[k] = c*xi - s*yi
-		y[k] = s*xi + c*yi
-	}
-}
+// ConvTracker accumulates per-sweep convergence statistics; see kernel.Conv.
+type ConvTracker = kernel.Conv
 
-// rotationSkipEps is the relative off-diagonal magnitude below which a pair
-// is left unrotated. It is far below any convergence tolerance, so skipping
-// cannot mask non-convergence, and avoids denormal churn near the end.
-const rotationSkipEps = 1e-15
-
-// ConvTracker accumulates per-sweep convergence statistics: the largest
-// relative off-diagonal element |γ|/sqrt(αβ) seen, the sum of squared
-// off-diagonal Gram entries Σγ² (measured as pairs are visited, i.e. the
-// running estimate of off(AᵀA)²), and rotation counts. Every quantity is a
-// sum or max, so per-node trackers of the distributed solver combine with
-// Merge (an allreduce) at sweep end without extra communication rounds.
-type ConvTracker struct {
-	MaxRel    float64
-	OffSq     float64
-	Rotations int
-	Pairs     int
-}
-
-// Observe folds one pair's relative and absolute off-diagonal values into
-// the tracker.
-func (c *ConvTracker) Observe(rel, gamma float64, rotated bool) {
-	c.Pairs++
-	if rotated {
-		c.Rotations++
-	}
-	if rel > c.MaxRel {
-		c.MaxRel = rel
-	}
-	c.OffSq += gamma * gamma
-}
-
-// Merge folds another tracker (e.g. from another node) into this one.
-func (c *ConvTracker) Merge(o ConvTracker) {
-	if o.MaxRel > c.MaxRel {
-		c.MaxRel = o.MaxRel
-	}
-	c.OffSq += o.OffSq
-	c.Rotations += o.Rotations
-	c.Pairs += o.Pairs
-}
+// Scratch is a worker's reusable fused-kernel state; see kernel.Scratch.
+type Scratch = kernel.Scratch
 
 // RotatePair orthogonalizes columns (ai, aj) of the working matrix, applying
 // the same rotation to the corresponding eigenvector columns (ui, uj), and
-// records convergence information. It is the single rotation kernel shared
-// by every solver flavor and every execution backend, guaranteeing their
-// numerical equivalence.
+// records convergence information. It is the reference rotation kernel
+// (kernel.RotatePairRef) shared by the sequential replays and the clocked
+// backends, guaranteeing their numerical equivalence; the multicore backend
+// runs the fused kernels instead (kernel.Scratch).
 func RotatePair(ai, aj, ui, uj []float64, conv *ConvTracker) {
-	alpha := matrix.Dot(ai, ai)
-	beta := matrix.Dot(aj, aj)
-	gamma := matrix.Dot(ai, aj)
-	denom := math.Sqrt(alpha * beta)
-	var rel float64
-	if denom > 0 {
-		rel = math.Abs(gamma) / denom
-	}
-	if rel <= rotationSkipEps {
-		conv.Observe(rel, gamma, false)
-		return
-	}
-	r := ComputeRotation(alpha, beta, gamma)
-	r.Apply(ai, aj)
-	r.Apply(ui, uj)
-	conv.Observe(rel, gamma, true)
+	kernel.RotatePairRef(ai, aj, ui, uj, conv)
 }

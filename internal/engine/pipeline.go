@@ -51,23 +51,23 @@ func (p *Problem) phaseDegrees() []int {
 // transformation, DESIGN.md note 11), so results match to convergence
 // tolerance rather than bitwise; every column pair is still rotated exactly
 // once per sweep.
-func (p *Problem) pipelinedNodeProgram(ctx NodeCtx, phaseQ []int, opts Options, out *nodeOutcome) error {
+func (p *Problem) pipelinedNodeProgram(ctx NodeCtx, phaseQ []int, opts Options, sc *Scratch, out *nodeOutcome) error {
 	id := ctx.ID()
 	d := p.Dim
 	slotA, slotB := p.Blocks[2*id], p.Blocks[2*id+1]
 	for sweep := 0; ; sweep++ {
 		var conv ConvTracker
-		PairWithin(slotA, &conv)
-		PairWithin(slotB, &conv)
+		pairWithin(slotA, sc, &conv)
+		pairWithin(slotB, sc, &conv)
 		ctx.Compute(pairFlops(p.Rows, within(slotA)+within(slotB)))
 		for e := d; e >= 1; e-- {
-			nb, err := p.runPipelinedPhase(ctx, p.Family.Phase(e), phaseQ[e], sweep, slotA, slotB, &conv)
+			nb, err := p.runPipelinedPhase(ctx, p.Family.Phase(e), phaseQ[e], sweep, slotA, slotB, sc, &conv)
 			if err != nil {
 				return fmt.Errorf("sweep %d phase %d: %w", sweep, e, err)
 			}
 			slotB = nb
 			// Division step pairing, then the division transition.
-			PairCross(slotA, slotB, &conv)
+			pairCross(slotA, slotB, sc, &conv)
 			ctx.Compute(pairFlops(p.Rows, slotA.NumCols()*slotB.NumCols()))
 			phys := ordering.SweepLink(e-1, sweep, d)
 			slotA, slotB, err = transitionExchange(ctx, ordering.DivisionTrans, phys, slotA, slotB)
@@ -76,7 +76,7 @@ func (p *Problem) pipelinedNodeProgram(ctx NodeCtx, phaseQ []int, opts Options, 
 			}
 		}
 		// Last step and last transition.
-		PairCross(slotA, slotB, &conv)
+		pairCross(slotA, slotB, sc, &conv)
 		ctx.Compute(pairFlops(p.Rows, slotA.NumCols()*slotB.NumCols()))
 		if d >= 1 {
 			phys := ordering.SweepLink(d-1, sweep, d)
@@ -118,7 +118,7 @@ func (p *Problem) pipelinedNodeProgram(ctx NodeCtx, phaseQ []int, opts Options, 
 // the physical link of iteration k, combined per link. The symmetric
 // receive delivers the neighbor's slice (k,q), which is slice q of this
 // node's next moving block b_{k+1}.
-func (p *Problem) runPipelinedPhase(ctx NodeCtx, seq []int, q, sweep int, slotA, slotB *Block, conv *ConvTracker) (*Block, error) {
+func (p *Problem) runPipelinedPhase(ctx NodeCtx, seq []int, q, sweep int, slotA, slotB *Block, sc *Scratch, conv *ConvTracker) (*Block, error) {
 	sched, err := ccube.Build(seq, q)
 	if err != nil {
 		return nil, err
@@ -136,7 +136,7 @@ func (p *Problem) runPipelinedPhase(ctx NodeCtx, seq []int, q, sweep int, slotA,
 				return nil, fmt.Errorf("stage %d: slice (%d,%d) not available", st.Index, pk.K, pk.Q)
 			}
 			sl := group[pk.Q-1]
-			PairCross(slotA, sl, conv)
+			pairCross(slotA, sl, sc, conv)
 			ctx.Compute(pairFlops(p.Rows, slotA.NumCols()*sl.NumCols()))
 		}
 		// One multi-port communication operation: per distinct link, the

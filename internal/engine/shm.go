@@ -15,14 +15,28 @@ import (
 // channels. No data is serialized or copied and no virtual clock runs, so
 // large eigensolves execute at hardware speed, parallel across cores. Stats
 // report modeled payload sizes (raw elements) but Makespan stays zero.
+//
+// As the hardware-speed path, Multicore runs the fused blocked kernels by
+// default (internal/kernel): results stay within the kernel package's
+// documented ulp bound of the reference path the clocked backends run, and
+// the differential suite enforces the bound.
 type Multicore struct {
 	// ExchangeTimeout bounds rendezvous waits (deadlock detection).
 	// Default 30s.
 	ExchangeTimeout time.Duration
+	// ReferenceKernels opts out of the fused kernels, putting the run in
+	// the clocked backends' bit-identical equivalence class. Used by the
+	// conformance suite to prove the execution substrate and the kernel
+	// choice are independent axes; production solves leave it false.
+	ReferenceKernels bool
 }
 
 // Name implements ExecBackend.
 func (b *Multicore) Name() string { return "multicore" }
+
+// FusedKernels implements FusedKernelBackend: fused unless the run opted
+// into the reference path.
+func (b *Multicore) FusedKernels() bool { return !b.ReferenceKernels }
 
 // Run implements ExecBackend.
 func (b *Multicore) Run(d, blockHeight, factorHeight int, program func(NodeCtx) error) (*Stats, error) {

@@ -33,6 +33,18 @@ func PairCrossSlice(x, y *Block, lo, hi int, conv *ConvTracker) {
 	engine.PairCrossSlice(x, y, lo, hi, conv)
 }
 
+// PairWithinFused is PairWithin on the fused blocked kernels, with the
+// worker's scratch carrying the column norms; see engine.PairWithinFused.
+func PairWithinFused(b *Block, sc *Scratch, conv *ConvTracker) {
+	engine.PairWithinFused(b, sc, conv)
+}
+
+// PairCrossFused is PairCross on the fused blocked kernels; see
+// engine.PairCrossFused.
+func PairCrossFused(x, y *Block, sc *Scratch, conv *ConvTracker) {
+	engine.PairCrossFused(x, y, sc, conv)
+}
+
 // Gather writes the blocks' columns back into full matrices W and U; see
 // engine.Gather.
 func Gather(blocks []*Block, w, u *matrix.Dense) {

@@ -15,20 +15,50 @@ import (
 
 // The cross-backend conformance suite: every solver flavor (cyclic
 // sequential, schedule/block sequential, parallel, pipelined, SVD) crossed
-// with every execution backend (emulated, multicore, analytic) on seeded
-// inputs. The schedule-driven flavors must be bit-identical across
-// backends and to the sequential central replay; the emulated and analytic
-// backends must agree exactly on message counts and raw payload elements
-// (the emulated machine's serialized totals additionally carry encoding
-// headers). CI runs these tests under -race.
+// with every execution backend on seeded inputs. Backends running the
+// reference kernel path (emulated, analytic, and multicore opted into
+// ReferenceKernels) must be bit-identical across backends and to the
+// sequential central replay; the production multicore backend runs the
+// fused kernels (internal/kernel) and must stay within the documented ulp
+// budget of that class. The emulated and analytic backends must agree
+// exactly on message counts and raw payload elements (the emulated
+// machine's serialized totals additionally carry encoding headers). CI
+// runs these tests under -race.
 
-// conformanceBackends builds one instance of each backend with the paper's
-// Figure 2 machine parameters.
-func conformanceBackends() map[string]engine.ExecBackend {
-	return map[string]engine.ExecBackend{
-		"emulated":  &engine.Emulated{Ts: 1000, Tw: 100},
-		"multicore": &engine.Multicore{},
-		"analytic":  &engine.Analytic{Ts: 1000, Tw: 100},
+// confBackend pairs a backend instance with its conformance class: exact
+// backends run the reference kernels and join the bit-identical
+// equivalence class; the rest are held to the fused-path ulp budget.
+type confBackend struct {
+	be    engine.ExecBackend
+	exact bool
+}
+
+// conformanceBackends builds one instance of each backend configuration
+// with the paper's Figure 2 machine parameters.
+func conformanceBackends() map[string]confBackend {
+	return map[string]confBackend{
+		"emulated":      {&engine.Emulated{Ts: 1000, Tw: 100}, true},
+		"multicore-ref": {&engine.Multicore{ReferenceKernels: true}, true},
+		"analytic":      {&engine.Analytic{Ts: 1000, Tw: 100}, true},
+		"multicore":     {&engine.Multicore{}, false},
+	}
+}
+
+// fusedValueTol is the integration-level budget for fused-kernel results
+// against the reference path: the kernel-level reassociation bound
+// (internal/kernel, ~n·eps per Gram entry) compounded over a converged
+// solve's rotations stays orders of magnitude below it.
+const fusedValueTol = 1e-8
+
+func valuesClose(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d values, want %d", label, len(got), len(want))
+	}
+	for k := range want {
+		if rel := math.Abs(got[k]-want[k]) / (1 + math.Abs(want[k])); rel > fusedValueTol {
+			t.Errorf("%s: value %d = %.17g, want %.17g (rel %.2e)", label, k, got[k], want[k], rel)
+		}
 	}
 }
 
@@ -91,18 +121,33 @@ func TestConformanceEigenMatrix(t *testing.T) {
 			for _, fl := range flavors {
 				t.Run(fl.name, func(t *testing.T) {
 					stats := map[string]*machine.RunStats{}
-					for beName, be := range conformanceBackends() {
-						res, st, err := fl.run(be)
+					for beName, cb := range conformanceBackends() {
+						res, st, err := fl.run(cb.be)
 						if err != nil {
 							t.Fatalf("%s: %v", beName, err)
 						}
 						label := fmt.Sprintf("%s/%s", fl.name, beName)
-						valuesBitIdentical(t, label, res.Values, ref.Values)
-						if res.Sweeps != ref.Sweeps || res.Rotations != ref.Rotations {
-							t.Errorf("%s: %d sweeps/%d rotations, reference %d/%d",
-								label, res.Sweeps, res.Rotations, ref.Sweeps, ref.Rotations)
+						if cb.exact {
+							valuesBitIdentical(t, label, res.Values, ref.Values)
+							if res.Sweeps != ref.Sweeps || res.Rotations != ref.Rotations {
+								t.Errorf("%s: %d sweeps/%d rotations, reference %d/%d",
+									label, res.Sweeps, res.Rotations, ref.Sweeps, ref.Rotations)
+							}
+							stats[beName] = st
+						} else {
+							// Fused path: values within the ulp budget; sweep and
+							// rotation counts are not pinned across kernel paths
+							// (skip-threshold sensitivity), so neither are the
+							// communication totals that scale with them.
+							valuesClose(t, label, res.Values, ref.Values)
+							if !res.Converged {
+								t.Errorf("%s: did not converge", label)
+							}
+							if st.Elements != st.RawElements {
+								t.Errorf("%s: shared-memory backend must count raw elements (%d vs %d)",
+									label, st.Elements, st.RawElements)
+							}
 						}
-						stats[beName] = st
 					}
 					assertCommConformance(t, stats)
 				})
@@ -112,13 +157,14 @@ func TestConformanceEigenMatrix(t *testing.T) {
 }
 
 // assertCommConformance checks the communication bookkeeping across the
-// three backends of one flavor run: identical message counts everywhere,
-// identical raw payload elements between emulated and analytic (and
-// multicore, which counts raw by construction), and the emulated machine's
-// serialized total strictly above the raw total (headers).
+// reference-kernel backends of one flavor run: identical message counts
+// everywhere, identical raw payload elements between emulated and analytic
+// (and reference-kernel multicore, which counts raw by construction), and
+// the emulated machine's serialized total strictly above the raw total
+// (headers).
 func assertCommConformance(t *testing.T, stats map[string]*machine.RunStats) {
 	t.Helper()
-	emu, ana, mc := stats["emulated"], stats["analytic"], stats["multicore"]
+	emu, ana, mc := stats["emulated"], stats["analytic"], stats["multicore-ref"]
 	if emu.Messages != ana.Messages || emu.Messages != mc.Messages {
 		t.Errorf("message counts diverge: emulated %d, analytic %d, multicore %d",
 			emu.Messages, ana.Messages, mc.Messages)
@@ -152,21 +198,25 @@ func TestConformanceSVDMatrix(t *testing.T) {
 		t.Fatal(err)
 	}
 	stats := map[string]*machine.RunStats{}
-	for beName, be := range conformanceBackends() {
-		res, st, err := SolveSVDParallel(a, d, ParallelConfig{Family: fam, Ts: 1000, Tw: 100, Backend: be})
+	for beName, cb := range conformanceBackends() {
+		res, st, err := SolveSVDParallel(a, d, ParallelConfig{Family: fam, Ts: 1000, Tw: 100, Backend: cb.be})
 		if err != nil {
 			t.Fatalf("%s: %v", beName, err)
 		}
 		label := "svd/" + beName
-		valuesBitIdentical(t, label, res.Values, ref.Values)
-		if res.Sweeps != ref.Sweeps || res.Rotations != ref.Rotations {
-			t.Errorf("%s: %d sweeps/%d rotations, reference %d/%d",
-				label, res.Sweeps, res.Rotations, ref.Sweeps, ref.Rotations)
+		if cb.exact {
+			valuesBitIdentical(t, label, res.Values, ref.Values)
+			if res.Sweeps != ref.Sweeps || res.Rotations != ref.Rotations {
+				t.Errorf("%s: %d sweeps/%d rotations, reference %d/%d",
+					label, res.Sweeps, res.Rotations, ref.Sweeps, ref.Rotations)
+			}
+			stats[beName] = st
+		} else {
+			valuesClose(t, label, res.Values, ref.Values)
 		}
 		if rec := SVDReconstructionError(a, res); rec > 1e-10 {
 			t.Errorf("%s: reconstruction error %.2e", label, rec)
 		}
-		stats[beName] = st
 	}
 	assertCommConformance(t, stats)
 }
@@ -181,14 +231,17 @@ func TestConformanceFixedSweepCounts(t *testing.T) {
 	a := matrix.RandomSymmetric(n, rng)
 	fam := ordering.NewBRFamily()
 	var wantRot int
-	for beName, be := range conformanceBackends() {
-		res, _, err := SolveParallel(a, d, ParallelConfig{Family: fam, Ts: 1000, Tw: 100, FixedSweeps: sweeps, Backend: be})
+	for beName, cb := range conformanceBackends() {
+		res, _, err := SolveParallel(a, d, ParallelConfig{Family: fam, Ts: 1000, Tw: 100, FixedSweeps: sweeps, Backend: cb.be})
 		if err != nil {
 			t.Fatalf("%s: %v", beName, err)
 		}
 		if res.Sweeps != sweeps {
 			t.Errorf("%s: ran %d sweeps, want %d", beName, res.Sweeps, sweeps)
 		}
+		// A short fixed-sweep run stays far from the skip threshold, so even
+		// the fused path must rotate every visited pair: counts agree across
+		// all kernel paths here.
 		if wantRot == 0 {
 			wantRot = res.Rotations
 		} else if res.Rotations != wantRot {

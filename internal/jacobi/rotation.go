@@ -18,9 +18,15 @@
 // recovered as λᵢ = uᵢᵀwᵢ = uᵢᵀA·uᵢ.
 //
 // The sweep loop, convergence checks and block pairing live in the engine
-// package (internal/engine); the solvers here are thin configuration shims
-// over it, kept as the package's stable API. The kernel and block types are
-// re-exported so existing callers and tests keep working.
+// package (internal/engine); the compute kernels live one layer further
+// down in internal/kernel, which provides both the retained unfused
+// reference path (bit-for-bit the original numerics, run by the emulated
+// and analytic backends and every sequential replay) and the fused blocked
+// path the multicore backend runs at hardware speed, within a documented
+// ulp bound (see the kernel package comment and DESIGN.md, "Kernel
+// layer"). The solvers here are thin configuration shims, kept as the
+// package's stable API. The kernel and block types are re-exported so
+// existing callers and tests keep working.
 package jacobi
 
 import (
@@ -42,9 +48,13 @@ func ComputeRotation(alpha, beta, gamma float64) Rotation {
 }
 
 // RotatePair orthogonalizes columns (ai, aj) of the working matrix, applying
-// the same rotation to the corresponding eigenvector columns (ui, uj). It is
-// the single rotation kernel shared by every solver flavor; see
-// engine.RotatePair.
+// the same rotation to the corresponding eigenvector columns (ui, uj) — the
+// reference rotation kernel shared by the sequential replays and clocked
+// backends; see engine.RotatePair.
 func RotatePair(ai, aj, ui, uj []float64, conv *ConvTracker) {
 	engine.RotatePair(ai, aj, ui, uj, conv)
 }
+
+// Scratch is a worker's reusable fused-kernel state; see engine.Scratch
+// (= kernel.Scratch).
+type Scratch = engine.Scratch

@@ -113,11 +113,16 @@ func SolveSVD(a *matrix.Dense, d int, fam ordering.Family, opts Options) (*SVDRe
 }
 
 // SolveSVDParallel computes the same decomposition distributed over the 2^d
-// nodes of the configured execution backend. The rotations are identical to
-// SolveSVD's central replay (disjoint columns across nodes within a step),
-// so all backends produce bit-identical singular values and factors —
-// rectangular blocks travel the emulated machine's wire format with their
-// true factor height. The conformance suite asserts the equivalence.
+// nodes of the configured execution backend. The rotations visit identical
+// pairs in identical order on every backend (disjoint columns across nodes
+// within a step): the clocked backends run the reference kernels and
+// produce bit-identical singular values and factors to SolveSVD's central
+// replay, while the multicore backend runs the fused SVD kernels — the
+// rotation of the working columns fused with the Gram lookahead, and the
+// rectangular V factor rotated in the same kernel call — staying within
+// the kernel package's documented ulp bound. Rectangular blocks travel the
+// emulated machine's wire format with their true factor height. The
+// conformance suite asserts both equivalence classes.
 func SolveSVDParallel(a *matrix.Dense, d int, cfg ParallelConfig) (*SVDResult, *machine.RunStats, error) {
 	fam := cfg.Family
 	if fam == nil {

@@ -1,0 +1,167 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchCols builds w columns of height m plus matching factor columns.
+func benchCols(w, m, fm int, seed int64) (a, u [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	a = make([][]float64, w)
+	u = make([][]float64, w)
+	for i := range a {
+		a[i] = make([]float64, m)
+		for k := range a[i] {
+			a[i][k] = 2*rng.Float64() - 1
+		}
+		u[i] = make([]float64, fm)
+		u[i][i%fm] = 1
+	}
+	return a, u
+}
+
+// restore copies src column contents into dst (shapes must match). The
+// pairing benchmarks reset their columns every iteration: a pairing
+// orthogonalizes its input, and benchmarking the second pass would measure
+// the skip path instead of the rotation path.
+func restore(dst, src [][]float64) {
+	for i := range src {
+		copy(dst[i], src[i])
+	}
+}
+
+// refCross is the reference block pairing (engine.PairCross's loop shape).
+func refCross(xa, xu, ya, yu [][]float64, conv *Conv) {
+	for i := range xa {
+		for j := range ya {
+			RotatePairRef(xa[i], ya[j], xu[i], yu[j], conv)
+		}
+	}
+}
+
+// The headline kernel benchmark pair: one block pairing at the bench
+// command's n=512 d=3 shape (32-column blocks, 512-high columns), every
+// pair rotating.
+func BenchmarkCrossRef512(b *testing.B) {
+	xa0, xu0 := benchCols(32, 512, 512, 1)
+	ya0, yu0 := benchCols(32, 512, 512, 2)
+	xa, xu := benchCols(32, 512, 512, 1)
+	ya, yu := benchCols(32, 512, 512, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		restore(xa, xa0)
+		restore(ya, ya0)
+		restore(xu, xu0)
+		restore(yu, yu0)
+		b.StartTimer()
+		var conv Conv
+		refCross(xa, xu, ya, yu, &conv)
+	}
+}
+
+func BenchmarkCrossFused512(b *testing.B) {
+	xa0, xu0 := benchCols(32, 512, 512, 1)
+	ya0, yu0 := benchCols(32, 512, 512, 2)
+	xa, xu := benchCols(32, 512, 512, 1)
+	ya, yu := benchCols(32, 512, 512, 2)
+	var sc Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		restore(xa, xa0)
+		restore(ya, ya0)
+		restore(xu, xu0)
+		restore(yu, yu0)
+		b.StartTimer()
+		var conv Conv
+		sc.Cross(xa, xu, ya, yu, &conv)
+	}
+}
+
+// The skip-path pair: the same pairing on already-orthogonalized columns,
+// measuring the near-convergence sweeps where most pairs only compute
+// their Gram entries.
+func BenchmarkCrossFusedSkipPath512(b *testing.B) {
+	xa, xu := benchCols(32, 512, 512, 1)
+	ya, yu := benchCols(32, 512, 512, 2)
+	var sc Scratch
+	var warm Conv
+	for i := 0; i < 40; i++ {
+		sc.Cross(xa, xu, ya, yu, &warm)
+		sc.Within(xa, xu, &warm)
+		sc.Within(ya, yu, &warm)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var conv Conv
+		sc.Cross(xa, xu, ya, yu, &conv)
+	}
+}
+
+func BenchmarkWithinRef512(b *testing.B) {
+	a0, u0 := benchCols(64, 512, 512, 3)
+	a, u := benchCols(64, 512, 512, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		restore(a, a0)
+		restore(u, u0)
+		b.StartTimer()
+		var conv Conv
+		for x := 0; x < len(a); x++ {
+			for y := x + 1; y < len(a); y++ {
+				RotatePairRef(a[x], a[y], u[x], u[y], &conv)
+			}
+		}
+	}
+}
+
+func BenchmarkWithinFused512(b *testing.B) {
+	a0, u0 := benchCols(64, 512, 512, 3)
+	a, u := benchCols(64, 512, 512, 3)
+	var sc Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		restore(a, a0)
+		restore(u, u0)
+		b.StartTimer()
+		var conv Conv
+		sc.Within(a, u, &conv)
+	}
+}
+
+func BenchmarkRotatePairRef(b *testing.B) {
+	a0, _ := benchCols(2, 512, 512, 4)
+	a, u := benchCols(2, 512, 512, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		restore(a, a0)
+		b.StartTimer()
+		var conv Conv
+		RotatePairRef(a[0], a[1], u[0], u[1], &conv)
+	}
+}
+
+func BenchmarkRotatePairFused(b *testing.B) {
+	a0, _ := benchCols(2, 512, 512, 4)
+	a, u := benchCols(2, 512, 512, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		restore(a, a0)
+		b.StartTimer()
+		var conv Conv
+		RotatePairFused(a[0], a[1], u[0], u[1], &conv)
+	}
+}

@@ -1,0 +1,37 @@
+package kernel
+
+import "repro/internal/matrix"
+
+// This file is the retained unfused reference path: the compute kernels
+// exactly as the repository's solvers originally ran them, preserved
+// bit-for-bit. The emulated and analytic backends and the sequential
+// replays execute these, and the differential suite measures every fused
+// kernel against them.
+
+// GramRef returns the Gram entries (alpha, beta, gamma) of a column pair as
+// three separate single-accumulator dot products — the reference
+// formulation, three passes over the pair.
+func GramRef(x, y []float64) (alpha, beta, gamma float64) {
+	alpha = matrix.Dot(x, x)
+	beta = matrix.Dot(y, y)
+	gamma = matrix.Dot(x, y)
+	return
+}
+
+// RotatePairRef orthogonalizes columns (ai, aj) of the working matrix,
+// applying the same rotation to the corresponding factor columns (ui, uj),
+// and records convergence information — the reference rotation kernel: five
+// passes over the pair (three Gram dots, two applications), every sum a
+// single left-to-right accumulator chain.
+func RotatePairRef(ai, aj, ui, uj []float64, conv *Conv) {
+	alpha, beta, gamma := GramRef(ai, aj)
+	rel := RelOff(alpha, beta, gamma)
+	if rel <= SkipEps {
+		conv.Observe(rel, gamma, false)
+		return
+	}
+	r := ComputeRotation(alpha, beta, gamma)
+	r.Apply(ai, aj)
+	r.Apply(ui, uj)
+	conv.Observe(rel, gamma, true)
+}

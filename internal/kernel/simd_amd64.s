@@ -1,0 +1,187 @@
+// AVX2/FMA kernels for the fused path (amd64). Plan 9 assembler syntax.
+//
+// Every routine requires: len(x) > 0 and len(x) % 4 == 0 (the Go wrappers
+// in simd_amd64.go split off the scalar tail), equal slice lengths, and a
+// host with AVX2+FMA (wrappers dispatch on the cpuid probe). Accumulating
+// routines keep four independent lanes per quantity and combine them with
+// one horizontal reduction at the end — a reassociation of the reference
+// sums, covered by the kernel package's documented ulp bound. Rotation
+// application deliberately avoids FMA (VMULPD/VADDPD/VSUBPD only): per
+// element it performs exactly the reference arithmetic, so applied columns
+// stay bit-identical to Rotation.Apply given identical inputs.
+
+#include "textflag.h"
+
+// func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// hsum4 collapses the four lanes of Y_acc into X_acc lane 0.
+// (macro-by-convention: repeated inline below)
+
+// func sqNormAVX(x []float64) float64
+TEXT ·sqNormAVX(SB), NOSPLIT, $0-32
+	MOVQ   x_base+0(FP), SI
+	MOVQ   x_len+8(FP), CX
+	VXORPD Y4, Y4, Y4
+	XORQ   AX, AX
+
+sqloop:
+	VMOVUPD     (SI)(AX*8), Y2
+	VFMADD231PD Y2, Y2, Y4
+	ADDQ        $4, AX
+	CMPQ        AX, CX
+	JL          sqloop
+	VEXTRACTF128 $1, Y4, X5
+	VADDPD       X5, X4, X4
+	VHADDPD      X4, X4, X4
+	VZEROUPPER
+	MOVSD        X4, ret+24(FP)
+	RET
+
+// func gammaDotAVX(x, y []float64) float64
+TEXT ·gammaDotAVX(SB), NOSPLIT, $0-56
+	MOVQ   x_base+0(FP), SI
+	MOVQ   y_base+24(FP), DI
+	MOVQ   x_len+8(FP), CX
+	VXORPD Y4, Y4, Y4
+	XORQ   AX, AX
+
+gdloop:
+	VMOVUPD     (SI)(AX*8), Y2
+	VMOVUPD     (DI)(AX*8), Y3
+	VFMADD231PD Y2, Y3, Y4
+	ADDQ        $4, AX
+	CMPQ        AX, CX
+	JL          gdloop
+	VEXTRACTF128 $1, Y4, X5
+	VADDPD       X5, X4, X4
+	VHADDPD      X4, X4, X4
+	VZEROUPPER
+	MOVSD        X4, ret+48(FP)
+	RET
+
+// func applyPairAVX(c, s float64, x, y []float64)
+TEXT ·applyPairAVX(SB), NOSPLIT, $0-64
+	VBROADCASTSD c+0(FP), Y0
+	VBROADCASTSD s+8(FP), Y1
+	MOVQ         x_base+16(FP), SI
+	MOVQ         y_base+40(FP), DI
+	MOVQ         x_len+24(FP), CX
+	XORQ         AX, AX
+
+aploop:
+	VMOVUPD (SI)(AX*8), Y2           // x
+	VMOVUPD (DI)(AX*8), Y3           // y
+	VMULPD  Y0, Y2, Y7               // c*x
+	VMULPD  Y1, Y3, Y8               // s*y
+	VSUBPD  Y8, Y7, Y7               // xr = c*x - s*y
+	VMULPD  Y1, Y2, Y8               // s*x
+	VMULPD  Y0, Y3, Y9               // c*y
+	VADDPD  Y9, Y8, Y8               // yr = s*x + c*y
+	VMOVUPD Y7, (SI)(AX*8)
+	VMOVUPD Y8, (DI)(AX*8)
+	ADDQ    $4, AX
+	CMPQ    AX, CX
+	JL      aploop
+	VZEROUPPER
+	RET
+
+// func rotateGramAVX(c, s float64, x, y []float64) (a, b float64)
+TEXT ·rotateGramAVX(SB), NOSPLIT, $0-80
+	VBROADCASTSD c+0(FP), Y0
+	VBROADCASTSD s+8(FP), Y1
+	MOVQ         x_base+16(FP), SI
+	MOVQ         y_base+40(FP), DI
+	MOVQ         x_len+24(FP), CX
+	VXORPD       Y4, Y4, Y4          // a acc
+	VXORPD       Y5, Y5, Y5          // b acc
+	XORQ         AX, AX
+
+rgloop:
+	VMOVUPD     (SI)(AX*8), Y2
+	VMOVUPD     (DI)(AX*8), Y3
+	VMULPD      Y0, Y2, Y7
+	VMULPD      Y1, Y3, Y8
+	VSUBPD      Y8, Y7, Y7           // xr
+	VMULPD      Y1, Y2, Y8
+	VMULPD      Y0, Y3, Y9
+	VADDPD      Y9, Y8, Y8           // yr
+	VMOVUPD     Y7, (SI)(AX*8)
+	VMOVUPD     Y8, (DI)(AX*8)
+	VFMADD231PD Y7, Y7, Y4           // a += xr*xr
+	VFMADD231PD Y8, Y8, Y5           // b += yr*yr
+	ADDQ        $4, AX
+	CMPQ        AX, CX
+	JL          rgloop
+	VEXTRACTF128 $1, Y4, X7
+	VADDPD       X7, X4, X4
+	VHADDPD      X4, X4, X4
+	VEXTRACTF128 $1, Y5, X7
+	VADDPD       X7, X5, X5
+	VHADDPD      X5, X5, X5
+	VZEROUPPER
+	MOVSD        X4, a+64(FP)
+	MOVSD        X5, b+72(FP)
+	RET
+
+// func rotateGramNextAVX(c, s float64, x, y, yn []float64) (a, b, gam float64)
+TEXT ·rotateGramNextAVX(SB), NOSPLIT, $0-112
+	VBROADCASTSD c+0(FP), Y0
+	VBROADCASTSD s+8(FP), Y1
+	MOVQ         x_base+16(FP), SI
+	MOVQ         y_base+40(FP), DI
+	MOVQ         yn_base+64(FP), DX
+	MOVQ         x_len+24(FP), CX
+	VXORPD       Y4, Y4, Y4          // a acc
+	VXORPD       Y5, Y5, Y5          // b acc
+	VXORPD       Y6, Y6, Y6          // g acc
+	XORQ         AX, AX
+
+rgnloop:
+	VMOVUPD     (SI)(AX*8), Y2
+	VMOVUPD     (DI)(AX*8), Y3
+	VMULPD      Y0, Y2, Y7
+	VMULPD      Y1, Y3, Y8
+	VSUBPD      Y8, Y7, Y7           // xr
+	VMULPD      Y1, Y2, Y8
+	VMULPD      Y0, Y3, Y9
+	VADDPD      Y9, Y8, Y8           // yr
+	VMOVUPD     Y7, (SI)(AX*8)
+	VMOVUPD     Y8, (DI)(AX*8)
+	VMOVUPD     (DX)(AX*8), Y9       // ynext
+	VFMADD231PD Y7, Y7, Y4           // a += xr*xr
+	VFMADD231PD Y8, Y8, Y5           // b += yr*yr
+	VFMADD231PD Y7, Y9, Y6           // g += xr*yn
+	ADDQ        $4, AX
+	CMPQ        AX, CX
+	JL          rgnloop
+	VEXTRACTF128 $1, Y4, X7
+	VADDPD       X7, X4, X4
+	VHADDPD      X4, X4, X4
+	VEXTRACTF128 $1, Y5, X7
+	VADDPD       X7, X5, X5
+	VHADDPD      X5, X5, X5
+	VEXTRACTF128 $1, Y6, X7
+	VADDPD       X7, X6, X6
+	VHADDPD      X6, X6, X6
+	VZEROUPPER
+	MOVSD        X4, a+88(FP)
+	MOVSD        X5, b+96(FP)
+	MOVSD        X6, gam+104(FP)
+	RET

@@ -1,0 +1,159 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Focused coverage for the residual and vector helpers — the validation
+// metrics every solver's acceptance tests are built on.
+
+// TestEigenResidualZeroMatrix: the zero matrix normalizes by 1 instead of
+// dividing by a zero Frobenius norm, and a correct eigenpair (λ=0, any unit
+// vector) has zero residual.
+func TestEigenResidualZeroMatrix(t *testing.T) {
+	a := NewDense(3, 3)
+	v := Identity(3)
+	if r := EigenResidual(a, []float64{0, 0, 0}, v); r != 0 {
+		t.Errorf("zero-matrix residual %g, want 0", r)
+	}
+}
+
+// TestEigenResidualDetectsWrongPair: a deliberately wrong eigenvalue
+// produces a residual on the order of the error.
+func TestEigenResidualDetectsWrongPair(t *testing.T) {
+	a := Identity(4)
+	v := Identity(4)
+	good := EigenResidual(a, []float64{1, 1, 1, 1}, v)
+	bad := EigenResidual(a, []float64{1, 1, 1, 2}, v)
+	if good != 0 {
+		t.Errorf("exact eigenpairs residual %g, want 0", good)
+	}
+	// ||A·v - 2v|| = 1 for the unit eigenvector, ||A||_F = 2.
+	if math.Abs(bad-0.5) > 1e-15 {
+		t.Errorf("wrong eigenvalue residual %g, want 0.5", bad)
+	}
+}
+
+// TestEigenResidualRandom: eigenpairs recovered from the Gram identity
+// A = A·I have residuals consistent with the helper's definition on a
+// random matrix (sanity of the max-over-pairs reduction).
+func TestEigenResidualRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := RandomSymmetric(6, rng)
+	v := Identity(6)
+	vals := make([]float64, 6)
+	for i := range vals {
+		vals[i] = a.At(i, i)
+	}
+	r := EigenResidual(a, vals, v)
+	// Residual of treating e_i as eigenvectors: the off-diagonal mass.
+	worst := 0.0
+	normA := a.FrobeniusNorm()
+	for i := 0; i < 6; i++ {
+		s := 0.0
+		for k := 0; k < 6; k++ {
+			if k != i {
+				s += a.At(k, i) * a.At(k, i)
+			}
+		}
+		if w := math.Sqrt(s) / normA; w > worst {
+			worst = w
+		}
+	}
+	if math.Abs(r-worst) > 1e-12 {
+		t.Errorf("residual %g, hand-computed %g", r, worst)
+	}
+}
+
+// TestSortedEigenvalueDistanceMismatch: incompatible lengths are an
+// infinite distance, never a silent truncation.
+func TestSortedEigenvalueDistanceMismatch(t *testing.T) {
+	if d := SortedEigenvalueDistance([]float64{1, 2}, []float64{1}); !math.IsInf(d, 1) {
+		t.Errorf("length mismatch distance %g, want +Inf", d)
+	}
+}
+
+// TestSortedEigenvalueDistanceScale: the distance normalizes by the largest
+// magnitude, so scaling both spectra leaves it unchanged.
+func TestSortedEigenvalueDistanceScale(t *testing.T) {
+	a := []float64{3, -1, 2}
+	b := []float64{2.5, 3, -1}
+	d1 := SortedEigenvalueDistance(a, b)
+	a2 := []float64{300, -100, 200}
+	b2 := []float64{250, 300, -100}
+	d2 := SortedEigenvalueDistance(a2, b2)
+	if math.Abs(d1-d2) > 1e-15 {
+		t.Errorf("distance not scale-free: %g vs %g", d1, d2)
+	}
+	// Unordered input is sorted before comparing.
+	if math.Abs(d1-0.5/3) > 1e-15 {
+		t.Errorf("distance %g, want %g", d1, 0.5/3)
+	}
+}
+
+// TestNewDensePanicsOnNegative pins the constructor's guard.
+func TestNewDensePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewDense(-1, 2) did not panic")
+		}
+	}()
+	NewDense(-1, 2)
+}
+
+// TestMulPanicsOnMismatch pins Mul's dimension guard.
+func TestMulPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Mul with mismatched shapes did not panic")
+		}
+	}()
+	NewDense(2, 3).Mul(NewDense(2, 2))
+}
+
+// TestSubNorm2 matches the explicit definition, including the zero case.
+func TestSubNorm2(t *testing.T) {
+	x := []float64{1, 2, 2}
+	y := []float64{1, 0, 0}
+	if d := SubNorm2(x, y); math.Abs(d-math.Sqrt(8)) > 1e-15 {
+		t.Errorf("SubNorm2 = %g, want sqrt(8)", d)
+	}
+	if d := SubNorm2(x, x); d != 0 {
+		t.Errorf("SubNorm2(x,x) = %g, want 0", d)
+	}
+}
+
+// TestScaleAxpyCompose: y + a·x via Axpy equals the hand computation, and
+// Scale composes with it.
+func TestScaleAxpyCompose(t *testing.T) {
+	x := []float64{1, -2, 3}
+	y := []float64{4, 5, 6}
+	Axpy(2, x, y)
+	want := []float64{6, 1, 12}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("Axpy result %v, want %v", y, want)
+		}
+	}
+	Scale(y, 0.5)
+	want = []float64{3, 0.5, 6}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("Scale result %v, want %v", y, want)
+		}
+	}
+}
+
+// TestNorm2AgreesWithDot: Norm2 is sqrt(Dot(x,x)) by definition.
+func TestNorm2AgreesWithDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	x := make([]float64, 17)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	if d := math.Abs(Norm2(x) - math.Sqrt(Dot(x, x))); d > 1e-15 {
+		t.Errorf("Norm2 vs Dot drift %g", d)
+	}
+}

@@ -151,7 +151,8 @@ func (s JobSpec) validate() error {
 //   - emulated when a virtual-clock trace is requested (only the emulator
 //     records communication events);
 //   - multicore for large problems (n >= threshold), where pointer-handoff
-//     shared memory beats serialized emulation by orders of magnitude;
+//     shared memory running the fused kernels beats serialized emulation on
+//     the reference kernels several times over (the gap grows with n);
 //   - emulated otherwise: small solves are cheap and the virtual clock's
 //     modeled makespan comes for free.
 func (s JobSpec) selectBackend(multicoreThreshold int) string {

@@ -50,7 +50,11 @@ type Config struct {
 	QueueCap int
 	// MulticoreThreshold is the matrix size n at and above which backend
 	// auto-selection switches from the emulated machine to the multicore
-	// backend. Default 128.
+	// backend. Default 64: with the fused multicore kernels
+	// (internal/kernel) the emulated machine's wall-clock penalty reaches
+	// ~3x there and keeps growing (~4x at n=128, see DESIGN.md "Kernel
+	// layer"); below it the penalty is small enough that the emulated
+	// machine's free virtual-clock makespan is worth keeping by default.
 	MulticoreThreshold int
 	// CacheCap bounds the result cache (entries); 0 defaults to 256,
 	// negative disables caching.
@@ -73,7 +77,7 @@ func (c Config) withDefaults() Config {
 		c.QueueCap = 1024
 	}
 	if c.MulticoreThreshold <= 0 {
-		c.MulticoreThreshold = 128
+		c.MulticoreThreshold = 64
 	}
 	if c.CacheCap == 0 {
 		c.CacheCap = 256

@@ -105,6 +105,21 @@ func TestBackendAutoSelection(t *testing.T) {
 			}
 		})
 	}
+	// The default threshold is pinned to the measured fused-kernel
+	// crossover (see Config.MulticoreThreshold): n=64 must auto-select
+	// multicore under the default config, n=63 must not.
+	def := Config{}.withDefaults()
+	if def.MulticoreThreshold != 64 {
+		t.Errorf("default MulticoreThreshold = %d, want 64", def.MulticoreThreshold)
+	}
+	at := JobSpec{Matrix: randSym(64, 3), Dim: 1}.withDefaults()
+	below := JobSpec{Matrix: randSym(63, 3), Dim: 1}.withDefaults()
+	if got := at.selectBackend(def.MulticoreThreshold); got != BackendMulticore {
+		t.Errorf("n=64 auto-selected %q, want multicore", got)
+	}
+	if got := below.selectBackend(def.MulticoreThreshold); got != BackendEmulated {
+		t.Errorf("n=63 auto-selected %q, want emulated", got)
+	}
 }
 
 // TestCostOnlyMakespanMatchesModel: an auto-selected cost-only job runs on
