@@ -1,0 +1,164 @@
+package client
+
+import (
+	"encoding/json"
+	"errors"
+
+	"repro/internal/service"
+)
+
+// This file bridges the public wire types and the internal service layer.
+// It is consumed by the Local client and by the in-module HTTP server
+// (internal/httpapi), which serves exactly these shapes over /api/v2 — one
+// definition of the wire protocol, two transports. The helpers are
+// exported for that server layer; their parameter types are internal, so
+// they are of no use to importers outside this module.
+
+// ServiceRequest lowers a Spec into the service's submission request.
+func ServiceRequest(s Spec) service.JobRequest {
+	var m *service.MatrixSpec
+	if s.Matrix != nil {
+		m = &service.MatrixSpec{N: s.Matrix.N, Data: s.Matrix.Data}
+	}
+	var r *service.RandomSpec
+	if s.Random != nil {
+		r = &service.RandomSpec{N: s.Random.N, Seed: s.Random.Seed}
+	}
+	return service.JobRequest{
+		Label:       s.Label,
+		Matrix:      m,
+		Random:      r,
+		Dim:         s.Dim,
+		Ordering:    s.Ordering,
+		Backend:     s.Backend,
+		Pipelined:   s.Pipelined,
+		PipelineQ:   s.PipelineQ,
+		Tol:         s.Tol,
+		MaxSweeps:   s.MaxSweeps,
+		FixedSweeps: s.FixedSweeps,
+		CostOnly:    s.CostOnly,
+		Trace:       s.Trace,
+		OnePort:     s.OnePort,
+		Ts:          s.Ts,
+		Tw:          s.Tw,
+		Tc:          s.Tc,
+		Priority:    s.Priority,
+	}
+}
+
+// FromServiceStatus lifts a service job snapshot into the wire shape.
+func FromServiceStatus(st service.Status) Status {
+	return Status{
+		ID:        st.ID,
+		Label:     st.Label,
+		State:     string(st.State),
+		Backend:   st.Backend,
+		Priority:  int(st.Priority),
+		N:         st.N,
+		Dim:       st.Dim,
+		Ordering:  st.Ordering,
+		CacheHit:  st.CacheHit,
+		Error:     st.Error,
+		WaitMs:    st.WaitMs,
+		RunMs:     st.RunMs,
+		Submitted: st.Submitted,
+	}
+}
+
+// FromServiceResult lifts a job result into the wire shape. The trace
+// summary is carried as raw JSON: the wire protocol passes it through
+// without owning its schema.
+func FromServiceResult(r *service.Result) *Result {
+	out := &Result{
+		Backend:     r.Backend,
+		Values:      r.Values,
+		Sweeps:      r.Sweeps,
+		Converged:   r.Converged,
+		Interrupted: r.Interrupted,
+		Rotations:   r.Rotations,
+		FinalMaxRel: r.FinalMaxRel,
+		Makespan:    r.Makespan,
+		Messages:    r.Messages,
+		Elements:    r.Elements,
+		RawElements: r.RawElements,
+		WallMs:      r.WallMs,
+	}
+	if r.Trace != nil {
+		if data, err := json.Marshal(r.Trace); err == nil {
+			out.Trace = data
+		}
+	}
+	return out
+}
+
+// FromServiceEvent lifts one progress event into the wire shape.
+func FromServiceEvent(ev service.Event) Event {
+	out := Event{
+		Seq:      ev.Seq,
+		Type:     EventType(ev.Type),
+		State:    string(ev.State),
+		JobID:    ev.JobID,
+		Time:     ev.Time,
+		CacheHit: ev.CacheHit,
+		Error:    ev.Error,
+		Dropped:  ev.Dropped,
+	}
+	if ev.Sweep != nil {
+		out.Sweep = &SweepProgress{
+			Sweep:     ev.Sweep.Sweep,
+			MaxRel:    ev.Sweep.MaxRel,
+			OffNorm:   ev.Sweep.OffNorm,
+			Rotations: ev.Sweep.Rotations,
+		}
+	}
+	return out
+}
+
+// FromServiceSnapshot lifts the metrics snapshot into the wire shape.
+func FromServiceSnapshot(m service.Snapshot) Metrics {
+	return Metrics{
+		Workers:              m.Workers,
+		UptimeSec:            m.UptimeSec,
+		Submitted:            m.Submitted,
+		Completed:            m.Completed,
+		Failed:               m.Failed,
+		Canceled:             m.Canceled,
+		QueueDepth:           m.QueueDepth,
+		InFlight:             m.InFlight,
+		CacheHits:            m.CacheHits,
+		CacheSize:            m.CacheSize,
+		WallP50Ms:            m.WallP50Ms,
+		WallP99Ms:            m.WallP99Ms,
+		TotalModeledMakespan: m.TotalModeledMakespan,
+		JobsPerSec:           m.JobsPerSec,
+		ScheduleBuilds:       m.ScheduleCache.Builds,
+		ScheduleHits:         m.ScheduleCache.Hits,
+	}
+}
+
+// FromServiceError maps a service failure to the typed *Error the wire
+// protocol serializes: spec validation failures keep their field, the
+// sentinel submission failures keep their code, everything else is
+// internal. A nil error passes through.
+func FromServiceError(err error) error {
+	if err == nil {
+		return nil
+	}
+	var spec *service.SpecError
+	switch {
+	case errors.As(err, &spec):
+		code := CodeInvalidSpec
+		if spec.Field == "cursor" {
+			// A malformed cursor is a request-shape problem, not a job-spec
+			// one; both transports report it the same way.
+			code = CodeBadRequest
+		}
+		return &Error{Code: code, Field: spec.Field, Message: spec.Msg}
+	case errors.Is(err, service.ErrQueueFull):
+		return &Error{Code: CodeQueueFull, Message: err.Error()}
+	case errors.Is(err, service.ErrClosed):
+		return &Error{Code: CodeClosed, Message: err.Error()}
+	default:
+		return &Error{Code: CodeInternal, Message: err.Error()}
+	}
+}

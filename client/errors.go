@@ -1,0 +1,59 @@
+package client
+
+import "fmt"
+
+// Error codes shared by both implementations and by the /api/v2 wire
+// protocol's structured error bodies ({code, message, field}).
+const (
+	// CodeInvalidSpec rejects a submission; Field names the offending spec
+	// field in wire spelling.
+	CodeInvalidSpec = "invalid_spec"
+	// CodeBadRequest rejects a malformed request (undecodable JSON, bad
+	// cursor, oversized body).
+	CodeBadRequest = "bad_request"
+	// CodeNotFound reports an unknown (or already-evicted) job ID.
+	CodeNotFound = "not_found"
+	// CodeQueueFull reports that the service's queue capacity is reached.
+	CodeQueueFull = "queue_full"
+	// CodeClosed reports a submission to a closed service.
+	CodeClosed = "closed"
+	// CodeNotFinished reports a Result call on a job that is still queued
+	// or running.
+	CodeNotFinished = "not_finished"
+	// CodeJobFailed / CodeJobCanceled report Wait/Result on a job that
+	// reached a terminal state without a result.
+	CodeJobFailed   = "job_failed"
+	CodeJobCanceled = "job_canceled"
+	// CodeStreamEnded reports an event stream that closed before the
+	// terminal event (server shutdown mid-stream).
+	CodeStreamEnded = "stream_ended"
+	// CodeInternal is everything else.
+	CodeInternal = "internal"
+)
+
+// Error is the typed failure of both client implementations, and the JSON
+// shape of every /api/v2 error body.
+type Error struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message describes the failure.
+	Message string `json:"message"`
+	// Field names the offending spec field of CodeInvalidSpec and
+	// CodeBadRequest errors, in wire (JSON) spelling.
+	Field string `json:"field,omitempty"`
+	// HTTPStatus is the transport status an HTTP client observed (0 on
+	// local errors).
+	HTTPStatus int `json:"-"`
+}
+
+func (e *Error) Error() string {
+	if e.Field != "" {
+		return fmt.Sprintf("client: %s (%s): %s", e.Code, e.Field, e.Message)
+	}
+	return fmt.Sprintf("client: %s: %s", e.Code, e.Message)
+}
+
+// errf builds an *Error in place.
+func errf(code, field, format string, args ...any) *Error {
+	return &Error{Code: code, Field: field, Message: fmt.Sprintf(format, args...)}
+}

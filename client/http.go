@@ -1,0 +1,287 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// HTTP is the remote Client: it speaks the /api/v2 wire protocol of a
+// `jacobitool serve` instance. Job events arrive over a streaming
+// newline-delimited JSON response, so Wait and Events behave like their
+// in-process counterparts — no polling.
+type HTTP struct {
+	base string
+	hc   *http.Client
+}
+
+var _ Client = (*HTTP)(nil)
+var _ BatchSubmitter = (*HTTP)(nil)
+
+// NewHTTP returns a client for the server at baseURL (e.g.
+// "http://127.0.0.1:8473"), using a default http.Client with no overall
+// timeout — event streams are long-lived; bound individual calls with
+// their contexts.
+func NewHTTP(baseURL string) (*HTTP, error) {
+	return NewHTTPClient(baseURL, &http.Client{})
+}
+
+// NewHTTPClient is NewHTTP with a caller-supplied http.Client (custom
+// transport, TLS, proxies). The client's Timeout, if set, also cuts event
+// streams short — prefer per-call contexts.
+func NewHTTPClient(baseURL string, hc *http.Client) (*HTTP, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: parse base URL: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("client: base URL %q: want http or https", baseURL)
+	}
+	return &HTTP{base: strings.TrimRight(u.String(), "/"), hc: hc}, nil
+}
+
+// Submit posts one job to /api/v2/jobs.
+func (c *HTTP) Submit(ctx context.Context, spec Spec) (JobHandle, error) {
+	var st Status
+	if err := c.doJSON(ctx, http.MethodPost, "/api/v2/jobs", spec, &st); err != nil {
+		return nil, err
+	}
+	return &httpHandle{c: c, id: st.ID, reused: st.Reused}, nil
+}
+
+// batchRequest / batchResponse are the /api/v2/batch payloads.
+type batchRequest struct {
+	Jobs []Spec `json:"jobs"`
+}
+type batchResponse struct {
+	Jobs []Status `json:"jobs"`
+}
+
+// SubmitAll posts a whole batch in one /api/v2/batch round trip. The
+// server fails fast on the first rejected spec (the error names its
+// index); earlier jobs of the batch keep running.
+func (c *HTTP) SubmitAll(ctx context.Context, specs []Spec) ([]JobHandle, error) {
+	var resp batchResponse
+	if err := c.doJSON(ctx, http.MethodPost, "/api/v2/batch", batchRequest{Jobs: specs}, &resp); err != nil {
+		return nil, err
+	}
+	handles := make([]JobHandle, len(resp.Jobs))
+	for i, st := range resp.Jobs {
+		handles[i] = &httpHandle{c: c, id: st.ID, reused: st.Reused}
+	}
+	return handles, nil
+}
+
+// Jobs fetches one listing page from /api/v2/jobs.
+func (c *HTTP) Jobs(ctx context.Context, opts ListOptions) (*JobPage, error) {
+	q := url.Values{}
+	if opts.Cursor != "" {
+		q.Set("cursor", opts.Cursor)
+	}
+	if opts.Limit > 0 {
+		q.Set("limit", strconv.Itoa(opts.Limit))
+	}
+	path := "/api/v2/jobs"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var page JobPage
+	if err := c.doJSON(ctx, http.MethodGet, path, nil, &page); err != nil {
+		return nil, err
+	}
+	return &page, nil
+}
+
+// Metrics fetches /api/v2/metrics.
+func (c *HTTP) Metrics(ctx context.Context) (*Metrics, error) {
+	var m Metrics
+	if err := c.doJSON(ctx, http.MethodGet, "/api/v2/metrics", nil, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Handle attaches to an existing remote job by ID without a round trip —
+// the way a watcher process reconnects to a job some other process
+// submitted. An unknown ID surfaces as CodeNotFound on the first call.
+func (c *HTTP) Handle(id string) JobHandle {
+	return &httpHandle{c: c, id: id}
+}
+
+// Close drops idle connections. The remote server keeps running.
+func (c *HTTP) Close() error {
+	c.hc.CloseIdleConnections()
+	return nil
+}
+
+// doJSON performs one JSON round trip, decoding structured error bodies
+// into *Error.
+func (c *HTTP) doJSON(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return decodeError(resp)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("client: decode %s %s response: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+// decodeError lifts a non-2xx response into *Error, falling back to the
+// raw body when it is not a structured error.
+func decodeError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var e Error
+	if json.Unmarshal(data, &e) == nil && e.Code != "" {
+		e.HTTPStatus = resp.StatusCode
+		return &e
+	}
+	return &Error{
+		Code:       CodeInternal,
+		Message:    fmt.Sprintf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data))),
+		HTTPStatus: resp.StatusCode,
+	}
+}
+
+// httpHandle tracks one remote job by ID.
+type httpHandle struct {
+	c      *HTTP
+	id     string
+	reused bool
+}
+
+func (h *httpHandle) ID() string { return h.id }
+
+func (h *httpHandle) Status(ctx context.Context) (*Status, error) {
+	var st Status
+	if err := h.c.doJSON(ctx, http.MethodGet, "/api/v2/jobs/"+url.PathEscape(h.id), nil, &st); err != nil {
+		return nil, err
+	}
+	st.Reused = h.reused
+	return &st, nil
+}
+
+func (h *httpHandle) Result(ctx context.Context) (*Result, error) {
+	var res Result
+	if err := h.c.doJSON(ctx, http.MethodGet, "/api/v2/jobs/"+url.PathEscape(h.id)+"/result", nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+func (h *httpHandle) Cancel(ctx context.Context) error {
+	return h.c.doJSON(ctx, http.MethodDelete, "/api/v2/jobs/"+url.PathEscape(h.id), nil, nil)
+}
+
+// Wait consumes the job's event stream until the terminal event, then
+// fetches the result — one long-lived request instead of a poll loop.
+func (h *httpHandle) Wait(ctx context.Context) (*Result, error) {
+	events, err := h.Events(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var terminal *Event
+	for ev := range events {
+		if ev.Type.Terminal() {
+			ev := ev
+			terminal = &ev
+			// Keep draining: the sender closes right after the terminal
+			// event, and a clean drain releases the stream's goroutine.
+		}
+	}
+	if terminal == nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, errf(CodeStreamEnded, "", "job %s: event stream ended before a terminal event", h.id)
+	}
+	switch terminal.Type {
+	case EventDone:
+		return h.Result(ctx)
+	case EventCanceled:
+		return nil, errf(CodeJobCanceled, "", "job %s: %s", h.id, terminalCause(terminal))
+	default:
+		return nil, errf(CodeJobFailed, "", "job %s: %s", h.id, terminalCause(terminal))
+	}
+}
+
+func terminalCause(ev *Event) string {
+	if ev.Error != "" {
+		return ev.Error
+	}
+	return string(ev.Type)
+}
+
+// Events opens the job's streaming events endpoint (newline-delimited
+// JSON) and decodes it into a channel: history replay first, then live
+// events, closed after the terminal event or when ctx ends.
+func (h *httpHandle) Events(ctx context.Context) (<-chan Event, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		h.c.base+"/api/v2/jobs/"+url.PathEscape(h.id)+"/events", nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: build events request: %w", err)
+	}
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := h.c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: open event stream: %w", err)
+	}
+	if resp.StatusCode >= 300 {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	out := make(chan Event)
+	go func() {
+		defer close(out)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			var ev Event
+			if err := json.Unmarshal(line, &ev); err != nil {
+				return // stream corrupted; the consumer sees an early close
+			}
+			select {
+			case out <- ev:
+			case <-ctx.Done():
+				return
+			}
+			if ev.Type.Terminal() {
+				return
+			}
+		}
+	}()
+	return out, nil
+}

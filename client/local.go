@@ -1,0 +1,177 @@
+package client
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/service"
+)
+
+// LocalConfig sizes the in-process service a Local client owns. Zero
+// values select the service defaults; see internal/service.Config for the
+// semantics (in particular: MulticoreThreshold 0 means the default of 64,
+// negative means "never auto-select multicore"; RetainJobs negative
+// retains every finished job record).
+type LocalConfig struct {
+	Workers            int
+	QueueCap           int
+	MulticoreThreshold int
+	CacheCap           int
+	RetainJobs         int
+}
+
+// Local is the in-process Client: it creates and owns a batch-solve
+// service, so Submit runs jobs on this process's worker pool. Close shuts
+// the service down.
+type Local struct {
+	svc *service.Service
+}
+
+var _ Client = (*Local)(nil)
+
+// NewLocal starts an in-process service and returns the client wrapping
+// it.
+func NewLocal(cfg LocalConfig) *Local {
+	return &Local{svc: service.New(service.Config{
+		Workers:            cfg.Workers,
+		QueueCap:           cfg.QueueCap,
+		MulticoreThreshold: cfg.MulticoreThreshold,
+		CacheCap:           cfg.CacheCap,
+		RetainJobs:         cfg.RetainJobs,
+	})}
+}
+
+// Submit validates and enqueues one job on the in-process service.
+func (l *Local) Submit(ctx context.Context, spec Spec) (JobHandle, error) {
+	jspec, err := ServiceRequest(spec).Spec()
+	if err != nil {
+		return nil, FromServiceError(err)
+	}
+	// The job's lifetime is the handle's, not the submission context's:
+	// both transports behave identically (an HTTP submission also detaches
+	// the job from the submitting connection).
+	j, reused, err := l.svc.SubmitKeyed(context.WithoutCancel(ctx), spec.IdempotencyKey, jspec)
+	if err != nil {
+		return nil, FromServiceError(err)
+	}
+	return &localHandle{j: j, reused: reused}, nil
+}
+
+// Jobs pages through the service's tracked jobs in submission order.
+func (l *Local) Jobs(ctx context.Context, opts ListOptions) (*JobPage, error) {
+	jobs, next, err := l.svc.JobsPage(opts.Cursor, opts.Limit)
+	if err != nil {
+		return nil, FromServiceError(err)
+	}
+	page := &JobPage{Jobs: make([]Status, len(jobs)), NextCursor: next}
+	for i, j := range jobs {
+		page.Jobs[i] = FromServiceStatus(j.Status())
+	}
+	return page, nil
+}
+
+// Handle attaches to an existing job by ID; false when the ID is unknown
+// (or its record already evicted).
+func (l *Local) Handle(id string) (JobHandle, bool) {
+	j, ok := l.svc.Job(id)
+	if !ok {
+		return nil, false
+	}
+	return &localHandle{j: j}, true
+}
+
+// Metrics returns the service's cumulative counters.
+func (l *Local) Metrics(ctx context.Context) (*Metrics, error) {
+	m := FromServiceSnapshot(l.svc.Metrics())
+	return &m, nil
+}
+
+// Close shuts the owned service down: queued jobs are canceled, running
+// ones interrupted at their next sweep boundary and awaited.
+func (l *Local) Close() error {
+	l.svc.Close()
+	return nil
+}
+
+// localHandle adapts a *service.Job to the JobHandle interface.
+type localHandle struct {
+	j      *service.Job
+	reused bool
+}
+
+func (h *localHandle) ID() string { return h.j.ID() }
+
+func (h *localHandle) Status(ctx context.Context) (*Status, error) {
+	st := FromServiceStatus(h.j.Status())
+	st.Reused = h.reused
+	return &st, nil
+}
+
+func (h *localHandle) Wait(ctx context.Context) (*Result, error) {
+	res, err := h.j.Wait(ctx)
+	if err != nil {
+		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			return nil, err
+		}
+		return nil, h.terminalError(err)
+	}
+	return FromServiceResult(res), nil
+}
+
+func (h *localHandle) Result(ctx context.Context) (*Result, error) {
+	switch h.j.State() {
+	case service.StateDone, service.StateFailed, service.StateCanceled:
+	default:
+		return nil, errf(CodeNotFinished, "", "job %s is %s", h.j.ID(), h.j.State())
+	}
+	res, err := h.j.Result()
+	if err != nil {
+		return nil, h.terminalError(err)
+	}
+	return FromServiceResult(res), nil
+}
+
+// terminalError shapes a finished-without-result outcome.
+func (h *localHandle) terminalError(err error) error {
+	code := CodeJobFailed
+	if h.j.State() == service.StateCanceled {
+		code = CodeJobCanceled
+	}
+	msg := "(no cause recorded)"
+	if err != nil {
+		msg = err.Error()
+	}
+	return errf(code, "", "job %s: %s", h.j.ID(), msg)
+}
+
+func (h *localHandle) Cancel(ctx context.Context) error {
+	h.j.Cancel()
+	return nil
+}
+
+// Events subscribes to the job's progress stream: history replay first,
+// then live events, closed after the terminal event or when ctx ends.
+func (h *localHandle) Events(ctx context.Context) (<-chan Event, error) {
+	in, stop := h.j.Subscribe(0)
+	out := make(chan Event)
+	go func() {
+		defer close(out)
+		defer stop()
+		for {
+			select {
+			case ev, ok := <-in:
+				if !ok {
+					return
+				}
+				select {
+				case out <- FromServiceEvent(ev):
+				case <-ctx.Done():
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out, nil
+}

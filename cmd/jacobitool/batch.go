@@ -6,85 +6,91 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"math/rand"
 	"os"
 	"time"
 
+	"repro/client"
 	"repro/internal/jacobi"
+	"repro/internal/matrix"
 	"repro/internal/ordering"
-	"repro/internal/service"
 )
 
-// cmdBatch solves a manifest of problems concurrently through the batch
-// service and prints a per-job summary table. The manifest is a JSON array
-// of service.JobRequest objects; without -manifest a built-in 16-problem
-// demo manifest runs. With -check every (non-fixed-sweep) job's
-// eigenvalues are verified bit-identical against a sequential single-solve
-// run of the same problem.
+// cmdBatch solves a manifest of problems concurrently through the client
+// API and prints a per-job summary table. The manifest is a JSON array of
+// job specs (the client package's Spec wire shape); without -manifest a
+// built-in 16-problem demo manifest runs. With -remote the batch goes to a
+// `jacobitool serve` instance in one POST /api/v2/batch request; without
+// it an in-process pool solves it. With -check every (non-fixed-sweep)
+// job's eigenvalues are verified against a sequential single-solve run of
+// the same problem.
 func cmdBatch(args []string) error {
 	fs := flag.NewFlagSet("batch", flag.ContinueOnError)
-	manifest := fs.String("manifest", "", "path to a JSON manifest (array of job requests); default: built-in 16-problem demo")
-	workers := fs.Int("workers", 4, "solve concurrency")
+	manifest := fs.String("manifest", "", "path to a JSON manifest (array of job specs); default: built-in 16-problem demo")
+	remote := fs.String("remote", "", "server base URL; empty = solve in-process")
+	workers := fs.Int("workers", 4, "in-process solve concurrency (local mode)")
+	threshold := fs.Int("threshold", 0, "local backend auto-selection threshold (0 = 64, negative = never multicore)")
 	check := fs.Bool("check", false, "verify each job against a sequential single-solve run")
 	timeout := fs.Duration("timeout", 10*time.Minute, "overall batch deadline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	var reqs []service.JobRequest
+	var specs []client.Spec
 	if *manifest == "" {
-		reqs = demoManifest()
-		fmt.Printf("batch: built-in demo manifest (%d problems)\n", len(reqs))
+		specs = demoManifest()
+		fmt.Printf("batch: built-in demo manifest (%d problems)\n", len(specs))
 	} else {
 		data, err := os.ReadFile(*manifest)
 		if err != nil {
 			return err
 		}
-		if err := json.Unmarshal(data, &reqs); err != nil {
+		if err := json.Unmarshal(data, &specs); err != nil {
 			return fmt.Errorf("parse %s: %w", *manifest, err)
 		}
-		fmt.Printf("batch: %s (%d problems)\n", *manifest, len(reqs))
+		fmt.Printf("batch: %s (%d problems)\n", *manifest, len(specs))
 	}
 
-	specs := make([]service.JobSpec, len(reqs))
-	for i, r := range reqs {
-		spec, err := r.Spec()
-		if err != nil {
-			return fmt.Errorf("manifest entry %d: %w", i, err)
-		}
-		specs[i] = spec
+	c, err := newClient(*remote, *workers, *threshold)
+	if err != nil {
+		return err
 	}
-
-	svc := service.New(service.Config{Workers: *workers})
-	defer svc.Close()
+	defer c.Close()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
 	start := time.Now()
-	jobs, err := svc.SubmitAll(ctx, specs)
+	handles, err := client.SubmitAll(ctx, c, specs)
 	if err != nil {
 		return err
 	}
-	if err := service.WaitAll(ctx, jobs); err != nil {
-		return err
-	}
-	elapsed := time.Since(start)
 
 	fmt.Printf("%-12s %5s %3s %-9s %-10s %-8s %6s %5s %12s %9s %5s\n",
 		"job", "n", "d", "ordering", "backend", "state", "sweeps", "conv", "makespan", "wall ms", "cache")
 	failed := 0
-	for _, j := range jobs {
-		st := j.Status()
+	statuses := make([]*client.Status, len(handles))
+	results := make([]*client.Result, len(handles))
+	for i, h := range handles {
+		res, werr := h.Wait(ctx)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		st, serr := h.Status(ctx)
+		if serr != nil {
+			return serr
+		}
+		statuses[i] = st
 		label := st.Label
 		if label == "" {
 			label = st.ID
 		}
-		res, err := j.Result()
-		if err != nil {
+		if werr != nil {
 			failed++
-			fmt.Printf("%-12s %5d %3d %-9s %-10s %-8s %v\n", label, st.N, st.Dim, st.Ordering, st.Backend, st.State, err)
+			fmt.Printf("%-12s %5d %3d %-9s %-10s %-8s %v\n", label, st.N, st.Dim, st.Ordering, st.Backend, st.State, werr)
 			continue
 		}
+		results[i] = res
 		cache := ""
 		if st.CacheHit {
 			cache = "hit"
@@ -93,22 +99,40 @@ func cmdBatch(args []string) error {
 			label, st.N, st.Dim, st.Ordering, st.Backend, st.State,
 			res.Sweeps, res.Converged, res.Makespan, res.WallMs, cache)
 	}
+	elapsed := time.Since(start)
 
-	m := svc.Metrics()
-	fmt.Printf("\n%d jobs in %v at concurrency %d (%.1f jobs/sec)\n",
-		len(jobs), elapsed.Round(time.Millisecond), *workers, float64(len(jobs))/elapsed.Seconds())
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%d jobs in %v (%.1f jobs/sec)\n",
+		len(handles), elapsed.Round(time.Millisecond), float64(len(handles))/elapsed.Seconds())
 	fmt.Printf("  wall p50 %.1f ms, p99 %.1f ms; cache hits %d; aggregate modeled makespan %.0f units\n",
 		m.WallP50Ms, m.WallP99Ms, m.CacheHits, m.TotalModeledMakespan)
-	sc := m.ScheduleCache
-	fmt.Printf("  schedule cache: %d build(s), %d hit(s)\n", sc.Builds, sc.Hits)
+	fmt.Printf("  schedule cache: %d build(s), %d hit(s)\n", m.ScheduleBuilds, m.ScheduleHits)
 
 	if failed > 0 {
 		return fmt.Errorf("%d job(s) did not complete", failed)
 	}
 	if *check {
-		return checkBatch(jobs, specs)
+		return checkBatch(specs, statuses, results)
 	}
 	return nil
+}
+
+// materialize reconstructs a spec's input matrix on the client side — the
+// same construction the server performs — so -check can verify results
+// without the service retaining the O(n²) payload.
+func materialize(spec client.Spec) (*matrix.Dense, error) {
+	switch {
+	case spec.Matrix != nil:
+		n := spec.Matrix.N
+		return &matrix.Dense{Rows: n, Cols: n, Data: append([]float64(nil), spec.Matrix.Data...)}, nil
+	case spec.Random != nil:
+		return matrix.RandomSymmetric(spec.Random.N, rand.New(rand.NewSource(spec.Random.Seed))), nil
+	default:
+		return nil, fmt.Errorf("spec has neither matrix nor random")
+	}
 }
 
 // checkBatch re-runs every job sequentially (the engine's central replay —
@@ -116,40 +140,47 @@ func cmdBatch(args []string) error {
 // on a reference-kernel backend (emulated, analytic) must match bitwise;
 // jobs resolved to the multicore backend ran the fused kernels and must
 // match within the kernel layer's solve-level ulp budget (DESIGN.md,
-// "Kernel layer"). The job's normalized spec supplies the solve options;
-// the input matrix comes from the caller-held specs, since the service
-// releases its copy when a job completes. Two job kinds are skipped:
-// fixed-sweep jobs (including cost-only queries — the sequential solver
-// always runs to convergence) and pipelined jobs with a degree other than
-// 1 (Q > 1 reorganizes the rotation order, so they match to convergence
-// tolerance, not bitwise).
-func checkBatch(jobs []*service.Job, specs []service.JobSpec) error {
+// "Kernel layer"). Two job kinds are skipped: fixed-sweep jobs (including
+// cost-only queries — the sequential solver always runs to convergence)
+// and pipelined jobs with a degree other than 1 (Q > 1 reorganizes the
+// rotation order, so they match to convergence tolerance, not bitwise).
+func checkBatch(specs []client.Spec, statuses []*client.Status, results []*client.Result) error {
 	// fusedTol is the solve-level budget for fused-kernel results against
 	// the reference replay (the conformance suite's bound).
 	const fusedTol = 1e-8
 	checked, fused, skipped := 0, 0, 0
-	for i, j := range jobs {
-		spec := j.Spec()
-		if spec.FixedSweeps > 0 || (spec.Pipelined && spec.PipelineQ != 1) {
+	for i, spec := range specs {
+		if spec.FixedSweeps > 0 || spec.CostOnly || (spec.Pipelined && spec.PipelineQ != 1) {
 			skipped++
 			continue
 		}
-		res, err := j.Result()
-		if err != nil {
-			return fmt.Errorf("job %d: %w", i, err)
+		res := results[i]
+		if res == nil {
+			return fmt.Errorf("job %d has no result to check", i)
 		}
-		fam, err := ordering.FamilyByName(spec.Ordering)
+		// The status carries the ordering the service resolved at
+		// submission (defaults applied) — no client-side copy of the
+		// defaulting rules.
+		ordName := statuses[i].Ordering
+		if ordName == "" {
+			ordName = spec.Ordering
+		}
+		fam, err := ordering.FamilyByName(ordName)
 		if err != nil {
 			return err
 		}
-		seq, err := jacobi.SolveSchedule(specs[i].Matrix, spec.Dim, fam, jacobi.Options{Tol: spec.Tol, MaxSweeps: spec.MaxSweeps})
+		a, err := materialize(spec)
+		if err != nil {
+			return fmt.Errorf("job %d: %w", i, err)
+		}
+		seq, err := jacobi.SolveSchedule(a, spec.Dim, fam, jacobi.Options{Tol: spec.Tol, MaxSweeps: spec.MaxSweeps})
 		if err != nil {
 			return fmt.Errorf("job %d sequential reference: %w", i, err)
 		}
 		if len(seq.Values) != len(res.Values) {
 			return fmt.Errorf("job %d: %d values vs sequential %d", i, len(res.Values), len(seq.Values))
 		}
-		if j.Backend() == service.BackendMulticore {
+		if statuses[i].Backend == "multicore" {
 			for k := range seq.Values {
 				if rel := math.Abs(res.Values[k]-seq.Values[k]) / (1 + math.Abs(seq.Values[k])); rel > fusedTol {
 					return fmt.Errorf("job %d eigenvalue %d: multicore %.17g drifts %g from sequential %.17g (budget %g)",
@@ -175,22 +206,22 @@ func checkBatch(jobs []*service.Job, specs []service.JobSpec) error {
 // demoManifest builds the default 16-problem batch: a spread of sizes,
 // dimensions, orderings and job kinds (plain, pipelined, cost-only,
 // traced, and one deliberate duplicate to exercise the result cache).
-func demoManifest() []service.JobRequest {
+func demoManifest() []client.Spec {
 	orderings := []string{"br", "pbr", "d4", "minalpha"}
-	var reqs []service.JobRequest
+	var specs []client.Spec
 	for i := 0; i < 12; i++ {
-		reqs = append(reqs, service.JobRequest{
+		specs = append(specs, client.Spec{
 			Label:    fmt.Sprintf("solve-%02d", i),
-			Random:   &service.RandomSpec{N: 24 + 8*(i%4), Seed: int64(1000 + i)},
+			Random:   &client.RandomSpec{N: 24 + 8*(i%4), Seed: int64(1000 + i)},
 			Dim:      1 + i%2,
 			Ordering: orderings[i%len(orderings)],
 		})
 	}
-	reqs = append(reqs,
-		service.JobRequest{Label: "dup-of-00", Random: &service.RandomSpec{N: 24, Seed: 1000}, Dim: 1, Ordering: "br"},
-		service.JobRequest{Label: "cost-query", Random: &service.RandomSpec{N: 64, Seed: 2000}, Dim: 2, Ordering: "br", CostOnly: true},
-		service.JobRequest{Label: "traced", Random: &service.RandomSpec{N: 32, Seed: 2001}, Dim: 2, Ordering: "pbr", Trace: true},
-		service.JobRequest{Label: "pipelined", Random: &service.RandomSpec{N: 32, Seed: 2002}, Dim: 2, Ordering: "d4", Pipelined: true, PipelineQ: 1},
+	specs = append(specs,
+		client.Spec{Label: "dup-of-00", Random: &client.RandomSpec{N: 24, Seed: 1000}, Dim: 1, Ordering: "br"},
+		client.Spec{Label: "cost-query", Random: &client.RandomSpec{N: 64, Seed: 2000}, Dim: 2, Ordering: "br", CostOnly: true},
+		client.Spec{Label: "traced", Random: &client.RandomSpec{N: 32, Seed: 2001}, Dim: 2, Ordering: "pbr", Trace: true},
+		client.Spec{Label: "pipelined", Random: &client.RandomSpec{N: 32, Seed: 2002}, Dim: 2, Ordering: "d4", Pipelined: true, PipelineQ: 1},
 	)
-	return reqs
+	return specs
 }

@@ -21,8 +21,14 @@
 //	solve      run a distributed eigensolve on a pluggable execution backend
 //	simulate   compare emulated communication time against the analytic model
 //	bench      headline backend metrics, optionally written as BENCH_<date>.json
-//	serve      the concurrent batch-solve service over an HTTP JSON API
+//	serve      the concurrent batch-solve service over its HTTP API (v2 + v1 shim)
 //	batch      solve a manifest of problems concurrently, with a summary table
+//	submit     submit one eigensolve through the client API (local or -remote)
+//	watch      stream a remote job's progress events until it finishes
+//
+// serve, batch, submit and watch are all consumers of the public client
+// package: one binary drives an in-process pool or a remote server with
+// one -remote flag.
 package main
 
 import (
@@ -70,6 +76,10 @@ func main() {
 		err = cmdServe(args)
 	case "batch":
 		err = cmdBatch(args)
+	case "submit":
+		err = cmdSubmit(args)
+	case "watch":
+		err = cmdWatch(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -100,8 +110,10 @@ commands:
   solve       -m N [-d D] [-o ORD] [-backend B] [-pipelined] [-oneport] eigensolve
   simulate    -m N [-d D] [-sweeps S] emulated vs analytic communication time
   bench       [-m N] [-d D] [-json]  headline backend metrics (BENCH_<date>.json)
-  serve       [-addr A] [-workers W] batch-solve service over an HTTP JSON API
-  batch       [-manifest F] [-workers W] [-check] solve a manifest of problems concurrently
+  serve       [-addr A] [-workers W] [-retain R] batch-solve service over HTTP (v2 + v1 shim)
+  batch       [-manifest F] [-remote URL] [-check] solve a manifest of problems concurrently
+  submit      [-remote URL] [-n N] [-d D] [-watch] submit one eigensolve via the client API
+  watch       -remote URL JOB        stream a remote job's progress events
   portsweep   [-d D] [-m LOGM]     cost vs number of ports (k-port ablation)
   balance     [-d D] [-m N]        static + traced link-balance comparison
   svd         [-rows R] [-cols C]  singular value decomposition demo

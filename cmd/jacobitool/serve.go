@@ -1,21 +1,35 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
+	"repro/internal/httpapi"
 	"repro/internal/service"
 )
 
-// cmdServe runs the batch-solve service behind its HTTP JSON API.
+// cmdServe runs the batch-solve service behind its HTTP API (v2 + the v1
+// shim), with header/idle timeouts on the listener and a graceful drain on
+// SIGINT/SIGTERM: the HTTP server stops accepting and drains in-flight
+// requests, then the service shuts down (canceling live jobs at their next
+// sweep boundary).
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
-	addr := fs.String("addr", ":8473", "listen address")
+	addr := fs.String("addr", ":8473", "listen address (port 0 picks a free port; the resolved address is printed)")
 	workers := fs.Int("workers", 0, "solve-pool size (0 = GOMAXPROCS, capped at 8)")
 	queueCap := fs.Int("queue", 0, "queued-job capacity (0 = 1024)")
-	threshold := fs.Int("threshold", 0, "matrix size at which auto-selection picks the multicore backend (0 = 64)")
+	threshold := fs.Int("threshold", 0, "matrix size at which auto-selection picks the multicore backend (0 = 64, negative = never auto-select multicore)")
 	cacheCap := fs.Int("cache", 0, "result-cache capacity in entries (0 = 256, negative disables)")
+	retain := fs.Int("retain", 0, "finished-job records kept for status/result queries (0 = 4096, negative retains everything)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -24,16 +38,56 @@ func cmdServe(args []string) error {
 		QueueCap:           *queueCap,
 		MulticoreThreshold: *threshold,
 		CacheCap:           *cacheCap,
+		RetainJobs:         *retain,
 	})
 	defer svc.Close()
 
-	fmt.Printf("jacobitool serve: batch-solve service on %s (%d workers)\n", *addr, svc.Workers())
-	fmt.Println("  POST   /api/v1/jobs             submit {random:{n,seed}|matrix:{n,data}, dim, ordering, backend, ...}")
-	fmt.Println("  GET    /api/v1/jobs             list job statuses")
-	fmt.Println("  GET    /api/v1/jobs/{id}        job status")
-	fmt.Println("  DELETE /api/v1/jobs/{id}        cancel a job")
-	fmt.Println("  GET    /api/v1/jobs/{id}/result finished job's result")
-	fmt.Println("  GET    /api/v1/metrics          service metrics")
-	fmt.Println("  GET    /healthz                 liveness")
-	return http.ListenAndServe(*addr, service.NewHandler(svc))
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           httpapi.NewHandler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	fmt.Printf("jacobitool serve: batch-solve service on %s (%d workers)\n", ln.Addr(), svc.Workers())
+	fmt.Println("  POST   /api/v2/jobs             submit {random:{n,seed}|matrix:{n,data}, dim, ordering, backend, idempotency_key, ...}")
+	fmt.Println("  POST   /api/v2/batch            submit {jobs:[...]} in one request")
+	fmt.Println("  GET    /api/v2/jobs             list job statuses (?cursor=&limit=)")
+	fmt.Println("  GET    /api/v2/jobs/{id}        job status")
+	fmt.Println("  DELETE /api/v2/jobs/{id}        cancel a job")
+	fmt.Println("  GET    /api/v2/jobs/{id}/result finished job's result")
+	fmt.Println("  GET    /api/v2/jobs/{id}/events progress stream (NDJSON; SSE via Accept)")
+	fmt.Println("  GET    /api/v2/metrics          service metrics")
+	fmt.Println("  /api/v1/*                       v1 compatibility shim; GET /healthz liveness")
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		fmt.Println("jacobitool serve: signal received, draining…")
+		shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		// Shutdown first so in-flight requests (event streams included)
+		// finish cleanly, then close the service — the deferred Close
+		// cancels whatever is still running. Streams of live jobs can
+		// outlast the drain deadline; Shutdown then reports the deadline,
+		// which is expected, and Close ends those jobs (terminal events
+		// close the streams).
+		err := srv.Shutdown(shCtx)
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Println("jacobitool serve: drain deadline reached, closing live jobs")
+			err = nil
+		}
+		<-errCh // Serve has returned http.ErrServerClosed
+		return err
+	}
 }

@@ -16,19 +16,24 @@
 //
 // Entry points:
 //
-//   - internal/core: the public facade (orderings, analysis, solvers,
+//   - client/: the public facade — one Client interface over local and
+//     remote solves (client.Local runs an in-process pool, client.HTTP
+//     speaks /api/v2 to a `jacobitool serve` instance), with job handles
+//     exposing Wait/Cancel/Status/Result and a typed progress-event
+//     stream (queued → started → per-sweep convergence → terminal)
+//   - internal/core: the internal facade (orderings, analysis, solvers,
 //     experiment drivers)
 //   - internal/service: the concurrent batch-solve service (priority job
 //     queue, per-job backend auto-selection, fingerprint result cache,
-//     HTTP JSON API)
+//     per-job event fan-out); internal/httpapi mounts it as /api/v2 plus
+//     the /api/v1 compatibility shim
 //   - cmd/jacobitool: command-line access to everything, including
-//     `jacobitool serve` (the batch-solve service over HTTP: submit,
-//     status, result, metrics) and `jacobitool batch` (solve a JSON
-//     manifest of problems concurrently and print a summary table;
-//     -check verifies every job bit-identical against a sequential
-//     single-solve run)
+//     `jacobitool serve` (the service over HTTP), `submit`/`watch`
+//     (one-shot client runs, local or -remote, with live event
+//     streaming) and `batch` (solve a JSON manifest concurrently;
+//     -check verifies every job against a sequential single-solve run)
 //   - examples/: runnable walkthroughs (quickstart, orderinglab,
-//     eigensolve, commcost, pipelinelab)
+//     eigensolve, commcost, pipelinelab, svdlab, clientlab)
 //   - bench_test.go: one benchmark per paper table/figure plus ablations
 //
 // See DESIGN.md for the system inventory and the paper-to-code

@@ -1,0 +1,138 @@
+// clientlab: one program, two deployments — the client API makes local
+// and remote solves interchangeable.
+//
+// Part 1 submits an eigensolve to an in-process pool (client.Local) and
+// streams its typed progress events: queued → started → per-sweep
+// convergence → done.
+//
+// Part 2 boots a real HTTP server on a loopback port (the same handler
+// `jacobitool serve` mounts), points client.HTTP at it, and runs the
+// identical submit-and-stream code against the wire — plus a batch
+// submission with idempotency keys to show the /api/v2/batch path.
+//
+// Run with: go run ./examples/clientlab
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"repro/client"
+	"repro/internal/httpapi"
+	"repro/internal/service"
+)
+
+// solveAndStream is the transport-agnostic consumer: everything below
+// this call signature works identically on Local and HTTP clients.
+func solveAndStream(ctx context.Context, c client.Client, label string) error {
+	h, err := c.Submit(ctx, client.Spec{
+		Label:    label,
+		Random:   &client.RandomSpec{N: 48, Seed: 7},
+		Dim:      2,
+		Ordering: "pbr",
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  submitted %s\n", h.ID())
+
+	events, err := h.Events(ctx)
+	if err != nil {
+		return err
+	}
+	for ev := range events {
+		switch ev.Type {
+		case client.EventSweep:
+			fmt.Printf("  sweep %2d: max_rel=%.3e off_norm=%.3e\n",
+				ev.Sweep.Sweep, ev.Sweep.MaxRel, ev.Sweep.OffNorm)
+		default:
+			fmt.Printf("  %s\n", ev.Type)
+		}
+	}
+
+	res, err := h.Result(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %d eigenvalues in %d sweeps on %s (converged=%v, wall %.1f ms)\n",
+		len(res.Values), res.Sweeps, res.Backend, res.Converged, res.WallMs)
+	return nil
+}
+
+func main() {
+	ctx := context.Background()
+
+	// ---- Part 1: in-process -------------------------------------------
+	fmt.Println("local client (in-process pool):")
+	local := client.NewLocal(client.LocalConfig{Workers: 2})
+	if err := solveAndStream(ctx, local, "local-demo"); err != nil {
+		log.Fatal(err)
+	}
+	local.Close()
+
+	// ---- Part 2: over the wire ----------------------------------------
+	// The server side is exactly what `jacobitool serve` runs.
+	svc := service.New(service.Config{Workers: 2})
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: httpapi.NewHandler(svc)}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	fmt.Printf("\nHTTP client (server at http://%s):\n", ln.Addr())
+	remote, err := client.NewHTTP("http://" + ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer remote.Close()
+	// The identical consumer code, now crossing the network.
+	if err := solveAndStream(ctx, remote, "remote-demo"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Batch submission: one POST /api/v2/batch round trip. The
+	// idempotency keys make the batch safe to retry — resubmitting
+	// reattaches to the same jobs instead of re-running them.
+	specs := []client.Spec{
+		{Label: "b0", Random: &client.RandomSpec{N: 32, Seed: 1}, Dim: 1, IdempotencyKey: "clientlab-b0"},
+		{Label: "b1", Random: &client.RandomSpec{N: 32, Seed: 2}, Dim: 2, IdempotencyKey: "clientlab-b1"},
+		{Label: "b2", Random: &client.RandomSpec{N: 48, Seed: 3}, Dim: 2, CostOnly: true, IdempotencyKey: "clientlab-b2"},
+	}
+	handles, err := client.SubmitAll(ctx, remote, specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, h := range handles {
+		if _, err := h.Wait(ctx); err != nil {
+			log.Fatalf("batch job %d: %v", i, err)
+		}
+	}
+	again, err := client.SubmitAll(ctx, remote, specs) // retry: all reused
+	if err != nil {
+		log.Fatal(err)
+	}
+	reused := 0
+	for _, h := range again {
+		st, err := h.Status(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if st.Reused {
+			reused++
+		}
+	}
+	m, err := remote.Metrics(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbatch: %d jobs completed, retry reattached to %d/%d via idempotency keys\n",
+		len(handles), reused, len(again))
+	fmt.Printf("server metrics: %d submitted, %d completed, p50 %.1f ms\n",
+		m.Submitted, m.Completed, m.WallP50Ms)
+}

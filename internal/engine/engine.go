@@ -67,6 +67,15 @@ type Problem struct {
 	// exchange ever goes unanswered. FixedSweeps runs skip the allreduce and
 	// are therefore not interruptible (they are bounded by construction).
 	Interrupt func() bool
+	// OnSweep, when non-nil, receives a SweepProgress after every completed
+	// sweep. On the distributed path it is invoked exactly once per sweep,
+	// from node 0's goroutine, with the globally reduced convergence
+	// statistics (FixedSweeps runs skip the allreduce, so they report node
+	// 0's local tracker); the central replay invokes it inline. The hook
+	// runs on the solve's critical path: it must be fast and must never
+	// block — the batch-solve service forwards it into per-job event
+	// streams with non-blocking fan-out.
+	OnSweep func(SweepProgress)
 	// TraceGram is trace(AᵀA) = ‖A‖²_F of the input (rotation-invariant),
 	// the normalizer of the OffFrob criterion.
 	TraceGram float64
@@ -80,6 +89,26 @@ type Problem struct {
 	PipelineTs    float64
 	PipelineTw    float64
 	PipelinePorts int
+}
+
+// SweepProgress is one sweep-boundary report delivered to Problem.OnSweep:
+// the sweep count so far and the sweep's convergence statistics, plus the
+// run-level decision taken at that boundary.
+type SweepProgress struct {
+	// Sweep is the 1-based count of completed sweeps.
+	Sweep int
+	// MaxRel is the sweep's largest relative off-diagonal value, OffNorm
+	// the running off-norm estimate sqrt(Σγ²), Rotations the sweep's
+	// applied rotation count.
+	MaxRel    float64
+	OffNorm   float64
+	Rotations int
+	// Converged / Interrupted report the sweep-boundary decision; Final is
+	// true on the run's last sweep (converged, interrupted, or the sweep
+	// bound reached).
+	Converged   bool
+	Interrupted bool
+	Final       bool
 }
 
 // Outcome is the result of a run: convergence bookkeeping plus the final
@@ -259,12 +288,28 @@ func (p *Problem) nodeProgram(ctx NodeCtx, sw *ordering.Sweep, opts Options, sc 
 		if done.interrupted {
 			out.interrupted = true
 		}
+		if p.OnSweep != nil && id == 0 {
+			p.OnSweep(progressFrom(sweep, global, done))
+		}
 		if done.stop {
 			break
 		}
 	}
 	out.blocks = [2]*Block{slotA, slotB}
 	return nil
+}
+
+// progressFrom assembles the OnSweep report for one sweep boundary.
+func progressFrom(sweep int, global ConvTracker, done sweepOutcome) SweepProgress {
+	return SweepProgress{
+		Sweep:       sweep + 1,
+		MaxRel:      global.MaxRel,
+		OffNorm:     math.Sqrt(global.OffSq),
+		Rotations:   global.Rotations,
+		Converged:   done.converged,
+		Interrupted: done.interrupted,
+		Final:       done.stop,
+	}
 }
 
 // within returns the number of intra-block pairs of b.
@@ -394,23 +439,30 @@ func (p *Problem) RunCentral() (*Outcome, error) {
 		out.Sweeps++
 		out.Rotations += conv.Rotations
 		out.FinalMaxRel = conv.MaxRel
-		if p.FixedSweeps > 0 {
-			if out.Sweeps >= p.FixedSweeps {
-				break
-			}
-			continue
+		// Same decision order as the distributed sweepDecision: fixed-sweep
+		// runs ignore convergence entirely; otherwise interrupt first, then
+		// convergence, then the sweep bound.
+		var done sweepOutcome
+		switch {
+		case p.FixedSweeps > 0:
+			done.stop = out.Sweeps >= p.FixedSweeps
+		case p.Interrupt != nil && p.Interrupt():
+			done.stop, done.interrupted = true, true
+		case opts.Converged(conv, p.TraceGram):
+			done.stop, done.converged = true, true
+		case out.Sweeps >= opts.MaxSweeps:
+			done.stop = true
 		}
-		// Same decision order as the distributed sweepDecision: interrupt
-		// first, then convergence, then the sweep bound.
-		if p.Interrupt != nil && p.Interrupt() {
+		if done.interrupted {
 			out.Interrupted = true
-			break
 		}
-		if opts.Converged(conv, p.TraceGram) {
+		if done.converged {
 			out.Converged = true
-			break
 		}
-		if out.Sweeps >= opts.MaxSweeps {
+		if p.OnSweep != nil {
+			p.OnSweep(progressFrom(out.Sweeps-1, conv, done))
+		}
+		if done.stop {
 			break
 		}
 	}

@@ -99,6 +99,9 @@ func (p *Problem) pipelinedNodeProgram(ctx NodeCtx, phaseQ []int, opts Options, 
 		if done.interrupted {
 			out.interrupted = true
 		}
+		if p.OnSweep != nil && id == 0 {
+			p.OnSweep(progressFrom(sweep, global, done))
+		}
 		if done.stop {
 			break
 		}

@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/ordering"
+)
+
+// runWithProgress solves one problem on the backend with an OnSweep hook
+// attached and returns the outcome plus the collected reports.
+func runWithProgress(t *testing.T, be ExecBackend, fixedSweeps int, pipelined bool) (*Outcome, []SweepProgress) {
+	t.Helper()
+	a := matrix.RandomSymmetric(16, rand.New(rand.NewSource(7)))
+	blocks, err := BuildBlocks(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := a.FrobeniusNorm()
+	var got []SweepProgress
+	prob := &Problem{
+		Blocks:      blocks,
+		Dim:         2,
+		Family:      ordering.NewBRFamily(),
+		FixedSweeps: fixedSweeps,
+		Rows:        a.Rows,
+		TraceGram:   tg * tg,
+		Pipelined:   pipelined,
+		PipelineQ:   1,
+		PipelineTs:  1000,
+		PipelineTw:  100,
+		// The hook runs on node 0's goroutine only, so plain appends are
+		// safe (and -race agrees).
+		OnSweep: func(p SweepProgress) { got = append(got, p) },
+	}
+	out, _, err := prob.Run(be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, got
+}
+
+// checkProgress asserts the OnSweep contract against a finished run: one
+// ordered report per sweep, with the final report carrying the stop
+// decision.
+func checkProgress(t *testing.T, out *Outcome, got []SweepProgress) {
+	t.Helper()
+	if len(got) != out.Sweeps {
+		t.Fatalf("OnSweep fired %d times for %d sweeps", len(got), out.Sweeps)
+	}
+	for i, p := range got {
+		if p.Sweep != i+1 {
+			t.Errorf("report %d has sweep %d", i, p.Sweep)
+		}
+		if p.Final != (i == len(got)-1) {
+			t.Errorf("report %d Final=%v", i, p.Final)
+		}
+	}
+	last := got[len(got)-1]
+	if last.Converged != out.Converged || last.Interrupted != out.Interrupted {
+		t.Errorf("final report (converged=%v interrupted=%v) disagrees with outcome (%v, %v)",
+			last.Converged, last.Interrupted, out.Converged, out.Interrupted)
+	}
+}
+
+// TestOnSweepDistributed: the hook fires once per sweep — from node 0 only
+// — on the distributed path, for both the plain and pipelined node
+// programs, and on the emulated and multicore backends.
+func TestOnSweepDistributed(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		be        ExecBackend
+		pipelined bool
+	}{
+		{"emulated", &Emulated{Ts: 1000, Tw: 100}, false},
+		{"multicore", &Multicore{}, false},
+		{"emulated-pipelined", &Emulated{Ts: 1000, Tw: 100}, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			out, got := runWithProgress(t, tc.be, 0, tc.pipelined)
+			if !out.Converged {
+				t.Fatalf("solve did not converge")
+			}
+			checkProgress(t, out, got)
+			if got[len(got)-1].MaxRel != out.FinalMaxRel {
+				t.Errorf("final report MaxRel %g != outcome %g", got[len(got)-1].MaxRel, out.FinalMaxRel)
+			}
+		})
+	}
+}
+
+// TestOnSweepFixedSweeps: fixed-sweep runs skip the convergence allreduce
+// but still report every sweep boundary, with Final on the last.
+func TestOnSweepFixedSweeps(t *testing.T) {
+	out, got := runWithProgress(t, &Emulated{Ts: 1000, Tw: 100}, 3, false)
+	if out.Sweeps != 3 {
+		t.Fatalf("ran %d sweeps, want 3", out.Sweeps)
+	}
+	checkProgress(t, out, got)
+}
+
+// TestOnSweepCentral: the central replay reports the same sweep count as
+// its own outcome, through the same hook.
+func TestOnSweepCentral(t *testing.T) {
+	a := matrix.RandomSymmetric(16, rand.New(rand.NewSource(7)))
+	blocks, err := BuildBlocks(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := a.FrobeniusNorm()
+	var got []SweepProgress
+	prob := &Problem{
+		Blocks:    blocks,
+		Dim:       2,
+		Family:    ordering.NewBRFamily(),
+		Rows:      a.Rows,
+		TraceGram: tg * tg,
+		OnSweep:   func(p SweepProgress) { got = append(got, p) },
+	}
+	out, err := prob.RunCentral()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Converged {
+		t.Fatal("central replay did not converge")
+	}
+	checkProgress(t, out, got)
+}

@@ -40,6 +40,11 @@ type ParallelConfig struct {
 	// EigenResult.Interrupted set (see engine.Problem.Interrupt). The
 	// batch-solve service wires this to each job's context.
 	Interrupt func() bool
+	// OnSweep, when non-nil, receives per-sweep progress (sweep count,
+	// convergence statistics, the boundary decision) exactly once per sweep
+	// — see engine.Problem.OnSweep. The batch-solve service forwards it
+	// into each job's event stream.
+	OnSweep func(engine.SweepProgress)
 	// Backend selects the execution substrate. Nil defaults to the emulated
 	// multi-port hypercube built from Ports/Ts/Tw/Tc/Trace; pass
 	// &engine.Multicore{} for hardware-speed shared-memory execution or
@@ -84,6 +89,7 @@ func (cfg ParallelConfig) problem(a *matrix.Dense, d int, pipelined bool) (*engi
 		Rows:          a.Rows,
 		TraceGram:     traceGram(a),
 		Interrupt:     cfg.Interrupt,
+		OnSweep:       cfg.OnSweep,
 		Pipelined:     pipelined,
 		PipelineQ:     cfg.PipelineQ,
 		PipelineTs:    cfg.Ts,

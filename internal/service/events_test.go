@@ -1,0 +1,402 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// bareJob returns a Job detached from any service, for driving the event
+// fan-out deterministically.
+func bareJob() *Job {
+	return &Job{id: "job-test"}
+}
+
+// TestEventLifecycle runs one real job end to end and asserts the event
+// history has the canonical shape: queued → started → ≥1 sweep → done,
+// with strictly increasing sequence numbers.
+func TestEventLifecycle(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	j, err := s.Submit(context.Background(), JobSpec{Matrix: randSym(16, 41), Dim: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	events := j.Events()
+	if len(events) < 4 {
+		t.Fatalf("only %d events: %+v", len(events), events)
+	}
+	if events[0].Type != EventQueued || events[1].Type != EventStarted {
+		t.Fatalf("stream starts %s, %s", events[0].Type, events[1].Type)
+	}
+	sweeps := 0
+	for i, ev := range events {
+		if ev.Seq != i+1 {
+			t.Errorf("event %d has seq %d", i, ev.Seq)
+		}
+		if ev.JobID != j.ID() {
+			t.Errorf("event %d names job %q", i, ev.JobID)
+		}
+		if ev.Type == EventSweep {
+			sweeps++
+			if ev.Sweep == nil || ev.Sweep.Sweep != sweeps {
+				t.Errorf("sweep event %d out of order: %+v", i, ev.Sweep)
+			}
+		}
+	}
+	if sweeps == 0 {
+		t.Error("no sweep events")
+	}
+	last := events[len(events)-1]
+	if last.Type != EventDone || !last.Type.Terminal() {
+		t.Errorf("stream ends with %s", last.Type)
+	}
+
+	// A subscriber attaching after the terminal event replays the full
+	// history and closes immediately.
+	ch, stop := j.Subscribe(4)
+	defer stop()
+	var replay []Event
+	for ev := range ch {
+		replay = append(replay, ev)
+	}
+	if len(replay) != len(events) {
+		t.Fatalf("late subscriber saw %d events, history has %d", len(replay), len(events))
+	}
+}
+
+// TestSubscribeReplayThenLive interleaves a subscription with publishes:
+// history is replayed first, live events follow, and the channel closes
+// after the terminal event.
+func TestSubscribeReplayThenLive(t *testing.T) {
+	j := bareJob()
+	j.publish(Event{Type: EventQueued, State: StateQueued})
+	j.publish(Event{Type: EventStarted, State: StateRunning})
+	ch, stop := j.Subscribe(8)
+	defer stop()
+	j.publish(Event{Type: EventSweep, State: StateRunning, Sweep: &SweepEvent{Sweep: 1}})
+	j.publish(Event{Type: EventDone, State: StateDone})
+
+	var got []EventType
+	for ev := range ch {
+		got = append(got, ev.Type)
+	}
+	want := []EventType{EventQueued, EventStarted, EventSweep, EventDone}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if j.Subscribers() != 0 {
+		t.Errorf("%d subscribers left after terminal event", j.Subscribers())
+	}
+}
+
+// TestSlowSubscriberDrops fills a buffer-1 subscriber without draining it:
+// intermediate events are dropped oldest-first, the terminal event always
+// lands, and the delivered event carries the drop count.
+func TestSlowSubscriberDrops(t *testing.T) {
+	j := bareJob()
+	ch, stop := j.Subscribe(1)
+	defer stop()
+	j.publish(Event{Type: EventQueued, State: StateQueued})
+	for i := 1; i <= 3; i++ {
+		j.publish(Event{Type: EventSweep, State: StateRunning, Sweep: &SweepEvent{Sweep: i}})
+	}
+	j.publish(Event{Type: EventDone, State: StateDone})
+
+	var got []Event
+	for ev := range ch {
+		got = append(got, ev)
+	}
+	if len(got) != 1 {
+		t.Fatalf("slow subscriber got %d events, want just the terminal one: %+v", len(got), got)
+	}
+	last := got[0]
+	if last.Type != EventDone {
+		t.Fatalf("surviving event is %s, want %s", last.Type, EventDone)
+	}
+	if last.Dropped == 0 {
+		t.Error("terminal event does not report the preceding drops")
+	}
+	if last.Seq != 5 {
+		t.Errorf("terminal seq %d, want 5 (gaps stay detectable)", last.Seq)
+	}
+}
+
+// TestUnsubscribe detaches a subscriber early: its channel closes, later
+// publishes don't panic, and the job forgets it.
+func TestUnsubscribe(t *testing.T) {
+	j := bareJob()
+	ch, stop := j.Subscribe(2)
+	j.publish(Event{Type: EventQueued, State: StateQueued})
+	stop()
+	stop() // idempotent
+	j.publish(Event{Type: EventStarted, State: StateRunning})
+	if j.Subscribers() != 0 {
+		t.Errorf("%d subscribers after stop", j.Subscribers())
+	}
+	n := 0
+	for range ch {
+		n++
+	}
+	if n != 1 {
+		t.Errorf("detached subscriber drained %d events, want 1", n)
+	}
+}
+
+// TestEventHistoryBounded publishes far more sweep events than the history
+// cap: the record stays bounded and the lifecycle events survive the trim.
+func TestEventHistoryBounded(t *testing.T) {
+	j := bareJob()
+	j.publish(Event{Type: EventQueued, State: StateQueued})
+	j.publish(Event{Type: EventStarted, State: StateRunning})
+	for i := 1; i <= eventHistoryCap+100; i++ {
+		j.publish(Event{Type: EventSweep, State: StateRunning, Sweep: &SweepEvent{Sweep: i}})
+	}
+	j.publish(Event{Type: EventDone, State: StateDone})
+	events := j.Events()
+	if len(events) != eventHistoryCap {
+		t.Fatalf("history has %d events, want the cap %d", len(events), eventHistoryCap)
+	}
+	if events[0].Type != EventQueued || events[1].Type != EventStarted {
+		t.Errorf("lifecycle prefix trimmed: %s, %s", events[0].Type, events[1].Type)
+	}
+	if events[len(events)-1].Type != EventDone {
+		t.Errorf("terminal event trimmed: %s", events[len(events)-1].Type)
+	}
+}
+
+// TestNegativeThresholdNeverMulticore: the documented sentinel — a
+// negative MulticoreThreshold keeps auto-selection off multicore at any
+// size, while explicit requests still get it.
+func TestNegativeThresholdNeverMulticore(t *testing.T) {
+	spec := JobSpec{Matrix: randSym(256, 5), Dim: 1}.withDefaults()
+	if be := spec.selectBackend(-1); be != BackendEmulated {
+		t.Errorf("auto-selection with negative threshold picked %s", be)
+	}
+	if be := spec.selectBackend(64); be != BackendMulticore {
+		t.Errorf("auto-selection with threshold 64 picked %s for n=256", be)
+	}
+	explicit := spec
+	explicit.Backend = BackendMulticore
+	if be := explicit.selectBackend(-1); be != BackendMulticore {
+		t.Errorf("explicit multicore overridden to %s", be)
+	}
+	// The sentinel survives withDefaults; only 0 means "use the default".
+	if got := (Config{MulticoreThreshold: -1}).withDefaults().MulticoreThreshold; got != -1 {
+		t.Errorf("withDefaults rewrote the sentinel to %d", got)
+	}
+	if got := (Config{}).withDefaults().MulticoreThreshold; got != 64 {
+		t.Errorf("default threshold is %d, want 64", got)
+	}
+}
+
+// TestSubmitKeyed: idempotency keys return the existing job; distinct keys
+// and keyless submissions do not collide; eviction releases the key.
+func TestSubmitKeyed(t *testing.T) {
+	s := New(Config{Workers: 2, CacheCap: -1})
+	defer s.Close()
+	ctx := context.Background()
+	spec := JobSpec{Matrix: randSym(16, 60), Dim: 1, Backend: BackendAnalytic, CostOnly: true}
+
+	j1, reused, err := s.SubmitKeyed(ctx, "k1", spec)
+	if err != nil || reused {
+		t.Fatalf("first keyed submit: reused=%v err=%v", reused, err)
+	}
+	j2, reused, err := s.SubmitKeyed(ctx, "k1", spec)
+	if err != nil || !reused {
+		t.Fatalf("second keyed submit: reused=%v err=%v", reused, err)
+	}
+	if j1 != j2 {
+		t.Errorf("key k1 returned different jobs %s, %s", j1.ID(), j2.ID())
+	}
+	j3, reused, err := s.SubmitKeyed(ctx, "k2", spec)
+	if err != nil || reused || j3 == j1 {
+		t.Errorf("key k2 collided with k1")
+	}
+	if _, err := j1.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.Submitted != 2 {
+		t.Errorf("reused submission counted: submitted=%d, want 2", m.Submitted)
+	}
+}
+
+// TestJobsPage exercises the cursor pagination: full walk, empty pages
+// past the end, and malformed cursors.
+func TestJobsPage(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	ctx := context.Background()
+	var jobs []*Job
+	for i := 0; i < 5; i++ {
+		j, err := s.Submit(ctx, JobSpec{Matrix: randSym(16, int64(70+i)), Dim: 1, CostOnly: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	if err := WaitAll(ctx, jobs); err != nil {
+		t.Fatal(err)
+	}
+
+	var walked []string
+	cursor := ""
+	pages := 0
+	for {
+		page, next, err := s.JobsPage(cursor, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range page {
+			walked = append(walked, j.ID())
+		}
+		pages++
+		if next == "" {
+			break
+		}
+		cursor = next
+	}
+	if len(walked) != 5 || pages != 3 {
+		t.Fatalf("walk saw %d jobs over %d pages, want 5 over 3", len(walked), pages)
+	}
+	for i, id := range walked {
+		if id != jobs[i].ID() {
+			t.Errorf("walk position %d is %s, want %s (submission order)", i, id, jobs[i].ID())
+		}
+	}
+
+	// Past-the-end and evicted cursors yield empty pages, not errors.
+	page, next, err := s.JobsPage("job-999", 2)
+	if err != nil || len(page) != 0 || next != "" {
+		t.Errorf("past-end cursor: %d jobs, next %q, err %v", len(page), next, err)
+	}
+	// Malformed cursors are rejected with a field-tagged error.
+	var spec *SpecError
+	if _, _, err := s.JobsPage("bogus", 2); !errors.As(err, &spec) || spec.Field != "cursor" {
+		t.Errorf("malformed cursor error: %v", err)
+	}
+	// A limit wider than the listing returns everything and no cursor.
+	page, next, err = s.JobsPage("", 0)
+	if err != nil || len(page) != 5 || next != "" {
+		t.Errorf("default limit: %d jobs, next %q, err %v", len(page), next, err)
+	}
+}
+
+// TestSpecErrorFields: every validation failure names its field.
+func TestSpecErrorFields(t *testing.T) {
+	base := JobSpec{Matrix: randSym(16, 80), Dim: 1}
+	for _, tc := range []struct {
+		name  string
+		mut   func(*JobSpec)
+		field string
+	}{
+		{"no matrix", func(s *JobSpec) { s.Matrix = nil }, "matrix"},
+		{"dim", func(s *JobSpec) { s.Dim = -1 }, "dim"},
+		{"too small", func(s *JobSpec) { s.Dim = 4 }, "dim"},
+		{"ordering", func(s *JobSpec) { s.Ordering = "nope" }, "ordering"},
+		{"priority", func(s *JobSpec) { s.Priority = 9 }, "priority"},
+		{"backend", func(s *JobSpec) { s.Backend = "gpu" }, "backend"},
+		{"trace", func(s *JobSpec) { s.WantTrace = true; s.Backend = BackendMulticore }, "trace"},
+		{"cost_only", func(s *JobSpec) { s.CostOnly = true; s.Backend = BackendMulticore }, "cost_only"},
+	} {
+		spec := base
+		tc.mut(&spec)
+		err := spec.withDefaults().validate()
+		var se *SpecError
+		if !errors.As(err, &se) {
+			t.Errorf("%s: error %v is not a SpecError", tc.name, err)
+			continue
+		}
+		if se.Field != tc.field {
+			t.Errorf("%s: field %q, want %q (%v)", tc.name, se.Field, tc.field, err)
+		}
+	}
+}
+
+// TestCanceledJobEmitsTerminalEvent: cancellation, like completion, closes
+// every subscriber with a terminal event.
+func TestCanceledJobEmitsTerminalEvent(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	ctx := context.Background()
+	// Occupy the single worker so the victim stays queued.
+	blocker, err := s.Submit(ctx, JobSpec{Matrix: randSym(256, 90), Dim: 2, Backend: BackendEmulated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := s.Submit(ctx, JobSpec{Matrix: randSym(16, 91), Dim: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, stop := victim.Subscribe(8)
+	defer stop()
+	victim.Cancel()
+	blocker.Cancel()
+
+	deadline := time.After(30 * time.Second)
+	var last Event
+	for open := true; open; {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				open = false
+				break
+			}
+			last = ev
+		case <-deadline:
+			t.Fatal("victim's event stream never closed")
+		}
+	}
+	if last.Type != EventCanceled {
+		t.Fatalf("victim's stream ended with %s, want %s", last.Type, EventCanceled)
+	}
+	if _, err := blocker.Wait(ctx); err == nil {
+		t.Error("canceled blocker produced a result")
+	}
+}
+
+// TestEventsUnderClose: closing the service mid-flight still terminates
+// every job's stream (no subscriber is left hanging).
+func TestEventsUnderClose(t *testing.T) {
+	s := New(Config{Workers: 2})
+	var chans []<-chan Event
+	for i := 0; i < 4; i++ {
+		j, err := s.Submit(context.Background(), JobSpec{
+			Matrix:  randSym(128, int64(95+i)),
+			Dim:     2,
+			Backend: BackendEmulated,
+			Label:   fmt.Sprintf("close-%d", i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, stop := j.Subscribe(16)
+		defer stop()
+		chans = append(chans, ch)
+	}
+	s.Close()
+	deadline := time.After(30 * time.Second)
+	for i, ch := range chans {
+		for open := true; open; {
+			select {
+			case _, ok := <-ch:
+				if !ok {
+					open = false
+				}
+			case <-deadline:
+				t.Fatalf("stream %d never closed after service Close", i)
+			}
+		}
+	}
+}

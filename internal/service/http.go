@@ -70,31 +70,32 @@ type JobRequest struct {
 }
 
 // Spec materializes the request into a JobSpec (generating the random
-// matrix when requested).
+// matrix when requested). Failures are field-tagged *SpecErrors, like
+// validate's.
 func (r JobRequest) Spec() (JobSpec, error) {
 	var a *matrix.Dense
 	switch {
 	case r.Matrix != nil && r.Random != nil:
-		return JobSpec{}, fmt.Errorf("service: request has both matrix and random")
+		return JobSpec{}, specErrf("matrix", "request has both matrix and random")
 	case r.Matrix != nil:
 		n := r.Matrix.N
 		if n <= 0 || n > maxRequestMatrixN {
-			return JobSpec{}, fmt.Errorf("service: matrix size %d out of range [1,%d]", n, maxRequestMatrixN)
+			return JobSpec{}, specErrf("matrix", "matrix size %d out of range [1,%d]", n, maxRequestMatrixN)
 		}
 		if len(r.Matrix.Data) != n*n {
-			return JobSpec{}, fmt.Errorf("service: matrix n=%d wants %d values, got %d", n, n*n, len(r.Matrix.Data))
+			return JobSpec{}, specErrf("matrix", "matrix n=%d wants %d values, got %d", n, n*n, len(r.Matrix.Data))
 		}
 		a = &matrix.Dense{Rows: n, Cols: n, Data: append([]float64(nil), r.Matrix.Data...)}
 		if !a.IsSymmetric(0) {
-			return JobSpec{}, fmt.Errorf("service: matrix is not symmetric")
+			return JobSpec{}, specErrf("matrix", "matrix is not symmetric")
 		}
 	case r.Random != nil:
 		if r.Random.N <= 0 || r.Random.N > maxRequestMatrixN {
-			return JobSpec{}, fmt.Errorf("service: random matrix size %d out of range [1,%d]", r.Random.N, maxRequestMatrixN)
+			return JobSpec{}, specErrf("random", "random matrix size %d out of range [1,%d]", r.Random.N, maxRequestMatrixN)
 		}
 		a = matrix.RandomSymmetric(r.Random.N, rand.New(rand.NewSource(r.Random.Seed)))
 	default:
-		return JobSpec{}, fmt.Errorf("service: request has neither matrix nor random")
+		return JobSpec{}, specErrf("matrix", "request has neither matrix nor random")
 	}
 	return JobSpec{
 		Matrix:      a,

@@ -102,33 +102,53 @@ func (s JobSpec) withDefaults() JobSpec {
 	return s
 }
 
+// SpecError is a validation failure attributable to one field of a job
+// spec or submission request. The HTTP layer serializes it into the v2
+// structured error body ({code, message, field}).
+type SpecError struct {
+	// Field names the offending spec field in wire (JSON) spelling.
+	Field string
+	// Msg describes the failure.
+	Msg string
+}
+
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("service: %s: %s", e.Field, e.Msg)
+}
+
+// specErrf builds a SpecError for a field.
+func specErrf(field, format string, args ...any) *SpecError {
+	return &SpecError{Field: field, Msg: fmt.Sprintf(format, args...)}
+}
+
 // validate rejects specs the solver would fail on, before they queue.
+// Every failure is a *SpecError naming the offending field.
 func (s JobSpec) validate() error {
 	if s.Matrix == nil {
-		return fmt.Errorf("service: job has no matrix")
+		return specErrf("matrix", "job has no matrix")
 	}
 	if s.Matrix.Rows != s.Matrix.Cols {
-		return fmt.Errorf("service: matrix is %dx%d, want square", s.Matrix.Rows, s.Matrix.Cols)
+		return specErrf("matrix", "matrix is %dx%d, want square", s.Matrix.Rows, s.Matrix.Cols)
 	}
 	if s.Dim < 0 || s.Dim > 16 {
-		return fmt.Errorf("service: dimension %d out of range [0,16]", s.Dim)
+		return specErrf("dim", "dimension %d out of range [0,16]", s.Dim)
 	}
 	if s.Matrix.Cols < 1<<uint(s.Dim+1) {
-		return fmt.Errorf("service: %d columns cannot fill the %d blocks of a %d-cube", s.Matrix.Cols, 1<<uint(s.Dim+1), s.Dim)
+		return specErrf("dim", "%d columns cannot fill the %d blocks of a %d-cube", s.Matrix.Cols, 1<<uint(s.Dim+1), s.Dim)
 	}
 	if _, err := ordering.FamilyByName(s.Ordering); err != nil {
-		return err
+		return specErrf("ordering", "%v", err)
 	}
 	if s.Priority < PriorityLow || s.Priority > PriorityHigh {
-		return fmt.Errorf("service: priority %d out of range [%d,%d]", s.Priority, PriorityLow, PriorityHigh)
+		return specErrf("priority", "priority %d out of range [%d,%d]", s.Priority, PriorityLow, PriorityHigh)
 	}
 	switch s.Backend {
 	case BackendAuto, BackendEmulated, BackendMulticore, BackendAnalytic:
 	default:
-		return fmt.Errorf("service: unknown backend %q (want auto, emulated, multicore or analytic)", s.Backend)
+		return specErrf("backend", "unknown backend %q (want auto, emulated, multicore or analytic)", s.Backend)
 	}
 	if s.WantTrace && s.Backend != BackendAuto && s.Backend != BackendEmulated {
-		return fmt.Errorf("service: a virtual-clock trace requires the emulated backend, not %q", s.Backend)
+		return specErrf("trace", "a virtual-clock trace requires the emulated backend, not %q", s.Backend)
 	}
 	if s.CostOnly {
 		// A cost query needs a clocked backend that models costs: only the
@@ -136,10 +156,10 @@ func (s JobSpec) validate() error {
 		// it records no trace — reject the contradictions instead of
 		// returning silently wrong or incomplete results.
 		if s.WantTrace {
-			return fmt.Errorf("service: a cost-only job cannot request a trace (the analytic backend records none)")
+			return specErrf("cost_only", "a cost-only job cannot request a trace (the analytic backend records none)")
 		}
 		if s.Backend != BackendAuto && s.Backend != BackendAnalytic {
-			return fmt.Errorf("service: a cost-only job requires the analytic backend, not %q", s.Backend)
+			return specErrf("cost_only", "a cost-only job requires the analytic backend, not %q", s.Backend)
 		}
 	}
 	return nil
@@ -152,7 +172,9 @@ func (s JobSpec) validate() error {
 //     records communication events);
 //   - multicore for large problems (n >= threshold), where pointer-handoff
 //     shared memory running the fused kernels beats serialized emulation on
-//     the reference kernels several times over (the gap grows with n);
+//     the reference kernels several times over (the gap grows with n) — a
+//     negative threshold disables this rule entirely (multicore is then
+//     only ever reached by explicit request);
 //   - emulated otherwise: small solves are cheap and the virtual clock's
 //     modeled makespan comes for free.
 func (s JobSpec) selectBackend(multicoreThreshold int) string {
@@ -164,7 +186,7 @@ func (s JobSpec) selectBackend(multicoreThreshold int) string {
 		return BackendAnalytic
 	case s.WantTrace:
 		return BackendEmulated
-	case s.Matrix.Rows >= multicoreThreshold:
+	case multicoreThreshold > 0 && s.Matrix.Rows >= multicoreThreshold:
 		return BackendMulticore
 	default:
 		return BackendEmulated
@@ -278,6 +300,11 @@ type Job struct {
 	started   time.Time
 	finished  time.Time
 	done      chan struct{}
+
+	idemKey string // idempotency key the job was submitted under ("" = none)
+
+	evMu sync.Mutex // guards ev; see events.go
+	ev   jobEvents
 }
 
 // ID returns the service-assigned job identifier.
@@ -414,5 +441,22 @@ func (j *Job) finish(state State, res *Result, err error, cacheHit bool) {
 	j.spec.Matrix = nil
 	j.mu.Unlock()
 	j.cancel() // release the context's resources
+	var et EventType
+	switch state {
+	case StateDone:
+		et = EventDone
+	case StateFailed:
+		et = EventFailed
+	default:
+		et = EventCanceled
+	}
+	ev := Event{Type: et, State: state, CacheHit: cacheHit}
+	if err != nil {
+		ev.Error = err.Error()
+	}
+	// The terminal event is published (and every subscriber channel closed)
+	// before done is signaled, so a caller returning from Wait observes a
+	// complete event stream.
+	j.publish(ev)
 	close(j.done)
 }

@@ -28,8 +28,11 @@ package service
 import (
 	"container/heap"
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -38,6 +41,15 @@ import (
 	"repro/internal/machine"
 	"repro/internal/ordering"
 	"repro/internal/trace"
+)
+
+// Sentinel submission failures, distinguishable by errors.Is so the client
+// layer can map them to structured error codes.
+var (
+	// ErrClosed reports a submission to a closed service.
+	ErrClosed = errors.New("service: closed")
+	// ErrQueueFull reports that QueueCap queued jobs already exist.
+	ErrQueueFull = errors.New("service: queue full")
 )
 
 // Config sizes the service.
@@ -50,11 +62,16 @@ type Config struct {
 	QueueCap int
 	// MulticoreThreshold is the matrix size n at and above which backend
 	// auto-selection switches from the emulated machine to the multicore
-	// backend. Default 64: with the fused multicore kernels
+	// backend. Default (0) is 64: with the fused multicore kernels
 	// (internal/kernel) the emulated machine's wall-clock penalty reaches
 	// ~3x there and keeps growing (~4x at n=128, see DESIGN.md "Kernel
 	// layer"); below it the penalty is small enough that the emulated
 	// machine's free virtual-clock makespan is worth keeping by default.
+	// A negative value means "never auto-select multicore": every
+	// auto-selected job stays on the emulated machine regardless of size
+	// (explicit Backend: "multicore" requests are still honored) — useful
+	// when the modeled virtual-clock makespan matters more than wall time,
+	// or on hosts where the fused-kernel ulp drift is unwanted.
 	MulticoreThreshold int
 	// CacheCap bounds the result cache (entries); 0 defaults to 256,
 	// negative disables caching.
@@ -76,7 +93,7 @@ func (c Config) withDefaults() Config {
 	if c.QueueCap <= 0 {
 		c.QueueCap = 1024
 	}
-	if c.MulticoreThreshold <= 0 {
+	if c.MulticoreThreshold == 0 {
 		c.MulticoreThreshold = 64
 	}
 	if c.CacheCap == 0 {
@@ -129,6 +146,7 @@ type Service struct {
 	queue     jobHeap
 	jobs      map[string]*Job
 	order     []string // job IDs in submission order, for listings
+	idem      map[string]string
 	cache     map[uint64]*Result
 	cacheKeys []uint64 // FIFO eviction order
 	seq       uint64
@@ -144,6 +162,7 @@ func New(cfg Config) *Service {
 	s := &Service{
 		cfg:   cfg.withDefaults(),
 		jobs:  make(map[string]*Job),
+		idem:  make(map[string]string),
 		cache: make(map[uint64]*Result),
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -160,11 +179,22 @@ func (s *Service) Workers() int { return s.cfg.Workers }
 
 // Submit validates and enqueues one job. The returned Job is immediately
 // trackable; cancel it through the job or by canceling ctx. Submit fails
-// when the spec is invalid, the queue is full, or the service is closed.
+// when the spec is invalid, the queue is full (ErrQueueFull), or the
+// service is closed (ErrClosed).
 func (s *Service) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
+	j, _, err := s.SubmitKeyed(ctx, "", spec)
+	return j, err
+}
+
+// SubmitKeyed is Submit with an idempotency key: a non-empty key that was
+// already used returns the job it named (reused=true) instead of enqueuing
+// a duplicate, for as long as that job's record is retained (RetainJobs
+// eviction also releases the key). The key is compared verbatim; the spec
+// of a reused submission is not re-validated against the original.
+func (s *Service) SubmitKeyed(ctx context.Context, key string, spec JobSpec) (*Job, bool, error) {
 	spec = spec.withDefaults()
 	if err := spec.validate(); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	backend := spec.selectBackend(s.cfg.MulticoreThreshold)
 	var fp uint64
@@ -187,31 +217,48 @@ func (s *Service) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 		index:     -1,
+		idemKey:   key,
 	}
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		cancel()
-		return nil, fmt.Errorf("service: closed")
+		return nil, false, ErrClosed
+	}
+	if key != "" {
+		if id, ok := s.idem[key]; ok {
+			existing := s.jobs[id]
+			s.mu.Unlock()
+			cancel()
+			return existing, true, nil
+		}
 	}
 	if len(s.queue) >= s.cfg.QueueCap {
 		s.mu.Unlock()
 		cancel()
-		return nil, fmt.Errorf("service: queue full (%d jobs)", s.cfg.QueueCap)
+		return nil, false, fmt.Errorf("%w (%d jobs)", ErrQueueFull, s.cfg.QueueCap)
 	}
 	s.seq++
 	j.seq = s.seq
 	j.id = fmt.Sprintf("job-%d", s.seq)
+	// The queued event must enter the history before any worker can pop
+	// the job (workers need s.mu, held here) — otherwise a fast worker
+	// could publish started first and the stream would open out of order.
+	// publish only takes the job's event lock, never s.mu.
+	j.publish(Event{Type: EventQueued, State: StateQueued})
 	heap.Push(&s.queue, j)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	if key != "" {
+		s.idem[key] = j.id
+	}
 	s.metrics.submitted++
 	s.evictOldJobsLocked()
 	s.mu.Unlock()
 
 	s.cond.Signal()
-	return j, nil
+	return j, false, nil
 }
 
 // SubmitAll enqueues a batch of specs, failing fast on the first rejected
@@ -273,6 +320,9 @@ func (s *Service) evictOldJobsLocked() {
 		}
 		switch s.jobs[id].State() {
 		case StateDone, StateFailed, StateCanceled:
+			if k := s.jobs[id].idemKey; k != "" {
+				delete(s.idem, k)
+			}
 			delete(s.jobs, id)
 			excess--
 		default:
@@ -299,6 +349,53 @@ func (s *Service) Jobs() []*Job {
 		out = append(out, s.jobs[id])
 	}
 	return out
+}
+
+// maxPageLimit caps one listing page.
+const maxPageLimit = 500
+
+// JobsPage returns up to limit tracked jobs in submission order, starting
+// after the job named by cursor ("" starts from the oldest retained job;
+// limit <= 0 selects 100, capped at 500). The returned cursor resumes the
+// listing — "" once it is exhausted. A cursor pointing past the newest job
+// (or at an already-evicted one) yields an empty page, not an error;
+// cursors are job IDs, and anything else is rejected with a SpecError.
+func (s *Service) JobsPage(cursor string, limit int) ([]*Job, string, error) {
+	after := uint64(0)
+	if cursor != "" {
+		n, err := strconv.ParseUint(strings.TrimPrefix(cursor, "job-"), 10, 64)
+		if !strings.HasPrefix(cursor, "job-") || err != nil {
+			return nil, "", specErrf("cursor", "malformed cursor %q (want a job ID)", cursor)
+		}
+		after = n
+	}
+	if limit <= 0 {
+		limit = 100
+	}
+	if limit > maxPageLimit {
+		limit = maxPageLimit
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// s.order is ascending in seq (jobs are appended at submission), so the
+	// resume point is a binary search away.
+	lo, hi := 0, len(s.order)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.jobs[s.order[mid]].seq <= after {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	out := make([]*Job, 0, min(limit, len(s.order)-lo))
+	for _, id := range s.order[lo:] {
+		if len(out) == limit {
+			return out, out[len(out)-1].id, nil
+		}
+		out = append(out, s.jobs[id])
+	}
+	return out, "", nil
 }
 
 // Close stops the workers. Queued jobs are canceled; running jobs are
@@ -375,6 +472,9 @@ func (s *Service) execute(j *Job) {
 		j.mu.Lock()
 		j.started = time.Now()
 		j.mu.Unlock()
+		// A cache hit still reports a started → done pair, so every
+		// consumer sees the same lifecycle shape (just without sweeps).
+		j.publish(Event{Type: EventStarted, State: StateRunning})
 		j.finish(StateDone, res, nil, true)
 		s.recordDone(j, res, true)
 		return
@@ -384,6 +484,7 @@ func (s *Service) execute(j *Job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	j.mu.Unlock()
+	j.publish(Event{Type: EventStarted, State: StateRunning})
 
 	res, err := s.solve(j)
 	switch {
@@ -415,6 +516,18 @@ func (s *Service) solve(j *Job) (*Result, error) {
 		Tc:          spec.Tc,
 		FixedSweeps: spec.FixedSweeps,
 		PipelineQ:   spec.PipelineQ,
+		// Per-sweep progress feeds the job's event stream. The hook runs on
+		// node 0's goroutine inside the solve: publish never blocks (slow
+		// subscribers drop, see events.go), so the solver is never gated on
+		// a consumer.
+		OnSweep: func(p engine.SweepProgress) {
+			j.publish(Event{Type: EventSweep, State: StateRunning, Sweep: &SweepEvent{
+				Sweep:     p.Sweep,
+				MaxRel:    p.MaxRel,
+				OffNorm:   p.OffNorm,
+				Rotations: p.Rotations,
+			}})
+		},
 	}
 	if spec.OnePort {
 		cfg.Ports = machine.OnePort
