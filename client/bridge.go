@@ -49,19 +49,21 @@ func ServiceRequest(s Spec) service.JobRequest {
 // FromServiceStatus lifts a service job snapshot into the wire shape.
 func FromServiceStatus(st service.Status) Status {
 	return Status{
-		ID:        st.ID,
-		Label:     st.Label,
-		State:     string(st.State),
-		Backend:   st.Backend,
-		Priority:  int(st.Priority),
-		N:         st.N,
-		Dim:       st.Dim,
-		Ordering:  st.Ordering,
-		CacheHit:  st.CacheHit,
-		Error:     st.Error,
-		WaitMs:    st.WaitMs,
-		RunMs:     st.RunMs,
-		Submitted: st.Submitted,
+		ID:               st.ID,
+		Label:            st.Label,
+		State:            string(st.State),
+		Backend:          st.Backend,
+		Priority:         int(st.Priority),
+		N:                st.N,
+		Dim:              st.Dim,
+		Ordering:         st.Ordering,
+		CacheHit:         st.CacheHit,
+		Restarts:         st.Restarts,
+		ResumedFromSweep: st.ResumedFromSweep,
+		Error:            st.Error,
+		WaitMs:           st.WaitMs,
+		RunMs:            st.RunMs,
+		Submitted:        st.Submitted,
 	}
 }
 

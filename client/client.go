@@ -165,11 +165,18 @@ type Status struct {
 	CacheHit bool   `json:"cache_hit"`
 	// Reused marks a submission answered by an existing job via its
 	// idempotency key (set on submit responses only).
-	Reused    bool    `json:"reused,omitempty"`
-	Error     string  `json:"error,omitempty"`
-	WaitMs    float64 `json:"wait_ms"`
-	RunMs     float64 `json:"run_ms"`
-	Submitted string  `json:"submitted"`
+	Reused bool `json:"reused,omitempty"`
+	// Restarts counts service restarts that interrupted the job while it
+	// was running; ResumedFromSweep is the completed-sweep count of the
+	// durable checkpoint its latest re-enqueue resumed from (0 = from
+	// scratch). Both are zero unless the server runs with a durable store
+	// (`jacobitool serve -data`).
+	Restarts         int     `json:"restarts,omitempty"`
+	ResumedFromSweep int     `json:"resumed_from_sweep,omitempty"`
+	Error            string  `json:"error,omitempty"`
+	WaitMs           float64 `json:"wait_ms"`
+	RunMs            float64 `json:"run_ms"`
+	Submitted        string  `json:"submitted"`
 }
 
 // Terminal reports whether the state is done, failed or canceled.

@@ -29,7 +29,10 @@ type factory struct {
 func factories() []factory {
 	return []factory{
 		{"Local", func(t *testing.T, workers int) client.Client {
-			c := client.NewLocal(client.LocalConfig{Workers: workers})
+			c, err := client.NewLocal(client.LocalConfig{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
 			t.Cleanup(func() { c.Close() })
 			return c
 		}},

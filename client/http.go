@@ -242,7 +242,12 @@ func terminalCause(ev *Event) string {
 
 // Events opens the job's streaming events endpoint (newline-delimited
 // JSON) and decodes it into a channel: history replay first, then live
-// events, closed after the terminal event or when ctx ends.
+// events, closed after the terminal event or when ctx ends. A mid-stream
+// cancellation releases the response body and the decoding goroutine
+// promptly: the body is closed from an AfterFunc the moment ctx ends, so
+// the scanner unblocks even under a caller-supplied http.Client whose
+// transport does not propagate request-context cancellation to in-flight
+// body reads (the conformance suite asserts the no-leak property).
 func (h *httpHandle) Events(ctx context.Context) (<-chan Event, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		h.c.base+"/api/v2/jobs/"+url.PathEscape(h.id)+"/events", nil)
@@ -258,10 +263,12 @@ func (h *httpHandle) Events(ctx context.Context) (<-chan Event, error) {
 		defer resp.Body.Close()
 		return nil, decodeError(resp)
 	}
+	stopClose := context.AfterFunc(ctx, func() { resp.Body.Close() })
 	out := make(chan Event)
 	go func() {
 		defer close(out)
 		defer resp.Body.Close()
+		defer stopClose()
 		sc := bufio.NewScanner(resp.Body)
 		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 		for sc.Scan() {

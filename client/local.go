@@ -5,6 +5,7 @@ import (
 	"errors"
 
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 // LocalConfig sizes the in-process service a Local client owns. Zero
@@ -18,6 +19,15 @@ type LocalConfig struct {
 	MulticoreThreshold int
 	CacheCap           int
 	RetainJobs         int
+	// DataDir, when non-empty, makes the owned service durable: jobs are
+	// journaled to this directory and running solves checkpoint at sweep
+	// boundaries, so a new Local client opened on the same directory
+	// recovers finished results, re-enqueues queued jobs and resumes
+	// in-flight ones from their last checkpoint (see `jacobitool serve
+	// -data` and DESIGN.md §10). CheckpointEvery tunes the cadence
+	// (0 = every sweep, negative = no checkpoints).
+	DataDir         string
+	CheckpointEvery int
 }
 
 // Local is the in-process Client: it creates and owns a batch-solve
@@ -25,20 +35,31 @@ type LocalConfig struct {
 // the service down.
 type Local struct {
 	svc *service.Service
+	st  *store.Store
 }
 
 var _ Client = (*Local)(nil)
 
 // NewLocal starts an in-process service and returns the client wrapping
-// it.
-func NewLocal(cfg LocalConfig) *Local {
-	return &Local{svc: service.New(service.Config{
+// it. With a DataDir, the journal there is replayed first; an unreadable
+// journal is an error.
+func NewLocal(cfg LocalConfig) (*Local, error) {
+	var st *store.Store
+	if cfg.DataDir != "" {
+		var err error
+		if st, err = store.Open(cfg.DataDir); err != nil {
+			return nil, err
+		}
+	}
+	return &Local{st: st, svc: service.New(service.Config{
 		Workers:            cfg.Workers,
 		QueueCap:           cfg.QueueCap,
 		MulticoreThreshold: cfg.MulticoreThreshold,
 		CacheCap:           cfg.CacheCap,
 		RetainJobs:         cfg.RetainJobs,
-	})}
+		Store:              st,
+		CheckpointEvery:    cfg.CheckpointEvery,
+	})}, nil
 }
 
 // Submit validates and enqueues one job on the in-process service.
@@ -87,9 +108,14 @@ func (l *Local) Metrics(ctx context.Context) (*Metrics, error) {
 }
 
 // Close shuts the owned service down: queued jobs are canceled, running
-// ones interrupted at their next sweep boundary and awaited.
+// ones interrupted at their next sweep boundary and awaited. With a
+// DataDir, jobs cut short here stay live in the journal and resume when a
+// client reopens the directory; the journal handle closes last.
 func (l *Local) Close() error {
 	l.svc.Close()
+	if l.st != nil {
+		return l.st.Close()
+	}
 	return nil
 }
 

@@ -21,7 +21,8 @@
 //	solve      run a distributed eigensolve on a pluggable execution backend
 //	simulate   compare emulated communication time against the analytic model
 //	bench      headline backend metrics, optionally written as BENCH_<date>.json
-//	serve      the concurrent batch-solve service over its HTTP API (v2 + v1 shim)
+//	serve      the concurrent batch-solve service over its HTTP API (v2 + v1
+//	           shim); -data makes it durable (crash recovery + solve resume)
 //	batch      solve a manifest of problems concurrently, with a summary table
 //	submit     submit one eigensolve through the client API (local or -remote)
 //	watch      stream a remote job's progress events until it finishes
@@ -110,7 +111,7 @@ commands:
   solve       -m N [-d D] [-o ORD] [-backend B] [-pipelined] [-oneport] eigensolve
   simulate    -m N [-d D] [-sweeps S] emulated vs analytic communication time
   bench       [-m N] [-d D] [-json]  headline backend metrics (BENCH_<date>.json)
-  serve       [-addr A] [-workers W] [-retain R] batch-solve service over HTTP (v2 + v1 shim)
+  serve       [-addr A] [-workers W] [-data DIR] batch-solve service over HTTP (v2 + v1 shim; -data = durable)
   batch       [-manifest F] [-remote URL] [-check] solve a manifest of problems concurrently
   submit      [-remote URL] [-n N] [-d D] [-watch] submit one eigensolve via the client API
   watch       -remote URL JOB        stream a remote job's progress events

@@ -14,13 +14,17 @@ import (
 
 	"repro/internal/httpapi"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 // cmdServe runs the batch-solve service behind its HTTP API (v2 + the v1
 // shim), with header/idle timeouts on the listener and a graceful drain on
-// SIGINT/SIGTERM: the HTTP server stops accepting and drains in-flight
-// requests, then the service shuts down (canceling live jobs at their next
-// sweep boundary).
+// SIGINT/SIGTERM: the HTTP server stops accepting, in-flight requests
+// (event streams included) get their terminal events, then the listener
+// closes. With -data the service is durable: jobs are journaled and
+// checkpointed there, and a restarted server recovers them — finished
+// results are served from the store, queued jobs re-run, in-flight jobs
+// resume from their last sweep checkpoint.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8473", "listen address (port 0 picks a free port; the resolved address is printed)")
@@ -30,8 +34,19 @@ func cmdServe(args []string) error {
 	cacheCap := fs.Int("cache", 0, "result-cache capacity in entries (0 = 256, negative disables)")
 	retain := fs.Int("retain", 0, "finished-job records kept for status/result queries (0 = 4096, negative retains everything)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+	dataDir := fs.String("data", "", "durable data directory (empty = in-memory only): journal + sweep checkpoints; a restart recovers and resumes jobs")
+	ckptEvery := fs.Int("checkpoint-every", 0, "sweep-checkpoint cadence with -data (0 = every sweep, negative = no checkpoints)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		if st, err = store.Open(*dataDir); err != nil {
+			return err
+		}
+		defer st.Close()
+		fmt.Printf("jacobitool serve: durable store at %s\n", *dataDir)
 	}
 	svc := service.New(service.Config{
 		Workers:            *workers,
@@ -39,6 +54,8 @@ func cmdServe(args []string) error {
 		MulticoreThreshold: *threshold,
 		CacheCap:           *cacheCap,
 		RetainJobs:         *retain,
+		Store:              st,
+		CheckpointEvery:    *ckptEvery,
 	})
 	defer svc.Close()
 
@@ -75,17 +92,27 @@ func cmdServe(args []string) error {
 		stop() // a second signal kills immediately
 		fmt.Println("jacobitool serve: signal received, draining…")
 		shCtx, cancel := context.WithTimeout(context.Background(), *drain)
-		defer cancel()
-		// Shutdown first so in-flight requests (event streams included)
-		// finish cleanly, then close the service — the deferred Close
-		// cancels whatever is still running. Streams of live jobs can
-		// outlast the drain deadline; Shutdown then reports the deadline,
-		// which is expected, and Close ends those jobs (terminal events
-		// close the streams).
 		err := srv.Shutdown(shCtx)
+		cancel()
 		if errors.Is(err, context.DeadlineExceeded) {
-			fmt.Println("jacobitool serve: drain deadline reached, closing live jobs")
-			err = nil
+			// Streams of still-running jobs outlasted the deadline. A
+			// watcher must never lose its terminal event to a drain: end
+			// the jobs first — every open stream then receives a canceled
+			// terminal event carrying the typed shutdown cause
+			// (service.ErrShutdown) and its handler returns — and only
+			// then close the listener. With -data those jobs are NOT
+			// recorded as canceled: they resume on the next boot.
+			fmt.Println("jacobitool serve: drain deadline reached, delivering shutdown events to live streams")
+			svc.Close()
+			flushCtx, cancelFlush := context.WithTimeout(context.Background(), 5*time.Second)
+			err = srv.Shutdown(flushCtx)
+			cancelFlush()
+			if err != nil {
+				// A consumer refusing to read its flushed stream is the
+				// only way here; cut the connections.
+				srv.Close()
+				err = nil
+			}
 		}
 		<-errCh // Serve has returned http.ErrServerClosed
 		return err

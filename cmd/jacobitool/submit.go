@@ -15,7 +15,7 @@ import (
 // call is transport-agnostic — the point of the client package.
 func newClient(remote string, workers, threshold int) (client.Client, error) {
 	if remote == "" {
-		return client.NewLocal(client.LocalConfig{Workers: workers, MulticoreThreshold: threshold}), nil
+		return client.NewLocal(client.LocalConfig{Workers: workers, MulticoreThreshold: threshold})
 	}
 	return client.NewHTTP(remote)
 }

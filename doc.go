@@ -27,6 +27,11 @@
 //     queue, per-job backend auto-selection, fingerprint result cache,
 //     per-job event fan-out); internal/httpapi mounts it as /api/v2 plus
 //     the /api/v1 compatibility shim
+//   - internal/store: the durable job store behind `serve -data` — an
+//     fsync'd CRC-framed journal plus per-job sweep-boundary engine
+//     checkpoints, so a restarted server recovers finished results,
+//     re-enqueues queued jobs and resumes in-flight solves bit-identically
+//     (DESIGN.md §10)
 //   - cmd/jacobitool: command-line access to everything, including
 //     `jacobitool serve` (the service over HTTP), `submit`/`watch`
 //     (one-shot client runs, local or -remote, with live event

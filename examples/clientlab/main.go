@@ -67,7 +67,10 @@ func main() {
 
 	// ---- Part 1: in-process -------------------------------------------
 	fmt.Println("local client (in-process pool):")
-	local := client.NewLocal(client.LocalConfig{Workers: 2})
+	local, err := client.NewLocal(client.LocalConfig{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := solveAndStream(ctx, local, "local-demo"); err != nil {
 		log.Fatal(err)
 	}

@@ -76,6 +76,26 @@ type Problem struct {
 	// block — the batch-solve service forwards it into per-job event
 	// streams with non-blocking fan-out.
 	OnSweep func(SweepProgress)
+	// OnCheckpoint, when non-nil, receives a sweep-boundary Checkpoint
+	// every CheckpointEvery sweeps (see checkpoint.go for the capture
+	// protocol). It is invoked from node 0's goroutine on the distributed
+	// path only, never at the run's final boundary (the outcome itself is
+	// at hand there), and owns the Checkpoint it receives. Checkpointing
+	// requires the sweep-end convergence allreduce, so FixedSweeps and
+	// Pipelined runs reject it.
+	OnCheckpoint func(*Checkpoint)
+	// CheckpointEvery is the checkpoint cadence in sweeps when OnCheckpoint
+	// is set; <= 0 defaults to every sweep.
+	CheckpointEvery int
+	// StartSweep is the first sweep index the loop executes — 0 for a
+	// fresh solve, or a completed-sweep count installed by Restore. The
+	// per-sweep link mapping (ordering.SweepLink) is indexed by the
+	// absolute sweep, so a restored run replays exactly the schedule tail
+	// the uninterrupted run would have executed.
+	StartSweep int
+	// baseRotations seeds the outcome's rotation count on a restored run
+	// (set by Restore).
+	baseRotations int
 	// TraceGram is trace(AᵀA) = ‖A‖²_F of the input (rotation-invariant),
 	// the normalizer of the OffFrob criterion.
 	TraceGram float64
@@ -184,9 +204,23 @@ func (p *Problem) Run(be ExecBackend) (*Outcome, *Stats, error) {
 	if len(p.Blocks) != 2*nodes {
 		return nil, nil, fmt.Errorf("engine: %d blocks for a %d-cube, want %d", len(p.Blocks), p.Dim, 2*nodes)
 	}
+	if p.Pipelined && (p.OnCheckpoint != nil || p.StartSweep > 0) {
+		return nil, nil, fmt.Errorf("engine: the pipelined node program supports neither checkpoint capture nor restore")
+	}
+	if p.OnCheckpoint != nil && p.FixedSweeps > 0 {
+		return nil, nil, fmt.Errorf("engine: checkpointing requires the convergence allreduce, which FixedSweeps runs skip")
+	}
 	var phaseQ []int
 	if p.Pipelined {
 		phaseQ = p.phaseDegrees()
+	}
+	var ck *ckRun
+	if p.OnCheckpoint != nil {
+		ck = &ckRun{every: p.CheckpointEvery, slots: make([][2]*Block, nodes)}
+		ck.barrier.n = nodes
+		if ck.every <= 0 {
+			ck.every = 1
+		}
 	}
 	fused := fusedFor(be)
 	outcomes := make([]nodeOutcome, nodes)
@@ -200,7 +234,7 @@ func (p *Problem) Run(be ExecBackend) (*Outcome, *Stats, error) {
 		if p.Pipelined {
 			return p.pipelinedNodeProgram(ctx, phaseQ, opts, sc, &outcomes[ctx.ID()])
 		}
-		return p.nodeProgram(ctx, sw, opts, sc, &outcomes[ctx.ID()])
+		return p.nodeProgram(ctx, sw, opts, sc, ck, &outcomes[ctx.ID()])
 	}
 	stats, err := be.Run(p.Dim, p.Rows, p.factorHeight(), program)
 	if err != nil {
@@ -211,6 +245,7 @@ func (p *Problem) Run(be ExecBackend) (*Outcome, *Stats, error) {
 		Converged:   outcomes[0].converged,
 		Interrupted: outcomes[0].interrupted,
 		FinalMaxRel: outcomes[0].finalRel,
+		Rotations:   p.baseRotations,
 	}
 	for _, o := range outcomes {
 		out.Rotations += o.rotations
@@ -253,11 +288,12 @@ func (p *Problem) RunContext(ctx context.Context, be ExecBackend) (*Outcome, *St
 
 // nodeProgram is the unpipelined per-node sweep loop: intra-block pairings,
 // then the 2^(d+1)-1 steps with their transitions, then the sweep-end
-// convergence decision. sc selects the kernel path (nil = reference).
-func (p *Problem) nodeProgram(ctx NodeCtx, sw *ordering.Sweep, opts Options, sc *Scratch, out *nodeOutcome) error {
+// convergence decision. sc selects the kernel path (nil = reference); ck,
+// when non-nil, enables sweep-boundary checkpoint capture (checkpoint.go).
+func (p *Problem) nodeProgram(ctx NodeCtx, sw *ordering.Sweep, opts Options, sc *Scratch, ck *ckRun, out *nodeOutcome) error {
 	id := ctx.ID()
 	slotA, slotB := p.Blocks[2*id], p.Blocks[2*id+1]
-	for sweep := 0; ; sweep++ {
+	for sweep := p.StartSweep; ; sweep++ {
 		var conv ConvTracker
 		pairWithin(slotA, sc, &conv)
 		pairWithin(slotB, sc, &conv)
@@ -275,6 +311,13 @@ func (p *Problem) nodeProgram(ctx NodeCtx, sw *ordering.Sweep, opts Options, sc 
 				}
 			}
 		}
+		// Deposit this boundary's checkpoint copies before the sweep-end
+		// allreduce: its completion orders every node's copy before node
+		// 0's read below.
+		capture := ck.at(sweep)
+		if capture {
+			ck.slots[id] = [2]*Block{slotA.Clone(), slotB.Clone()}
+		}
 		out.sweeps = sweep + 1
 		out.rotations += conv.Rotations
 		done, global, err := p.sweepDecision(ctx, conv, opts, sweep)
@@ -288,8 +331,27 @@ func (p *Problem) nodeProgram(ctx NodeCtx, sw *ordering.Sweep, opts Options, sc 
 		if done.interrupted {
 			out.interrupted = true
 		}
-		if p.OnSweep != nil && id == 0 {
-			p.OnSweep(progressFrom(sweep, global, done))
+		if id == 0 {
+			if ck != nil {
+				ck.rot += global.Rotations
+			}
+			if p.OnSweep != nil {
+				p.OnSweep(progressFrom(sweep, global, done))
+			}
+			if capture && !done.stop {
+				p.OnCheckpoint(ck.assemble(p, sweep))
+			}
+		}
+		if capture && !done.stop {
+			// Barrier: no node may overwrite its ck.slots entry at the next
+			// checkpointed boundary until node 0's read (and the hook) above
+			// completed. The decision bits are global, so every node takes
+			// this branch together. A process-level rendezvous, not an
+			// allreduce: capture must cost the modeled machine nothing (see
+			// ckBarrier).
+			if err := ck.barrier.wait(); err != nil {
+				return fmt.Errorf("sweep %d: %w", sweep, err)
+			}
 		}
 		if done.stop {
 			break
@@ -416,27 +478,47 @@ func (p *Problem) RunCentral() (*Outcome, error) {
 	if len(p.Blocks) != 2*nodes {
 		return nil, fmt.Errorf("engine: %d blocks for a %d-cube, want %d", len(p.Blocks), p.Dim, 2*nodes)
 	}
+	if p.OnCheckpoint != nil {
+		return nil, fmt.Errorf("engine: checkpoint capture runs on the distributed path only")
+	}
 	st := ordering.NewState(p.Dim)
-	out := &Outcome{}
+	blocks := p.Blocks
+	if p.StartSweep > 0 {
+		// A restore hands blocks in boundary placement (node p's slots at
+		// 2p, 2p+1); the central replay addresses blocks by ID, with the
+		// placement state replayed to the same boundary.
+		byID := make([]*Block, len(p.Blocks))
+		for _, b := range p.Blocks {
+			if b.ID < 0 || b.ID >= len(byID) || byID[b.ID] != nil {
+				return nil, fmt.Errorf("engine: restored blocks carry invalid or duplicate ID %d", b.ID)
+			}
+			byID[b.ID] = b
+		}
+		blocks = byID
+		for sweep := 0; sweep < p.StartSweep; sweep++ {
+			st.RunSweep(sw, sweep, func(int, *ordering.State) {})
+		}
+	}
+	out := &Outcome{Rotations: p.baseRotations}
 	// FixedSweeps overrides MaxSweeps entirely, exactly as in the
 	// distributed node programs, so the two paths always run the same
 	// number of sweeps.
-	for sweep := 0; ; sweep++ {
+	for sweep := p.StartSweep; ; sweep++ {
 		var conv ConvTracker
 		// Step 1 of the block algorithm: intra-block pairings, performed on
 		// whichever node currently holds each block (node order).
 		for n := 0; n < nodes; n++ {
 			nb := st.Node(n)
-			PairWithin(p.Blocks[nb.A], &conv)
-			PairWithin(p.Blocks[nb.B], &conv)
+			PairWithin(blocks[nb.A], &conv)
+			PairWithin(blocks[nb.B], &conv)
 		}
 		st.RunSweep(sw, sweep, func(step int, cur *ordering.State) {
 			for n := 0; n < nodes; n++ {
 				nb := cur.Node(n)
-				PairCross(p.Blocks[nb.A], p.Blocks[nb.B], &conv)
+				PairCross(blocks[nb.A], blocks[nb.B], &conv)
 			}
 		})
-		out.Sweeps++
+		out.Sweeps = sweep + 1
 		out.Rotations += conv.Rotations
 		out.FinalMaxRel = conv.MaxRel
 		// Same decision order as the distributed sweepDecision: fixed-sweep

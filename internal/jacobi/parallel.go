@@ -45,6 +45,18 @@ type ParallelConfig struct {
 	// — see engine.Problem.OnSweep. The batch-solve service forwards it
 	// into each job's event stream.
 	OnSweep func(engine.SweepProgress)
+	// OnCheckpoint, when non-nil, receives a sweep-boundary checkpoint
+	// every CheckpointEvery sweeps (see engine.Problem.OnCheckpoint); the
+	// batch-solve service persists it through the durable job store.
+	// Unsupported on pipelined and fixed-sweep solves.
+	OnCheckpoint    func(*engine.Checkpoint)
+	CheckpointEvery int
+	// Resume, when non-nil, restores the solve from a previously captured
+	// checkpoint instead of starting from the input matrix: the remaining
+	// sweeps replay exactly what the uninterrupted run would have executed
+	// (engine.Problem.Restore). The input matrix must still be supplied —
+	// its shape seeds the problem and the gathered eigensystem.
+	Resume *engine.Checkpoint
 	// Backend selects the execution substrate. Nil defaults to the emulated
 	// multi-port hypercube built from Ports/Ts/Tw/Tc/Trace; pass
 	// &engine.Multicore{} for hardware-speed shared-memory execution or
@@ -72,30 +84,42 @@ func (cfg ParallelConfig) problem(a *matrix.Dense, d int, pipelined bool) (*engi
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("jacobi: matrix is %dx%d, want square", a.Rows, a.Cols)
 	}
-	blocks, err := BuildBlocks(a, d)
-	if err != nil {
-		return nil, err
-	}
 	fam := cfg.Family
 	if fam == nil {
 		fam = ordering.NewBRFamily()
 	}
-	return &engine.Problem{
-		Blocks:        blocks,
-		Dim:           d,
-		Family:        fam,
-		Opts:          cfg.Options,
-		FixedSweeps:   cfg.FixedSweeps,
-		Rows:          a.Rows,
-		TraceGram:     traceGram(a),
-		Interrupt:     cfg.Interrupt,
-		OnSweep:       cfg.OnSweep,
-		Pipelined:     pipelined,
-		PipelineQ:     cfg.PipelineQ,
-		PipelineTs:    cfg.Ts,
-		PipelineTw:    cfg.Tw,
-		PipelinePorts: int(cfg.Ports),
-	}, nil
+	prob := &engine.Problem{
+		Dim:             d,
+		Family:          fam,
+		Opts:            cfg.Options,
+		FixedSweeps:     cfg.FixedSweeps,
+		Rows:            a.Rows,
+		Interrupt:       cfg.Interrupt,
+		OnSweep:         cfg.OnSweep,
+		OnCheckpoint:    cfg.OnCheckpoint,
+		CheckpointEvery: cfg.CheckpointEvery,
+		Pipelined:       pipelined,
+		PipelineQ:       cfg.PipelineQ,
+		PipelineTs:      cfg.Ts,
+		PipelineTw:      cfg.Tw,
+		PipelinePorts:   int(cfg.Ports),
+	}
+	if cfg.Resume != nil {
+		// The checkpoint replaces the initial partition wholesale (blocks,
+		// trace, sweep position); building blocks from the matrix here
+		// would be an O(n²) copy thrown straight away.
+		if err := prob.Restore(cfg.Resume); err != nil {
+			return nil, err
+		}
+		return prob, nil
+	}
+	blocks, err := BuildBlocks(a, d)
+	if err != nil {
+		return nil, err
+	}
+	prob.Blocks = blocks
+	prob.TraceGram = traceGram(a)
+	return prob, nil
 }
 
 // SolveParallel runs the one-sided Jacobi method distributed over the 2^d

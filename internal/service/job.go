@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/matrix"
 	"repro/internal/ordering"
 	"repro/internal/trace"
@@ -274,6 +275,22 @@ type Result struct {
 	Trace *trace.Summary `json:"trace,omitempty"`
 }
 
+// clone returns an independent deep copy. The result cache stores and
+// hands out clones so no caller ever shares backing slices with the cache
+// (or with another caller): mutating a returned Result must never corrupt
+// later cache hits.
+func (r *Result) clone() *Result {
+	cp := *r
+	cp.Values = append([]float64(nil), r.Values...)
+	if r.Trace != nil {
+		tr := *r.Trace
+		tr.DimMessages = append([]int(nil), r.Trace.DimMessages...)
+		tr.DimShare = append([]float64(nil), r.Trace.DimShare...)
+		cp.Trace = &tr
+	}
+	return &cp
+}
+
 // Job is one tracked solve: spec, queue bookkeeping and outcome. All
 // exported methods are safe for concurrent use.
 type Job struct {
@@ -286,7 +303,7 @@ type Job struct {
 	seq      uint64 // FIFO tiebreak within a priority class
 
 	ctx    context.Context
-	cancel context.CancelFunc
+	cancel context.CancelCauseFunc
 	svc    *Service
 
 	index int // heap position (-1 once dequeued)
@@ -302,6 +319,15 @@ type Job struct {
 	done      chan struct{}
 
 	idemKey string // idempotency key the job was submitted under ("" = none)
+
+	// restarts counts how many service restarts interrupted the job while
+	// it was running; resume holds the checkpoint recovery loaded for it
+	// (consumed by the next solve), resumedFrom that checkpoint's
+	// completed-sweep count. All three are set during recovery, before the
+	// job is visible to workers; resume is cleared under mu.
+	restarts    int
+	resumedFrom int
+	resume      *engine.Checkpoint
 
 	evMu sync.Mutex // guards ev; see events.go
 	ev   jobEvents
@@ -332,10 +358,19 @@ func (j *Job) State() State {
 // a running job, but a job queued under a canceled context is only
 // finalized when a worker reaches it.
 func (j *Job) Cancel() {
-	j.cancel()
+	j.cancel(nil)
 	if j.svc != nil {
 		j.svc.dropQueued(j)
 	}
+}
+
+// takeResume hands out (and clears) the recovery checkpoint, exactly once.
+func (j *Job) takeResume() *engine.Checkpoint {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ck := j.resume
+	j.resume = nil
+	return ck
 }
 
 // Spec returns the job's normalized spec (defaults applied). The matrix is
@@ -376,19 +411,25 @@ func (j *Job) Result() (*Result, error) {
 
 // Status is a JSON-ready snapshot of a job.
 type Status struct {
-	ID        string   `json:"id"`
-	Label     string   `json:"label,omitempty"`
-	State     State    `json:"state"`
-	Backend   string   `json:"backend"`
-	Priority  Priority `json:"priority"`
-	N         int      `json:"n"`
-	Dim       int      `json:"dim"`
-	Ordering  string   `json:"ordering"`
-	CacheHit  bool     `json:"cache_hit"`
-	Error     string   `json:"error,omitempty"`
-	WaitMs    float64  `json:"wait_ms"`
-	RunMs     float64  `json:"run_ms"`
-	Submitted string   `json:"submitted"`
+	ID       string   `json:"id"`
+	Label    string   `json:"label,omitempty"`
+	State    State    `json:"state"`
+	Backend  string   `json:"backend"`
+	Priority Priority `json:"priority"`
+	N        int      `json:"n"`
+	Dim      int      `json:"dim"`
+	Ordering string   `json:"ordering"`
+	CacheHit bool     `json:"cache_hit"`
+	// Restarts counts service restarts that interrupted the job while it
+	// was running; ResumedFromSweep is the completed-sweep count of the
+	// checkpoint its latest re-enqueue resumed from (0 = from scratch).
+	// Both are zero on a service without a durable store.
+	Restarts         int     `json:"restarts,omitempty"`
+	ResumedFromSweep int     `json:"resumed_from_sweep,omitempty"`
+	Error            string  `json:"error,omitempty"`
+	WaitMs           float64 `json:"wait_ms"`
+	RunMs            float64 `json:"run_ms"`
+	Submitted        string  `json:"submitted"`
 }
 
 // Status returns the job's snapshot.
@@ -396,16 +437,18 @@ func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := Status{
-		ID:        j.id,
-		Label:     j.spec.Label,
-		State:     j.state,
-		Backend:   j.backend,
-		Priority:  j.priority,
-		N:         j.n,
-		Dim:       j.spec.Dim,
-		Ordering:  j.spec.Ordering,
-		CacheHit:  j.cacheHit,
-		Submitted: j.submitted.UTC().Format(time.RFC3339Nano),
+		ID:               j.id,
+		Label:            j.spec.Label,
+		State:            j.state,
+		Backend:          j.backend,
+		Priority:         j.priority,
+		N:                j.n,
+		Dim:              j.spec.Dim,
+		Ordering:         j.spec.Ordering,
+		CacheHit:         j.cacheHit,
+		Restarts:         j.restarts,
+		ResumedFromSweep: j.resumedFrom,
+		Submitted:        j.submitted.UTC().Format(time.RFC3339Nano),
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()
@@ -440,7 +483,13 @@ func (j *Job) finish(state State, res *Result, err error, cacheHit bool) {
 	// queries, which no longer need the O(n²) payload.
 	j.spec.Matrix = nil
 	j.mu.Unlock()
-	j.cancel() // release the context's resources
+	j.cancel(nil) // release the context's resources
+	if j.svc != nil {
+		// Persist the terminal transition (durable stores only). Jobs
+		// canceled by a service shutdown are deliberately NOT recorded:
+		// they stay in-flight in the journal and resume on the next boot.
+		j.svc.persistFinished(j, state, res, err)
+	}
 	var et EventType
 	switch state {
 	case StateDone:

@@ -28,8 +28,10 @@ package service
 import (
 	"container/heap"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"strconv"
 	"strings"
@@ -40,6 +42,7 @@ import (
 	"repro/internal/jacobi"
 	"repro/internal/machine"
 	"repro/internal/ordering"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -50,6 +53,11 @@ var (
 	ErrClosed = errors.New("service: closed")
 	// ErrQueueFull reports that QueueCap queued jobs already exist.
 	ErrQueueFull = errors.New("service: queue full")
+	// ErrShutdown is the cancellation cause of jobs cut short by Close: it
+	// reaches terminal events (so a watcher can tell a drain from a user
+	// cancel), and jobs canceled with it are not recorded as terminal in
+	// the durable store — they resume on the next boot.
+	ErrShutdown = errors.New("service: shutting down")
 )
 
 // Config sizes the service.
@@ -81,6 +89,21 @@ type Config struct {
 	// jobs are never evicted). 0 defaults to 4096, negative retains
 	// everything.
 	RetainJobs int
+	// Store, when non-nil, makes the service durable: accepted jobs are
+	// journaled (fsync'd) before Submit acknowledges them, terminal
+	// transitions and results are recorded, and running solves checkpoint
+	// their engine state at sweep boundaries. New replays the journal —
+	// finished jobs restore into the job table and the result cache,
+	// queued jobs re-enqueue, and in-flight jobs resume from their last
+	// checkpoint (see recover.go). Nil keeps the service fully in-memory
+	// with no persistence cost.
+	Store *store.Store
+	// CheckpointEvery is the sweep-boundary checkpoint cadence of running
+	// jobs when a Store is configured: 0 checkpoints every sweep, k > 0
+	// every k sweeps, negative disables checkpointing (crash recovery then
+	// restarts in-flight jobs from scratch). Pipelined and fixed-sweep
+	// jobs never checkpoint (the engine cannot cut those mid-run).
+	CheckpointEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -155,9 +178,17 @@ type Service struct {
 
 	metrics metrics
 	wg      sync.WaitGroup
+	// subWG tracks durable submissions between their registration and the
+	// end of their journaling, so Close (and then the caller's
+	// store.Close) never races an in-flight append. Add happens under
+	// s.mu before the closed flag could be observed set, Wait after it is.
+	subWG sync.WaitGroup
 }
 
-// New starts a service with cfg.Workers solve workers.
+// New starts a service with cfg.Workers solve workers. With a configured
+// Store, the journal is replayed first (restoring finished jobs, warming
+// the result cache, re-enqueuing queued and in-flight jobs) before any
+// worker starts.
 func New(cfg Config) *Service {
 	s := &Service{
 		cfg:   cfg.withDefaults(),
@@ -167,6 +198,9 @@ func New(cfg Config) *Service {
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.metrics.start = time.Now()
+	if s.cfg.Store != nil {
+		s.recover()
+	}
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -203,7 +237,7 @@ func (s *Service) SubmitKeyed(ctx context.Context, key string, spec JobSpec) (*J
 		// when the result cache is disabled and nothing would consume it.
 		fp = spec.fingerprint(backend)
 	}
-	jctx, cancel := context.WithCancel(ctx)
+	jctx, cancel := context.WithCancelCause(ctx)
 	j := &Job{
 		spec:      spec,
 		n:         spec.Matrix.Rows,
@@ -223,20 +257,20 @@ func (s *Service) SubmitKeyed(ctx context.Context, key string, spec JobSpec) (*J
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		cancel()
+		cancel(nil)
 		return nil, false, ErrClosed
 	}
 	if key != "" {
 		if id, ok := s.idem[key]; ok {
 			existing := s.jobs[id]
 			s.mu.Unlock()
-			cancel()
+			cancel(nil)
 			return existing, true, nil
 		}
 	}
 	if len(s.queue) >= s.cfg.QueueCap {
 		s.mu.Unlock()
-		cancel()
+		cancel(nil)
 		return nil, false, fmt.Errorf("%w (%d jobs)", ErrQueueFull, s.cfg.QueueCap)
 	}
 	s.seq++
@@ -247,18 +281,136 @@ func (s *Service) SubmitKeyed(ctx context.Context, key string, spec JobSpec) (*J
 	// could publish started first and the stream would open out of order.
 	// publish only takes the job's event lock, never s.mu.
 	j.publish(Event{Type: EventQueued, State: StateQueued})
-	heap.Push(&s.queue, j)
+	// In-memory services enqueue atomically with the admission checks,
+	// exactly as before durability existed.
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	if key != "" {
 		s.idem[key] = j.id
 	}
-	s.metrics.submitted++
+	if s.cfg.Store == nil {
+		heap.Push(&s.queue, j)
+		s.metrics.submitted++
+		s.evictOldJobsLocked()
+		s.mu.Unlock()
+		s.cond.Signal()
+		return j, false, nil
+	}
+	// Durable path: the job is registered (visible to listings, holding
+	// its ID, seq and idempotency key) but NOT queued yet — the
+	// acceptance must hit the journal before any worker can run it, and a
+	// failed append must be able to withdraw the job completely, key
+	// included, so a retry under the same key resubmits instead of
+	// finding a ghost.
+	s.subWG.Add(1)
+	defer s.subWG.Done()
 	s.evictOldJobsLocked()
+	s.mu.Unlock()
+
+	if err := s.persistSubmitted(j); err != nil {
+		// No durable record exists (the append failed), so withdrawing
+		// leaves nothing to resurrect.
+		s.withdraw(j, fmt.Errorf("service: persist submission: %w", err))
+		return nil, false, fmt.Errorf("service: persist submission: %w", err)
+	}
+
+	s.mu.Lock()
+	switch {
+	case s.closed:
+		// Close ran while the record was being journaled; the workers may
+		// already be gone, so the job must not land in the queue. The
+		// withdrawal finishes the job as canceled, which also journals the
+		// terminal record over the already-durable submission — otherwise
+		// the next boot would resurrect a job the caller was told was
+		// rejected.
+		s.mu.Unlock()
+		s.withdraw(j, ErrClosed)
+		return nil, false, ErrClosed
+	case len(s.queue) >= s.cfg.QueueCap:
+		// Re-check: concurrent submitters journaled in parallel, and the
+		// cap admission must hold at enqueue time, not only at the earlier
+		// pre-journal check.
+		s.mu.Unlock()
+		err := fmt.Errorf("%w (%d jobs)", ErrQueueFull, s.cfg.QueueCap)
+		s.withdraw(j, err)
+		return nil, false, err
+	}
+	heap.Push(&s.queue, j)
+	s.metrics.submitted++
 	s.mu.Unlock()
 
 	s.cond.Signal()
 	return j, false, nil
+}
+
+// withdraw unregisters a job whose submission could not be completed: it
+// disappears from the job table, the listing order and the idempotency
+// index, and then finishes as canceled — a concurrent same-key submitter
+// may already hold the job through idempotency reuse, and its Wait/Events
+// must still reach a terminal state (finish closes done, publishes the
+// terminal event, and journals the cancellation when a durable submitted
+// record exists). The job was never queued, so no worker can hold it.
+func (s *Service) withdraw(j *Job, cause error) {
+	s.mu.Lock()
+	delete(s.jobs, j.id)
+	for i, id := range s.order {
+		if id == j.id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	if j.idemKey != "" && s.idem[j.idemKey] == j.id {
+		delete(s.idem, j.idemKey)
+	}
+	s.mu.Unlock()
+	j.cancel(cause)
+	j.finish(StateCanceled, nil, cause, false)
+}
+
+// persistSubmitted journals one accepted job (spec, key, resolved
+// backend, fingerprint).
+func (s *Service) persistSubmitted(j *Job) error {
+	specJSON, err := json.Marshal(j.spec)
+	if err != nil {
+		return err
+	}
+	return s.cfg.Store.Append(store.Record{
+		Kind:    store.KindSubmitted,
+		ID:      j.id,
+		Key:     j.idemKey,
+		Backend: j.backend,
+		Fp:      j.fp,
+		Spec:    specJSON,
+	})
+}
+
+// persistFinished journals a terminal transition and drops the job's
+// checkpoint snapshot. Shutdown cancellations are skipped on purpose: the
+// job is still live as far as the journal is concerned and resumes on the
+// next boot. A journal failure here cannot be returned (the in-memory
+// transition already happened and must not be blocked), so it is reported
+// loudly instead: the durable record then still says in-flight, and the
+// next boot re-runs a job this process reported done/failed/canceled —
+// for done jobs the result cache absorbs the rerun, for cancels it means
+// a resurrected job the operator should know about.
+func (s *Service) persistFinished(j *Job, state State, res *Result, cause error) {
+	if s.cfg.Store == nil {
+		return
+	}
+	if state == StateCanceled && errors.Is(cause, ErrShutdown) {
+		return
+	}
+	rec := store.Record{Kind: store.KindFinished, ID: j.id, State: string(state)}
+	if res != nil {
+		rec.Result, _ = json.Marshal(res)
+	}
+	if cause != nil {
+		rec.Err = cause.Error()
+	}
+	if err := s.cfg.Store.Append(rec); err != nil {
+		fmt.Fprintf(os.Stderr, "service: job %s: terminal %s record not journaled (job may resurrect on restart): %v\n", j.id, state, err)
+	}
+	_ = s.cfg.Store.DeleteCheckpoint(j.id)
 }
 
 // SubmitAll enqueues a batch of specs, failing fast on the first rejected
@@ -424,15 +576,19 @@ func (s *Service) Close() {
 	s.mu.Unlock()
 
 	for _, j := range drained {
-		j.cancel()
-		j.finish(StateCanceled, nil, context.Canceled, false)
+		j.cancel(ErrShutdown)
+		j.finish(StateCanceled, nil, ErrShutdown, false)
 		s.countFinish(StateCanceled)
 	}
 	for _, j := range inflight {
-		j.cancel()
+		j.cancel(ErrShutdown)
 	}
 	s.cond.Broadcast()
 	s.wg.Wait()
+	// In-flight durable submissions finish journaling before Close
+	// returns, so a caller may close the Store immediately afterwards
+	// without racing an append.
+	s.subWG.Wait()
 }
 
 // worker pops the highest-priority job and runs it, until the service
@@ -467,6 +623,11 @@ func (s *Service) execute(j *Job) {
 		j.finish(StateCanceled, nil, context.Cause(j.ctx), false)
 		s.countFinish(StateCanceled)
 		return
+	}
+	if s.cfg.Store != nil {
+		// Best-effort: a lost start record only means recovery re-enqueues
+		// the job as queued instead of resumed — still correct.
+		_ = s.cfg.Store.Append(store.Record{Kind: store.KindStarted, ID: j.id})
 	}
 	if res, ok := s.cacheLookup(j.fp); ok {
 		j.mu.Lock()
@@ -508,6 +669,7 @@ func (s *Service) solve(j *Job) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	resume := j.takeResume()
 	cfg := jacobi.ParallelConfig{
 		Family:      fam,
 		Options:     jacobi.Options{Tol: spec.Tol, MaxSweeps: spec.MaxSweeps},
@@ -528,6 +690,18 @@ func (s *Service) solve(j *Job) (*Result, error) {
 				Rotations: p.Rotations,
 			}})
 		},
+		Resume: resume,
+	}
+	var cw *ckptWriter
+	if s.cfg.Store != nil && s.cfg.CheckpointEvery >= 0 && !spec.Pipelined && spec.FixedSweeps == 0 {
+		// Persist a resume point at sweep boundaries. The engine hook hands
+		// the checkpoint to an asynchronous latest-wins writer, so the
+		// solve's critical path never waits on an fsync; the writer drains
+		// before the terminal record is journaled.
+		cw = newCkptWriter(s.cfg.Store, j.id)
+		defer cw.close()
+		cfg.OnCheckpoint = cw.offer
+		cfg.CheckpointEvery = s.cfg.CheckpointEvery
 	}
 	if spec.OnePort {
 		cfg.Ports = machine.OnePort
@@ -574,25 +748,34 @@ func (s *Service) solve(j *Job) (*Result, error) {
 	return res, nil
 }
 
-// cacheLookup returns the cached result for a fingerprint, if any.
+// cacheLookup returns a deep copy of the cached result for a fingerprint,
+// if any. Hits hand out copies — never the cached value itself — so a
+// caller mutating its Result (the eigenvalue slice, the trace summary)
+// cannot corrupt what later hits observe.
 func (s *Service) cacheLookup(fp uint64) (*Result, bool) {
 	if s.cfg.CacheCap < 0 {
 		return nil, false
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	res, ok := s.cache[fp]
 	if ok {
 		s.metrics.cacheHits++
 	}
-	return res, ok
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return res.clone(), true
 }
 
-// cacheStore inserts a result, evicting the oldest entries past CacheCap.
+// cacheStore inserts a deep copy of the result (the solving job keeps its
+// own, which it may hand to a mutating caller), evicting the oldest
+// entries past CacheCap.
 func (s *Service) cacheStore(fp uint64, res *Result) {
 	if s.cfg.CacheCap < 0 {
 		return
 	}
+	res = res.clone()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, exists := s.cache[fp]; !exists {

@@ -207,8 +207,19 @@ func TestResultCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r1 != r2 {
+	// The hit serves the same values but never the same backing slices: a
+	// caller mutating its copy must not corrupt later hits (see
+	// TestCacheHitIsolation).
+	if len(r1.Values) != len(r2.Values) || r1.Sweeps != r2.Sweeps {
 		t.Error("identical specs did not share the cached result")
+	}
+	for i := range r1.Values {
+		if r1.Values[i] != r2.Values[i] {
+			t.Fatalf("cached value %d differs: %v vs %v", i, r1.Values[i], r2.Values[i])
+		}
+	}
+	if &r1.Values[0] == &r2.Values[0] {
+		t.Error("cache hit handed out the solving job's backing slice")
 	}
 	if !second.Status().CacheHit {
 		t.Error("second job not marked as a cache hit")

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// lockFile is a no-op where flock is unavailable; single-writer use of a
+// data directory is then the operator's responsibility.
+func lockFile(*os.File) error { return nil }

@@ -1,0 +1,23 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFile takes a non-blocking exclusive flock on the journal handle, so
+// two processes cannot append to the same data directory at independent
+// offsets (each fsync'd frame would silently overwrite the other's, and
+// the next replay would truncate at the first mangled CRC). The lock is
+// advisory but both writers in this module go through Open; it is
+// released automatically when the process dies, so a SIGKILL'd server
+// never wedges its own restart.
+func lockFile(f *os.File) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		return fmt.Errorf("store: data directory already in use by another process (flock: %w)", err)
+	}
+	return nil
+}

@@ -1,0 +1,389 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/matrix"
+)
+
+func testRecords() []Record {
+	return []Record{
+		{Kind: KindSubmitted, ID: "job-1", Key: "k1", Backend: "emulated", Fp: 0xdeadbeefcafe, Spec: []byte(`{"Dim":2}`)},
+		{Kind: KindStarted, ID: "job-1"},
+		{Kind: KindFinished, ID: "job-1", State: "done", Result: []byte(`{"sweeps":7}`)},
+		{Kind: KindSubmitted, ID: "job-2", Spec: []byte(`{"Dim":1}`)},
+		{Kind: KindRestarted, ID: "job-2", Restarts: 3},
+		{Kind: KindFinished, ID: "job-2", State: "failed", Err: "boom"},
+	}
+}
+
+func recordsEqual(a, b []Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Kind != y.Kind || x.ID != y.ID || x.Key != y.Key || x.Backend != y.Backend ||
+			x.State != y.State || x.Err != y.Err || x.Restarts != y.Restarts || x.Fp != y.Fp ||
+			!bytes.Equal(x.Spec, y.Spec) || !bytes.Equal(x.Result, y.Result) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestJournalRoundTrip: append, close, reopen, replay.
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testRecords()
+	for _, rec := range want {
+		if err := s.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Records(); !recordsEqual(got, want) {
+		t.Fatalf("replayed %d records, want %d (or contents differ)", len(got), len(want))
+	}
+}
+
+// TestJournalTornTail: a crash mid-append leaves a partial frame; reopen
+// must replay the clean prefix and truncate the fragment.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testRecords()[:2]
+	for _, rec := range want {
+		if err := s.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	path := filepath.Join(dir, logName)
+	// Simulate a torn final frame: append garbage that looks like a frame
+	// header pointing past the end.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xff, 0x00, 0x00, 0x00, 1, 2, 3})
+	f.Close()
+	before, _ := os.Stat(path)
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	if got := s2.Records(); !recordsEqual(got, want) {
+		t.Fatalf("replay after torn tail lost records: got %d want %d", len(got), len(want))
+	}
+	// The fragment is gone, and the journal accepts appends again.
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Fatalf("torn tail not truncated: %d -> %d bytes", before.Size(), after.Size())
+	}
+	if err := s2.Append(testRecords()[2]); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if got := s3.Records(); len(got) != 3 {
+		t.Fatalf("after truncate+append want 3 records, got %d", len(got))
+	}
+}
+
+// TestJournalBitFlip: flipping a byte inside a middle frame ends the
+// replay at that frame (CRC catches it) without panicking or inventing
+// records.
+func TestJournalBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	for _, rec := range testRecords() {
+		if err := s.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	path := filepath.Join(dir, logName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	recs, good, err := ReadJournal(data)
+	if err != nil {
+		t.Fatalf("bit flip must truncate, not error: %v", err)
+	}
+	if len(recs) >= len(testRecords()) || good >= int64(len(data)) {
+		t.Fatalf("bit flip went undetected: %d records, offset %d/%d", len(recs), good, len(data))
+	}
+}
+
+// TestJournalVersionSkew: a journal stamped with a future file version
+// must refuse to open (not silently truncate).
+func TestJournalVersionSkew(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	s.Append(testRecords()[0])
+	s.Close()
+	path := filepath.Join(dir, logName)
+	data, _ := os.ReadFile(path)
+	data[4] = 99 // file version field
+	os.WriteFile(path, data, 0o666)
+	if _, err := Open(dir); err == nil {
+		t.Fatal("version-skewed journal opened without error")
+	}
+}
+
+// TestCompact: the journal is rewritten to exactly the given records and
+// keeps accepting appends.
+func TestCompact(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	for _, rec := range testRecords() {
+		s.Append(rec)
+	}
+	kept := testRecords()[3:]
+	if err := s.Compact(kept); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(Record{Kind: KindStarted, ID: "job-2"}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	want := append(append([]Record(nil), kept...), Record{Kind: KindStarted, ID: "job-2"})
+	if got := s2.Records(); !recordsEqual(got, want) {
+		t.Fatalf("compacted journal replays %d records, want %d", len(got), len(want))
+	}
+}
+
+// testCheckpoint builds a real engine checkpoint by running a small solve.
+func testCheckpoint(t *testing.T) *engine.Checkpoint {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	a := matrix.RandomSymmetric(16, rng)
+	blocks, err := engine.BuildBlocks(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := a.FrobeniusNorm()
+	var ck *engine.Checkpoint
+	prob := &engine.Problem{Blocks: blocks, Dim: 1, Rows: a.Rows, TraceGram: tg * tg}
+	prob.OnCheckpoint = func(c *engine.Checkpoint) {
+		if ck == nil {
+			ck = c
+		}
+	}
+	if _, _, err := prob.Run(&engine.Multicore{ReferenceKernels: true}); err != nil {
+		t.Fatal(err)
+	}
+	if ck == nil {
+		t.Fatal("no checkpoint captured")
+	}
+	return ck
+}
+
+// TestCheckpointRoundTrip: save, load, and compare bit-for-bit.
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ck := testCheckpoint(t)
+	if err := s.SaveCheckpoint("job-9", ck); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LoadCheckpoint("job-9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sweep != ck.Sweep || got.Rotations != ck.Rotations || got.Dim != ck.Dim ||
+		got.Rows != ck.Rows || got.FactorRows != ck.FactorRows || got.TraceGram != ck.TraceGram {
+		t.Fatalf("checkpoint header changed in round trip: %+v vs %+v", got, ck)
+	}
+	for i, b := range ck.Slots {
+		g := got.Slots[i]
+		if g.ID != b.ID || len(g.Cols) != len(b.Cols) {
+			t.Fatalf("slot %d shape changed", i)
+		}
+		for k := range b.Cols {
+			if g.Cols[k] != b.Cols[k] {
+				t.Fatalf("slot %d col index changed", i)
+			}
+			for r := range b.A[k] {
+				if g.A[k][r] != b.A[k][r] || g.U[k][r] != b.U[k][r] {
+					t.Fatalf("slot %d column %d not bit-identical after round trip", i, k)
+				}
+			}
+		}
+	}
+	// Overwrite is atomic and the latest wins.
+	ck2 := ck.Clone()
+	ck2.Sweep++
+	if err := s.SaveCheckpoint("job-9", ck2); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := s.LoadCheckpoint("job-9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Sweep != ck.Sweep+1 {
+		t.Fatalf("overwrite lost: sweep %d, want %d", got2.Sweep, ck.Sweep+1)
+	}
+	// Delete, then missing.
+	if err := s.DeleteCheckpoint("job-9"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadCheckpoint("job-9"); err != ErrNoCheckpoint {
+		t.Fatalf("deleted checkpoint load: %v, want ErrNoCheckpoint", err)
+	}
+	if err := s.DeleteCheckpoint("job-9"); err != nil {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+// TestCheckpointCorruption: a flipped byte or truncation must error.
+func TestCheckpointCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	defer s.Close()
+	ck := testCheckpoint(t)
+	if err := s.SaveCheckpoint("job-7", ck); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, ckptDir, "job-7"+ckptExt)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flip := append([]byte(nil), data...)
+	flip[len(flip)/3] ^= 0x01
+	os.WriteFile(path, flip, 0o666)
+	if _, err := s.LoadCheckpoint("job-7"); err == nil {
+		t.Fatal("bit-flipped checkpoint loaded without error")
+	}
+	os.WriteFile(path, data[:len(data)-9], 0o666)
+	if _, err := s.LoadCheckpoint("job-7"); err == nil {
+		t.Fatal("truncated checkpoint loaded without error")
+	}
+	skew := append([]byte(nil), data...)
+	skew[4] = 42 // file version
+	os.WriteFile(path, skew, 0o666)
+	if _, err := s.LoadCheckpoint("job-7"); err == nil {
+		t.Fatal("version-skewed checkpoint loaded without error")
+	}
+	if _, err := s.LoadCheckpoint("../escape"); err == nil {
+		t.Fatal("path-escaping checkpoint id accepted")
+	}
+}
+
+// TestOpenExclusive: a data directory is single-writer — a second Open
+// while the first holds it must fail, and must succeed after Close.
+func TestOpenExclusive(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("second Open on a held data directory succeeded")
+	}
+	// The lock follows the journal across compaction.
+	if err := s1.Compact(testRecords()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open succeeded while the compacted journal is held")
+	}
+	s1.Close()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	s2.Close()
+}
+
+// TestPruneCheckpoints: snapshots of dead jobs (and stray temp files) are
+// swept; live jobs' snapshots survive.
+func TestPruneCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ck := testCheckpoint(t)
+	for _, id := range []string{"job-1", "job-2", "job-3"} {
+		if err := s.SaveCheckpoint(id, ck); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, ckptDir, "job-9"+ckptExt+tmpExt), []byte("torn"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := s.PruneCheckpoints(func(id string) bool { return id == "job-2" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned != 3 { // job-1, job-3, and the temp fragment
+		t.Fatalf("pruned %d entries, want 3", pruned)
+	}
+	if _, err := s.LoadCheckpoint("job-2"); err != nil {
+		t.Fatalf("live checkpoint pruned: %v", err)
+	}
+	if _, err := s.LoadCheckpoint("job-1"); err != ErrNoCheckpoint {
+		t.Fatalf("dead checkpoint survived: %v", err)
+	}
+}
+
+// TestAppendRejectsOversizedRecord: a payload past the frame bound must
+// fail up front — written anyway it would read back as a torn frame and
+// truncate the journal behind it.
+func TestAppendRejectsOversizedRecord(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	big := Record{Kind: KindSubmitted, ID: "job-1", Spec: make([]byte, maxFrameSize+1)}
+	if err := s.Append(big); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+	// (Compact carries the identical guard; exercising it would re-pay the
+	// gigabyte encode for no new coverage.)
+	// The journal stays healthy for normal records.
+	if err := s.Append(testRecords()[0]); err != nil {
+		t.Fatal(err)
+	}
+}
