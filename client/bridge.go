@@ -129,6 +129,11 @@ func FromServiceSnapshot(m service.Snapshot) Metrics {
 		InFlight:             m.InFlight,
 		CacheHits:            m.CacheHits,
 		CacheSize:            m.CacheSize,
+		CacheEvictions:       m.CacheEvictions,
+		CacheBytes:           m.CacheBytes,
+		LanesDispatched:      m.LanesDispatched,
+		LaneJobs:             m.LaneJobs,
+		LaneFillRatio:        m.LaneFillRatio,
 		WallP50Ms:            m.WallP50Ms,
 		WallP99Ms:            m.WallP99Ms,
 		TotalModeledMakespan: m.TotalModeledMakespan,

@@ -305,6 +305,17 @@ type Metrics struct {
 
 	CacheHits int64 `json:"cache_hits"`
 	CacheSize int   `json:"cache_size"`
+	// CacheEvictions / CacheBytes report the result cache's LRU pressure:
+	// entries dropped by the budgets and the estimated live payload.
+	CacheEvictions int64 `json:"cache_evictions"`
+	CacheBytes     int64 `json:"cache_bytes"`
+
+	// LanesDispatched / LaneJobs / LaneFillRatio report the batched solve
+	// lane: runs dispatched, jobs they carried, and carried jobs over lane
+	// capacity (1.0 = every lane ran full).
+	LanesDispatched int64   `json:"lanes_dispatched"`
+	LaneJobs        int64   `json:"lane_jobs"`
+	LaneFillRatio   float64 `json:"lane_fill_ratio"`
 
 	// WallP50Ms / WallP99Ms are percentiles of completed-job wall times
 	// over the service's recent-completion window.

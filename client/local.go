@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	"errors"
+	"time"
 
 	"repro/internal/service"
 	"repro/internal/store"
@@ -19,6 +20,14 @@ type LocalConfig struct {
 	MulticoreThreshold int
 	CacheCap           int
 	RetainJobs         int
+	// CacheMaxBytes bounds the result cache's estimated footprint in
+	// bytes on top of CacheCap's entry bound (0 = unbounded by bytes).
+	CacheMaxBytes int64
+	// LaneWidth (>= 2) enables the batched solve lane: up to LaneWidth
+	// same-shape small jobs gathered within LaneWindow advance in SIMD
+	// lockstep on one worker (see DESIGN.md §11).
+	LaneWidth  int
+	LaneWindow time.Duration
 	// DataDir, when non-empty, makes the owned service durable: jobs are
 	// journaled to this directory and running solves checkpoint at sweep
 	// boundaries, so a new Local client opened on the same directory
@@ -56,6 +65,9 @@ func NewLocal(cfg LocalConfig) (*Local, error) {
 		QueueCap:           cfg.QueueCap,
 		MulticoreThreshold: cfg.MulticoreThreshold,
 		CacheCap:           cfg.CacheCap,
+		CacheMaxBytes:      cfg.CacheMaxBytes,
+		LaneWidth:          cfg.LaneWidth,
+		LaneWindow:         cfg.LaneWindow,
 		RetainJobs:         cfg.RetainJobs,
 		Store:              st,
 		CheckpointEvery:    cfg.CheckpointEvery,

@@ -32,6 +32,9 @@ func cmdBatch(args []string) error {
 	threshold := fs.Int("threshold", 0, "local backend auto-selection threshold (0 = 64, negative = never multicore)")
 	check := fs.Bool("check", false, "verify each job against a sequential single-solve run")
 	timeout := fs.Duration("timeout", 10*time.Minute, "overall batch deadline")
+	laneW := fs.Int("lane-width", 0, "batched-lane width for in-process small jobs (0 disables; >= 2 enables SIMD-lockstep lanes)")
+	laneWin := fs.Duration("lane-window", 0, "how long a lane leader waits for same-shape lane mates (0 = service default)")
+	cacheMax := fs.Int64("cache-max", 0, "result-cache byte budget for the in-process pool (0 = entries-only bound)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,7 +54,13 @@ func cmdBatch(args []string) error {
 		fmt.Printf("batch: %s (%d problems)\n", *manifest, len(specs))
 	}
 
-	c, err := newClient(*remote, *workers, *threshold)
+	c, err := newClient(*remote, client.LocalConfig{
+		Workers:            *workers,
+		MulticoreThreshold: *threshold,
+		LaneWidth:          *laneW,
+		LaneWindow:         *laneWin,
+		CacheMaxBytes:      *cacheMax,
+	})
 	if err != nil {
 		return err
 	}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/engine"
 	"repro/internal/jacobi"
+	"repro/internal/kernel"
 	"repro/internal/matrix"
 	"repro/internal/ordering"
 	"repro/internal/service"
@@ -58,6 +59,25 @@ type benchReport struct {
 	BatchMatrixSize  int     `json:"batch_matrix_size"`
 	BatchJobsPerSec  float64 `json:"batch_jobs_per_sec"`
 	BatchWallP99Ms   float64 `json:"batch_wall_p99_ms"`
+
+	// The batched solve lane. BatchJobsPerSec above is the service's
+	// headline throughput with lanes enabled (small jobs gathered
+	// LaneWidth at a time into SIMD-lockstep lanes);
+	// BatchUnbatchedJobsPerSec is the same batch solved one job per worker
+	// on the multicore backend — the pre-lane configuration — measured in
+	// the same process, so the pair is same-host by construction.
+	LaneWidth                int     `json:"lane_width,omitempty"`
+	BatchUnbatchedJobsPerSec float64 `json:"batch_unbatched_jobs_per_sec,omitempty"`
+	BatchLaneJobsPerSec      float64 `json:"batch_lane_jobs_per_sec,omitempty"`
+	// LaneFillRatio is jobs carried over lane capacity across the lane
+	// run's dispatches (1.0 = every lane ran full).
+	LaneFillRatio float64 `json:"lane_fill_ratio,omitempty"`
+	// LaneNsPerPairPerJob is the lane kernel rate: wall time of a full
+	// fixed-sweep lane divided by (jobs × pairs per sweep × sweeps).
+	LaneNsPerPairPerJob float64 `json:"lane_ns_per_pair_per_job,omitempty"`
+	// LaneAllocsPerOp is the steady-state allocation count of one batched
+	// lane pairing round on a warm LaneScratch. Must be 0.
+	LaneAllocsPerOp float64 `json:"lane_allocs_per_op"`
 }
 
 // cmdBench runs the headline benchmark suite: the same fixed-sweep
@@ -75,6 +95,7 @@ func cmdBench(args []string) error {
 	batchN := fs.Int("batch", 16, "batch-throughput job count")
 	batchC := fs.Int("batchc", 4, "batch-throughput concurrency")
 	batchM := fs.Int("batchm", 96, "batch-throughput matrix size")
+	laneW := fs.Int("lane-width", 8, "batched-lane width for the lane throughput run")
 	asJSON := fs.Bool("json", false, "write the metrics to BENCH_<date>.json")
 	out := fs.String("out", "", "JSON output path (default BENCH_<date>.json)")
 	if err := fs.Parse(args); err != nil {
@@ -153,47 +174,89 @@ func cmdBench(args []string) error {
 
 	// Batch-solve service throughput: batchN distinct convergent solves at
 	// fixed concurrency through the worker pool (cache disabled so every
-	// job is a real solve) — the headline jobs/sec of the service layer.
-	svc := service.New(service.Config{Workers: *batchC, CacheCap: -1})
-	specs := make([]service.JobSpec, *batchN)
-	for i := range specs {
-		srng := rand.New(rand.NewSource(int64(3000 + i)))
-		specs[i] = service.JobSpec{
-			Matrix:   matrix.RandomSymmetric(*batchM, srng),
-			Dim:      2,
-			Ordering: fam.Name(),
-			Backend:  service.BackendMulticore,
-		}
-	}
-	batchStart := time.Now()
-	jobs, err := svc.SubmitAll(context.Background(), specs)
-	if err == nil {
-		err = service.WaitAll(context.Background(), jobs)
-	}
-	if err == nil {
-		// WaitAll swallows per-job failures by design; a headline metric
-		// computed over failed jobs would corrupt the BENCH trajectory.
-		for i, j := range jobs {
-			if _, jerr := j.Result(); jerr != nil {
-				err = fmt.Errorf("job %d: %w", i, jerr)
-				break
+	// job is a real solve). Measured twice on the same specs in the same
+	// process: unbatched (one multicore solve per worker — the pre-lane
+	// configuration) and lane-routed (same-shape jobs gathered laneW at a
+	// time into SIMD-lockstep lanes). The lane-routed rate is the
+	// service's headline jobs/sec.
+	mkSpecs := func(backend string) []service.JobSpec {
+		specs := make([]service.JobSpec, *batchN)
+		for i := range specs {
+			srng := rand.New(rand.NewSource(int64(3000 + i)))
+			specs[i] = service.JobSpec{
+				Matrix:   matrix.RandomSymmetric(*batchM, srng),
+				Dim:      2,
+				Ordering: fam.Name(),
+				Backend:  backend,
 			}
 		}
+		return specs
 	}
-	if err != nil {
+	runBatch := func(cfg service.Config, backend string) (float64, service.Snapshot, error) {
+		svc := service.New(cfg)
+		// Spec construction (random matrix generation) is benchmark setup,
+		// not service throughput — build outside the timed window.
+		specs := mkSpecs(backend)
+		start := time.Now()
+		jobs, err := svc.SubmitAll(context.Background(), specs)
+		if err == nil {
+			err = service.WaitAll(context.Background(), jobs)
+		}
+		if err == nil {
+			// WaitAll swallows per-job failures by design; a headline metric
+			// computed over failed jobs would corrupt the BENCH trajectory.
+			for i, j := range jobs {
+				if _, jerr := j.Result(); jerr != nil {
+					err = fmt.Errorf("job %d: %w", i, jerr)
+					break
+				}
+			}
+		}
+		dur := time.Since(start)
+		snap := svc.Metrics()
 		svc.Close()
-		return fmt.Errorf("batch throughput: %w", err)
+		if err != nil {
+			return 0, snap, err
+		}
+		return float64(*batchN) / dur.Seconds(), snap, nil
 	}
-	batchDur := time.Since(batchStart)
-	snap := svc.Metrics()
-	svc.Close()
+
+	unbatched, _, err := runBatch(service.Config{Workers: *batchC, CacheCap: -1}, service.BackendMulticore)
+	if err != nil {
+		return fmt.Errorf("batch throughput (unbatched): %w", err)
+	}
 	rep.BatchJobs = *batchN
 	rep.BatchConcurrency = *batchC
 	rep.BatchMatrixSize = *batchM
-	rep.BatchJobsPerSec = float64(*batchN) / batchDur.Seconds()
-	rep.BatchWallP99Ms = snap.WallP99Ms
-	fmt.Printf("  batch:     %d jobs (n=%d) at concurrency %d in %v — %.1f jobs/sec (p99 %.1f ms)\n",
-		*batchN, *batchM, *batchC, batchDur.Round(time.Millisecond), rep.BatchJobsPerSec, rep.BatchWallP99Ms)
+	rep.BatchUnbatchedJobsPerSec = unbatched
+	fmt.Printf("  batch:     %d jobs (n=%d) at concurrency %d unbatched — %.1f jobs/sec\n",
+		*batchN, *batchM, *batchC, unbatched)
+
+	laneRate, laneSnap, err := runBatch(service.Config{
+		Workers:  *batchC,
+		CacheCap: -1,
+		// Route the whole batch through the lane: the threshold sits above
+		// the batch matrix size so auto-selection picks the lane, and the
+		// window is generous enough that one SubmitAll fills every lane.
+		MulticoreThreshold: *batchM * 2,
+		LaneWidth:          *laneW,
+		LaneWindow:         50 * time.Millisecond,
+	}, service.BackendAuto)
+	if err != nil {
+		return fmt.Errorf("batch throughput (lane): %w", err)
+	}
+	rep.LaneWidth = *laneW
+	rep.BatchJobsPerSec = laneRate
+	rep.BatchLaneJobsPerSec = laneRate
+	rep.BatchWallP99Ms = laneSnap.WallP99Ms
+	rep.LaneFillRatio = laneSnap.LaneFillRatio
+	fmt.Printf("  lane:      %d jobs (n=%d) at lane width %d — %.1f jobs/sec (%.2fx unbatched, fill %.2f, p99 %.1f ms)\n",
+		*batchN, *batchM, *laneW, laneRate, laneRate/unbatched, laneSnap.LaneFillRatio, laneSnap.WallP99Ms)
+
+	rep.LaneNsPerPairPerJob = laneKernelRate(*batchM, *laneW, fam)
+	rep.LaneAllocsPerOp = laneInnerLoopAllocs(*batchM, *laneW)
+	fmt.Printf("  lane kernels: %.0f ns/pair/job   %.0f allocs/op\n",
+		rep.LaneNsPerPairPerJob, rep.LaneAllocsPerOp)
 
 	cache := ordering.SweepCacheStats()
 	rep.ScheduleCacheBuilds = cache.Builds
@@ -241,6 +304,75 @@ func sweepInnerLoopAllocs(a *matrix.Dense, d int) float64 {
 	for i := 0; i < runs; i++ {
 		engine.PairCrossFused(blocks[0], blocks[1], sc, &conv)
 		engine.PairWithinFused(blocks[0], sc, &conv)
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / runs
+}
+
+// laneKernelRate measures the batched lane's per-pair rate: lanes jobs of
+// size n advanced through a fixed two-sweep lane run, wall time divided by
+// (jobs × sweeps × pairs per sweep) — the lane counterpart of the solo
+// ns/pair figures.
+func laneKernelRate(n, lanes int, fam ordering.Family) float64 {
+	const sweeps = 2
+	mk := func() []*jacobi.LaneRequest {
+		reqs := make([]*jacobi.LaneRequest, lanes)
+		for k := range reqs {
+			srng := rand.New(rand.NewSource(int64(4000 + k)))
+			reqs[k] = &jacobi.LaneRequest{A: matrix.RandomSymmetric(n, srng), FixedSweeps: sweeps}
+		}
+		return reqs
+	}
+	// One unmeasured run first: the timed figure should reflect the warm
+	// steady state the service sees, not first-touch page faults.
+	if _, err := jacobi.SolveLane(2, fam, false, mk()); err != nil {
+		return -1
+	}
+	reqs := mk()
+	start := time.Now()
+	if _, err := jacobi.SolveLane(2, fam, false, reqs); err != nil {
+		return -1
+	}
+	wallNs := float64(time.Since(start).Nanoseconds())
+	pairs := float64(lanes) * sweeps * float64(n) * float64(n-1) / 2
+	return wallNs / pairs
+}
+
+// laneInnerLoopAllocs measures the steady-state allocation count of one
+// batched lane pairing round — a Within and a Cross on a warm LaneScratch,
+// exactly the lane sweep loop's unit of work. The regression guard fails
+// the build on any nonzero value.
+func laneInnerLoopAllocs(n, lanes int) float64 {
+	const w = 4 // columns per block group
+	rng := rand.New(rand.NewSource(7))
+	group := func() [][]float64 {
+		g := make([][]float64, w)
+		for i := range g {
+			col := make([]float64, n*lanes)
+			for r := range col {
+				col[r] = rng.Float64()*2 - 1
+			}
+			g[i] = col
+		}
+		return g
+	}
+	xa, xu, ya, yu := group(), group(), group(), group()
+	sc := kernel.NewLaneScratch(lanes, false)
+	active := make([]float64, lanes)
+	for k := range active {
+		active[k] = -1
+	}
+	conv := make([]kernel.Conv, lanes)
+	sc.Within(xa, xu, nil, active, conv) // warm the scratch
+	sc.Cross(xa, xu, ya, yu, nil, nil, active, conv)
+	const runs = 3
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		sc.Within(xa, xu, nil, active, conv)
+		sc.Cross(xa, xu, ya, yu, nil, nil, active, conv)
 	}
 	runtime.ReadMemStats(&after)
 	return float64(after.Mallocs-before.Mallocs) / runs

@@ -32,6 +32,9 @@ func cmdServe(args []string) error {
 	queueCap := fs.Int("queue", 0, "queued-job capacity (0 = 1024)")
 	threshold := fs.Int("threshold", 0, "matrix size at which auto-selection picks the multicore backend (0 = 64, negative = never auto-select multicore)")
 	cacheCap := fs.Int("cache", 0, "result-cache capacity in entries (0 = 256, negative disables)")
+	cacheMax := fs.Int64("cache-max", 0, "result-cache byte budget (0 = entries-only bound)")
+	laneW := fs.Int("lane-width", 0, "batched-lane width for small jobs (0 disables; >= 2 enables SIMD-lockstep lanes)")
+	laneWin := fs.Duration("lane-window", 0, "how long a lane leader waits for same-shape lane mates (0 = service default)")
 	retain := fs.Int("retain", 0, "finished-job records kept for status/result queries (0 = 4096, negative retains everything)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	dataDir := fs.String("data", "", "durable data directory (empty = in-memory only): journal + sweep checkpoints; a restart recovers and resumes jobs")
@@ -53,6 +56,9 @@ func cmdServe(args []string) error {
 		QueueCap:           *queueCap,
 		MulticoreThreshold: *threshold,
 		CacheCap:           *cacheCap,
+		CacheMaxBytes:      *cacheMax,
+		LaneWidth:          *laneW,
+		LaneWindow:         *laneWin,
 		RetainJobs:         *retain,
 		Store:              st,
 		CheckpointEvery:    *ckptEvery,

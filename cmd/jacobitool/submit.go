@@ -13,9 +13,9 @@ import (
 // in-process pool when remote is empty, the HTTP v2 client against a
 // `jacobitool serve` instance otherwise. Everything downstream of this
 // call is transport-agnostic — the point of the client package.
-func newClient(remote string, workers, threshold int) (client.Client, error) {
+func newClient(remote string, cfg client.LocalConfig) (client.Client, error) {
 	if remote == "" {
-		return client.NewLocal(client.LocalConfig{Workers: workers, MulticoreThreshold: threshold})
+		return client.NewLocal(cfg)
 	}
 	return client.NewHTTP(remote)
 }
@@ -46,7 +46,7 @@ func cmdSubmit(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	c, err := newClient(*remote, *workers, *threshold)
+	c, err := newClient(*remote, client.LocalConfig{Workers: *workers, MulticoreThreshold: *threshold})
 	if err != nil {
 		return err
 	}

@@ -24,9 +24,12 @@
 //   - internal/core: the internal facade (orderings, analysis, solvers,
 //     experiment drivers)
 //   - internal/service: the concurrent batch-solve service (priority job
-//     queue, per-job backend auto-selection, fingerprint result cache,
-//     per-job event fan-out); internal/httpapi mounts it as /api/v2 plus
-//     the /api/v1 compatibility shim
+//     queue, per-job backend auto-selection, a byte-budgeted fingerprint
+//     result cache, per-job event fan-out, and a batched solve lane that
+//     gathers small same-shape jobs and solves up to eight of them in
+//     SIMD lockstep inside one kernel invocation — DESIGN.md §11);
+//     internal/httpapi mounts it as /api/v2 plus the /api/v1
+//     compatibility shim
 //   - internal/store: the durable job store behind `serve -data` — an
 //     fsync'd CRC-framed journal plus per-job sweep-boundary engine
 //     checkpoints, so a restarted server recovers finished results,

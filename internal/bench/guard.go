@@ -35,6 +35,14 @@ type Report struct {
 	MulticoreNsPerPair float64 `json:"multicore_ns_per_pair"`
 	SweepAllocsPerOp   float64 `json:"sweep_allocs_per_op"`
 
+	// Batched-lane metrics (reports predating the lane leave them zero,
+	// which disables the lane guards for that pair).
+	LaneWidth                int     `json:"lane_width"`
+	BatchJobsPerSec          float64 `json:"batch_jobs_per_sec"`
+	BatchUnbatchedJobsPerSec float64 `json:"batch_unbatched_jobs_per_sec"`
+	BatchLaneJobsPerSec      float64 `json:"batch_lane_jobs_per_sec"`
+	LaneAllocsPerOp          float64 `json:"lane_allocs_per_op"`
+
 	// Path records where the report was loaded from (not part of the JSON).
 	Path string `json:"-"`
 }
@@ -80,6 +88,12 @@ const (
 	// WallTol: the ratio moves with host core count as well as kernel
 	// speed, and cross-host comparisons must not flap.
 	SpeedupTol = 0.25
+	// LaneMinAdvantage is the floor on the lane-vs-unbatched throughput
+	// ratio: both rates come from the same run on the same host, so the
+	// ratio is host-size-free — the lane must beat solving the same jobs
+	// unbatched by at least this factor or it has lost its reason to
+	// exist.
+	LaneMinAdvantage = 1.5
 )
 
 // Compare checks cur against prev and returns every violated guard.
@@ -93,6 +107,19 @@ func Compare(prev, cur *Report, sameHost bool) []string {
 	if prev.Speedup > 0 && cur.Speedup < prev.Speedup*(1-SpeedupTol) {
 		bad = append(bad, fmt.Sprintf("multicore speedup regressed: %.2fx -> %.2fx (tolerance %.0f%%)",
 			prev.Speedup, cur.Speedup, SpeedupTol*100))
+	}
+	// Lane guards: intra-report, so they are portable. A report carrying
+	// lane numbers must show an allocation-free lane inner loop and a lane
+	// that actually pays for its gather complexity.
+	if cur.BatchLaneJobsPerSec > 0 {
+		if cur.LaneAllocsPerOp > 0 {
+			bad = append(bad, fmt.Sprintf("lane inner loop allocates: %.2f allocs/op", cur.LaneAllocsPerOp))
+		}
+		if cur.BatchUnbatchedJobsPerSec > 0 &&
+			cur.BatchLaneJobsPerSec < cur.BatchUnbatchedJobsPerSec*LaneMinAdvantage {
+			bad = append(bad, fmt.Sprintf("lane throughput advantage below %.1fx: %.1f lane vs %.1f unbatched jobs/sec",
+				LaneMinAdvantage, cur.BatchLaneJobsPerSec, cur.BatchUnbatchedJobsPerSec))
+		}
 	}
 	if sameHost {
 		if prev.MulticoreWallMs > 0 && cur.MulticoreWallMs > prev.MulticoreWallMs*(1+WallTol) {

@@ -118,4 +118,30 @@ func TestCompareGuards(t *testing.T) {
 	if bad := Compare(base, clone(func(r *Report) { r.MulticoreWallMs = 108 }), true); len(bad) != 0 {
 		t.Errorf("within-tolerance wall wobble flagged: %v", bad)
 	}
+
+	// Lane guards only arm when the report carries lane numbers; old
+	// reports (zero lane fields) stay clean.
+	if bad := Compare(base, clone(func(r *Report) {}), false); len(bad) != 0 {
+		t.Errorf("lane guards armed on pre-lane report: %v", bad)
+	}
+	withLane := func(lane, unbatched, allocs float64) *Report {
+		return clone(func(r *Report) {
+			r.BatchLaneJobsPerSec = lane
+			r.BatchUnbatchedJobsPerSec = unbatched
+			r.LaneAllocsPerOp = allocs
+		})
+	}
+	// A healthy lane report passes.
+	if bad := Compare(base, withLane(300, 150, 0), false); len(bad) != 0 {
+		t.Errorf("healthy lane report flagged: %v", bad)
+	}
+	// The lane inner loop must never allocate.
+	if bad := Compare(base, withLane(300, 150, 1), false); len(bad) != 1 {
+		t.Errorf("lane alloc not flagged: %v", bad)
+	}
+	// The lane must beat unbatched solves by LaneMinAdvantage, same host by
+	// construction (both rates come from one run).
+	if bad := Compare(base, withLane(200, 150, 0), false); len(bad) != 1 {
+		t.Errorf("thin lane advantage not flagged: %v", bad)
+	}
 }

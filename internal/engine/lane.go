@@ -1,0 +1,304 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/ordering"
+)
+
+// The batched execution lane: K same-shape problems advanced in SIMD
+// lockstep through ONE sweep schedule by a single goroutine. Where the
+// distributed backends amortize the schedule across the nodes of one
+// problem, the lane amortizes it across problems — the "many small jobs"
+// workload of the batch-solve service, which is the per-pair cost model of
+// the source paper applied job-wise instead of column-wise.
+//
+// The lane mirrors RunCentral exactly: one omniscient placement state,
+// intra-block pairings in node order, then the 2^(d+1)-1 cross steps with
+// the co-resident blocks of each node paired per step. Columns never move
+// in lane memory — placement is purely logical, exactly as in the central
+// replay — so "exchanging blocks" costs nothing and the lane's pair order
+// per job is identical to RunCentral's. Each job keeps its own convergence
+// tracker, options, and sweep-boundary decision; a job that stops
+// (converged, interrupted, or out of sweeps) has its lane masked and its
+// columns stay bit-frozen while the remaining jobs sweep on. The lane
+// terminates when every job has stopped, so a lane's wall time is its
+// slowest member's — the scheduler's gather stage keeps lanes shape-
+// homogeneous precisely so that members converge in similar sweep counts.
+
+// LaneJob is one problem riding a lane: the job's blocks (canonical
+// initial placement, as built by BuildBlocks) plus its private sweep-loop
+// parameters. Blocks are mutated in place by the run, exactly like
+// Problem.Blocks.
+type LaneJob struct {
+	Blocks []*Block
+	// Opts are the job's numerical options (tolerance, criterion, max
+	// sweeps) — jobs in one lane may differ.
+	Opts Options
+	// Rows is the working-column height; FactorRows the factor height
+	// (0 = Rows). All jobs in a lane must agree on both.
+	Rows       int
+	FactorRows int
+	// FixedSweeps, when positive, runs exactly that many sweeps for this
+	// job regardless of convergence.
+	FixedSweeps int
+	// TraceGram is trace(AᵀA) of this job's input (OffFrob normalizer).
+	TraceGram float64
+	// Interrupt is polled at every sweep boundary while the job is active;
+	// true stops the job (only this lane member) after the current sweep.
+	Interrupt func() bool
+	// OnSweep receives this job's sweep-boundary progress, invoked inline
+	// like RunCentral's hook — once per sweep the job was active.
+	OnSweep func(SweepProgress)
+	// OnCheckpoint, when non-nil, receives this job's sweep-boundary
+	// Checkpoint every CheckpointEvery sweeps (never at the job's final
+	// boundary). A lane checkpoint is just K independent job checkpoints:
+	// each is a standard engine Checkpoint restorable on any solo path.
+	// Incompatible with FixedSweeps, matching the distributed path.
+	OnCheckpoint    func(*Checkpoint)
+	CheckpointEvery int
+}
+
+// factorHeight returns the job's factor-column height (FactorRows,
+// defaulting to Rows for the symmetric eigensolve).
+func (j *LaneJob) factorHeight() int {
+	if j.FactorRows > 0 {
+		return j.FactorRows
+	}
+	return j.Rows
+}
+
+// laneBlock is one block position of the lane: the interleaved columns of
+// every job's block with this ID (lane k of row r of column i lives at
+// a[i][r*K+k]).
+type laneBlock struct {
+	id   int
+	cols []int
+	a    [][]float64
+	u    [][]float64
+	// nrm carries the block's per-column squared norms (one lane group per
+	// column) across pairings on the fused path: filled once after
+	// interleaving, kept current by the rotation pass (kernel.LaneScratch
+	// docs). Nil on the reference path, which recomputes per pair.
+	nrm []float64
+}
+
+// BatchedBackend runs lanes of same-shape problems in SIMD lockstep on the
+// batched lane kernels. The zero value is ready to use. ReferenceKernels
+// selects the generic batched reference kernels instead of the fused
+// SIMD-dispatched ones: per job the lane is then bit-identical to the
+// sequential reference solve (RunCentral on reference kernels) on any
+// host — the lane's conformance anchor, mirroring
+// Multicore{ReferenceKernels: true}.
+type BatchedBackend struct {
+	ReferenceKernels bool
+}
+
+// String names the backend for logs and fingerprints.
+func (b *BatchedBackend) String() string {
+	if b.ReferenceKernels {
+		return "lane-ref"
+	}
+	return "lane"
+}
+
+// RunLane advances the jobs in lockstep through the (d, fam) sweep
+// schedule until every job has stopped, returning one Outcome per job (in
+// job order). All jobs must share the block shape — same Rows, FactorRows,
+// block count and per-block column layout — which the shape fingerprint of
+// the service's gather stage guarantees; RunLane re-validates.
+func (b *BatchedBackend) RunLane(d int, fam ordering.Family, jobs []*LaneJob) ([]*Outcome, error) {
+	K := len(jobs)
+	if K == 0 {
+		return nil, fmt.Errorf("engine: empty lane")
+	}
+	if fam == nil {
+		fam = ordering.NewBRFamily()
+	}
+	sw, err := ordering.CachedSweep(d, fam)
+	if err != nil {
+		return nil, err
+	}
+	nodes := 1 << uint(d)
+	lead := jobs[0]
+	opts := make([]Options, K)
+	for k, j := range jobs {
+		if len(j.Blocks) != 2*nodes {
+			return nil, fmt.Errorf("engine: lane job %d has %d blocks for a %d-cube, want %d", k, len(j.Blocks), d, 2*nodes)
+		}
+		if j.Rows != lead.Rows || j.factorHeight() != lead.factorHeight() {
+			return nil, fmt.Errorf("engine: lane job %d shape %dx%d, lane is %dx%d", k, j.Rows, j.factorHeight(), lead.Rows, lead.factorHeight())
+		}
+		for bi, blk := range j.Blocks {
+			if blk.NumCols() != lead.Blocks[bi].NumCols() {
+				return nil, fmt.Errorf("engine: lane job %d block %d has %d columns, lane has %d", k, bi, blk.NumCols(), lead.Blocks[bi].NumCols())
+			}
+		}
+		if j.OnCheckpoint != nil && j.FixedSweeps > 0 {
+			return nil, fmt.Errorf("engine: lane job %d: checkpoint capture requires a convergence-bounded run", k)
+		}
+		opts[k] = j.Opts.WithDefaults()
+	}
+
+	// Interleave every job's blocks into the lane buffers.
+	lane := make([]*laneBlock, 2*nodes)
+	cols := make([][]float64, K)
+	for bi := range lane {
+		w := lead.Blocks[bi].NumCols()
+		lb := &laneBlock{
+			id:   bi,
+			cols: append([]int(nil), lead.Blocks[bi].Cols...),
+			a:    make([][]float64, w),
+			u:    make([][]float64, w),
+		}
+		for i := 0; i < w; i++ {
+			lb.a[i] = make([]float64, lead.Rows*K)
+			lb.u[i] = make([]float64, lead.factorHeight()*K)
+			for k, j := range jobs {
+				cols[k] = j.Blocks[bi].A[i]
+			}
+			kernel.Interleave(lb.a[i], cols, K)
+			for k, j := range jobs {
+				cols[k] = j.Blocks[bi].U[i]
+			}
+			kernel.Interleave(lb.u[i], cols, K)
+		}
+		if !b.ReferenceKernels {
+			lb.nrm = make([]float64, w*K)
+			for i := 0; i < w; i++ {
+				kernel.SqNormBatch(lb.a[i], K, lb.nrm[i*K:(i+1)*K])
+			}
+		}
+		lane[bi] = lb
+	}
+
+	sc := kernel.NewLaneScratch(K, b.ReferenceKernels)
+	active := make([]float64, K)
+	results := make([]*Outcome, K)
+	for k := range active {
+		active[k] = -1
+		results[k] = &Outcome{}
+	}
+	conv := make([]ConvTracker, K)
+	remaining := K
+	st := ordering.NewState(d)
+
+	for sweep := 0; remaining > 0; sweep++ {
+		for k := range conv {
+			conv[k] = ConvTracker{}
+		}
+		// Step 1: intra-block pairings on whichever node currently holds
+		// each block, in node order — RunCentral's order exactly.
+		for n := 0; n < nodes; n++ {
+			nb := st.Node(n)
+			sc.Within(lane[nb.A].a, lane[nb.A].u, lane[nb.A].nrm, active, conv)
+			sc.Within(lane[nb.B].a, lane[nb.B].u, lane[nb.B].nrm, active, conv)
+		}
+		st.RunSweep(sw, sweep, func(step int, cur *ordering.State) {
+			for n := 0; n < nodes; n++ {
+				nb := cur.Node(n)
+				sc.Cross(lane[nb.A].a, lane[nb.A].u, lane[nb.B].a, lane[nb.B].u,
+					lane[nb.A].nrm, lane[nb.B].nrm, active, conv)
+			}
+		})
+		// Per-job sweep-boundary decisions, in RunCentral's decision order.
+		for k, j := range jobs {
+			if active[k] == 0 {
+				continue
+			}
+			res := results[k]
+			res.Sweeps = sweep + 1
+			res.Rotations += conv[k].Rotations
+			res.FinalMaxRel = conv[k].MaxRel
+			var done sweepOutcome
+			switch {
+			case j.FixedSweeps > 0:
+				done.stop = res.Sweeps >= j.FixedSweeps
+			case j.Interrupt != nil && j.Interrupt():
+				done.stop, done.interrupted = true, true
+			case opts[k].Converged(conv[k], j.TraceGram):
+				done.stop, done.converged = true, true
+			case res.Sweeps >= opts[k].MaxSweeps:
+				done.stop = true
+			}
+			if done.interrupted {
+				res.Interrupted = true
+			}
+			if done.converged {
+				res.Converged = true
+			}
+			if j.OnSweep != nil {
+				j.OnSweep(progressFrom(res.Sweeps-1, conv[k], done))
+			}
+			if j.OnCheckpoint != nil && !done.stop {
+				every := j.CheckpointEvery
+				if every <= 0 {
+					every = 1
+				}
+				if (sweep+1)%every == 0 {
+					j.OnCheckpoint(b.captureJob(d, j, lane, st, K, k, sweep, res))
+				}
+			}
+			if done.stop {
+				active[k] = 0
+				remaining--
+			}
+		}
+	}
+
+	// De-interleave the lane back into each job's blocks (block bi never
+	// moved: it is jobs[k].Blocks[bi] for every k).
+	for bi, lb := range lane {
+		for i := range lb.a {
+			for k, j := range jobs {
+				kernel.Deinterleave(j.Blocks[bi].A[i], lb.a[i], K, k)
+				kernel.Deinterleave(j.Blocks[bi].U[i], lb.u[i], K, k)
+			}
+		}
+	}
+	for k, j := range jobs {
+		results[k].Blocks = j.Blocks
+	}
+	return results, nil
+}
+
+// captureJob assembles job k's standard sweep-boundary Checkpoint from the
+// lane: blocks de-interleaved into fresh deep copies, deposited in
+// boundary placement (node p's slots at 2p, 2p+1 per the placement state
+// RunSweep left ready for the next sweep) — exactly the layout Restore
+// expects, so a lane checkpoint resumes on any solo path.
+func (b *BatchedBackend) captureJob(d int, j *LaneJob, lane []*laneBlock, st *ordering.State, K, k, sweep int, res *Outcome) *Checkpoint {
+	nodes := 1 << uint(d)
+	fm := j.factorHeight()
+	ck := &Checkpoint{
+		Dim:        d,
+		Rows:       j.Rows,
+		FactorRows: fm,
+		Sweep:      sweep + 1,
+		Rotations:  res.Rotations,
+		TraceGram:  j.TraceGram,
+		Slots:      make([]*Block, 2*nodes),
+	}
+	extract := func(lb *laneBlock) *Block {
+		blk := &Block{
+			ID:   lb.id,
+			Cols: append([]int(nil), lb.cols...),
+			A:    make([][]float64, len(lb.a)),
+			U:    make([][]float64, len(lb.u)),
+		}
+		for i := range lb.a {
+			blk.A[i] = make([]float64, j.Rows)
+			kernel.Deinterleave(blk.A[i], lb.a[i], K, k)
+			blk.U[i] = make([]float64, fm)
+			kernel.Deinterleave(blk.U[i], lb.u[i], K, k)
+		}
+		return blk
+	}
+	for p := 0; p < nodes; p++ {
+		nb := st.Node(p)
+		ck.Slots[2*p] = extract(lane[nb.A])
+		ck.Slots[2*p+1] = extract(lane[nb.B])
+	}
+	return ck
+}

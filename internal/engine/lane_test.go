@@ -1,0 +1,256 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/ordering"
+)
+
+// laneProblem builds one job's blocks and the matching solo Problem for a
+// symmetric input.
+func laneBuild(t *testing.T, a *matrix.Dense, d int, opts Options) (*LaneJob, *Problem) {
+	t.Helper()
+	jb, err := BuildBlocks(a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := BuildBlocks(a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := a.FrobeniusNorm()
+	job := &LaneJob{Blocks: jb, Opts: opts, Rows: a.Rows, TraceGram: tg * tg}
+	prob := &Problem{Blocks: pb, Dim: d, Opts: opts, Rows: a.Rows, TraceGram: tg * tg}
+	return job, prob
+}
+
+func gatherDense(t *testing.T, blocks []*Block, m int) (*matrix.Dense, *matrix.Dense) {
+	t.Helper()
+	w := matrix.NewDense(m, m)
+	u := matrix.NewDense(m, m)
+	Gather(blocks, w, u)
+	return w, u
+}
+
+// TestRunLaneReferenceMatchesRunCentral: the lane on the batched reference
+// kernels is bit-identical per job to the sequential reference replay —
+// including jobs with different tolerances and sweep bounds, so jobs stop
+// at different sweeps and the masked-lane path is on the line.
+func TestRunLaneReferenceMatchesRunCentral(t *testing.T) {
+	const d, n = 2, 24
+	rng := rand.New(rand.NewSource(61))
+	optsets := []Options{
+		{},
+		{Tol: 1e-4},
+		{Tol: 1e-12, MaxSweeps: 3},
+		{Tol: 1e-10, Criterion: OffFrobCriterion},
+	}
+	jobs := make([]*LaneJob, len(optsets))
+	probs := make([]*Problem, len(optsets))
+	for k, opts := range optsets {
+		a := matrix.RandomSymmetric(n, rng)
+		jobs[k], probs[k] = laneBuild(t, a, d, opts)
+	}
+	be := &BatchedBackend{ReferenceKernels: true}
+	outs, err := be.RunLane(d, nil, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range jobs {
+		want, err := probs[k].RunCentral()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := outs[k]
+		if got.Sweeps != want.Sweeps || got.Converged != want.Converged ||
+			got.Rotations != want.Rotations || got.FinalMaxRel != want.FinalMaxRel {
+			t.Errorf("job %d: outcome %+v, central %+v", k,
+				[4]interface{}{got.Sweeps, got.Converged, got.Rotations, got.FinalMaxRel},
+				[4]interface{}{want.Sweeps, want.Converged, want.Rotations, want.FinalMaxRel})
+		}
+		gw, gu := gatherDense(t, got.Blocks, n)
+		ww, wu := gatherDense(t, want.Blocks, n)
+		if !denseEqual(gw, ww) || !denseEqual(gu, wu) {
+			t.Errorf("job %d: reference lane diverges bitwise from RunCentral", k)
+		}
+	}
+	// Jobs must actually have stopped at different sweeps for the masking
+	// path to have been exercised.
+	if outs[1].Sweeps == outs[2].Sweeps && outs[2].Sweeps == outs[0].Sweeps {
+		t.Fatalf("all jobs stopped at sweep %d; masking untested", outs[0].Sweeps)
+	}
+}
+
+// TestRunLaneFusedInvariant: the fused lane preserves the one-sided Jacobi
+// invariant W = A₀·U per job and converges — the lane counterpart of the
+// fused solo path's integration checks.
+func TestRunLaneFusedInvariant(t *testing.T) {
+	const d, n, K = 2, 32, 5
+	rng := rand.New(rand.NewSource(62))
+	jobs := make([]*LaneJob, K)
+	inputs := make([]*matrix.Dense, K)
+	for k := 0; k < K; k++ {
+		inputs[k] = matrix.RandomSymmetric(n, rng)
+		jobs[k], _ = laneBuild(t, inputs[k], d, Options{})
+	}
+	outs, err := (&BatchedBackend{}).RunLane(d, ordering.NewBRFamily(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, out := range outs {
+		if !out.Converged {
+			t.Errorf("job %d did not converge (%d sweeps, maxrel %g)", k, out.Sweeps, out.FinalMaxRel)
+		}
+		w, u := gatherDense(t, out.Blocks, n)
+		// W = A₀·U column-wise: rotations applied to A and U identically.
+		for j := 0; j < n; j++ {
+			uc := u.Col(j)
+			wc := w.Col(j)
+			for i := 0; i < n; i++ {
+				au := 0.0
+				for l := 0; l < n; l++ {
+					au += inputs[k].At(i, l) * uc[l]
+				}
+				if math.Abs(au-wc[i]) > 1e-8 {
+					t.Fatalf("job %d: invariant broken at (%d,%d): A·u=%g w=%g", k, i, j, au, wc[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRunLaneOnSweepPerJob: each job's OnSweep fires exactly once per
+// sweep it was active, with Final set on its last report only.
+func TestRunLaneOnSweepPerJob(t *testing.T) {
+	const d, n = 2, 16
+	rng := rand.New(rand.NewSource(63))
+	opts := []Options{{Tol: 1e-12, MaxSweeps: 2}, {}}
+	jobs := make([]*LaneJob, len(opts))
+	calls := make([][]SweepProgress, len(opts))
+	for k := range jobs {
+		a := matrix.RandomSymmetric(n, rng)
+		jobs[k], _ = laneBuild(t, a, d, opts[k])
+		k := k
+		jobs[k].OnSweep = func(p SweepProgress) { calls[k] = append(calls[k], p) }
+	}
+	outs, err := (&BatchedBackend{}).RunLane(d, nil, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, out := range outs {
+		if len(calls[k]) != out.Sweeps {
+			t.Errorf("job %d: %d OnSweep calls for %d sweeps", k, len(calls[k]), out.Sweeps)
+		}
+		for i, p := range calls[k] {
+			if p.Sweep != i+1 {
+				t.Errorf("job %d call %d: sweep %d", k, i, p.Sweep)
+			}
+			if got, want := p.Final, i == len(calls[k])-1; got != want {
+				t.Errorf("job %d call %d: Final=%v want %v", k, i, got, want)
+			}
+		}
+	}
+	if outs[0].Sweeps >= outs[1].Sweeps {
+		t.Fatalf("sweep-capped job ran %d sweeps, free job %d; masking untested",
+			outs[0].Sweeps, outs[1].Sweeps)
+	}
+}
+
+// TestRunLaneInterruptMasksOneJob: an interrupt stops only its own lane
+// member at the boundary; lane mates run to convergence.
+func TestRunLaneInterruptMasksOneJob(t *testing.T) {
+	const d, n = 2, 16
+	rng := rand.New(rand.NewSource(64))
+	jobs := make([]*LaneJob, 2)
+	for k := range jobs {
+		a := matrix.RandomSymmetric(n, rng)
+		jobs[k], _ = laneBuild(t, a, d, Options{})
+	}
+	jobs[0].Interrupt = func() bool { return true }
+	outs, err := (&BatchedBackend{}).RunLane(d, nil, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outs[0].Interrupted || outs[0].Sweeps != 1 {
+		t.Errorf("interrupted job: Interrupted=%v Sweeps=%d, want true/1", outs[0].Interrupted, outs[0].Sweeps)
+	}
+	if !outs[1].Converged || outs[1].Interrupted {
+		t.Errorf("lane mate: Converged=%v Interrupted=%v, want true/false", outs[1].Converged, outs[1].Interrupted)
+	}
+}
+
+// TestRunLaneCheckpointResume: a mid-lane checkpoint of one job restores
+// onto the solo reference path and finishes bit-identically to the
+// uninterrupted run — a lane checkpoint is an ordinary job checkpoint.
+func TestRunLaneCheckpointResume(t *testing.T) {
+	const d, n = 2, 24
+	rng := rand.New(rand.NewSource(65))
+	a0 := matrix.RandomSymmetric(n, rng)
+	a1 := matrix.RandomSymmetric(n, rng)
+	job0, prob0 := laneBuild(t, a0, d, Options{})
+	job1, _ := laneBuild(t, a1, d, Options{})
+	var cks []*Checkpoint
+	job0.OnCheckpoint = func(ck *Checkpoint) { cks = append(cks, ck) }
+	be := &BatchedBackend{ReferenceKernels: true}
+	outs, err := be.RunLane(d, nil, []*LaneJob{job0, job1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cks) == 0 {
+		t.Fatal("no checkpoints captured")
+	}
+	if len(cks) != outs[0].Sweeps-1 {
+		t.Errorf("captured %d checkpoints over %d sweeps, want one per non-final boundary",
+			len(cks), outs[0].Sweeps)
+	}
+	ck := cks[0]
+	if err := ck.Validate(); err != nil {
+		t.Fatalf("lane checkpoint invalid: %v", err)
+	}
+	resumed := &Problem{Dim: d, Rows: n}
+	if err := resumed.Restore(ck); err != nil {
+		t.Fatal(err)
+	}
+	got, err := resumed.RunCentral()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := prob0.RunCentral()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sweeps != want.Sweeps || got.Rotations != want.Rotations {
+		t.Errorf("resumed: %d sweeps %d rotations, uninterrupted: %d/%d",
+			got.Sweeps, got.Rotations, want.Sweeps, want.Rotations)
+	}
+	gw, gu := gatherDense(t, got.Blocks, n)
+	ww, wu := gatherDense(t, want.Blocks, n)
+	if !denseEqual(gw, ww) || !denseEqual(gu, wu) {
+		t.Error("resume from lane checkpoint diverges bitwise from uninterrupted run")
+	}
+}
+
+// TestRunLaneShapeValidation: mismatched shapes and invalid combinations
+// are rejected up front.
+func TestRunLaneShapeValidation(t *testing.T) {
+	const d = 2
+	rng := rand.New(rand.NewSource(66))
+	j16, _ := laneBuild(t, matrix.RandomSymmetric(16, rng), d, Options{})
+	j24, _ := laneBuild(t, matrix.RandomSymmetric(24, rng), d, Options{})
+	be := &BatchedBackend{}
+	if _, err := be.RunLane(d, nil, nil); err == nil {
+		t.Error("empty lane accepted")
+	}
+	if _, err := be.RunLane(d, nil, []*LaneJob{j16, j24}); err == nil {
+		t.Error("mixed-shape lane accepted")
+	}
+	jfx, _ := laneBuild(t, matrix.RandomSymmetric(16, rng), d, Options{})
+	jfx.FixedSweeps = 2
+	jfx.OnCheckpoint = func(*Checkpoint) {}
+	if _, err := be.RunLane(d, nil, []*LaneJob{jfx}); err == nil {
+		t.Error("fixed-sweep job with checkpoint hook accepted")
+	}
+}

@@ -1,0 +1,83 @@
+package jacobi
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/matrix"
+	"repro/internal/ordering"
+)
+
+// LaneRequest is one job riding a batched solve lane: its input matrix
+// plus the per-job sweep-loop hooks the service wires in. All requests in
+// a lane must share the matrix size (the scheduler's shape fingerprint
+// guarantees it; SolveLane re-validates).
+type LaneRequest struct {
+	// A is the symmetric input matrix.
+	A *matrix.Dense
+	// Options are this job's numerical options.
+	Options Options
+	// FixedSweeps, when positive, runs exactly that many sweeps for this
+	// job regardless of convergence.
+	FixedSweeps int
+	// Interrupt is polled at this job's sweep boundaries; true stops only
+	// this lane member (see engine.LaneJob.Interrupt). The service wires
+	// it to the job's context.
+	Interrupt func() bool
+	// OnSweep receives this job's per-sweep progress.
+	OnSweep func(engine.SweepProgress)
+	// OnCheckpoint receives this job's sweep-boundary checkpoints every
+	// CheckpointEvery sweeps — standard engine checkpoints, restorable on
+	// any solo path (a lane checkpoint is K independent job checkpoints).
+	OnCheckpoint    func(*engine.Checkpoint)
+	CheckpointEvery int
+}
+
+// SolveLane solves the requests together on the batched execution lane:
+// K same-size problems advanced in SIMD lockstep through one (d, fam)
+// sweep schedule by a single goroutine (engine.BatchedBackend). Each job
+// keeps its own convergence decision; converged jobs sit bit-frozen in
+// masked lanes while the rest sweep on. With reference set the lane runs
+// the generic batched reference kernels and each job's result is
+// bit-identical to SolveSchedule on the same inputs; otherwise the lane
+// runs the fused SIMD kernels under the documented ulp contract.
+func SolveLane(d int, fam ordering.Family, reference bool, reqs []*LaneRequest) ([]*EigenResult, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("jacobi: empty lane")
+	}
+	m := reqs[0].A.Rows
+	jobs := make([]*engine.LaneJob, len(reqs))
+	for i, r := range reqs {
+		if r.A.Rows != r.A.Cols {
+			return nil, fmt.Errorf("jacobi: lane request %d is %dx%d, want square", i, r.A.Rows, r.A.Cols)
+		}
+		if r.A.Rows != m {
+			return nil, fmt.Errorf("jacobi: lane request %d is %dx%d, lane is %dx%d", i, r.A.Rows, r.A.Cols, m, m)
+		}
+		blocks, err := BuildBlocks(r.A, d)
+		if err != nil {
+			return nil, err
+		}
+		jobs[i] = &engine.LaneJob{
+			Blocks:          blocks,
+			Opts:            r.Options,
+			Rows:            r.A.Rows,
+			FixedSweeps:     r.FixedSweeps,
+			TraceGram:       traceGram(r.A),
+			Interrupt:       r.Interrupt,
+			OnSweep:         r.OnSweep,
+			OnCheckpoint:    r.OnCheckpoint,
+			CheckpointEvery: r.CheckpointEvery,
+		}
+	}
+	backend := &engine.BatchedBackend{ReferenceKernels: reference}
+	outs, err := backend.RunLane(d, fam, jobs)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*EigenResult, len(reqs))
+	for i, out := range outs {
+		results[i] = gatherEigen(reqs[i].A, out)
+	}
+	return results, nil
+}

@@ -165,3 +165,156 @@ func BenchmarkRotatePairFused(b *testing.B) {
 		RotatePairFused(a[0], a[1], u[0], u[1], &conv)
 	}
 }
+
+// laneCols builds w interleaved lane columns (height m, K lanes) plus
+// matching factor lane columns, lanes loaded with distinct data.
+func laneBenchCols(w, m, fm, K int, seed int64) (a, u [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	a = make([][]float64, w)
+	u = make([][]float64, w)
+	for i := range a {
+		a[i] = make([]float64, m*K)
+		for k := range a[i] {
+			a[i][k] = 2*rng.Float64() - 1
+		}
+		u[i] = make([]float64, fm*K)
+		for k := 0; k < K; k++ {
+			u[i][(i%fm)*K+k] = 1
+		}
+	}
+	return a, u
+}
+
+// The batched counterpart of the service's small-job block pairing: one
+// Cross at the n=96 d=2 shape (12-column blocks, 96-high columns) advancing
+// K=8 jobs at once. Compare per-job against BenchmarkCrossFused96Solo.
+func BenchmarkCrossLane96x8(b *testing.B) {
+	const w, m, K = 12, 96, 8
+	xa0, xu0 := laneBenchCols(w, m, m, K, 1)
+	ya0, yu0 := laneBenchCols(w, m, m, K, 2)
+	xa, xu := laneBenchCols(w, m, m, K, 1)
+	ya, yu := laneBenchCols(w, m, m, K, 2)
+	sc := NewLaneScratch(K, false)
+	active := make([]float64, K)
+	for k := range active {
+		active[k] = -1
+	}
+	conv := make([]Conv, K)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		restore(xa, xa0)
+		restore(ya, ya0)
+		restore(xu, xu0)
+		restore(yu, yu0)
+		b.StartTimer()
+		for k := range conv {
+			conv[k] = Conv{}
+		}
+		sc.Cross(xa, xu, ya, yu, nil, nil, active, conv)
+	}
+}
+
+// The solo fused pairing at the same shape, for the per-job comparison.
+func BenchmarkCrossFused96Solo(b *testing.B) {
+	const w, m = 12, 96
+	xa0, xu0 := benchCols(w, m, m, 1)
+	ya0, yu0 := benchCols(w, m, m, 2)
+	xa, xu := benchCols(w, m, m, 1)
+	ya, yu := benchCols(w, m, m, 2)
+	var sc Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		restore(xa, xa0)
+		restore(ya, ya0)
+		restore(xu, xu0)
+		restore(yu, yu0)
+		b.StartTimer()
+		var conv Conv
+		sc.Cross(xa, xu, ya, yu, &conv)
+	}
+}
+
+// Component benchmarks of the lane primitives at the same shape.
+func BenchmarkGammaDotBatch96x8(b *testing.B) {
+	const m, K = 96, 8
+	xa, _ := laneBenchCols(2, m, m, K, 3)
+	out := make([]float64, K)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GammaDotBatch(xa[0], xa[1], K, out)
+	}
+}
+
+func BenchmarkRotateGramBatch96x8(b *testing.B) {
+	const m, K = 96, 8
+	xa, _ := laneBenchCols(2, m, m, K, 4)
+	c := make([]float64, K)
+	s := make([]float64, K)
+	mask := make([]float64, K)
+	a := make([]float64, K)
+	bb := make([]float64, K)
+	for k := 0; k < K; k++ {
+		c[k], s[k], mask[k] = 0.8, 0.6, -1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rotateGramBatch(c, s, mask, xa[0], xa[1], K, a, bb)
+	}
+}
+
+func BenchmarkApplyPairBatch96x8(b *testing.B) {
+	const m, K = 96, 8
+	xa, _ := laneBenchCols(2, m, m, K, 5)
+	c := make([]float64, K)
+	s := make([]float64, K)
+	mask := make([]float64, K)
+	for k := 0; k < K; k++ {
+		c[k], s[k], mask[k] = 0.8, 0.6, -1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		applyPairBatch(c, s, mask, xa[0], xa[1], K)
+	}
+}
+
+// The per-pair decision loop in isolation: 8 active lanes, all rotating.
+func BenchmarkDecide8(b *testing.B) {
+	const K = 8
+	sc := NewLaneScratch(K, false)
+	alpha := make([]float64, K)
+	beta := make([]float64, K)
+	active := make([]float64, K)
+	conv := make([]Conv, K)
+	rng := rand.New(rand.NewSource(6))
+	for k := 0; k < K; k++ {
+		alpha[k] = 1 + rng.Float64()
+		beta[k] = 1 + rng.Float64()
+		sc.gamma[k] = 0.1 + 0.5*rng.Float64()
+		active[k] = -1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.decide(alpha, beta, active, conv)
+	}
+}
+
+// The fused working-pair step (rotate + norm carry + lookahead gamma) in
+// isolation, the dominant cost of a rotating lane pair.
+func BenchmarkRotateStepA96x8(b *testing.B) {
+	const m, K = 96, 8
+	xa, _ := laneBenchCols(3, m, m, K, 7)
+	sc := NewLaneScratch(K, false)
+	a := make([]float64, K)
+	bb := make([]float64, K)
+	for k := 0; k < K; k++ {
+		sc.cvec[k], sc.svec[k], sc.mask[k] = 0.8, 0.6, -1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.rotateStepA(xa[0], xa[1], xa[2], a, bb)
+	}
+}

@@ -32,21 +32,25 @@ func randCol(n int, rng *rand.Rand) []float64 {
 	return c
 }
 
-// forEachArm runs f under every available dispatch arm of the fused path.
+// forEachArm runs f under every available dispatch arm: generic, AVX2, and
+// (for the lane kernels, which are the only AVX-512 dispatchers) AVX-512.
 func forEachArm(t *testing.T, f func(t *testing.T)) {
-	arms := []bool{false}
-	if useAVX {
-		arms = append(arms, true)
+	type arm struct {
+		name        string
+		avx, avx512 bool
 	}
-	saved := useAVX
-	defer func() { useAVX = saved }()
-	for _, arm := range arms {
-		useAVX = arm
-		name := "generic"
-		if arm {
-			name = "avx"
-		}
-		t.Run(name, f)
+	arms := []arm{{"generic", false, false}}
+	if useAVX {
+		arms = append(arms, arm{"avx", true, false})
+	}
+	if useAVX512 {
+		arms = append(arms, arm{"avx512", true, true})
+	}
+	savedAVX, saved512 := useAVX, useAVX512
+	defer func() { useAVX, useAVX512 = savedAVX, saved512 }()
+	for _, a := range arms {
+		useAVX, useAVX512 = a.avx, a.avx512
+		t.Run(a.name, f)
 	}
 }
 

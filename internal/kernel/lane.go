@@ -1,0 +1,533 @@
+package kernel
+
+import "math"
+
+// This file is the batched lane path: kernels that advance K same-shape
+// solves ("lanes") in SIMD lockstep through one rotation schedule. Where
+// the fused path (fused.go) amortizes memory traffic across the columns of
+// ONE problem, the lane path amortizes instruction and dispatch cost across
+// K problems — the many-small-matrices workload the batch-solve service
+// actually sees (ROADMAP item 4).
+//
+// Lane memory layout — interleaved columns:
+//
+//	element (row r, lane k) of a lane column lives at  buf[r*K + k]
+//
+// so one "lane column" packs the same column of all K jobs, row-major with
+// lane-minor stride. A row of K elements is contiguous: vector arithmetic
+// runs ACROSS lanes (8 jobs per ZMM on the AVX-512 arm, 4 per YMM on the
+// AVX2 arm), and each lane's dot is a private per-register accumulator —
+// no horizontal reduction ever mixes jobs. The generic lane dots keep one
+// left-to-right chain per lane in row order, the exact association of the
+// reference path's matrix.Dot, and are therefore bit-identical per lane to
+// the reference dots; the AVX2 arm differs only by FMA rounding, and the
+// AVX-512 arm additionally splits each lane's standalone dots into even/odd
+// row chains (see lane_avx512_amd64.s) — all far inside the package's
+// documented ulp budget (see the ULP BOUND package comment).
+//
+// Masking — two kinds of lanes sit a rotation out:
+//
+//   - inactive lanes (the lane's job already converged, was interrupted, or
+//     hit its sweep bound) and
+//   - skipped lanes (this pair's relative off-diagonal is below SkipEps for
+//     that lane only).
+//
+// Both are expressed through a blend mask in sign-bit format (-1 = rotate,
+// 0 = leave untouched). Masked lanes keep their column bytes AND their
+// carried norms bit-unchanged: the generic arm branches per lane, the AVX2
+// arm blends (VBLENDVPD) the rotated values against the originals and the
+// accumulated norms against the carried ones. A masked lane is deliberately
+// NOT rotated by the identity (c=1, s=0): the identity application computes
+// x - 0·y, which flips the sign bit of a -0 element, so an identity-masked
+// converged job would not be byte-stable while it waits for its lane.
+//
+// Kernel classes mirror the repository's two-class policy:
+//
+//   - LaneScratch with Reference=false (the default) runs the batched fused
+//     formulation: column norms are seeded once by SqNormBatch and then
+//     carried by the fused rotate pass — across the whole solve when the
+//     caller owns the norm buffers (Within/Cross nrm arguments, as the lane
+//     engine does), per pairing otherwise; each row of pairs seeds its
+//     first gammas with one GammaDotBatch, after which rotateStep's lookahead
+//     leaves the NEXT pair's gammas behind as it rotates (per lane it dots
+//     the effective post-pair column — rotated or original, by the mask —
+//     against the next column, so the lookahead is well-defined for rotated,
+//     skipped, and inactive lanes alike). A pair where no lane rotates falls
+//     back to a standalone GammaDotBatch for the next pair. Results stay
+//     within the documented ulp bound of the reference.
+//   - LaneScratch with Reference=true recomputes alpha, beta, gamma per
+//     pair with the generic (never vector-dispatched) lane dots and applies
+//     rotations with the exact per-element reference arithmetic: each
+//     lane's solve is then bit-for-bit the sequential reference solve, on
+//     any host — the conformance anchor of the lane engine, exactly as
+//     Multicore{ReferenceKernels: true} anchors the distributed path.
+//
+// No routine here allocates; LaneScratch grows to the widest pairing it has
+// seen and is then reused across every pairing and sweep (the differential
+// suite pins 0 allocs/op).
+
+// laneActive and laneMasked are the sign-bit blend-mask values of the lane
+// kernels: laneActive selects the rotated value, laneMasked the original.
+const (
+	laneActive = -1.0
+	laneMasked = 0.0
+	laneGroup  = 4 // lanes per vector register on the AVX2 arm
+)
+
+// sqNormBatchRange accumulates out[k] = Σ_r x[r*stride+k]² for lanes
+// k in [lo, hi) — one left-to-right accumulator chain per lane, the
+// reference association.
+func sqNormBatchRange(x []float64, stride, lo, hi int, out []float64) {
+	for k := lo; k < hi; k++ {
+		out[k] = 0
+	}
+	for off := 0; off < len(x); off += stride {
+		row := x[off+lo : off+hi]
+		acc := out[lo:hi]
+		for k, v := range row {
+			acc[k] += v * v
+		}
+	}
+}
+
+// gammaDotBatchRange accumulates out[k] = Σ_r x[r*stride+k]·y[r*stride+k]
+// for lanes k in [lo, hi), one reference-association chain per lane.
+func gammaDotBatchRange(x, y []float64, stride, lo, hi int, out []float64) {
+	for k := lo; k < hi; k++ {
+		out[k] = 0
+	}
+	for off := 0; off < len(x); off += stride {
+		xr := x[off+lo : off+hi]
+		yr := y[off+lo : off+hi]
+		acc := out[lo:hi]
+		for k := range xr {
+			acc[k] += xr[k] * yr[k]
+		}
+	}
+}
+
+// applyPairBatchRange rotates lanes k in [lo, hi) of the pair (x, y) in
+// place with the per-lane rotation (c[k], s[k]), leaving lanes with
+// mask[k] == 0 bit-untouched. Per element it performs exactly the reference
+// arithmetic of Rotation.Apply.
+func applyPairBatchRange(c, s, mask, x, y []float64, stride, lo, hi int) {
+	for off := 0; off < len(x); off += stride {
+		for k := lo; k < hi; k++ {
+			if mask[k] == laneMasked {
+				continue
+			}
+			xi, yi := x[off+k], y[off+k]
+			x[off+k] = c[k]*xi - s[k]*yi
+			y[off+k] = s[k]*xi + c[k]*yi
+		}
+	}
+}
+
+// rotateGramBatchRange is applyPairBatchRange fused with the norm carry:
+// rotated lanes additionally accumulate their updated squared norms into
+// a[k], b[k]; masked lanes keep a[k], b[k] (the carried norms) untouched.
+func rotateGramBatchRange(c, s, mask, x, y []float64, stride, lo, hi int, a, b []float64) {
+	for k := lo; k < hi; k++ {
+		if mask[k] != laneMasked {
+			a[k], b[k] = 0, 0
+		}
+	}
+	for off := 0; off < len(x); off += stride {
+		for k := lo; k < hi; k++ {
+			if mask[k] == laneMasked {
+				continue
+			}
+			xi, yi := x[off+k], y[off+k]
+			xr := c[k]*xi - s[k]*yi
+			yr := s[k]*xi + c[k]*yi
+			x[off+k], y[off+k] = xr, yr
+			a[k] += xr * xr
+			b[k] += yr * yr
+		}
+	}
+}
+
+// LaneScratch is a lane worker's reusable kernel state: the carried norm
+// buffers and the per-pair rotation vectors of the batched pairings, sized
+// for a fixed lane width. It grows to the widest pairing it has seen and is
+// then allocation-free. A LaneScratch must not be used concurrently.
+type LaneScratch struct {
+	lanes     int
+	reference bool
+
+	norms []float64 // carried squared norms, one lane group per column
+	gamma []float64 // per-lane Gram gamma of the current pair
+	cvec  []float64 // per-lane rotation cosines
+	svec  []float64 // per-lane rotation sines
+	mask  []float64 // per-lane blend mask (sign-bit format)
+	refA  []float64 // reference-mode per-pair alpha
+	refB  []float64 // reference-mode per-pair beta
+	dprod []float64 // vector-decide scratch: per-lane alpha*beta
+	drel  []float64 // vector-decide scratch: per-lane |gamma|/sqrt(alpha*beta)
+
+	// Deferred factor rotations of the current pivot row (see flushRot):
+	// per deferred pair, one lane group of cosines/sines/masks and the
+	// factor partner column it pairs the pivot's factor column with.
+	rotC []float64
+	rotS []float64
+	rotM []float64
+	rotY [][]float64
+	rotN int
+}
+
+// NewLaneScratch returns a scratch for lane width lanes. With reference
+// set, the pairings recompute every Gram entry with the generic lane dots
+// and skip the norm carry, making each lane bit-identical to the reference
+// solve (see the file comment).
+func NewLaneScratch(lanes int, reference bool) *LaneScratch {
+	return &LaneScratch{
+		lanes:     lanes,
+		reference: reference,
+		gamma:     make([]float64, lanes),
+		cvec:      make([]float64, lanes),
+		svec:      make([]float64, lanes),
+		mask:      make([]float64, lanes),
+		refA:      make([]float64, lanes),
+		refB:      make([]float64, lanes),
+		dprod:     make([]float64, lanes),
+		drel:      make([]float64, lanes),
+	}
+}
+
+// Lanes returns the scratch's lane width.
+func (sc *LaneScratch) Lanes() int { return sc.lanes }
+
+// Reference reports whether the scratch runs the reference lane kernels.
+func (sc *LaneScratch) Reference() bool { return sc.reference }
+
+// normBuf returns the carried-norm buffer sized to cols lane groups,
+// growing the backing array only when a wider pairing arrives.
+func (sc *LaneScratch) normBuf(cols int) []float64 {
+	need := cols * sc.lanes
+	if cap(sc.norms) < need {
+		sc.norms = make([]float64, need)
+	}
+	return sc.norms[:need]
+}
+
+// rotGrow sizes the deferred-rotation buffers for a pivot row of up to
+// pairs rotations, growing only when a wider pairing arrives.
+func (sc *LaneScratch) rotGrow(pairs int) {
+	need := pairs * sc.lanes
+	if cap(sc.rotC) < need {
+		sc.rotC = make([]float64, need)
+		sc.rotS = make([]float64, need)
+		sc.rotM = make([]float64, need)
+		sc.rotY = make([][]float64, pairs)
+	}
+	sc.rotC = sc.rotC[:need]
+	sc.rotS = sc.rotS[:need]
+	sc.rotM = sc.rotM[:need]
+	sc.rotY = sc.rotY[:pairs]
+	sc.rotN = 0
+}
+
+// rotSlot points the per-pair rotation vectors (sc.cvec, sc.svec, sc.mask)
+// at the next free deferred slot, so a rotating pair's decision lands
+// directly in the flush queue and pushRot never copies. A non-rotating
+// pair simply reuses the slot. Fused paths only — the reference path keeps
+// the scratch's own vectors.
+func (sc *LaneScratch) rotSlot() {
+	K := sc.lanes
+	off := sc.rotN * K
+	sc.cvec = sc.rotC[off : off+K]
+	sc.svec = sc.rotS[off : off+K]
+	sc.mask = sc.rotM[off : off+K]
+}
+
+// pushRot commits the current pair's rotation slot (written in place via
+// rotSlot) against the factor partner column yu for a later flushRot.
+func (sc *LaneScratch) pushRot(yu []float64) {
+	sc.rotY[sc.rotN] = yu
+	sc.rotN++
+}
+
+// flushRot applies the pivot row's deferred rotations to the factor
+// columns, in the exact order they were decided: xu is the pivot's factor
+// column, each deferred entry pairs it with its recorded partner. Element
+// arithmetic, rotation order, and masking are identical to an immediate
+// per-pair application, so the factor matrix is bit-identical to the
+// undeferred schedule — the deferral exists purely for locality: the
+// working-pair passes stream ~3 columns per pair, which evicts the factor
+// pivot column from L1 between pairs; batching the row's factor updates
+// into one run keeps xu cache-hot across all of them.
+// Factor columns are only ever touched here, so every partner column
+// arrives cold; prefetching the NEXT queued partner while the current one
+// is applied hides that miss latency behind useful work.
+func (sc *LaneScratch) flushRot(xu []float64) {
+	K := sc.lanes
+	if sc.rotN > 0 {
+		prefetchCol(xu)
+		prefetchCol(sc.rotY[0])
+	}
+	for t := 0; t < sc.rotN; t++ {
+		if t+1 < sc.rotN {
+			prefetchCol(sc.rotY[t+1])
+		}
+		off := t * K
+		applyPairBatch(sc.rotC[off:off+K], sc.rotS[off:off+K], sc.rotM[off:off+K],
+			xu, sc.rotY[t], K)
+		sc.rotY[t] = nil
+	}
+	sc.rotN = 0
+}
+
+// decide computes the per-lane rotation decision of one pair from its Gram
+// entries (alpha, beta — lane-group slices of carried or recomputed norms —
+// and sc.gamma), the active mask, and the per-lane convergence trackers:
+// inactive lanes are masked without being observed, sub-SkipEps lanes are
+// observed as skips, every other lane gets its rotation in sc.cvec/sc.svec
+// and a set mask bit. It reports whether any lane rotates.
+//
+// The body is RelOff + ComputeRotation + Conv.Observe inlined with the
+// rotation's data-dependent sign branch folded into a Copysign — the K
+// independent per-lane chains then pipeline through the divider instead of
+// stalling on a mispredict per lane, which is what bounds this loop once
+// the column passes run on the vector arms. The formulation is bit-exact
+// against ComputeRotation: for ζ ≥ 0 it is the same expression, for ζ < 0
+// IEEE negation makes -(1/x) and (-1)/x identical, and the `ζ+0` normalizes
+// a negative-zero ζ (β = α exactly, γ < 0) to the positive branch
+// ComputeRotation's `ζ >= 0` test selects.
+//
+// On AVX-512 hosts the fused path runs the arithmetic through the split
+// vector arm — decideRelVec for the observation half (p, rel), then
+// decideCSVec for the rotation half only when some lane actually rotates —
+// the same op sequence on 8 lanes at once. Every instruction involved
+// (mul, add, sub, div, sqrt, and bitwise abs/copysign) is IEEE
+// correctly-rounded elementwise, so the vector arm is bit-identical to the
+// scalar chain, not merely ulp-close; it exists because the divider is the
+// bottleneck and one ZMM divide retires 8 lanes' worth per issue, and the
+// split keeps the rotation chain's serial div/sqrt latency off the all-skip
+// pairs that dominate near convergence. The reference path never takes it,
+// by the no-vector-dispatch rule.
+func (sc *LaneScratch) decide(alpha, beta, active []float64, conv []Conv) bool {
+	if !sc.reference && sc.decideRelVec(alpha, beta) {
+		// The vector arm computed every lane's alpha*beta product and raw
+		// rel in one pass of IEEE-exact ops (mul/div/sqrt, no FMA), so each
+		// value is bit-identical to the scalar chain below; only the Conv
+		// bookkeeping and the masking stay per-lane here. The rotation
+		// half runs once at the end, and only when some lane rotates — an
+		// all-skip pair never pays its serial div/sqrt latency. Skipped
+		// lanes hold garbage cvec/svec (the scalar path leaves stale
+		// values the same way) — every consumer blends by sc.mask.
+		any := false
+		for k := 0; k < sc.lanes; k++ {
+			if active[k] == laneMasked {
+				sc.mask[k] = laneMasked
+				continue
+			}
+			gamma := sc.gamma[k]
+			rel := 0.0
+			if sc.dprod[k] > 0 {
+				rel = sc.drel[k]
+			}
+			cv := &conv[k]
+			cv.Pairs++
+			cv.OffSq += gamma * gamma
+			if rel > cv.MaxRel {
+				cv.MaxRel = rel
+			}
+			if rel <= SkipEps {
+				sc.mask[k] = laneMasked
+				continue
+			}
+			sc.mask[k] = laneActive
+			cv.Rotations++
+			any = true
+		}
+		if any {
+			sc.decideCSVec(alpha, beta)
+		}
+		return any
+	}
+	any := false
+	for k := 0; k < sc.lanes; k++ {
+		if active[k] == laneMasked {
+			sc.mask[k] = laneMasked
+			continue
+		}
+		gamma := sc.gamma[k]
+		denom := math.Sqrt(alpha[k] * beta[k])
+		rel := 0.0
+		if denom > 0 {
+			rel = math.Abs(gamma) / denom
+		}
+		cv := &conv[k]
+		cv.Pairs++
+		cv.OffSq += gamma * gamma
+		if rel > cv.MaxRel {
+			cv.MaxRel = rel
+		}
+		if rel <= SkipEps {
+			sc.mask[k] = laneMasked
+			continue
+		}
+		zeta := (beta[k]-alpha[k])/(2*gamma) + 0
+		t := math.Copysign(1/(math.Abs(zeta)+math.Sqrt(1+zeta*zeta)), zeta)
+		c := 1 / math.Sqrt(1+t*t)
+		sc.cvec[k] = c
+		sc.svec[k] = t * c
+		sc.mask[k] = laneActive
+		cv.Rotations++
+		any = true
+	}
+	return any
+}
+
+// Within rotates every column pair inside one lane block, in ascending
+// (i, j) order — the batched counterpart of Scratch.Within. a and u hold
+// the block's lane columns (working and factor); active is the sign-bit
+// job mask; conv the per-lane convergence trackers. Pair order and skip
+// rule match the reference path per lane exactly.
+//
+// nrm, when non-nil, is the block's carried norm buffer (len(a)·K): the
+// caller keeps it across pairings, the rotation pass keeps it current (a
+// rotated column's new norm is accumulated while its bytes stream anyway,
+// and an untouched column's entry is simply still right), so the
+// per-pairing norm recompute disappears. A nil nrm recomputes into scratch
+// — the standalone-call behavior, and the only mode the reference path
+// uses (it takes fresh per-pair dots regardless, for bit-identity).
+func (sc *LaneScratch) Within(a, u [][]float64, nrm []float64, active []float64, conv []Conv) {
+	n := len(a)
+	if n < 2 {
+		return
+	}
+	K := sc.lanes
+	if sc.reference {
+		for i := 0; i < n-1; i++ {
+			for j := i + 1; j < n; j++ {
+				sc.pairRef(a[i], a[j], u[i], u[j], active, conv)
+			}
+		}
+		return
+	}
+	nm := nrm
+	if nm == nil {
+		nm = sc.normBuf(n)
+		for i, x := range a {
+			SqNormBatch(x, K, nm[i*K:(i+1)*K])
+		}
+	}
+	sc.rotGrow(n - 1)
+	for i := 0; i < n-1; i++ {
+		x := a[i]
+		ai := nm[i*K : (i+1)*K]
+		GammaDotBatch(x, a[i+1], K, sc.gamma)
+		for j := i + 1; j < n; j++ {
+			y := a[j]
+			bj := nm[j*K : (j+1)*K]
+			var ynext []float64
+			if j+1 < n {
+				ynext = a[j+1]
+				// The lookahead dot is the first toucher of the next
+				// partner column; pull it in behind the decide latency.
+				prefetchCol(ynext)
+			}
+			sc.rotSlot()
+			if sc.decide(ai, bj, active, conv) {
+				sc.rotateStepA(x, y, ynext, ai, bj)
+				sc.pushRot(u[j])
+			} else if ynext != nil {
+				GammaDotBatch(x, ynext, K, sc.gamma)
+			}
+		}
+		sc.flushRot(u[i])
+	}
+}
+
+// Cross rotates every (xa[i], ya[j]) lane pair — the batched block pairing,
+// i outer and j inner exactly like the reference and fused paths. xnrm and
+// ynrm are the two blocks' carried norm buffers, with the same contract as
+// Within's nrm (both nil = recompute into scratch).
+func (sc *LaneScratch) Cross(xa, xu, ya, yu [][]float64, xnrm, ynrm []float64, active []float64, conv []Conv) {
+	nx, ny := len(xa), len(ya)
+	if nx == 0 || ny == 0 {
+		return
+	}
+	K := sc.lanes
+	if sc.reference {
+		for i := 0; i < nx; i++ {
+			for j := 0; j < ny; j++ {
+				sc.pairRef(xa[i], ya[j], xu[i], yu[j], active, conv)
+			}
+		}
+		return
+	}
+	ax, by := xnrm, ynrm
+	if ax == nil || by == nil {
+		nm := sc.normBuf(nx + ny)
+		ax = nm[:nx*K]
+		by = nm[nx*K:]
+		for i, x := range xa {
+			SqNormBatch(x, K, ax[i*K:(i+1)*K])
+		}
+		for j, y := range ya {
+			SqNormBatch(y, K, by[j*K:(j+1)*K])
+		}
+	}
+	sc.rotGrow(ny)
+	for i := 0; i < nx; i++ {
+		x := xa[i]
+		ai := ax[i*K : (i+1)*K]
+		GammaDotBatch(x, ya[0], K, sc.gamma)
+		for j := 0; j < ny; j++ {
+			y := ya[j]
+			bj := by[j*K : (j+1)*K]
+			var ynext []float64
+			if j+1 < ny {
+				ynext = ya[j+1]
+				// As in Within: the lookahead dot touches ynext first.
+				prefetchCol(ynext)
+			}
+			sc.rotSlot()
+			if sc.decide(ai, bj, active, conv) {
+				sc.rotateStepA(x, y, ynext, ai, bj)
+				sc.pushRot(yu[j])
+			} else if ynext != nil {
+				GammaDotBatch(x, ynext, K, sc.gamma)
+			}
+		}
+		sc.flushRot(xu[i])
+	}
+}
+
+// pairRef is the reference-mode lane pair: fresh generic Gram dots (bit-
+// identical per lane to GramRef) and the exact reference application, never
+// vector-dispatched.
+func (sc *LaneScratch) pairRef(x, y, xu, yu []float64, active []float64, conv []Conv) {
+	K := sc.lanes
+	sqNormBatchRange(x, K, 0, K, sc.refA)
+	sqNormBatchRange(y, K, 0, K, sc.refB)
+	gammaDotBatchRange(x, y, K, 0, K, sc.gamma)
+	if sc.decide(sc.refA, sc.refB, active, conv) {
+		applyPairBatchRange(sc.cvec, sc.svec, sc.mask, x, y, K, 0, K)
+		applyPairBatchRange(sc.cvec, sc.svec, sc.mask, xu, yu, K, 0, K)
+	}
+}
+
+// Interleave packs column c of K equal-height jobs into a lane column
+// (dst[r*K+k] = cols[k][r]); Deinterleave extracts lane k back out. Both
+// are the boundary converters of the lane engine — hot loops stay inside
+// the kernels above.
+func Interleave(dst []float64, cols [][]float64, lanes int) {
+	for k, col := range cols {
+		if col == nil {
+			continue
+		}
+		for r, v := range col {
+			dst[r*lanes+k] = v
+		}
+	}
+}
+
+// Deinterleave extracts lane k of a lane column into dst (len(dst) rows).
+func Deinterleave(dst []float64, src []float64, lanes, k int) {
+	for r := range dst {
+		dst[r] = src[r*lanes+k]
+	}
+}

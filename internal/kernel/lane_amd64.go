@@ -1,0 +1,207 @@
+package kernel
+
+// SIMD dispatch for the lane path on amd64, sharing the fused path's cpuid
+// probes (useAVX, useAVX512 in simd_amd64.go). The lane buffer interleaves
+// K jobs per row, so the vector arms walk lanes in register-width groups —
+// eight per ZMM on the AVX-512 arm, four per YMM on the AVX2 arm — and each
+// job keeps its own register lane as a private accumulator: no horizontal
+// reduction ever mixes jobs. On the AVX2 arm every lane's dot is a single
+// accumulator chain (the reference association, with FMA rounding as the
+// only deviation); the AVX-512 arm splits each lane's dot into an even-row
+// and an odd-row chain to break the FMA latency bound — one more
+// reassociation inside the documented ulp budget (see lane_avx512_amd64.s).
+// Wider groups dispatch first (8, then 4); leftover lanes finish in the
+// generic range kernels, as do whole calls on short columns or non-AVX
+// hosts.
+//
+// Masking happens in-register: the AVX2 arm blends (VBLENDVPD) the rotated
+// element against the ORIGINAL BYTES for masked lanes, the AVX-512 arm uses
+// opmask-masked stores, so a converged job's columns (and its carried
+// norms, guarded the same way at the end of the rotateGram kernels) stay
+// bit-untouched while its lane mates rotate.
+
+// Implemented in lane_amd64.s (4-lane AVX2 groups) and lane_avx512_amd64.s
+// (8-lane AVX-512 groups).
+func sqNormBatch4AVX(x []float64, stride, rows int64, out []float64)
+func gammaDotBatch4AVX(x, y []float64, stride, rows int64, out []float64)
+func applyPairBatch4AVX(c, s, mask, x, y []float64, stride, rows int64)
+func rotateGramBatch4AVX(c, s, mask, x, y []float64, stride, rows int64, a, b []float64)
+func sqNormBatch8AVX512(x []float64, stride, rows int64, out []float64)
+func gammaDotBatch8AVX512(x, y []float64, stride, rows int64, out []float64)
+func applyPairBatch8AVX512(c, s, mask, x, y []float64, stride, rows int64)
+func rotateGramBatch8AVX512(c, s, mask, x, y []float64, stride, rows int64, a, b []float64)
+func rotateGramNextBatch8AVX512(c, s, mask, x, y, yn []float64, stride, rows int64, a, b, g []float64)
+func decideRelBatch8AVX512(alpha, beta, gamma, p, rel []float64)
+func decideCSBatch8AVX512(alpha, beta, gamma, c, s []float64)
+
+// prefetchCol issues hardware prefetch hints across the whole lane column
+// (plain SSE hints — any amd64 host); flushRot uses it to pull the next
+// deferred partner column toward L1 while the current one is applied.
+func prefetchCol(p []float64)
+
+// decideRelVec runs the observation half of the rotation decision for all
+// lanes at once on the AVX-512 arm (bit-identical to decide's scalar chain
+// — see the decide comment), leaving alpha*beta in sc.dprod and the raw
+// rel in sc.drel. False when the host or lane width rules it out; the
+// caller then runs the scalar chain.
+func (sc *LaneScratch) decideRelVec(alpha, beta []float64) bool {
+	if !useAVX512 || sc.lanes != laneGroup8 {
+		return false
+	}
+	decideRelBatch8AVX512(alpha, beta, sc.gamma, sc.dprod, sc.drel)
+	return true
+}
+
+// decideCSVec computes every lane's rotation into sc.cvec/sc.svec — only
+// called after decideRelVec returned true and some lane actually rotates,
+// so an all-skip pair never pays this chain's serial div/sqrt latency.
+func (sc *LaneScratch) decideCSVec(alpha, beta []float64) {
+	decideCSBatch8AVX512(alpha, beta, sc.gamma, sc.cvec, sc.svec)
+}
+
+// laneGroup8 is the lane count of one ZMM register on the AVX-512 arm.
+const laneGroup8 = 8
+
+// SqNormBatch writes out[k] = Σ_r x[r*lanes+k]² for every lane k of the
+// interleaved lane column x (len(x) = rows*lanes).
+func SqNormBatch(x []float64, lanes int, out []float64) {
+	rows := len(x) / lanes
+	lo := 0
+	if useAVX && rows >= simdMin {
+		if useAVX512 {
+			for ; lo+laneGroup8 <= lanes; lo += laneGroup8 {
+				sqNormBatch8AVX512(x[lo:], int64(lanes), int64(rows), out[lo:lo+laneGroup8])
+			}
+		}
+		for ; lo+laneGroup <= lanes; lo += laneGroup {
+			sqNormBatch4AVX(x[lo:], int64(lanes), int64(rows), out[lo:lo+laneGroup])
+		}
+	}
+	if lo < lanes {
+		sqNormBatchRange(x, lanes, lo, lanes, out)
+	}
+}
+
+// GammaDotBatch writes out[k] = Σ_r x[r*lanes+k]·y[r*lanes+k] for every
+// lane k. The lane columns must have equal length.
+func GammaDotBatch(x, y []float64, lanes int, out []float64) {
+	y = y[:len(x)]
+	rows := len(x) / lanes
+	lo := 0
+	if useAVX && rows >= simdMin {
+		if useAVX512 {
+			for ; lo+laneGroup8 <= lanes; lo += laneGroup8 {
+				gammaDotBatch8AVX512(x[lo:], y[lo:], int64(lanes), int64(rows), out[lo:lo+laneGroup8])
+			}
+		}
+		for ; lo+laneGroup <= lanes; lo += laneGroup {
+			gammaDotBatch4AVX(x[lo:], y[lo:], int64(lanes), int64(rows), out[lo:lo+laneGroup])
+		}
+	}
+	if lo < lanes {
+		gammaDotBatchRange(x, y, lanes, lo, lanes, out)
+	}
+}
+
+// applyPairBatch rotates each unmasked lane of the pair (x, y) in place
+// with its (c[k], s[k]); masked lanes keep their bytes. Per element all
+// dispatch arms perform exactly the reference arithmetic (no FMA), so each
+// rotated lane is bit-identical to Rotation.Apply.
+func applyPairBatch(c, s, mask, x, y []float64, lanes int) {
+	y = y[:len(x)]
+	rows := len(x) / lanes
+	lo := 0
+	if useAVX && rows >= simdMin {
+		if useAVX512 {
+			for ; lo+laneGroup8 <= lanes; lo += laneGroup8 {
+				applyPairBatch8AVX512(c[lo:], s[lo:], mask[lo:], x[lo:], y[lo:], int64(lanes), int64(rows))
+			}
+		}
+		for ; lo+laneGroup <= lanes; lo += laneGroup {
+			applyPairBatch4AVX(c[lo:], s[lo:], mask[lo:], x[lo:], y[lo:], int64(lanes), int64(rows))
+		}
+	}
+	if lo < lanes {
+		applyPairBatchRange(c, s, mask, x, y, lanes, lo, lanes)
+	}
+}
+
+// rotateGramBatch is applyPairBatch fused with the norm carry: unmasked
+// lanes get their updated squared norms written into a[k], b[k]; masked
+// lanes keep both their column bytes and their carried norms bit-unchanged.
+func rotateGramBatch(c, s, mask, x, y []float64, lanes int, a, b []float64) {
+	y = y[:len(x)]
+	rows := len(x) / lanes
+	lo := 0
+	if useAVX && rows >= simdMin {
+		if useAVX512 {
+			for ; lo+laneGroup8 <= lanes; lo += laneGroup8 {
+				rotateGramBatch8AVX512(c[lo:], s[lo:], mask[lo:], x[lo:], y[lo:],
+					int64(lanes), int64(rows), a[lo:lo+laneGroup8], b[lo:lo+laneGroup8])
+			}
+		}
+		for ; lo+laneGroup <= lanes; lo += laneGroup {
+			rotateGramBatch4AVX(c[lo:], s[lo:], mask[lo:], x[lo:], y[lo:],
+				int64(lanes), int64(rows), a[lo:lo+laneGroup], b[lo:lo+laneGroup])
+		}
+	}
+	if lo < lanes {
+		rotateGramBatchRange(c, s, mask, x, y, lanes, lo, lanes, a, b)
+	}
+}
+
+// rotateStepA is the working-pair half of one batched rotation: rotate the
+// pair (x, y) with the norm carry into (a, b) and — when ynext is non-nil —
+// leave the NEXT pair's per-lane gammas in sc.gamma. On the AVX-512 arm
+// that is ONE fused kernel per 8-lane group: the lookahead dot reads each
+// lane's effective post-pair x (rotated or original, selected by a
+// merge-masked register move) against ynext inside the rotation pass, so
+// the next pair starts with its gammas already in hand and the standalone
+// GammaDotBatch pass disappears from the rotate path. Leftover lanes and
+// the AVX2/generic arms compose the identical result from the narrower
+// primitives — a post-hoc lane dot on the final column bytes is the same
+// products as the in-pass lookahead (association differs only inside the
+// documented ulp budget, and the generic arm keeps the reference chain).
+func (sc *LaneScratch) rotateStepA(x, y, ynext, a, b []float64) {
+	K := sc.lanes
+	rows := len(x) / K
+	lo := 0
+	if useAVX512 && rows >= simdMin {
+		for ; lo+laneGroup8 <= K; lo += laneGroup8 {
+			if ynext == nil {
+				rotateGramBatch8AVX512(sc.cvec[lo:], sc.svec[lo:], sc.mask[lo:],
+					x[lo:], y[lo:], int64(K), int64(rows),
+					a[lo:lo+laneGroup8], b[lo:lo+laneGroup8])
+			} else {
+				rotateGramNextBatch8AVX512(sc.cvec[lo:], sc.svec[lo:], sc.mask[lo:],
+					x[lo:], y[lo:], ynext[lo:], int64(K), int64(rows),
+					a[lo:lo+laneGroup8], b[lo:lo+laneGroup8], sc.gamma[lo:lo+laneGroup8])
+			}
+		}
+	}
+	if lo == K {
+		return
+	}
+	tail := lo
+	if useAVX && rows >= simdMin {
+		for ; lo+laneGroup <= K; lo += laneGroup {
+			rotateGramBatch4AVX(sc.cvec[lo:], sc.svec[lo:], sc.mask[lo:], x[lo:], y[lo:],
+				int64(K), int64(rows), a[lo:lo+laneGroup], b[lo:lo+laneGroup])
+		}
+	}
+	if lo < K {
+		rotateGramBatchRange(sc.cvec, sc.svec, sc.mask, x, y, K, lo, K, a, b)
+	}
+	if ynext == nil {
+		return
+	}
+	lo = tail
+	if useAVX && rows >= simdMin {
+		for ; lo+laneGroup <= K; lo += laneGroup {
+			gammaDotBatch4AVX(x[lo:], ynext[lo:], int64(K), int64(rows), sc.gamma[lo:lo+laneGroup])
+		}
+	}
+	if lo < K {
+		gammaDotBatchRange(x, ynext, K, lo, K, sc.gamma)
+	}
+}

@@ -1,0 +1,161 @@
+// AVX2/FMA kernels for the lane path (amd64). Plan 9 assembler syntax.
+//
+// Each routine advances a group of four interleaved job lanes: the slice
+// bases are pre-offset to the group's first lane, stride is the full lane
+// width in elements (shifted to bytes here), and rows counts lane rows.
+// One YMM register lane is one job, so accumulators stay per-job and no
+// horizontal reduction ever mixes jobs — each job's dot remains a single
+// left-to-right chain (the reference association) with FMA rounding as the
+// only deviation, inside the package's documented ulp bound.
+//
+// Masking uses VBLENDVPD with the sign-bit mask vector: masked lanes keep
+// their original column bytes, and in rotateGramBatch4AVX their carried
+// norms, bit-exactly. Rotation application avoids FMA (VMULPD/VADDPD/
+// VSUBPD only) so rotated lanes match Rotation.Apply bit-for-bit.
+//
+// Wrappers guarantee rows >= 1 and pre-offset bounds, so loops are
+// do-while. Plan 9 VBLENDVPD operand order: VBLENDVPD mask, srcA, srcB,
+// dst computes dst[i] = signbit(mask[i]) ? srcA[i] : srcB[i].
+
+#include "textflag.h"
+
+// func sqNormBatch4AVX(x []float64, stride, rows int64, out []float64)
+TEXT ·sqNormBatch4AVX(SB), NOSPLIT, $0-64
+	MOVQ   x_base+0(FP), SI
+	MOVQ   stride+24(FP), BX
+	SHLQ   $3, BX                    // stride in bytes
+	MOVQ   rows+32(FP), CX
+	VXORPD Y4, Y4, Y4
+
+sqbloop:
+	VMOVUPD     (SI), Y2
+	VFMADD231PD Y2, Y2, Y4           // out[k] += x*x, per lane
+	ADDQ        BX, SI
+	DECQ        CX
+	JNZ         sqbloop
+	MOVQ    out_base+40(FP), DI
+	VMOVUPD Y4, (DI)
+	VZEROUPPER
+	RET
+
+// func gammaDotBatch4AVX(x, y []float64, stride, rows int64, out []float64)
+TEXT ·gammaDotBatch4AVX(SB), NOSPLIT, $0-88
+	MOVQ   x_base+0(FP), SI
+	MOVQ   y_base+24(FP), DI
+	MOVQ   stride+48(FP), BX
+	SHLQ   $3, BX
+	MOVQ   rows+56(FP), CX
+	VXORPD Y4, Y4, Y4
+
+gdbloop:
+	VMOVUPD     (SI), Y2
+	VMOVUPD     (DI), Y3
+	VFMADD231PD Y2, Y3, Y4           // out[k] += x*y, per lane
+	ADDQ        BX, SI
+	ADDQ        BX, DI
+	DECQ        CX
+	JNZ         gdbloop
+	MOVQ    out_base+64(FP), DX
+	VMOVUPD Y4, (DX)
+	VZEROUPPER
+	RET
+
+// func applyPairBatch4AVX(c, s, mask, x, y []float64, stride, rows int64)
+TEXT ·applyPairBatch4AVX(SB), NOSPLIT, $0-136
+	MOVQ    c_base+0(FP), AX
+	VMOVUPD (AX), Y0                 // per-lane cosines
+	MOVQ    s_base+24(FP), AX
+	VMOVUPD (AX), Y1                 // per-lane sines
+	MOVQ    mask_base+48(FP), AX
+	VMOVUPD (AX), Y10                // per-lane blend mask
+	MOVQ    x_base+72(FP), SI
+	MOVQ    y_base+96(FP), DI
+	MOVQ    stride+120(FP), BX
+	SHLQ    $3, BX
+	MOVQ    rows+128(FP), CX
+
+apbloop:
+	VMOVUPD   (SI), Y2               // x
+	VMOVUPD   (DI), Y3               // y
+	VMULPD    Y0, Y2, Y7             // c*x
+	VMULPD    Y1, Y3, Y8             // s*y
+	VSUBPD    Y8, Y7, Y7             // xr = c*x - s*y
+	VMULPD    Y1, Y2, Y8             // s*x
+	VMULPD    Y0, Y3, Y9             // c*y
+	VADDPD    Y9, Y8, Y8             // yr = s*x + c*y
+	VBLENDVPD Y10, Y7, Y2, Y7        // masked lanes keep x bytes
+	VBLENDVPD Y10, Y8, Y3, Y8        // masked lanes keep y bytes
+	VMOVUPD   Y7, (SI)
+	VMOVUPD   Y8, (DI)
+	ADDQ      BX, SI
+	ADDQ      BX, DI
+	DECQ      CX
+	JNZ       apbloop
+	VZEROUPPER
+	RET
+
+// func rotateGramBatch4AVX(c, s, mask, x, y []float64, stride, rows int64, a, b []float64)
+TEXT ·rotateGramBatch4AVX(SB), NOSPLIT, $0-184
+	MOVQ    c_base+0(FP), AX
+	VMOVUPD (AX), Y0
+	MOVQ    s_base+24(FP), AX
+	VMOVUPD (AX), Y1
+	MOVQ    mask_base+48(FP), AX
+	VMOVUPD (AX), Y10
+	MOVQ    x_base+72(FP), SI
+	MOVQ    y_base+96(FP), DI
+	MOVQ    stride+120(FP), BX
+	SHLQ    $3, BX
+	MOVQ    rows+128(FP), CX
+	VXORPD  Y4, Y4, Y4               // fresh a acc, per lane
+	VXORPD  Y5, Y5, Y5               // fresh b acc, per lane
+
+rgbloop:
+	VMOVUPD     (SI), Y2
+	VMOVUPD     (DI), Y3
+	VMULPD      Y0, Y2, Y7
+	VMULPD      Y1, Y3, Y8
+	VSUBPD      Y8, Y7, Y7           // xr
+	VMULPD      Y1, Y2, Y8
+	VMULPD      Y0, Y3, Y9
+	VADDPD      Y9, Y8, Y8           // yr
+	VBLENDVPD   Y10, Y7, Y2, Y7      // masked lanes keep x bytes
+	VBLENDVPD   Y10, Y8, Y3, Y8      // masked lanes keep y bytes
+	VMOVUPD     Y7, (SI)
+	VMOVUPD     Y8, (DI)
+	VFMADD231PD Y7, Y7, Y4           // a += xr*xr (masked: x*x, discarded below)
+	VFMADD231PD Y8, Y8, Y5           // b += yr*yr
+	ADDQ        BX, SI
+	ADDQ        BX, DI
+	DECQ        CX
+	JNZ         rgbloop
+	MOVQ      a_base+136(FP), AX
+	MOVQ      b_base+160(FP), DX
+	VMOVUPD   (AX), Y7               // carried norms of masked lanes
+	VMOVUPD   (DX), Y8
+	VBLENDVPD Y10, Y4, Y7, Y4        // masked lanes keep carried a
+	VBLENDVPD Y10, Y5, Y8, Y5        // masked lanes keep carried b
+	VMOVUPD   Y4, (AX)
+	VMOVUPD   Y5, (DX)
+	VZEROUPPER
+	RET
+
+// func prefetchCol(p []float64)
+// Issues PREFETCHT0 for the whole column at one hint per 128 bytes (the
+// adjacent-line prefetcher covers the partner line); plain SSE hints, so
+// this runs on any amd64 host.
+TEXT ·prefetchCol(SB), NOSPLIT, $0-24
+	MOVQ p_base+0(FP), SI
+	MOVQ p_len+8(FP), CX
+	SHLQ $3, CX
+	CMPQ CX, $2048
+	JLE  pfcap
+	MOVQ $2048, CX
+pfcap:
+	ADDQ SI, CX
+pfloop:
+	PREFETCHT0 (SI)
+	ADDQ $128, SI
+	CMPQ SI, CX
+	JLT  pfloop
+	RET

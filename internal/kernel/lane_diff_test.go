@@ -1,0 +1,433 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The lane differential suite: batched kernels against the reference path,
+// per lane, across lane widths 1..9 (including non-multiples of the vector
+// group of 4), column heights 4..128 odd and even, and both dispatch arms.
+// The contracts mirror the fused suite's: dots within the documented ulp
+// budgets, application bit-identical, and — the lane-specific clause —
+// masked lanes bit-untouched in columns AND carried norms.
+
+// laneWidths exercises widths around the AVX group size of 4: pure tails
+// (1..3), exact groups (4, 8), and group+tail mixes (5..7, 9).
+var laneWidths = []int{1, 2, 3, 4, 5, 6, 7, 8, 9}
+
+// laneHeights is the small-matrix shape sweep the lane targets.
+var laneHeights = []int{4, 5, 7, 8, 13, 16, 31, 32, 33, 64, 100, 127, 128}
+
+// laneCols builds K independent random columns of height n and their
+// interleaved lane column.
+func laneCols(K, n int, rng *rand.Rand) (plain [][]float64, lane []float64) {
+	plain = make([][]float64, K)
+	for k := range plain {
+		plain[k] = randCol(n, rng)
+	}
+	lane = make([]float64, n*K)
+	Interleave(lane, plain, K)
+	return
+}
+
+// allActive returns a mask with every lane rotating.
+func allActive(K int) []float64 {
+	m := make([]float64, K)
+	for k := range m {
+		m[k] = laneActive
+	}
+	return m
+}
+
+// TestLaneBatchDotsMatchReference: SqNormBatch and GammaDotBatch per lane
+// against the reference dots, within the documented reassociation budget.
+func TestLaneBatchDotsMatchReference(t *testing.T) {
+	forEachArm(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(41))
+		for _, K := range laneWidths {
+			for _, n := range laneHeights {
+				px, lx := laneCols(K, n, rng)
+				py, ly := laneCols(K, n, rng)
+				nrm := make([]float64, K)
+				dot := make([]float64, K)
+				SqNormBatch(lx, K, nrm)
+				GammaDotBatch(lx, ly, K, dot)
+				for k := 0; k < K; k++ {
+					ar, br, gr := GramRef(px[k], py[k])
+					_ = br
+					if d := math.Abs(nrm[k] - ar); d > epsBudget(n, ar) {
+						t.Errorf("K=%d n=%d lane %d: SqNormBatch drift %g > %g", K, n, k, d, epsBudget(n, ar))
+					}
+					if d := math.Abs(dot[k] - gr); d > epsBudget(n, math.Sqrt(ar*br)) {
+						t.Errorf("K=%d n=%d lane %d: GammaDotBatch drift %g", K, n, k, d)
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestLaneApplyPairBatch: rotated lanes must match Rotation.Apply bit for
+// bit in both dispatch arms; masked lanes must keep their bytes exactly —
+// including negative-zero sign bits, which an identity rotation would
+// destroy (x − 0·y flips −0 to +0; the blend mask must not).
+func TestLaneApplyPairBatch(t *testing.T) {
+	forEachArm(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(42))
+		for _, K := range laneWidths {
+			for _, n := range laneHeights {
+				px, lx := laneCols(K, n, rng)
+				py, ly := laneCols(K, n, rng)
+				// Plant negative zeros in every lane so a masked lane that
+				// gets "identity-rotated" instead of blended is caught.
+				for k := 0; k < K; k++ {
+					px[k][n/2] = math.Copysign(0, -1)
+					py[k][n/3] = math.Copysign(0, -1)
+				}
+				Interleave(lx, px, K)
+				Interleave(ly, py, K)
+
+				c := make([]float64, K)
+				s := make([]float64, K)
+				mask := make([]float64, K)
+				rots := make([]Rotation, K)
+				for k := 0; k < K; k++ {
+					rots[k] = ComputeRotation(GramRef(px[k], py[k]))
+					c[k], s[k] = rots[k].C, rots[k].S
+					if k%3 == 2 {
+						mask[k] = laneMasked
+					} else {
+						mask[k] = laneActive
+					}
+				}
+				applyPairBatch(c, s, mask, lx, ly, K)
+
+				gx := make([]float64, n)
+				gy := make([]float64, n)
+				for k := 0; k < K; k++ {
+					Deinterleave(gx, lx, K, k)
+					Deinterleave(gy, ly, K, k)
+					wx := append([]float64(nil), px[k]...)
+					wy := append([]float64(nil), py[k]...)
+					if mask[k] != laneMasked {
+						rots[k].Apply(wx, wy)
+					}
+					for r := 0; r < n; r++ {
+						if math.Float64bits(gx[r]) != math.Float64bits(wx[r]) ||
+							math.Float64bits(gy[r]) != math.Float64bits(wy[r]) {
+							t.Fatalf("K=%d n=%d lane %d row %d (mask %g): applyPairBatch diverges bitwise",
+								K, n, k, r, mask[k])
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestLaneRotateGramBatch: rotated lanes get columns bit-identical to the
+// reference application and carried norms within the documented budget of
+// recomputation; masked lanes keep columns AND carried norms bit-unchanged.
+func TestLaneRotateGramBatch(t *testing.T) {
+	forEachArm(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(43))
+		for _, K := range laneWidths {
+			for _, n := range laneHeights {
+				px, lx := laneCols(K, n, rng)
+				py, ly := laneCols(K, n, rng)
+				c := make([]float64, K)
+				s := make([]float64, K)
+				mask := make([]float64, K)
+				a := make([]float64, K)
+				b := make([]float64, K)
+				rots := make([]Rotation, K)
+				for k := 0; k < K; k++ {
+					rots[k] = ComputeRotation(GramRef(px[k], py[k]))
+					c[k], s[k] = rots[k].C, rots[k].S
+					// Distinctive carried norms so a clobbered masked lane is
+					// unmistakable.
+					a[k] = 1000 + float64(k)
+					b[k] = 2000 + float64(k)
+					if k%4 == 1 {
+						mask[k] = laneMasked
+					} else {
+						mask[k] = laneActive
+					}
+				}
+				aIn := append([]float64(nil), a...)
+				bIn := append([]float64(nil), b...)
+				rotateGramBatch(c, s, mask, lx, ly, K, a, b)
+
+				gx := make([]float64, n)
+				gy := make([]float64, n)
+				for k := 0; k < K; k++ {
+					Deinterleave(gx, lx, K, k)
+					Deinterleave(gy, ly, K, k)
+					if mask[k] == laneMasked {
+						if a[k] != aIn[k] || b[k] != bIn[k] {
+							t.Fatalf("K=%d n=%d lane %d: masked lane norms clobbered (%g,%g)", K, n, k, a[k], b[k])
+						}
+						for r := 0; r < n; r++ {
+							if gx[r] != px[k][r] || gy[r] != py[k][r] {
+								t.Fatalf("K=%d n=%d lane %d row %d: masked lane column touched", K, n, k, r)
+							}
+						}
+						continue
+					}
+					wx := append([]float64(nil), px[k]...)
+					wy := append([]float64(nil), py[k]...)
+					rots[k].Apply(wx, wy)
+					for r := 0; r < n; r++ {
+						if gx[r] != wx[r] || gy[r] != wy[r] {
+							t.Fatalf("K=%d n=%d lane %d row %d: rotateGramBatch application diverges bitwise", K, n, k, r)
+						}
+					}
+					ar, br, _ := GramRef(wx, wy)
+					if d := math.Abs(a[k] - ar); d > epsBudget(n, ar) {
+						t.Errorf("K=%d n=%d lane %d: carried alpha drift %g", K, n, k, d)
+					}
+					if d := math.Abs(b[k] - br); d > epsBudget(n, br) {
+						t.Errorf("K=%d n=%d lane %d: carried beta drift %g", K, n, k, d)
+					}
+				}
+			}
+		}
+	})
+}
+
+// laneBlockSet builds per-lane plain block column sets (pairSet per lane,
+// distinct seeds) and their interleaved lane columns.
+func laneBlockSet(K, w, n, fm int, seed int64) (plainA, plainU [][][]float64, laneA, laneU [][]float64) {
+	plainA = make([][][]float64, K)
+	plainU = make([][][]float64, K)
+	for k := 0; k < K; k++ {
+		plainA[k], plainU[k] = pairSet(w, n, fm, seed+int64(k)*97)
+	}
+	laneA = make([][]float64, w)
+	laneU = make([][]float64, w)
+	colsA := make([][]float64, K)
+	colsU := make([][]float64, K)
+	for i := 0; i < w; i++ {
+		laneA[i] = make([]float64, n*K)
+		laneU[i] = make([]float64, fm*K)
+		for k := 0; k < K; k++ {
+			colsA[k] = plainA[k][i]
+			colsU[k] = plainU[k][i]
+		}
+		Interleave(laneA[i], colsA, K)
+		Interleave(laneU[i], colsU, K)
+	}
+	return
+}
+
+// deinterleaveSet extracts lane k of a lane column set.
+func deinterleaveSet(lane [][]float64, K, k, rows int) [][]float64 {
+	out := make([][]float64, len(lane))
+	for i := range lane {
+		out[i] = make([]float64, rows)
+		Deinterleave(out[i], lane[i], K, k)
+	}
+	return out
+}
+
+// TestLanePairingsMatchReference: whole batched pairings (Within and Cross,
+// fused lane mode) track the reference pairing per lane within the fused
+// integration budget, and per-lane convergence statistics match.
+func TestLanePairingsMatchReference(t *testing.T) {
+	type shape struct{ w, n int }
+	shapes := []shape{{2, 4}, {3, 7}, {2, 16}, {4, 32}, {3, 33}, {8, 64}, {5, 100}, {16, 128}}
+	forEachArm(t, func(t *testing.T) {
+		for _, K := range []int{1, 3, 4, 6, 8} {
+			for _, sh := range shapes {
+				t.Run(fmt.Sprintf("K=%d_w=%d_n=%d", K, sh.w, sh.n), func(t *testing.T) {
+					plainA, plainU, laneA, laneU := laneBlockSet(K, sh.w, sh.n, sh.n, int64(K*10000+sh.w*100+sh.n))
+					sc := NewLaneScratch(K, false)
+					conv := make([]Conv, K)
+					sc.Within(laneA, laneU, nil, allActive(K), conv)
+					for k := 0; k < K; k++ {
+						var cr Conv
+						refWithin(plainA[k], plainU[k], &cr)
+						colsClose(t, fmt.Sprintf("lane%d/within/A", k), deinterleaveSet(laneA, K, k, sh.n), plainA[k], colTol)
+						colsClose(t, fmt.Sprintf("lane%d/within/U", k), deinterleaveSet(laneU, K, k, sh.n), plainU[k], colTol)
+						if conv[k].Pairs != cr.Pairs {
+							t.Errorf("lane %d: visited %d pairs, reference %d", k, conv[k].Pairs, cr.Pairs)
+						}
+						if d := math.Abs(conv[k].MaxRel - cr.MaxRel); d > 1e-10 {
+							t.Errorf("lane %d: MaxRel drift %g", k, d)
+						}
+					}
+
+					// Cross with a rectangular factor.
+					fm := sh.w * 2
+					xpA, xpU, xlA, xlU := laneBlockSet(K, sh.w, sh.n, fm, int64(K*20000+sh.w*100+sh.n))
+					ypA, ypU, ylA, ylU := laneBlockSet(K, sh.w, sh.n, fm, int64(K*30000+sh.w*100+sh.n))
+					convX := make([]Conv, K)
+					sc.Cross(xlA, xlU, ylA, ylU, nil, nil, allActive(K), convX)
+					for k := 0; k < K; k++ {
+						var cr Conv
+						refCrossPairs(xpA[k], xpU[k], ypA[k], ypU[k], &cr)
+						colsClose(t, fmt.Sprintf("lane%d/cross/xA", k), deinterleaveSet(xlA, K, k, sh.n), xpA[k], colTol)
+						colsClose(t, fmt.Sprintf("lane%d/cross/yA", k), deinterleaveSet(ylA, K, k, sh.n), ypA[k], colTol)
+						colsClose(t, fmt.Sprintf("lane%d/cross/xU", k), deinterleaveSet(xlU, K, k, fm), xpU[k], colTol)
+						colsClose(t, fmt.Sprintf("lane%d/cross/yU", k), deinterleaveSet(ylU, K, k, fm), ypU[k], colTol)
+						if convX[k].Pairs != cr.Pairs {
+							t.Errorf("lane %d cross: visited %d pairs, reference %d", k, convX[k].Pairs, cr.Pairs)
+						}
+					}
+				})
+			}
+		}
+	})
+}
+
+// TestLaneReferenceModeBitIdentical: LaneScratch in reference mode must
+// reproduce the reference pairing bit-for-bit per lane — columns and every
+// convergence statistic — in both "dispatch arms" (it never dispatches,
+// which is exactly what the AVX arm run verifies).
+func TestLaneReferenceModeBitIdentical(t *testing.T) {
+	forEachArm(t, func(t *testing.T) {
+		for _, K := range []int{1, 2, 5, 8} {
+			for _, sh := range []struct{ w, n int }{{2, 5}, {4, 32}, {8, 64}, {6, 96}} {
+				plainA, plainU, laneA, laneU := laneBlockSet(K, sh.w, sh.n, sh.n, int64(K*1000+sh.n))
+				sc := NewLaneScratch(K, true)
+				conv := make([]Conv, K)
+				sc.Within(laneA, laneU, nil, allActive(K), conv)
+				sc.Cross(laneA[:sh.w/2], laneU[:sh.w/2], laneA[sh.w/2:], laneU[sh.w/2:], nil, nil, allActive(K), conv)
+				for k := 0; k < K; k++ {
+					var cr Conv
+					refWithin(plainA[k], plainU[k], &cr)
+					refCrossPairs(plainA[k][:sh.w/2], plainU[k][:sh.w/2], plainA[k][sh.w/2:], plainU[k][sh.w/2:], &cr)
+					gotA := deinterleaveSet(laneA, K, k, sh.n)
+					gotU := deinterleaveSet(laneU, K, k, sh.n)
+					for i := 0; i < sh.w; i++ {
+						for r := 0; r < sh.n; r++ {
+							if math.Float64bits(gotA[i][r]) != math.Float64bits(plainA[k][i][r]) ||
+								math.Float64bits(gotU[i][r]) != math.Float64bits(plainU[k][i][r]) {
+								t.Fatalf("K=%d w=%d n=%d lane %d col %d row %d: reference lane mode diverges bitwise",
+									K, sh.w, sh.n, k, i, r)
+							}
+						}
+					}
+					if conv[k] != cr {
+						t.Errorf("K=%d lane %d: conv %+v, reference %+v", K, k, conv[k], cr)
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestLaneMaskedJobUntouched: a lane whose job mask is cleared must come
+// out of whole pairings byte-identical, with its convergence tracker never
+// observed — the "converged job exits the lane without stalling the
+// others" contract.
+func TestLaneMaskedJobUntouched(t *testing.T) {
+	forEachArm(t, func(t *testing.T) {
+		const K, w, n = 5, 4, 32
+		for _, ref := range []bool{false, true} {
+			plainA, _, laneA, laneU := laneBlockSet(K, w, n, n, 77)
+			active := allActive(K)
+			active[1] = laneMasked
+			active[4] = laneMasked
+			// Negative zeros in the masked lanes: byte-stability must hold
+			// for sign bits too.
+			for _, k := range []int{1, 4} {
+				plainA[k][0][3] = math.Copysign(0, -1)
+			}
+			cols := make([][]float64, K)
+			for k := 0; k < K; k++ {
+				cols[k] = plainA[k][0]
+			}
+			Interleave(laneA[0], cols, K)
+			before := make([][]float64, w)
+			beforeU := make([][]float64, w)
+			for i := 0; i < w; i++ {
+				before[i] = append([]float64(nil), laneA[i]...)
+				beforeU[i] = append([]float64(nil), laneU[i]...)
+			}
+			sc := NewLaneScratch(K, ref)
+			conv := make([]Conv, K)
+			sc.Within(laneA, laneU, nil, active, conv)
+			sc.Cross(laneA[:w/2], laneU[:w/2], laneA[w/2:], laneU[w/2:], nil, nil, active, conv)
+			for _, k := range []int{1, 4} {
+				got := deinterleaveSet(laneA, K, k, n)
+				gotU := deinterleaveSet(laneU, K, k, n)
+				wantRows := make([]float64, n)
+				for i := 0; i < w; i++ {
+					Deinterleave(wantRows, before[i], K, k)
+					for r := 0; r < n; r++ {
+						if math.Float64bits(got[i][r]) != math.Float64bits(wantRows[r]) {
+							t.Fatalf("ref=%v masked lane %d col %d row %d: A bytes changed", ref, k, i, r)
+						}
+					}
+					Deinterleave(wantRows, beforeU[i], K, k)
+					for r := 0; r < n; r++ {
+						if math.Float64bits(gotU[i][r]) != math.Float64bits(wantRows[r]) {
+							t.Fatalf("ref=%v masked lane %d col %d row %d: U bytes changed", ref, k, i, r)
+						}
+					}
+				}
+				if conv[k] != (Conv{}) {
+					t.Errorf("ref=%v masked lane %d: conv observed %+v", ref, k, conv[k])
+				}
+			}
+			// Active lanes did rotate.
+			for _, k := range []int{0, 2, 3} {
+				if conv[k].Pairs == 0 {
+					t.Errorf("ref=%v active lane %d observed no pairs", ref, k)
+				}
+			}
+		}
+	})
+}
+
+// TestLaneZeroAllocs: the lane pairing inner loop must not allocate once
+// the scratch is warm, in either kernel class.
+func TestLaneZeroAllocs(t *testing.T) {
+	for _, ref := range []bool{false, true} {
+		const K, w, n = 8, 8, 96
+		_, _, laneA, laneU := laneBlockSet(K, w, n, n, 31)
+		sc := NewLaneScratch(K, ref)
+		active := allActive(K)
+		conv := make([]Conv, K)
+		sc.Within(laneA, laneU, nil, active, conv) // warm the scratch
+		allocs := testing.AllocsPerRun(10, func() {
+			sc.Within(laneA, laneU, nil, active, conv)
+			sc.Cross(laneA[:w/2], laneU[:w/2], laneA[w/2:], laneU[w/2:], nil, nil, active, conv)
+		})
+		if allocs != 0 {
+			t.Errorf("reference=%v: lane pairing allocates %.1f times per run, want 0", ref, allocs)
+		}
+	}
+}
+
+// TestInterleaveRoundTrip: the boundary converters invert each other,
+// including nil columns (gaps in a partially filled lane).
+func TestInterleaveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const K, n = 5, 17
+	cols := make([][]float64, K)
+	for k := range cols {
+		if k == 2 {
+			continue // gap lane stays nil
+		}
+		cols[k] = randCol(n, rng)
+	}
+	lane := make([]float64, n*K)
+	Interleave(lane, cols, K)
+	got := make([]float64, n)
+	for k := range cols {
+		if cols[k] == nil {
+			continue
+		}
+		Deinterleave(got, lane, K, k)
+		for r := 0; r < n; r++ {
+			if got[r] != cols[k][r] {
+				t.Fatalf("lane %d row %d: round trip lost %g, got %g", k, r, cols[k][r], got[r])
+			}
+		}
+	}
+}

@@ -1,0 +1,61 @@
+//go:build !amd64
+
+package kernel
+
+// Portable lane kernels for non-amd64 hosts: the exported batch entry
+// points run the generic range kernels over every lane. Per lane the dots
+// are single left-to-right accumulator chains and the application is the
+// exact reference arithmetic, so the portable arm is bit-identical per
+// lane to the reference path — the property the cross-compile CI check
+// keeps buildable.
+
+// SqNormBatch writes out[k] = Σ_r x[r*lanes+k]² for every lane k of the
+// interleaved lane column x (len(x) = rows*lanes).
+func SqNormBatch(x []float64, lanes int, out []float64) {
+	sqNormBatchRange(x, lanes, 0, lanes, out)
+}
+
+// GammaDotBatch writes out[k] = Σ_r x[r*lanes+k]·y[r*lanes+k] for every
+// lane k. The lane columns must have equal length.
+func GammaDotBatch(x, y []float64, lanes int, out []float64) {
+	y = y[:len(x)]
+	gammaDotBatchRange(x, y, lanes, 0, lanes, out)
+}
+
+// applyPairBatch rotates each unmasked lane of the pair (x, y) in place
+// with its (c[k], s[k]); masked lanes keep their bytes.
+func applyPairBatch(c, s, mask, x, y []float64, lanes int) {
+	y = y[:len(x)]
+	applyPairBatchRange(c, s, mask, x, y, lanes, 0, lanes)
+}
+
+// rotateGramBatch is applyPairBatch fused with the norm carry; masked
+// lanes keep their column bytes and carried norms bit-unchanged.
+func rotateGramBatch(c, s, mask, x, y []float64, lanes int, a, b []float64) {
+	y = y[:len(x)]
+	rotateGramBatchRange(c, s, mask, x, y, lanes, 0, lanes, a, b)
+}
+
+// rotateStepA is the working-pair half of one batched rotation: rotate the
+// pair with the norm carry into (a, b) and — when ynext is non-nil — leave
+// the next pair's per-lane gammas in sc.gamma. The portable arm composes
+// it from the generic range kernels; the lookahead dot on the final column
+// bytes keeps the reference chain.
+func (sc *LaneScratch) rotateStepA(x, y, ynext, a, b []float64) {
+	K := sc.lanes
+	rotateGramBatchRange(sc.cvec, sc.svec, sc.mask, x, y, K, 0, K, a, b)
+	if ynext != nil {
+		gammaDotBatchRange(x, ynext, K, 0, K, sc.gamma)
+	}
+}
+
+// decideRelVec has no vector arm off amd64; decide always runs its scalar
+// chain (which is the reference formulation anyway), and decideCSVec is
+// then never reached.
+func (sc *LaneScratch) decideRelVec(alpha, beta []float64) bool { return false }
+
+func (sc *LaneScratch) decideCSVec(alpha, beta []float64) {}
+
+// prefetchCol is a no-op off amd64: the flush loop's access pattern is
+// sequential, which the hardware prefetchers of other targets handle.
+func prefetchCol(p []float64) {}

@@ -28,6 +28,15 @@ func rotateGramNextAVX(c, s float64, x, y, yn []float64) (a, b, gam float64)
 // differential tests can force the generic arm on any host.
 var useAVX = detectAVX()
 
+// useAVX512 additionally gates the 8-lane AVX-512 arm of the lane kernels
+// (lane_amd64.go): one ZMM register holds the same element of eight jobs,
+// and the opmask registers express the lane blend masks natively — masked
+// stores leave a masked lane's memory bytes untouched without a blend in
+// the data path. The fused (single-job) kernels stay on the AVX2 arm: their
+// vectors run along the column, where 256-bit operations already saturate
+// the store ports that bound them.
+var useAVX512 = useAVX && detectAVX512()
+
 // detectAVX reports AVX2+FMA with OS-enabled YMM state: CPUID.1:ECX must
 // show FMA, OSXSAVE and AVX, XGETBV(0) must show XMM+YMM state saving, and
 // CPUID.7:EBX must show AVX2.
@@ -45,6 +54,22 @@ func detectAVX() bool {
 	}
 	_, b, _, _ := cpuidex(7, 0)
 	return b&(1<<5) != 0
+}
+
+// detectAVX512 reports AVX-512 F+DQ with OS-enabled ZMM and opmask state:
+// XGETBV(0) must show opmask, ZMM-hi256 and hi16-ZMM saving (bits 5-7) on
+// top of the XMM+YMM bits, and CPUID.7:EBX must show AVX512F (bit 16) and
+// AVX512DQ (bit 17 — VPMOVQ2M, which turns the sign-bit mask vectors into
+// opmasks).
+func detectAVX512() bool {
+	xeax, _ := xgetbv0()
+	if xeax&0xe6 != 0xe6 {
+		return false
+	}
+	_, b, _, _ := cpuidex(7, 0)
+	const f = 1 << 16
+	const dq = 1 << 17
+	return b&f != 0 && b&dq != 0
 }
 
 // simdMin is the column height below which vector dispatch is not worth the

@@ -5,9 +5,10 @@ package kernel
 // Portable arm of the fused path: hosts without the amd64 vector routines
 // run the generic loops directly.
 
-// useAVX mirrors the amd64 dispatch gate so the differential tests compile
-// everywhere; it is never true here.
+// useAVX and useAVX512 mirror the amd64 dispatch gates so the differential
+// tests compile everywhere; they are never true here.
 var useAVX = false
+var useAVX512 = false
 
 // SqNorm returns Σ x[k]² (fused-path accumulation).
 func SqNorm(x []float64) float64 { return sqNormGeneric(x) }

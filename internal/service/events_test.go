@@ -180,15 +180,15 @@ func TestEventHistoryBounded(t *testing.T) {
 // size, while explicit requests still get it.
 func TestNegativeThresholdNeverMulticore(t *testing.T) {
 	spec := JobSpec{Matrix: randSym(256, 5), Dim: 1}.withDefaults()
-	if be := spec.selectBackend(-1); be != BackendEmulated {
+	if be := spec.selectBackend(-1, 0); be != BackendEmulated {
 		t.Errorf("auto-selection with negative threshold picked %s", be)
 	}
-	if be := spec.selectBackend(64); be != BackendMulticore {
+	if be := spec.selectBackend(64, 0); be != BackendMulticore {
 		t.Errorf("auto-selection with threshold 64 picked %s for n=256", be)
 	}
 	explicit := spec
 	explicit.Backend = BackendMulticore
-	if be := explicit.selectBackend(-1); be != BackendMulticore {
+	if be := explicit.selectBackend(-1, 0); be != BackendMulticore {
 		t.Errorf("explicit multicore overridden to %s", be)
 	}
 	// The sentinel survives withDefaults; only 0 means "use the default".

@@ -35,6 +35,12 @@ const (
 	BackendEmulated  = "emulated"
 	BackendMulticore = "multicore"
 	BackendAnalytic  = "analytic"
+	// BackendLane runs the job on the batched solve lane: the scheduler
+	// gathers same-shape small jobs and advances up to Config.LaneWidth of
+	// them in SIMD lockstep through one sweep schedule (engine
+	// BatchedBackend). Auto-selection routes small jobs here when lanes are
+	// enabled; it can also be requested explicitly.
+	BackendLane = "lane"
 )
 
 // JobSpec describes one solve request: the problem, the numerical options,
@@ -144,12 +150,15 @@ func (s JobSpec) validate() error {
 		return specErrf("priority", "priority %d out of range [%d,%d]", s.Priority, PriorityLow, PriorityHigh)
 	}
 	switch s.Backend {
-	case BackendAuto, BackendEmulated, BackendMulticore, BackendAnalytic:
+	case BackendAuto, BackendEmulated, BackendMulticore, BackendAnalytic, BackendLane:
 	default:
-		return specErrf("backend", "unknown backend %q (want auto, emulated, multicore or analytic)", s.Backend)
+		return specErrf("backend", "unknown backend %q (want auto, emulated, multicore, analytic or lane)", s.Backend)
 	}
 	if s.WantTrace && s.Backend != BackendAuto && s.Backend != BackendEmulated {
 		return specErrf("trace", "a virtual-clock trace requires the emulated backend, not %q", s.Backend)
+	}
+	if s.Pipelined && s.Backend == BackendLane {
+		return specErrf("backend", "the batched lane cannot pipeline (pipelining is a per-solve communication schedule)")
 	}
 	if s.CostOnly {
 		// A cost query needs a clocked backend that models costs: only the
@@ -176,9 +185,19 @@ func (s JobSpec) validate() error {
 //     the reference kernels several times over (the gap grows with n) — a
 //     negative threshold disables this rule entirely (multicore is then
 //     only ever reached by explicit request);
+//   - the batched lane for small problems (n < threshold) when lanes are
+//     enabled (laneWidth >= 2): many small solves amortize one sweep
+//     schedule across SIMD-lockstep lane mates. Pipelined and fixed-sweep
+//     jobs stay off the lane — both exist for the virtual-clock cost
+//     model, which the lane (like multicore) does not run;
 //   - emulated otherwise: small solves are cheap and the virtual clock's
 //     modeled makespan comes for free.
-func (s JobSpec) selectBackend(multicoreThreshold int) string {
+//
+// The lane rule is re-evaluated with laneWidth 0 when a lane-routed job's
+// gather window closes without lane mates: the job then re-checks its shape
+// against multicoreThreshold and solves promptly on a solo backend instead
+// of waiting for a lane that never fills.
+func (s JobSpec) selectBackend(multicoreThreshold, laneWidth int) string {
 	if s.Backend != BackendAuto {
 		return s.Backend
 	}
@@ -189,6 +208,8 @@ func (s JobSpec) selectBackend(multicoreThreshold int) string {
 		return BackendEmulated
 	case multicoreThreshold > 0 && s.Matrix.Rows >= multicoreThreshold:
 		return BackendMulticore
+	case laneWidth >= 2 && multicoreThreshold > 0 && !s.Pipelined && s.FixedSweeps == 0:
+		return BackendLane
 	default:
 		return BackendEmulated
 	}
@@ -339,11 +360,22 @@ func (j *Job) ID() string { return j.id }
 // Label returns the spec's label.
 func (j *Job) Label() string { return j.spec.Label }
 
-// Backend returns the resolved execution backend.
-func (j *Job) Backend() string { return j.backend }
+// Backend returns the resolved execution backend. A lane-routed job that
+// runs out its gather window alone re-resolves to a solo backend, so the
+// value may change once between submission and start.
+func (j *Job) Backend() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.backend
+}
 
-// Fingerprint returns the result-cache key of the job's problem.
-func (j *Job) Fingerprint() uint64 { return j.fp }
+// Fingerprint returns the result-cache key of the job's problem (it
+// follows the backend if the job is rerouted off the lane).
+func (j *Job) Fingerprint() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.fp
+}
 
 // State returns the job's current lifecycle state.
 func (j *Job) State() State {
@@ -371,6 +403,15 @@ func (j *Job) takeResume() *engine.Checkpoint {
 	ck := j.resume
 	j.resume = nil
 	return ck
+}
+
+// hasResume reports whether a recovery checkpoint is pending. The lane
+// scheduler uses it to route resumed jobs to a solo backend (the lane
+// engine starts jobs from their canonical placement only).
+func (j *Job) hasResume() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.resume != nil
 }
 
 // Spec returns the job's normalized spec (defaults applied). The matrix is

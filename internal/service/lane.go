@@ -1,0 +1,262 @@
+package service
+
+import (
+	"container/heap"
+	"context"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/jacobi"
+	"repro/internal/ordering"
+	"repro/internal/store"
+)
+
+// The batch-lane scheduler: when a worker pops a lane-routed job (the
+// leader), it holds a short gather window (Config.LaneWindow) scooping
+// queued jobs with the same shape fingerprint — matrix size, hypercube
+// dimension, ordering — into a lane of up to Config.LaneWidth jobs, then
+// runs the whole lane in SIMD lockstep on engine.BatchedBackend via
+// jacobi.SolveLane. One worker slot thus serves LaneWidth jobs; the other
+// workers keep draining non-lane work (multicore for big jobs, per the
+// auto-selection split).
+//
+// Scheduling properties preserved from the solo path:
+//
+//   - priority: the leader is the globally highest-priority queued job,
+//     and mates are scooped in heap order (priority, then FIFO);
+//   - cancellation: a canceled lane member stops at its next sweep
+//     boundary (its lane is masked; mates are unaffected);
+//   - checkpoint/resume: each lane member checkpoints independently — a
+//     lane checkpoint is K ordinary job checkpoints — and a recovered job
+//     holding a resume point runs solo (the lane engine starts from the
+//     canonical placement only);
+//   - result cache: members resolve hits before the lane runs and store
+//     their results after it.
+
+// gatherLane assembles the leader's lane: it scoops compatible queued jobs
+// immediately, then waits out the remainder of the gather window for more,
+// waking on every queue signal and once at the deadline. It returns at
+// least the leader; at most LaneWidth jobs.
+func (s *Service) gatherLane(leader *Job) []*Job {
+	lane := []*Job{leader}
+	if s.cfg.LaneWidth < 2 || leader.hasResume() {
+		return lane
+	}
+	deadline := time.Now().Add(s.cfg.LaneWindow)
+	s.mu.Lock()
+	for {
+		for len(lane) < s.cfg.LaneWidth {
+			m := s.popLaneMateLocked(leader)
+			if m == nil {
+				break
+			}
+			s.inflight++
+			lane = append(lane, m)
+		}
+		if len(lane) >= s.cfg.LaneWidth || s.closed {
+			break
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			break
+		}
+		// Hand unclaimed work to an idle worker before sleeping: the Wait
+		// below competes for the same cond as idle workers, and a Signal
+		// meant to start a non-mate job must not die here.
+		if len(s.queue) > 0 {
+			s.cond.Signal()
+		}
+		timer := time.AfterFunc(remain, s.cond.Broadcast)
+		s.cond.Wait()
+		timer.Stop()
+	}
+	if len(s.queue) > 0 {
+		s.cond.Signal()
+	}
+	s.mu.Unlock()
+	return lane
+}
+
+// popLaneMateLocked removes and returns the best queued lane mate for the
+// leader — same matrix size, dimension and ordering, lane-routed, not
+// holding a resume checkpoint — in heap order (priority first, then
+// submission order). Nil when none is queued. Caller holds s.mu.
+func (s *Service) popLaneMateLocked(leader *Job) *Job {
+	best := -1
+	for i, m := range s.queue {
+		if m.backend != BackendLane || m.n != leader.n ||
+			m.spec.Dim != leader.spec.Dim || m.spec.Ordering != leader.spec.Ordering ||
+			m.hasResume() {
+			continue
+		}
+		if best < 0 || s.queue.Less(i, best) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return heap.Remove(&s.queue, best).(*Job)
+}
+
+// executeLane runs a gathered lane: canceled members finish immediately,
+// resumed members run solo, cache hits resolve without solving, and —
+// crucially for latency — a lone auto-routed survivor re-resolves against
+// the solo backend rules (MulticoreThreshold) and runs at once rather than
+// solving on a width-1 lane, so a small job that never found lane mates is
+// never starved by lane routing.
+func (s *Service) executeLane(lane []*Job) {
+	if extra := len(lane) - 1; extra > 0 {
+		// gatherLane counted the scooped mates as in-flight; the worker
+		// decrements only its own slot.
+		defer func() {
+			s.mu.Lock()
+			s.inflight -= extra
+			s.mu.Unlock()
+		}()
+	}
+	run := make([]*Job, 0, len(lane))
+	for _, j := range lane {
+		if j.ctx.Err() != nil {
+			j.finish(StateCanceled, nil, context.Cause(j.ctx), false)
+			s.countFinish(StateCanceled)
+			continue
+		}
+		if j.hasResume() {
+			// A resumed job restarts mid-solve from an engine checkpoint,
+			// which only the solo paths restore.
+			s.rerouteSolo(j)
+			continue
+		}
+		if s.cfg.Store != nil {
+			// Best-effort, as in execute: a lost start record only means
+			// recovery re-enqueues the job as queued instead of resumed.
+			_ = s.cfg.Store.Append(store.Record{Kind: store.KindStarted, ID: j.id})
+		}
+		if res, ok := s.cacheLookup(j.fp); ok {
+			j.mu.Lock()
+			j.started = time.Now()
+			j.mu.Unlock()
+			j.publish(Event{Type: EventStarted, State: StateRunning})
+			j.finish(StateDone, res, nil, true)
+			s.recordDone(j, res, true)
+			continue
+		}
+		run = append(run, j)
+	}
+	switch {
+	case len(run) == 0:
+	case len(run) == 1 && run[0].spec.Backend == BackendAuto:
+		// The gather window closed without mates: re-check the job's shape
+		// against the solo auto-selection rules so it solves promptly.
+		s.rerouteSolo(run[0])
+	default:
+		// Explicitly lane-addressed lone jobs run a width-1 lane: the
+		// caller asked for the lane backend and gets it.
+		s.runLane(run)
+	}
+}
+
+// rerouteSolo re-resolves a lane-routed job onto a solo backend (lane
+// selection disabled), recomputes its result-cache fingerprint for the new
+// backend, and runs it through the ordinary solo execute path.
+func (s *Service) rerouteSolo(j *Job) {
+	spec := j.Spec()
+	if spec.Backend == BackendLane {
+		// An explicitly lane-addressed job forced solo (resume checkpoint)
+		// falls back to the auto rules.
+		spec.Backend = BackendAuto
+	}
+	backend := spec.selectBackend(s.cfg.MulticoreThreshold, 0)
+	var fp uint64
+	if s.cfg.CacheCap >= 0 {
+		fp = spec.fingerprint(backend)
+	}
+	j.mu.Lock()
+	j.backend = backend
+	j.fp = fp
+	j.mu.Unlock()
+	s.execute(j)
+}
+
+// runLane solves the jobs together on the batched lane and finishes each
+// with its own result. Per-job hooks mirror solve(): sweep progress feeds
+// each job's event stream, cancellation interrupts only its own lane
+// member at a sweep boundary, and each convergence-bounded job checkpoints
+// through its own async writer.
+func (s *Service) runLane(jobs []*Job) {
+	spec0 := jobs[0].Spec()
+	fam, err := ordering.FamilyByName(spec0.Ordering)
+	if err != nil {
+		for _, j := range jobs {
+			j.finish(StateFailed, nil, err, false)
+			s.countFinish(StateFailed)
+		}
+		return
+	}
+	reqs := make([]*jacobi.LaneRequest, len(jobs))
+	writers := make([]*ckptWriter, len(jobs))
+	for i, j := range jobs {
+		j.mu.Lock()
+		j.state = StateRunning
+		j.started = time.Now()
+		j.mu.Unlock()
+		j.publish(Event{Type: EventStarted, State: StateRunning})
+		jj := j
+		spec := j.Spec()
+		reqs[i] = &jacobi.LaneRequest{
+			A:           spec.Matrix,
+			Options:     jacobi.Options{Tol: spec.Tol, MaxSweeps: spec.MaxSweeps},
+			FixedSweeps: spec.FixedSweeps,
+			Interrupt:   func() bool { return jj.ctx.Err() != nil },
+			OnSweep: func(p engine.SweepProgress) {
+				jj.publish(Event{Type: EventSweep, State: StateRunning, Sweep: &SweepEvent{
+					Sweep:     p.Sweep,
+					MaxRel:    p.MaxRel,
+					OffNorm:   p.OffNorm,
+					Rotations: p.Rotations,
+				}})
+			},
+		}
+		if s.cfg.Store != nil && s.cfg.CheckpointEvery >= 0 && spec.FixedSweeps == 0 {
+			w := newCkptWriter(s.cfg.Store, j.id)
+			writers[i] = w
+			reqs[i].OnCheckpoint = w.offer
+			reqs[i].CheckpointEvery = s.cfg.CheckpointEvery
+		}
+	}
+	s.recordLane(len(jobs))
+	start := time.Now()
+	eigs, laneErr := jacobi.SolveLane(spec0.Dim, fam, false, reqs)
+	wallMs := float64(time.Since(start).Microseconds()) / 1000
+	for _, w := range writers {
+		if w != nil {
+			w.close()
+		}
+	}
+	for i, j := range jobs {
+		switch {
+		case j.ctx.Err() != nil:
+			j.finish(StateCanceled, nil, context.Cause(j.ctx), false)
+			s.countFinish(StateCanceled)
+		case laneErr != nil:
+			j.finish(StateFailed, nil, laneErr, false)
+			s.countFinish(StateFailed)
+		default:
+			eig := eigs[i]
+			res := &Result{
+				Backend:     BackendLane,
+				Values:      eig.Values,
+				Sweeps:      eig.Sweeps,
+				Converged:   eig.Converged,
+				Interrupted: eig.Interrupted,
+				Rotations:   eig.Rotations,
+				FinalMaxRel: eig.FinalMaxRel,
+				WallMs:      wallMs,
+			}
+			s.cacheStore(j.fp, res)
+			j.finish(StateDone, res, nil, false)
+			s.recordDone(j, res, false)
+		}
+	}
+}

@@ -13,15 +13,18 @@ const latencyWindow = 4096
 
 // metrics is the service's internal counter set, guarded by Service.mu.
 type metrics struct {
-	start         time.Time
-	submitted     int64
-	completed     int64
-	failed        int64
-	canceled      int64
-	cacheHits     int64
-	totalMakespan float64
-	wallMs        []float64 // ring buffer of completed-job wall times
-	wallNext      int
+	start           time.Time
+	submitted       int64
+	completed       int64
+	failed          int64
+	canceled        int64
+	cacheHits       int64
+	cacheEvictions  int64
+	lanesDispatched int64
+	laneJobs        int64
+	totalMakespan   float64
+	wallMs          []float64 // ring buffer of completed-job wall times
+	wallNext        int
 }
 
 // observe records one completed job's wall time and modeled makespan.
@@ -60,6 +63,19 @@ type Snapshot struct {
 
 	CacheHits int64 `json:"cache_hits"`
 	CacheSize int   `json:"cache_size"`
+	// CacheEvictions counts results dropped by the LRU budgets (entry
+	// count and byte bound); CacheBytes is the estimated payload footprint
+	// of the live entries.
+	CacheEvictions int64 `json:"cache_evictions"`
+	CacheBytes     int64 `json:"cache_bytes"`
+
+	// LanesDispatched counts batched-lane runs; LaneJobs the jobs they
+	// carried; LaneFillRatio is LaneJobs over the capacity of the
+	// dispatched lanes (LanesDispatched × LaneWidth) — 1.0 means every
+	// lane ran full.
+	LanesDispatched int64   `json:"lanes_dispatched"`
+	LaneJobs        int64   `json:"lane_jobs"`
+	LaneFillRatio   float64 `json:"lane_fill_ratio"`
 
 	// WallP50Ms / WallP99Ms are percentiles of completed-job wall times
 	// over the most recent latencyWindow completions (cache hits count as
@@ -94,6 +110,14 @@ func (s *Service) recordDone(j *Job, res *Result, cacheHit bool) {
 	s.metrics.observe(st.RunMs, makespan)
 }
 
+// recordLane tallies one dispatched lane and the jobs it carried.
+func (s *Service) recordLane(width int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics.lanesDispatched++
+	s.metrics.laneJobs += int64(width)
+}
+
 // countFinish tallies a failed or canceled job.
 func (s *Service) countFinish(state State) {
 	s.mu.Lock()
@@ -124,7 +148,15 @@ func (s *Service) Metrics() Snapshot {
 		InFlight:             s.inflight,
 		CacheHits:            s.metrics.cacheHits,
 		CacheSize:            len(s.cache),
+		CacheEvictions:       s.metrics.cacheEvictions,
+		CacheBytes:           s.cacheBytes,
+		LanesDispatched:      s.metrics.lanesDispatched,
+		LaneJobs:             s.metrics.laneJobs,
 		TotalModeledMakespan: s.metrics.totalMakespan,
+	}
+	if s.metrics.lanesDispatched > 0 && s.cfg.LaneWidth > 0 {
+		snap.LaneFillRatio = float64(s.metrics.laneJobs) /
+			float64(s.metrics.lanesDispatched*int64(s.cfg.LaneWidth))
 	}
 	s.mu.Unlock()
 	sort.Float64s(samples)

@@ -27,6 +27,7 @@ package service
 
 import (
 	"container/heap"
+	"container/list"
 	"context"
 	"encoding/json"
 	"errors"
@@ -82,8 +83,27 @@ type Config struct {
 	// or on hosts where the fused-kernel ulp drift is unwanted.
 	MulticoreThreshold int
 	// CacheCap bounds the result cache (entries); 0 defaults to 256,
-	// negative disables caching.
+	// negative disables caching. Eviction is LRU: lookups refresh an
+	// entry's recency, so hot fingerprints survive a full cache.
 	CacheCap int
+	// CacheMaxBytes additionally bounds the result cache's estimated
+	// payload bytes (eigenvalue slices plus trace summaries): the LRU tail
+	// is evicted until the estimate fits. 0 or negative means no byte
+	// bound (entries are still bounded by CacheCap).
+	CacheMaxBytes int64
+	// LaneWidth enables the batched solve lane when >= 2: backend
+	// auto-selection routes small jobs (n below MulticoreThreshold) to the
+	// lane, where a worker gathers up to LaneWidth same-shape jobs and
+	// advances them in SIMD lockstep through one sweep schedule
+	// (engine.BatchedBackend). 0 or 1 disables lane routing entirely.
+	LaneWidth int
+	// LaneWindow is how long a lane leader waits for same-shape lane mates
+	// before running a partial lane. A longer window fills lanes better
+	// under bursty submission at the cost of added latency for the first
+	// job of a burst; once the window closes a still-lone job re-resolves
+	// to a solo backend and runs immediately. Default 2ms when lanes are
+	// enabled.
+	LaneWindow time.Duration
 	// RetainJobs bounds the finished-job records kept for status/result
 	// queries: once exceeded, the oldest terminal jobs are dropped (live
 	// jobs are never evicted). 0 defaults to 4096, negative retains
@@ -121,6 +141,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheCap == 0 {
 		c.CacheCap = 256
+	}
+	if c.LaneWidth >= 2 && c.LaneWindow == 0 {
+		c.LaneWindow = 2 * time.Millisecond
 	}
 	if c.RetainJobs == 0 {
 		c.RetainJobs = 4096
@@ -164,17 +187,22 @@ func (h *jobHeap) Pop() any {
 type Service struct {
 	cfg Config
 
-	mu        sync.Mutex
-	cond      *sync.Cond
-	queue     jobHeap
-	jobs      map[string]*Job
-	order     []string // job IDs in submission order, for listings
-	idem      map[string]string
-	cache     map[uint64]*Result
-	cacheKeys []uint64 // FIFO eviction order
-	seq       uint64
-	inflight  int
-	closed    bool
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue jobHeap
+	jobs  map[string]*Job
+	order []string // job IDs in submission order, for listings
+	idem  map[string]string
+	// The result cache is an LRU keyed by problem fingerprint: cacheList
+	// holds *cacheEntry values in recency order (front = most recent),
+	// cache indexes them, cacheBytes tracks the estimated payload total
+	// for the CacheMaxBytes budget.
+	cache      map[uint64]*list.Element
+	cacheList  *list.List
+	cacheBytes int64
+	seq        uint64
+	inflight   int
+	closed     bool
 
 	metrics metrics
 	wg      sync.WaitGroup
@@ -191,10 +219,11 @@ type Service struct {
 // worker starts.
 func New(cfg Config) *Service {
 	s := &Service{
-		cfg:   cfg.withDefaults(),
-		jobs:  make(map[string]*Job),
-		idem:  make(map[string]string),
-		cache: make(map[uint64]*Result),
+		cfg:       cfg.withDefaults(),
+		jobs:      make(map[string]*Job),
+		idem:      make(map[string]string),
+		cache:     make(map[uint64]*list.Element),
+		cacheList: list.New(),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.metrics.start = time.Now()
@@ -230,7 +259,7 @@ func (s *Service) SubmitKeyed(ctx context.Context, key string, spec JobSpec) (*J
 	if err := spec.validate(); err != nil {
 		return nil, false, err
 	}
-	backend := spec.selectBackend(s.cfg.MulticoreThreshold)
+	backend := spec.selectBackend(s.cfg.MulticoreThreshold, s.cfg.LaneWidth)
 	var fp uint64
 	if s.cfg.CacheCap >= 0 {
 		// The fingerprint hashes the whole matrix; skip the O(n²) pass
@@ -608,7 +637,11 @@ func (s *Service) worker() {
 		s.inflight++
 		s.mu.Unlock()
 
-		s.execute(j)
+		if j.backend == BackendLane {
+			s.executeLane(s.gatherLane(j))
+		} else {
+			s.execute(j)
+		}
 
 		s.mu.Lock()
 		s.inflight--
@@ -748,18 +781,42 @@ func (s *Service) solve(j *Job) (*Result, error) {
 	return res, nil
 }
 
+// cacheEntry is one LRU slot of the result cache.
+type cacheEntry struct {
+	fp   uint64
+	res  *Result
+	size int64
+}
+
+// resultBytes estimates a cached result's payload footprint for the
+// CacheMaxBytes budget: the struct itself plus the eigenvalue slice and the
+// optional trace summary. An estimate is enough — the budget bounds memory
+// order-of-magnitude, it is not an allocator account.
+func resultBytes(r *Result) int64 {
+	n := int64(160) // struct + map/list bookkeeping
+	n += 8 * int64(len(r.Values))
+	if r.Trace != nil {
+		n += 96 + 8*int64(len(r.Trace.DimMessages)) + 8*int64(len(r.Trace.DimShare))
+	}
+	return n
+}
+
 // cacheLookup returns a deep copy of the cached result for a fingerprint,
-// if any. Hits hand out copies — never the cached value itself — so a
-// caller mutating its Result (the eigenvalue slice, the trace summary)
-// cannot corrupt what later hits observe.
+// if any, refreshing the entry's LRU recency. Hits hand out copies — never
+// the cached value itself — so a caller mutating its Result (the
+// eigenvalue slice, the trace summary) cannot corrupt what later hits
+// observe.
 func (s *Service) cacheLookup(fp uint64) (*Result, bool) {
 	if s.cfg.CacheCap < 0 {
 		return nil, false
 	}
 	s.mu.Lock()
-	res, ok := s.cache[fp]
+	elem, ok := s.cache[fp]
+	var res *Result
 	if ok {
 		s.metrics.cacheHits++
+		s.cacheList.MoveToFront(elem)
+		res = elem.Value.(*cacheEntry).res
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -769,22 +826,37 @@ func (s *Service) cacheLookup(fp uint64) (*Result, bool) {
 }
 
 // cacheStore inserts a deep copy of the result (the solving job keeps its
-// own, which it may hand to a mutating caller), evicting the oldest
-// entries past CacheCap.
+// own, which it may hand to a mutating caller) at the front of the LRU,
+// then evicts least-recently-used entries until both budgets hold: at most
+// CacheCap entries, and (when CacheMaxBytes > 0) at most CacheMaxBytes of
+// estimated payload.
 func (s *Service) cacheStore(fp uint64, res *Result) {
 	if s.cfg.CacheCap < 0 {
 		return
 	}
 	res = res.clone()
+	size := resultBytes(res)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, exists := s.cache[fp]; !exists {
-		s.cacheKeys = append(s.cacheKeys, fp)
+	if elem, exists := s.cache[fp]; exists {
+		ent := elem.Value.(*cacheEntry)
+		s.cacheBytes += size - ent.size
+		ent.res, ent.size = res, size
+		s.cacheList.MoveToFront(elem)
+	} else {
+		s.cache[fp] = s.cacheList.PushFront(&cacheEntry{fp: fp, res: res, size: size})
+		s.cacheBytes += size
 	}
-	s.cache[fp] = res
-	for len(s.cacheKeys) > s.cfg.CacheCap {
-		old := s.cacheKeys[0]
-		s.cacheKeys = s.cacheKeys[1:]
-		delete(s.cache, old)
+	for s.cacheList.Len() > s.cfg.CacheCap ||
+		(s.cfg.CacheMaxBytes > 0 && s.cacheBytes > s.cfg.CacheMaxBytes) {
+		back := s.cacheList.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		s.cacheList.Remove(back)
+		delete(s.cache, ent.fp)
+		s.cacheBytes -= ent.size
+		s.metrics.cacheEvictions++
 	}
 }

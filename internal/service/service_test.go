@@ -100,7 +100,7 @@ func TestBackendAutoSelection(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			spec := tc.spec.withDefaults()
-			if got := spec.selectBackend(128); got != tc.want {
+			if got := spec.selectBackend(128, 0); got != tc.want {
 				t.Errorf("selectBackend = %q, want %q", got, tc.want)
 			}
 		})
@@ -114,10 +114,10 @@ func TestBackendAutoSelection(t *testing.T) {
 	}
 	at := JobSpec{Matrix: randSym(64, 3), Dim: 1}.withDefaults()
 	below := JobSpec{Matrix: randSym(63, 3), Dim: 1}.withDefaults()
-	if got := at.selectBackend(def.MulticoreThreshold); got != BackendMulticore {
+	if got := at.selectBackend(def.MulticoreThreshold, 0); got != BackendMulticore {
 		t.Errorf("n=64 auto-selected %q, want multicore", got)
 	}
-	if got := below.selectBackend(def.MulticoreThreshold); got != BackendEmulated {
+	if got := below.selectBackend(def.MulticoreThreshold, 0); got != BackendEmulated {
 		t.Errorf("n=63 auto-selected %q, want emulated", got)
 	}
 }
