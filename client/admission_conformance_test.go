@@ -1,0 +1,223 @@
+// Conformance coverage for the admission-control surface: per-tenant
+// quota, rate-limit and load-shed outcomes must reach consumers of BOTH
+// transports as the same typed errors and terminal events.
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/httpapi"
+	"repro/internal/service"
+)
+
+// admission mirrors the service's admission-control knobs into both
+// factory kinds.
+type admission struct {
+	TenantQueueQuota int
+	TenantRate       float64
+	TenantBurst      int
+	ShedHighWater    int
+}
+
+// admissionFactories builds one factory pair with the admission knobs
+// applied, one worker each (tests park the worker to arrange queue states).
+func admissionFactories(adm admission) []factory {
+	return []factory{
+		{"Local", func(t *testing.T, workers int) client.Client {
+			c, err := client.NewLocal(client.LocalConfig{
+				Workers:          workers,
+				TenantQueueQuota: adm.TenantQueueQuota,
+				TenantRate:       adm.TenantRate,
+				TenantBurst:      adm.TenantBurst,
+				ShedHighWater:    adm.ShedHighWater,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { c.Close() })
+			return c
+		}},
+		{"HTTP", func(t *testing.T, workers int) client.Client {
+			svc := service.New(service.Config{
+				Workers:          workers,
+				TenantQueueQuota: adm.TenantQueueQuota,
+				TenantRate:       adm.TenantRate,
+				TenantBurst:      adm.TenantBurst,
+				ShedHighWater:    adm.ShedHighWater,
+			})
+			srv := httptest.NewServer(httpapi.NewHandler(svc))
+			c, err := client.NewHTTP(srv.URL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() {
+				c.Close()
+				srv.Close()
+				svc.Close()
+			})
+			return c
+		}},
+	}
+}
+
+// blockWorker submits a job that parks the single worker and waits until
+// the service reports it running; the returned handle cancels it.
+func blockWorker(t *testing.T, c client.Client) client.JobHandle {
+	t.Helper()
+	// An unreachable tolerance and a multi-minute sweep budget: the job
+	// holds the worker until Cancel (5000 sweeps of a 24×24 run in ~200ms,
+	// so the budget must be orders of magnitude above the test duration).
+	h, err := c.Submit(context.Background(), client.Spec{
+		Random: &client.RandomSpec{N: 24, Seed: 7}, Dim: 1, Tol: 1e-300, MaxSweeps: 50_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		m, err := c.Metrics(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.InFlight == 1 {
+			return h
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never started running")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestConformanceQuotaRejection: the per-tenant queued-job quota surfaces
+// as CodeQuotaExceeded on both transports, scoped to the offending tenant.
+func TestConformanceQuotaRejection(t *testing.T) {
+	for _, f := range admissionFactories(admission{TenantQueueQuota: 1}) {
+		t.Run(f.name, func(t *testing.T) {
+			c := f.mk(t, 1)
+			ctx := context.Background()
+			blocker := blockWorker(t, c)
+			defer blocker.Cancel(ctx)
+
+			small := func(seed int64, tenant string) client.Spec {
+				return client.Spec{Random: &client.RandomSpec{N: 16, Seed: seed}, Dim: 1, Tenant: tenant}
+			}
+			if _, err := c.Submit(ctx, small(1, "acme")); err != nil {
+				t.Fatal(err)
+			}
+			_, err := c.Submit(ctx, small(2, "acme"))
+			var ce *client.Error
+			if !errors.As(err, &ce) || ce.Code != client.CodeQuotaExceeded {
+				t.Fatalf("over-quota submit error = %v, want code %s", err, client.CodeQuotaExceeded)
+			}
+			if !strings.Contains(ce.Message, "acme") {
+				t.Errorf("quota error does not name the tenant: %q", ce.Message)
+			}
+			// Another tenant is unaffected by acme's full quota.
+			if _, err := c.Submit(ctx, small(3, "zenith")); err != nil {
+				t.Fatalf("tenant zenith rejected by acme's quota: %v", err)
+			}
+			m, err := c.Metrics(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.QuotaRejected != 1 {
+				t.Errorf("quota_rejected = %d, want 1", m.QuotaRejected)
+			}
+			if m.TenantQueued["acme"] != 1 || m.TenantQueued["zenith"] != 1 {
+				t.Errorf("tenant_queued = %v, want acme:1 zenith:1", m.TenantQueued)
+			}
+		})
+	}
+}
+
+// TestConformanceRateLimitRejection: an exhausted tenant token bucket
+// surfaces as CodeRateLimited on both transports.
+func TestConformanceRateLimitRejection(t *testing.T) {
+	for _, f := range admissionFactories(admission{TenantRate: 0.0001, TenantBurst: 1}) {
+		t.Run(f.name, func(t *testing.T) {
+			c := f.mk(t, 2)
+			ctx := context.Background()
+			spec := func(seed int64) client.Spec {
+				return client.Spec{Random: &client.RandomSpec{N: 16, Seed: seed}, Dim: 1}
+			}
+			if _, err := c.Submit(ctx, spec(1)); err != nil {
+				t.Fatal(err)
+			}
+			_, err := c.Submit(ctx, spec(2))
+			var ce *client.Error
+			if !errors.As(err, &ce) || ce.Code != client.CodeRateLimited {
+				t.Fatalf("over-rate submit error = %v, want code %s", err, client.CodeRateLimited)
+			}
+			m, err := c.Metrics(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.RateLimited != 1 {
+				t.Errorf("rate_limited = %d, want 1", m.RateLimited)
+			}
+		})
+	}
+}
+
+// TestConformanceShedTerminalEvent: a watcher of a queued job that load
+// shedding removes must still receive its terminal event — a canceled
+// event naming the shed cause — on both transports. No lost terminals.
+func TestConformanceShedTerminalEvent(t *testing.T) {
+	for _, f := range admissionFactories(admission{ShedHighWater: 1}) {
+		t.Run(f.name, func(t *testing.T) {
+			c := f.mk(t, 1)
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			blocker := blockWorker(t, c)
+			defer blocker.Cancel(ctx)
+
+			victim, err := c.Submit(ctx, client.Spec{
+				Random: &client.RandomSpec{N: 16, Seed: 4}, Dim: 1, Priority: -1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			events, err := victim.Events(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The queue is at the high-water mark; a normal-priority arrival
+			// sheds the low-priority victim.
+			if _, err := c.Submit(ctx, client.Spec{
+				Random: &client.RandomSpec{N: 16, Seed: 5}, Dim: 1,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			var terminal *client.Event
+			for ev := range events {
+				if ev.Type.Terminal() {
+					terminal = &ev
+					break
+				}
+			}
+			if terminal == nil {
+				t.Fatal("victim's event stream ended without a terminal event")
+			}
+			if terminal.Type != client.EventCanceled {
+				t.Fatalf("victim's terminal event is %s, want canceled", terminal.Type)
+			}
+			if !strings.Contains(terminal.Error, "shed under load") {
+				t.Errorf("terminal event does not carry the shed cause: %q", terminal.Error)
+			}
+			m, err := c.Metrics(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.ShedJobs != 1 {
+				t.Errorf("shed_jobs = %d, want 1", m.ShedJobs)
+			}
+		})
+	}
+}

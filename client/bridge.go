@@ -43,6 +43,7 @@ func ServiceRequest(s Spec) service.JobRequest {
 		Tw:          s.Tw,
 		Tc:          s.Tc,
 		Priority:    s.Priority,
+		Tenant:      s.Tenant,
 	}
 }
 
@@ -51,6 +52,7 @@ func FromServiceStatus(st service.Status) Status {
 	return Status{
 		ID:               st.ID,
 		Label:            st.Label,
+		Tenant:           st.Tenant,
 		State:            string(st.State),
 		Backend:          st.Backend,
 		Priority:         int(st.Priority),
@@ -118,15 +120,23 @@ func FromServiceEvent(ev service.Event) Event {
 
 // FromServiceSnapshot lifts the metrics snapshot into the wire shape.
 func FromServiceSnapshot(m service.Snapshot) Metrics {
-	return Metrics{
+	out := Metrics{
 		Workers:              m.Workers,
 		UptimeSec:            m.UptimeSec,
 		Submitted:            m.Submitted,
 		Completed:            m.Completed,
 		Failed:               m.Failed,
 		Canceled:             m.Canceled,
+		RecoveredDone:        m.RecoveredDone,
+		RecoveredFailed:      m.RecoveredFailed,
+		RecoveredCanceled:    m.RecoveredCanceled,
+		QuotaRejected:        m.QuotaRejected,
+		RateLimited:          m.RateLimited,
+		QueueFullRejected:    m.QueueFullRejected,
+		ShedJobs:             m.ShedJobs,
 		QueueDepth:           m.QueueDepth,
 		InFlight:             m.InFlight,
+		TenantQueued:         m.TenantQueued,
 		CacheHits:            m.CacheHits,
 		CacheSize:            m.CacheSize,
 		CacheEvictions:       m.CacheEvictions,
@@ -141,6 +151,20 @@ func FromServiceSnapshot(m service.Snapshot) Metrics {
 		ScheduleBuilds:       m.ScheduleCache.Builds,
 		ScheduleHits:         m.ScheduleCache.Hits,
 	}
+	if len(m.Latency) > 0 {
+		out.Latency = make(map[string]LatencyStats, len(m.Latency))
+		for outcome, st := range m.Latency {
+			out.Latency[outcome] = LatencyStats{
+				Count:        st.Count,
+				SumMs:        st.SumMs,
+				P50Ms:        st.P50Ms,
+				P99Ms:        st.P99Ms,
+				BucketMs:     st.BucketMs,
+				BucketCounts: st.BucketCounts,
+			}
+		}
+	}
+	return out
 }
 
 // FromServiceError maps a service failure to the typed *Error the wire
@@ -161,6 +185,10 @@ func FromServiceError(err error) error {
 			code = CodeBadRequest
 		}
 		return &Error{Code: code, Field: spec.Field, Message: spec.Msg}
+	case errors.Is(err, service.ErrQuotaExceeded):
+		return &Error{Code: CodeQuotaExceeded, Message: err.Error()}
+	case errors.Is(err, service.ErrRateLimited):
+		return &Error{Code: CodeRateLimited, Message: err.Error()}
 	case errors.Is(err, service.ErrQueueFull):
 		return &Error{Code: CodeQueueFull, Message: err.Error()}
 	case errors.Is(err, service.ErrClosed):

@@ -146,6 +146,10 @@ type Spec struct {
 	Tc float64 `json:"tc,omitempty"`
 	// Priority orders the queue (-1 low, 0 normal, 1 high).
 	Priority int `json:"priority,omitempty"`
+	// Tenant names the submitter for the service's admission control
+	// (per-tenant queue quota and submit rate limit); "" is the default
+	// tenant. Rejections surface as CodeQuotaExceeded / CodeRateLimited.
+	Tenant string `json:"tenant,omitempty"`
 	// IdempotencyKey deduplicates submissions: a key already used returns
 	// the job it named (Status.Reused set) instead of enqueuing a
 	// duplicate, for as long as that job's record is retained.
@@ -156,6 +160,7 @@ type Spec struct {
 type Status struct {
 	ID       string `json:"id"`
 	Label    string `json:"label,omitempty"`
+	Tenant   string `json:"tenant,omitempty"`
 	State    string `json:"state"`
 	Backend  string `json:"backend"`
 	Priority int    `json:"priority"`
@@ -290,18 +295,51 @@ type JobPage struct {
 	NextCursor string `json:"next_cursor,omitempty"`
 }
 
+// LatencyStats is one terminal outcome's wall-time summary: total count
+// and sum, recent-window percentile estimates, and the cumulative
+// histogram (BucketCounts at each BucketMs upper bound, Prometheus `le`
+// semantics with Count as the implicit +Inf bucket).
+type LatencyStats struct {
+	Count        int64     `json:"count"`
+	SumMs        float64   `json:"sum_ms"`
+	P50Ms        float64   `json:"p50_ms"`
+	P99Ms        float64   `json:"p99_ms"`
+	BucketMs     []float64 `json:"bucket_ms"`
+	BucketCounts []int64   `json:"bucket_counts"`
+}
+
 // Metrics is the service's cumulative counter snapshot.
 type Metrics struct {
 	Workers   int     `json:"workers"`
 	UptimeSec float64 `json:"uptime_sec"`
 
+	// Submitted/Completed/Failed/Canceled count the server process's own
+	// admissions and terminal transitions this boot; terminal jobs restored
+	// from a durable journal at startup are reported in the Recovered*
+	// counters instead (so JobsPerSec never spikes after a restart).
 	Submitted int64 `json:"submitted"`
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
 	Canceled  int64 `json:"canceled"`
 
+	RecoveredDone     int64 `json:"recovered_done,omitempty"`
+	RecoveredFailed   int64 `json:"recovered_failed,omitempty"`
+	RecoveredCanceled int64 `json:"recovered_canceled,omitempty"`
+
+	// Admission control: submissions refused by per-tenant quota, tenant
+	// rate limit or the global queue cap, and queued jobs canceled by
+	// priority-aware load shedding (ShedJobs is included in Canceled).
+	QuotaRejected     int64 `json:"quota_rejected"`
+	RateLimited       int64 `json:"rate_limited"`
+	QueueFullRejected int64 `json:"queue_full_rejected"`
+	ShedJobs          int64 `json:"shed_jobs"`
+
 	QueueDepth int `json:"queue_depth"`
 	InFlight   int `json:"in_flight"`
+
+	// TenantQueued gauges queued jobs per tenant ("default" is the empty
+	// tenant); tenants with nothing queued are omitted.
+	TenantQueued map[string]int `json:"tenant_queued,omitempty"`
 
 	CacheHits int64 `json:"cache_hits"`
 	CacheSize int   `json:"cache_size"`
@@ -318,9 +356,14 @@ type Metrics struct {
 	LaneFillRatio   float64 `json:"lane_fill_ratio"`
 
 	// WallP50Ms / WallP99Ms are percentiles of completed-job wall times
-	// over the service's recent-completion window.
+	// over the service's recent-completion window (the done-outcome view).
 	WallP50Ms float64 `json:"wall_p50_ms"`
 	WallP99Ms float64 `json:"wall_p99_ms"`
+
+	// Latency maps terminal outcome ("done", "failed", "canceled") to its
+	// wall-time stats, so failed and canceled work is visible to the
+	// percentiles too.
+	Latency map[string]LatencyStats `json:"latency,omitempty"`
 
 	// TotalModeledMakespan accumulates every completed job's virtual-time
 	// makespan; JobsPerSec is completed jobs over uptime.

@@ -15,6 +15,12 @@ const (
 	CodeNotFound = "not_found"
 	// CodeQueueFull reports that the service's queue capacity is reached.
 	CodeQueueFull = "queue_full"
+	// CodeQuotaExceeded reports a submission refused because the tenant
+	// already holds its per-tenant quota of queued jobs.
+	CodeQuotaExceeded = "quota_exceeded"
+	// CodeRateLimited reports a submission refused by the tenant's
+	// token-bucket submit rate limit.
+	CodeRateLimited = "rate_limited"
 	// CodeClosed reports a submission to a closed service.
 	CodeClosed = "closed"
 	// CodeNotFinished reports a Result call on a job that is still queued

@@ -20,6 +20,14 @@ type LocalConfig struct {
 	MulticoreThreshold int
 	CacheCap           int
 	RetainJobs         int
+	// TenantQueueQuota bounds queued jobs per tenant (0 disables);
+	// TenantRate/TenantBurst configure the per-tenant token-bucket submit
+	// rate limit (0 disables); ShedHighWater enables priority-aware load
+	// shedding at that queue depth (0 disables). See service.Config.
+	TenantQueueQuota int
+	TenantRate       float64
+	TenantBurst      int
+	ShedHighWater    int
 	// CacheMaxBytes bounds the result cache's estimated footprint in
 	// bytes on top of CacheCap's entry bound (0 = unbounded by bytes).
 	CacheMaxBytes int64
@@ -63,6 +71,10 @@ func NewLocal(cfg LocalConfig) (*Local, error) {
 	return &Local{st: st, svc: service.New(service.Config{
 		Workers:            cfg.Workers,
 		QueueCap:           cfg.QueueCap,
+		TenantQueueQuota:   cfg.TenantQueueQuota,
+		TenantRate:         cfg.TenantRate,
+		TenantBurst:        cfg.TenantBurst,
+		ShedHighWater:      cfg.ShedHighWater,
 		MulticoreThreshold: cfg.MulticoreThreshold,
 		CacheCap:           cfg.CacheCap,
 		CacheMaxBytes:      cfg.CacheMaxBytes,

@@ -1,0 +1,229 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/client"
+	"repro/internal/bench"
+)
+
+// cmdLoadgen is the synthetic load driver of the traffic-hardening layer:
+// an open-loop Poisson arrival process (submissions are NOT gated on
+// completions, so queue pressure builds exactly as it would under real
+// overload) over a mixed job-shape profile — lane-sized small solves,
+// multicore-sized big ones, and cache-hit repeats of one fixed problem —
+// fanned across tenants and priorities, with every accepted job watched
+// through its event stream by a fast or deliberately slow subscriber. The
+// run ends in a bench.LoadReport (JSON): per-outcome client-observed
+// latency percentiles, typed rejection counts, and the lost-terminal-event
+// counter the CI smoke step pins to zero. The SLO gate
+// (internal/bench.TestLoadSLOGate) consumes the same report.
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	remote := fs.String("remote", "", "server base URL; empty = drive an in-process service")
+	jobs := fs.Int("jobs", 500, "submissions to issue")
+	rate := fs.Float64("rate", 200, "offered arrival rate, jobs/sec (open-loop Poisson)")
+	seed := fs.Int64("seed", 1, "deterministic arrival/shape seed")
+	out := fs.String("out", "", "write the JSON report here (empty = stdout)")
+	smallN := fs.Int("small-n", 24, "matrix size of the small (lane-sized) profile")
+	bigN := fs.Int("big-n", 96, "matrix size of the big (multicore) profile")
+	dim := fs.Int("d", 2, "hypercube dimension of every job")
+	pBig := fs.Float64("p-big", 0.15, "probability of a big job")
+	pRepeat := fs.Float64("p-repeat", 0.20, "probability of a cache-hit repeat (one fixed problem)")
+	slowFrac := fs.Float64("slow-frac", 0.10, "fraction of subscribers that read their event stream slowly")
+	tenants := fs.Int("tenants", 4, "tenants to spread submissions across")
+	timeout := fs.Duration("timeout", 2*time.Minute, "per-job terminal-event deadline after submission ends")
+	// In-process service shape (ignored with -remote).
+	workers := fs.Int("workers", 0, "local solve-pool size (0 = default)")
+	laneW := fs.Int("lane-width", 4, "local batched-lane width (0 disables)")
+	queueCap := fs.Int("queue", 0, "local queue capacity (0 = default)")
+	quota := fs.Int("tenant-quota", 0, "local per-tenant queued-job quota (0 disables)")
+	tenantRate := fs.Float64("tenant-rate", 0, "local per-tenant submit rate limit, jobs/sec (0 disables)")
+	shedHW := fs.Int("shed-high-water", 0, "local shed high-water mark (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *jobs <= 0 || *rate <= 0 {
+		return fmt.Errorf("need -jobs > 0 and -rate > 0")
+	}
+	c, err := newClient(*remote, client.LocalConfig{
+		Workers:          *workers,
+		QueueCap:         *queueCap,
+		LaneWidth:        *laneW,
+		TenantQueueQuota: *quota,
+		TenantRate:       *tenantRate,
+		ShedHighWater:    *shedHW,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	target := *remote
+	if target == "" {
+		target = "local"
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	rep := &bench.LoadReport{
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		Target:      target,
+		OfferedRate: *rate,
+		Attempted:   *jobs,
+	}
+	var (
+		mu        sync.Mutex
+		latencies = map[string][]float64{}
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for i := 0; i < *jobs; i++ {
+		// Open-loop Poisson arrivals: exponential inter-arrival gaps at the
+		// offered rate, never waiting on any previous job's fate.
+		time.Sleep(time.Duration(rng.ExpFloat64() / *rate * float64(time.Second)))
+		spec := shapeSpec(rng, i, *smallN, *bigN, *dim, *pBig, *pRepeat, *tenants)
+		slow := rng.Float64() < *slowFrac
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			submitted := time.Now()
+			h, err := c.Submit(context.Background(), spec)
+			if err != nil {
+				mu.Lock()
+				defer mu.Unlock()
+				var ce *client.Error
+				switch {
+				case errors.As(err, &ce) && ce.Code == client.CodeQuotaExceeded:
+					rep.RejectedQuota++
+				case errors.As(err, &ce) && ce.Code == client.CodeRateLimited:
+					rep.RejectedRate++
+				case errors.As(err, &ce) && ce.Code == client.CodeQueueFull:
+					rep.RejectedQueue++
+				default:
+					rep.OtherErrors++
+				}
+				return
+			}
+			terminal, shed := watchTerminal(h, slow, *timeout)
+			ms := float64(time.Since(submitted).Microseconds()) / 1000
+			mu.Lock()
+			defer mu.Unlock()
+			rep.Submitted++
+			switch terminal {
+			case client.EventDone:
+				rep.Done++
+				latencies["done"] = append(latencies["done"], ms)
+			case client.EventFailed:
+				rep.Failed++
+				latencies["failed"] = append(latencies["failed"], ms)
+			case client.EventCanceled:
+				rep.Canceled++
+				latencies["canceled"] = append(latencies["canceled"], ms)
+				if shed {
+					rep.Shed++
+				}
+			default:
+				rep.LostTerminal++
+			}
+		}()
+	}
+	wg.Wait()
+	rep.DurationSec = time.Since(start).Seconds()
+	rep.Outcomes = make(map[string]bench.LoadLatency, len(latencies))
+	for outcome, ms := range latencies {
+		sort.Float64s(ms)
+		rep.Outcomes[outcome] = bench.LoadLatency{
+			Count: len(ms),
+			P50Ms: quantile(ms, 0.50),
+			P99Ms: quantile(ms, 0.99),
+			MaxMs: ms[len(ms)-1],
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+	} else {
+		os.Stdout.Write(data)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %d attempted, %d accepted (%d/%d/%d quota/rate/queue rejected), %d done, %d failed, %d canceled (%d shed), %d lost in %.1fs\n",
+		rep.Attempted, rep.Submitted, rep.RejectedQuota, rep.RejectedRate, rep.RejectedQueue,
+		rep.Done, rep.Failed, rep.Canceled, rep.Shed, rep.LostTerminal, rep.DurationSec)
+	if rep.LostTerminal > 0 {
+		return fmt.Errorf("%d accepted jobs lost their terminal event", rep.LostTerminal)
+	}
+	return nil
+}
+
+// shapeSpec draws one job from the mixed profile: a cache-hit repeat of one
+// fixed problem, a big multicore-sized solve, or a lane-sized small solve
+// with a unique seed, spread across tenants and priorities.
+func shapeSpec(rng *rand.Rand, i, smallN, bigN, dim int, pBig, pRepeat float64, tenants int) client.Spec {
+	spec := client.Spec{
+		Dim:    dim,
+		Tenant: fmt.Sprintf("tenant-%d", rng.Intn(max(tenants, 1))),
+		// Mostly normal traffic with low-priority bulk and a few
+		// interactive-priority jobs, so the shed policy has a gradient to
+		// work with.
+		Priority: [...]int{-1, 0, 0, 0, 0, 0, 0, 0, 1, 1}[rng.Intn(10)],
+	}
+	switch draw := rng.Float64(); {
+	case draw < pRepeat:
+		spec.Label = "repeat"
+		spec.Random = &client.RandomSpec{N: smallN, Seed: 42}
+	case draw < pRepeat+pBig:
+		spec.Label = "big"
+		spec.Random = &client.RandomSpec{N: bigN, Seed: int64(i) + 1000}
+	default:
+		spec.Label = "small"
+		spec.Random = &client.RandomSpec{N: smallN, Seed: int64(i) + 1}
+	}
+	return spec
+}
+
+// watchTerminal follows one accepted job's event stream to its terminal
+// event ("" when the stream ended or timed out without one). A slow
+// subscriber dawdles on every event, exercising the drop-oldest policy;
+// the terminal event must arrive regardless. shed reports a cancellation
+// whose cause was the service's load shedder.
+func watchTerminal(h client.JobHandle, slow bool, timeout time.Duration) (terminal client.EventType, shed bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	events, err := h.Events(ctx)
+	if err != nil {
+		return "", false
+	}
+	for ev := range events {
+		if slow {
+			time.Sleep(2 * time.Millisecond)
+		}
+		if ev.Type.Terminal() {
+			return ev.Type, strings.Contains(ev.Error, "shed under load")
+		}
+	}
+	return "", false
+}
+
+// quantile returns the q-quantile of an ascending sample set.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted)-1) + 0.5)
+	return sorted[idx]
+}

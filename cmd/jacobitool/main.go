@@ -26,10 +26,11 @@
 //	batch      solve a manifest of problems concurrently, with a summary table
 //	submit     submit one eigensolve through the client API (local or -remote)
 //	watch      stream a remote job's progress events until it finishes
+//	loadgen    open-loop Poisson load driver with a JSON latency/SLO report
 //
-// serve, batch, submit and watch are all consumers of the public client
-// package: one binary drives an in-process pool or a remote server with
-// one -remote flag.
+// serve, batch, submit, watch and loadgen are all consumers of the public
+// client package: one binary drives an in-process pool or a remote server
+// with one -remote flag.
 package main
 
 import (
@@ -81,6 +82,8 @@ func main() {
 		err = cmdSubmit(args)
 	case "watch":
 		err = cmdWatch(args)
+	case "loadgen":
+		err = cmdLoadgen(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -115,6 +118,7 @@ commands:
   batch       [-manifest F] [-remote URL] [-check] solve a manifest of problems concurrently
   submit      [-remote URL] [-n N] [-d D] [-watch] submit one eigensolve via the client API
   watch       -remote URL JOB        stream a remote job's progress events
+  loadgen     [-remote URL] [-jobs N] [-rate R] [-out F] open-loop Poisson load run with JSON report
   portsweep   [-d D] [-m LOGM]     cost vs number of ports (k-port ablation)
   balance     [-d D] [-m N]        static + traced link-balance comparison
   svd         [-rows R] [-cols C]  singular value decomposition demo

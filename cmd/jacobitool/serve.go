@@ -36,6 +36,10 @@ func cmdServe(args []string) error {
 	laneW := fs.Int("lane-width", 0, "batched-lane width for small jobs (0 disables; >= 2 enables SIMD-lockstep lanes)")
 	laneWin := fs.Duration("lane-window", 0, "how long a lane leader waits for same-shape lane mates (0 = service default)")
 	retain := fs.Int("retain", 0, "finished-job records kept for status/result queries (0 = 4096, negative retains everything)")
+	quota := fs.Int("tenant-quota", 0, "per-tenant queued-job quota (0 disables)")
+	tenantRate := fs.Float64("tenant-rate", 0, "per-tenant submit rate limit in jobs/sec (0 disables)")
+	tenantBurst := fs.Int("tenant-burst", 0, "per-tenant submit burst (0 = ceil of -tenant-rate)")
+	shedHW := fs.Int("shed-high-water", 0, "queue depth at which lowest-priority queued jobs are shed (0 disables)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	dataDir := fs.String("data", "", "durable data directory (empty = in-memory only): journal + sweep checkpoints; a restart recovers and resumes jobs")
 	ckptEvery := fs.Int("checkpoint-every", 0, "sweep-checkpoint cadence with -data (0 = every sweep, negative = no checkpoints)")
@@ -60,6 +64,10 @@ func cmdServe(args []string) error {
 		LaneWidth:          *laneW,
 		LaneWindow:         *laneWin,
 		RetainJobs:         *retain,
+		TenantQueueQuota:   *quota,
+		TenantRate:         *tenantRate,
+		TenantBurst:        *tenantBurst,
+		ShedHighWater:      *shedHW,
 		Store:              st,
 		CheckpointEvery:    *ckptEvery,
 	})
@@ -84,6 +92,7 @@ func cmdServe(args []string) error {
 	fmt.Println("  GET    /api/v2/jobs/{id}/result finished job's result")
 	fmt.Println("  GET    /api/v2/jobs/{id}/events progress stream (NDJSON; SSE via Accept)")
 	fmt.Println("  GET    /api/v2/metrics          service metrics")
+	fmt.Println("  GET    /metrics                 the same metrics, Prometheus text format")
 	fmt.Println("  /api/v1/*                       v1 compatibility shim; GET /healthz liveness")
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

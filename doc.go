@@ -25,11 +25,14 @@
 //     experiment drivers)
 //   - internal/service: the concurrent batch-solve service (priority job
 //     queue, per-job backend auto-selection, a byte-budgeted fingerprint
-//     result cache, per-job event fan-out, and a batched solve lane that
+//     result cache, per-job event fan-out, a batched solve lane that
 //     gathers small same-shape jobs and solves up to eight of them in
-//     SIMD lockstep inside one kernel invocation — DESIGN.md §11);
-//     internal/httpapi mounts it as /api/v2 plus the /api/v1
-//     compatibility shim
+//     SIMD lockstep inside one kernel invocation — DESIGN.md §11 — and
+//     multi-tenant admission control: per-tenant queue quotas,
+//     token-bucket rate limits and priority-aware load shedding, with
+//     per-outcome latency histograms — DESIGN.md §12); internal/httpapi
+//     mounts it as /api/v2 plus the /api/v1 compatibility shim and a
+//     Prometheus text-format GET /metrics
 //   - internal/store: the durable job store behind `serve -data` — an
 //     fsync'd CRC-framed journal plus per-job sweep-boundary engine
 //     checkpoints, so a restarted server recovers finished results,
@@ -38,8 +41,10 @@
 //   - cmd/jacobitool: command-line access to everything, including
 //     `jacobitool serve` (the service over HTTP), `submit`/`watch`
 //     (one-shot client runs, local or -remote, with live event
-//     streaming) and `batch` (solve a JSON manifest concurrently;
-//     -check verifies every job against a sequential single-solve run)
+//     streaming), `batch` (solve a JSON manifest concurrently; -check
+//     verifies every job against a sequential single-solve run) and
+//     `loadgen` (an open-loop Poisson load driver emitting a JSON
+//     latency report for the CI p99 SLO gate)
 //   - examples/: runnable walkthroughs (quickstart, orderinglab,
 //     eigensolve, commcost, pipelinelab, svdlab, clientlab)
 //   - bench_test.go: one benchmark per paper table/figure plus ablations

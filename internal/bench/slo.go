@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The load-SLO side of the harness: `jacobitool loadgen` drives a service
+// with an open-loop Poisson arrival process and writes a LoadReport; the
+// SLO gate test (slo_test.go) reads it in CI and fails the build when the
+// latency bound is exceeded or any watcher lost its terminal event. The
+// report type lives here so the generator and the gate share one schema.
+
+// LoadLatency is one terminal outcome's client-observed latency summary
+// (submit acknowledgment to terminal event, milliseconds).
+type LoadLatency struct {
+	Count int     `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+// LoadReport is the JSON document `jacobitool loadgen` emits.
+type LoadReport struct {
+	Date        string  `json:"date"`
+	Target      string  `json:"target"` // "local" or the remote URL
+	OfferedRate float64 `json:"offered_rate"`
+	DurationSec float64 `json:"duration_sec"`
+
+	// Attempted counts every submission the generator issued; Submitted
+	// the ones the service accepted. The rejection counters split the
+	// refused remainder by typed cause.
+	Attempted     int `json:"attempted"`
+	Submitted     int `json:"submitted"`
+	RejectedQuota int `json:"rejected_quota"`
+	RejectedRate  int `json:"rejected_rate"`
+	RejectedQueue int `json:"rejected_queue"`
+	OtherErrors   int `json:"other_errors"`
+
+	// Terminal outcomes of the accepted jobs, as observed through each
+	// job's event stream; Shed counts the canceled jobs whose cause was
+	// the service's load shedder.
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+	Canceled int `json:"canceled"`
+	Shed     int `json:"shed"`
+
+	// LostTerminal counts accepted jobs whose event stream ended without a
+	// terminal event — the invariant the smoke step pins to zero.
+	LostTerminal int `json:"lost_terminal"`
+
+	// Outcomes maps "done"/"failed"/"canceled" to client-observed latency.
+	Outcomes map[string]LoadLatency `json:"outcomes"`
+}
+
+// LoadLoadReport reads one loadgen report.
+func LoadLoadReport(path string) (*LoadReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r LoadReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// CheckLoadSLO returns every violated service-level objective of a load
+// run: no accepted job may lose its terminal event, at least one job must
+// complete (a run that completed nothing proves nothing), and the done-
+// outcome p99 latency must stay within p99BoundMs.
+func CheckLoadSLO(r *LoadReport, p99BoundMs float64) []string {
+	var bad []string
+	if r.LostTerminal > 0 {
+		bad = append(bad, fmt.Sprintf("%d accepted jobs lost their terminal event", r.LostTerminal))
+	}
+	if r.Done == 0 {
+		bad = append(bad, "no job completed — the run proves nothing")
+	}
+	if done, ok := r.Outcomes["done"]; ok && p99BoundMs > 0 && done.P99Ms > p99BoundMs {
+		bad = append(bad, fmt.Sprintf("done p99 latency %.1fms exceeds the %.0fms SLO", done.P99Ms, p99BoundMs))
+	}
+	if r.Submitted != r.Done+r.Failed+r.Canceled+r.LostTerminal {
+		bad = append(bad, fmt.Sprintf("accounting hole: %d submitted != %d done + %d failed + %d canceled + %d lost",
+			r.Submitted, r.Done, r.Failed, r.Canceled, r.LostTerminal))
+	}
+	return bad
+}

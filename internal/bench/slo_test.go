@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestLoadSLOGate is the CI latency gate: the loadgen smoke step writes a
+// report and points LOADGEN_REPORT at it; LOADGEN_P99_SLO_MS sets the done-
+// outcome p99 bound (unset or 0 checks only the structural SLOs — zero
+// lost terminal events, at least one completion). Without a report the
+// test skips, so plain `go test ./...` stays green on a fresh clone.
+func TestLoadSLOGate(t *testing.T) {
+	path := os.Getenv("LOADGEN_REPORT")
+	if path == "" {
+		t.Skip("LOADGEN_REPORT not set; run `jacobitool loadgen -out` first")
+	}
+	r, err := LoadLoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 0.0
+	if env := os.Getenv("LOADGEN_P99_SLO_MS"); env != "" {
+		if bound, err = strconv.ParseFloat(env, 64); err != nil {
+			t.Fatalf("LOADGEN_P99_SLO_MS: %v", err)
+		}
+	}
+	t.Logf("%s: %d attempted, %d accepted (%d quota / %d rate / %d queue rejected), %d done, %d failed, %d canceled (%d shed), %d lost",
+		path, r.Attempted, r.Submitted, r.RejectedQuota, r.RejectedRate, r.RejectedQueue,
+		r.Done, r.Failed, r.Canceled, r.Shed, r.LostTerminal)
+	if done, ok := r.Outcomes["done"]; ok {
+		t.Logf("done latency: p50 %.1fms, p99 %.1fms, max %.1fms (bound %.0fms)", done.P50Ms, done.P99Ms, done.MaxMs, bound)
+	}
+	for _, msg := range CheckLoadSLO(r, bound) {
+		t.Error(msg)
+	}
+}
+
+// TestCheckLoadSLO pins the gate semantics on synthetic reports.
+func TestCheckLoadSLO(t *testing.T) {
+	base := &LoadReport{
+		Submitted: 10, Done: 8, Failed: 1, Canceled: 1,
+		Outcomes: map[string]LoadLatency{"done": {Count: 8, P50Ms: 5, P99Ms: 40, MaxMs: 50}},
+	}
+	clone := func(mut func(*LoadReport)) *LoadReport {
+		r := *base
+		mut(&r)
+		return &r
+	}
+	if bad := CheckLoadSLO(base, 100); len(bad) != 0 {
+		t.Errorf("healthy report flagged: %v", bad)
+	}
+	if bad := CheckLoadSLO(base, 0); len(bad) != 0 {
+		t.Errorf("unset bound flagged latency: %v", bad)
+	}
+	if bad := CheckLoadSLO(clone(func(r *LoadReport) { r.LostTerminal = 1; r.Done = 7 }), 100); len(bad) != 1 {
+		t.Errorf("lost terminal not flagged exactly once: %v", bad)
+	}
+	if bad := CheckLoadSLO(clone(func(r *LoadReport) { r.Done = 0; r.Canceled = 9 }), 100); len(bad) != 1 {
+		t.Errorf("zero completions not flagged: %v", bad)
+	}
+	if bad := CheckLoadSLO(base, 30); len(bad) != 1 {
+		t.Errorf("p99 over bound not flagged: %v", bad)
+	}
+	if bad := CheckLoadSLO(clone(func(r *LoadReport) { r.Submitted = 12 }), 100); len(bad) != 1 {
+		t.Errorf("accounting hole not flagged: %v", bad)
+	}
+}

@@ -16,6 +16,7 @@
 //	GET    /api/v2/jobs/{id}/events progress stream (NDJSON, or SSE when
 //	                                Accept: text/event-stream)
 //	GET    /api/v2/metrics          service metrics
+//	GET    /metrics                 the same metrics, Prometheus text format
 //
 // Errors are structured bodies — client.Error's JSON shape
 // ({code, message, field}) — with conventional status codes. Event streams
@@ -162,6 +163,8 @@ func NewHandler(s *service.Service) http.Handler {
 	mux.HandleFunc("GET /api/v2/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, client.FromServiceSnapshot(s.Metrics()))
 	})
+	// Prometheus text-format exposition of the same snapshot (see prom.go).
+	mux.HandleFunc("GET /metrics", promHandler(s))
 	// Everything else — the whole /api/v1 surface and /healthz — falls
 	// through to the v1 handler, which keeps serving its original wire
 	// format unchanged.
@@ -245,6 +248,8 @@ func statusFor(code string) int {
 		return http.StatusNotFound
 	case client.CodeNotFinished, client.CodeJobFailed, client.CodeJobCanceled:
 		return http.StatusConflict
+	case client.CodeQuotaExceeded, client.CodeRateLimited:
+		return http.StatusTooManyRequests
 	case client.CodeQueueFull, client.CodeClosed:
 		return http.StatusServiceUnavailable
 	default:

@@ -67,6 +67,7 @@ type JobRequest struct {
 	Tw          float64     `json:"tw,omitempty"`
 	Tc          float64     `json:"tc,omitempty"`
 	Priority    int         `json:"priority,omitempty"`
+	Tenant      string      `json:"tenant,omitempty"`
 }
 
 // Spec materializes the request into a JobSpec (generating the random
@@ -115,6 +116,7 @@ func (r JobRequest) Spec() (JobSpec, error) {
 		Tc:          r.Tc,
 		Priority:    Priority(r.Priority),
 		Label:       r.Label,
+		Tenant:      r.Tenant,
 	}, nil
 }
 

@@ -87,6 +87,12 @@ type JobSpec struct {
 	// Priority orders the queue; Label tags the job in statuses and tables.
 	Priority Priority
 	Label    string
+	// Tenant names the submitter for admission control (per-tenant queue
+	// quota and submit rate limit, see Config). "" is the default tenant.
+	// Tenancy is an admission concept only: it is deliberately NOT part of
+	// the result-cache fingerprint, so identical problems share one cached
+	// result across tenants.
+	Tenant string
 }
 
 // withDefaults fills the zero fields with the service defaults.
@@ -148,6 +154,9 @@ func (s JobSpec) validate() error {
 	}
 	if s.Priority < PriorityLow || s.Priority > PriorityHigh {
 		return specErrf("priority", "priority %d out of range [%d,%d]", s.Priority, PriorityLow, PriorityHigh)
+	}
+	if len(s.Tenant) > 128 {
+		return specErrf("tenant", "tenant name longer than 128 bytes")
 	}
 	switch s.Backend {
 	case BackendAuto, BackendEmulated, BackendMulticore, BackendAnalytic, BackendLane:
@@ -321,6 +330,7 @@ type Job struct {
 	backend  string  // resolved by auto-selection at submission
 	fp       uint64
 	priority Priority
+	tenant   string // normalized tenant name (DefaultTenant when unset)
 	seq      uint64 // FIFO tiebreak within a priority class
 
 	ctx    context.Context
@@ -454,6 +464,7 @@ func (j *Job) Result() (*Result, error) {
 type Status struct {
 	ID       string   `json:"id"`
 	Label    string   `json:"label,omitempty"`
+	Tenant   string   `json:"tenant,omitempty"`
 	State    State    `json:"state"`
 	Backend  string   `json:"backend"`
 	Priority Priority `json:"priority"`
@@ -480,6 +491,7 @@ func (j *Job) Status() Status {
 	st := Status{
 		ID:               j.id,
 		Label:            j.spec.Label,
+		Tenant:           j.spec.Tenant,
 		State:            j.state,
 		Backend:          j.backend,
 		Priority:         j.priority,

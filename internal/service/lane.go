@@ -96,7 +96,9 @@ func (s *Service) popLaneMateLocked(leader *Job) *Job {
 	if best < 0 {
 		return nil
 	}
-	return heap.Remove(&s.queue, best).(*Job)
+	m := heap.Remove(&s.queue, best).(*Job)
+	s.noteDequeuedLocked(m)
+	return m
 }
 
 // executeLane runs a gathered lane: canceled members finish immediately,
@@ -119,7 +121,7 @@ func (s *Service) executeLane(lane []*Job) {
 	for _, j := range lane {
 		if j.ctx.Err() != nil {
 			j.finish(StateCanceled, nil, context.Cause(j.ctx), false)
-			s.countFinish(StateCanceled)
+			s.countFinish(j, StateCanceled)
 			continue
 		}
 		if j.hasResume() {
@@ -190,7 +192,7 @@ func (s *Service) runLane(jobs []*Job) {
 	if err != nil {
 		for _, j := range jobs {
 			j.finish(StateFailed, nil, err, false)
-			s.countFinish(StateFailed)
+			s.countFinish(j, StateFailed)
 		}
 		return
 	}
@@ -238,10 +240,10 @@ func (s *Service) runLane(jobs []*Job) {
 		switch {
 		case j.ctx.Err() != nil:
 			j.finish(StateCanceled, nil, context.Cause(j.ctx), false)
-			s.countFinish(StateCanceled)
+			s.countFinish(j, StateCanceled)
 		case laneErr != nil:
 			j.finish(StateFailed, nil, laneErr, false)
-			s.countFinish(StateFailed)
+			s.countFinish(j, StateFailed)
 		default:
 			eig := eigs[i]
 			res := &Result{

@@ -1,7 +1,6 @@
 package service
 
 import (
-	"container/heap"
 	"context"
 	"encoding/json"
 	"errors"
@@ -130,20 +129,28 @@ func (s *Service) recover() {
 		if r.key != "" {
 			s.idem[r.key] = j.id
 		}
-		s.metrics.submitted++
+		// Restored terminal jobs count under the recovered_* counters, NOT
+		// completed/failed/canceled: the this-boot counters feed jobs_per_sec
+		// (completions divided by THIS process's uptime), and folding a
+		// previous life's work into them inflated the reported rate by
+		// orders of magnitude right after every restart. Their modeled
+		// makespan stays in the aggregate — that work really ran. Only jobs
+		// re-entering this boot's pipeline count as submitted here; the
+		// recovered terminals were counted by the boot that accepted them.
 		switch r.state {
 		case StateDone:
-			s.metrics.completed++
+			s.metrics.recoveredDone++
 			if j.result != nil {
 				s.metrics.totalMakespan += j.result.Makespan
 			}
 		case StateFailed:
-			s.metrics.failed++
+			s.metrics.recoveredFailed++
 		case StateCanceled:
-			s.metrics.canceled++
+			s.metrics.recoveredCanceled++
 		case "":
+			s.metrics.submitted++
 			j.publish(Event{Type: EventQueued, State: StateQueued})
-			heap.Push(&s.queue, j)
+			s.enqueueLocked(j)
 		}
 		s.mu.Unlock()
 		if r.state == StateDone && j.result != nil && s.cfg.CacheCap >= 0 && r.fp != 0 {
@@ -188,6 +195,7 @@ func (s *Service) rebuildJob(r *recoveredJob, now time.Time) *Job {
 		backend:   r.backend,
 		fp:        r.fp,
 		priority:  r.spec.Priority,
+		tenant:    tenantName(r.spec.Tenant),
 		seq:       r.seq,
 		ctx:       ctx,
 		cancel:    cancel,

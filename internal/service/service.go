@@ -18,11 +18,22 @@
 //     process-wide ordering.CachedSweep schedule cache: the schedule cache
 //     removes redundant schedule builds across different problems, the
 //     fingerprint cache removes redundant solves of identical problems;
-//   - per-service metrics (job counts, cache hits, p50/p99 wall time,
-//     aggregate modeled makespan).
+//   - multi-tenant admission control: a per-tenant queued-job quota and a
+//     per-tenant token-bucket submit rate limit (typed ErrQuotaExceeded /
+//     ErrRateLimited), plus priority-aware load shedding past a queue
+//     high-water mark (queued jobs strictly below the incoming priority
+//     are canceled with the typed ErrShed cause before ErrQueueFull ever
+//     fires);
+//   - per-service metrics (job counts, admission rejections, cache hits,
+//     per-outcome wall-time percentiles and histograms, aggregate modeled
+//     makespan) — this boot's transitions only; terminal jobs restored
+//     from a durable journal land in separate Recovered* counters so a
+//     restart never inflates throughput.
 //
-// jacobitool serve exposes the service over an HTTP JSON API; jacobitool
-// batch drives it from a manifest. See DESIGN.md, "Service layer".
+// jacobitool serve exposes the service over an HTTP JSON API (including a
+// Prometheus text-format GET /metrics); jacobitool batch drives it from a
+// manifest; jacobitool loadgen floods it with an open-loop arrival
+// process. See DESIGN.md, "Service layer" and "Traffic hardening".
 package service
 
 import (
@@ -32,6 +43,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
@@ -54,6 +66,18 @@ var (
 	ErrClosed = errors.New("service: closed")
 	// ErrQueueFull reports that QueueCap queued jobs already exist.
 	ErrQueueFull = errors.New("service: queue full")
+	// ErrQuotaExceeded reports a submission refused because the tenant
+	// already has TenantQueueQuota jobs queued.
+	ErrQuotaExceeded = errors.New("service: tenant queue quota exceeded")
+	// ErrRateLimited reports a submission refused by the tenant's
+	// token-bucket submit rate limit.
+	ErrRateLimited = errors.New("service: tenant rate limited")
+	// ErrShed is the cancellation cause of queued jobs removed by
+	// priority-aware load shedding: when the queue crosses ShedHighWater,
+	// the lowest-priority queued job is shed to admit higher-priority work
+	// before ErrQueueFull ever fires. It reaches terminal events, so a
+	// watcher can tell a shed from a user cancel.
+	ErrShed = errors.New("service: shed under load")
 	// ErrShutdown is the cancellation cause of jobs cut short by Close: it
 	// reaches terminal events (so a watcher can tell a drain from a user
 	// cancel), and jobs canceled with it are not recorded as terminal in
@@ -69,6 +93,28 @@ type Config struct {
 	// QueueCap bounds the number of queued (not yet running) jobs; Submit
 	// fails once it is reached. Default 1024.
 	QueueCap int
+	// TenantQueueQuota bounds the queued (not yet running) jobs any one
+	// tenant (JobSpec.Tenant; "" is the default tenant) may hold; Submit
+	// fails with ErrQuotaExceeded past it. 0 disables the per-tenant
+	// bound — only the global QueueCap applies.
+	TenantQueueQuota int
+	// TenantRate enables a per-tenant token-bucket submit rate limit:
+	// each tenant's bucket refills at TenantRate submissions per second up
+	// to TenantBurst tokens, and a submission with no token available
+	// fails with ErrRateLimited. 0 disables rate limiting. Idempotent
+	// reuse of an existing job consumes no token.
+	TenantRate float64
+	// TenantBurst is the token-bucket depth; 0 defaults to
+	// ceil(TenantRate), at least 1.
+	TenantBurst int
+	// ShedHighWater enables priority-aware load shedding: when at least
+	// this many jobs are queued at admission time, the submission sheds
+	// the lowest-priority (youngest within the class) queued job strictly
+	// below its own priority — canceled with the typed ErrShed cause — to
+	// make room before ErrQueueFull fires. An incoming job thus only ever
+	// displaces strictly lower-priority work, so equal-priority traffic
+	// cannot thrash the queue. 0 disables shedding.
+	ShedHighWater int
 	// MulticoreThreshold is the matrix size n at and above which backend
 	// auto-selection switches from the emulated machine to the multicore
 	// backend. Default (0) is 64: with the fused multicore kernels
@@ -142,6 +188,12 @@ func (c Config) withDefaults() Config {
 	if c.CacheCap == 0 {
 		c.CacheCap = 256
 	}
+	if c.TenantRate > 0 && c.TenantBurst <= 0 {
+		c.TenantBurst = int(math.Ceil(c.TenantRate))
+		if c.TenantBurst < 1 {
+			c.TenantBurst = 1
+		}
+	}
 	if c.LaneWidth >= 2 && c.LaneWindow == 0 {
 		c.LaneWindow = 2 * time.Millisecond
 	}
@@ -203,6 +255,11 @@ type Service struct {
 	seq        uint64
 	inflight   int
 	closed     bool
+	// tenantQueued gauges the queued jobs per tenant (the quota's
+	// denominator); buckets holds each tenant's submit-rate token bucket.
+	// Both are keyed by the normalized tenant name.
+	tenantQueued map[string]int
+	buckets      map[string]*tokenBucket
 
 	metrics metrics
 	wg      sync.WaitGroup
@@ -219,11 +276,13 @@ type Service struct {
 // worker starts.
 func New(cfg Config) *Service {
 	s := &Service{
-		cfg:       cfg.withDefaults(),
-		jobs:      make(map[string]*Job),
-		idem:      make(map[string]string),
-		cache:     make(map[uint64]*list.Element),
-		cacheList: list.New(),
+		cfg:          cfg.withDefaults(),
+		jobs:         make(map[string]*Job),
+		idem:         make(map[string]string),
+		cache:        make(map[uint64]*list.Element),
+		cacheList:    list.New(),
+		tenantQueued: make(map[string]int),
+		buckets:      make(map[string]*tokenBucket),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.metrics.start = time.Now()
@@ -273,6 +332,7 @@ func (s *Service) SubmitKeyed(ctx context.Context, key string, spec JobSpec) (*J
 		backend:   backend,
 		fp:        fp,
 		priority:  spec.Priority,
+		tenant:    tenantName(spec.Tenant),
 		ctx:       jctx,
 		cancel:    cancel,
 		svc:       s,
@@ -297,7 +357,29 @@ func (s *Service) SubmitKeyed(ctx context.Context, key string, spec JobSpec) (*J
 			return existing, true, nil
 		}
 	}
-	if len(s.queue) >= s.cfg.QueueCap {
+	// Tenant admission: the token bucket first (a flooding tenant is rate
+	// limited before anything else is looked at), then the queued-job
+	// quota. Both reject before the job is registered or journaled.
+	if err := s.admitTenantLocked(j.tenant); err != nil {
+		s.mu.Unlock()
+		cancel(nil)
+		return nil, false, err
+	}
+	var shed *Job
+	if s.cfg.Store == nil {
+		var ok bool
+		if shed, ok = s.admitQueueLocked(j.priority); !ok {
+			s.mu.Unlock()
+			s.finishShed(shed)
+			cancel(nil)
+			return nil, false, fmt.Errorf("%w (%d jobs)", ErrQueueFull, s.cfg.QueueCap)
+		}
+	} else if len(s.queue) >= s.cfg.QueueCap && s.shedVictimLocked(j.priority) < 0 {
+		// Durable pre-check: reject up front only when not even shedding
+		// could make room — the real shed (if any) happens at enqueue
+		// time, after the journal append, so a failed append never costs
+		// an innocent queued job.
+		s.metrics.queueFullRejected++
 		s.mu.Unlock()
 		cancel(nil)
 		return nil, false, fmt.Errorf("%w (%d jobs)", ErrQueueFull, s.cfg.QueueCap)
@@ -310,18 +392,22 @@ func (s *Service) SubmitKeyed(ctx context.Context, key string, spec JobSpec) (*J
 	// could publish started first and the stream would open out of order.
 	// publish only takes the job's event lock, never s.mu.
 	j.publish(Event{Type: EventQueued, State: StateQueued})
-	// In-memory services enqueue atomically with the admission checks,
-	// exactly as before durability existed.
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	if key != "" {
 		s.idem[key] = j.id
 	}
+	// Submitted counts at registration, so a durable job withdrawn by a
+	// failed journal append still balances the books (it also lands in
+	// Canceled) and the counters always cover every registered job.
+	s.metrics.submitted++
 	if s.cfg.Store == nil {
-		heap.Push(&s.queue, j)
-		s.metrics.submitted++
+		// In-memory services enqueue atomically with the admission checks,
+		// exactly as before durability existed.
+		s.enqueueLocked(j)
 		s.evictOldJobsLocked()
 		s.mu.Unlock()
+		s.finishShed(shed)
 		s.cond.Signal()
 		return j, false, nil
 	}
@@ -344,8 +430,7 @@ func (s *Service) SubmitKeyed(ctx context.Context, key string, spec JobSpec) (*J
 	}
 
 	s.mu.Lock()
-	switch {
-	case s.closed:
+	if s.closed {
 		// Close ran while the record was being journaled; the workers may
 		// already be gone, so the job must not land in the queue. The
 		// withdrawal finishes the job as canceled, which also journals the
@@ -355,21 +440,152 @@ func (s *Service) SubmitKeyed(ctx context.Context, key string, spec JobSpec) (*J
 		s.mu.Unlock()
 		s.withdraw(j, ErrClosed)
 		return nil, false, ErrClosed
-	case len(s.queue) >= s.cfg.QueueCap:
-		// Re-check: concurrent submitters journaled in parallel, and the
-		// cap admission must hold at enqueue time, not only at the earlier
-		// pre-journal check.
+	}
+	// Re-check the quota and the cap: concurrent submitters journaled in
+	// parallel, and both admissions must hold at enqueue time, not only at
+	// the earlier pre-journal check.
+	if s.cfg.TenantQueueQuota > 0 && s.tenantQueued[j.tenant] >= s.cfg.TenantQueueQuota {
+		s.metrics.quotaRejected++
 		s.mu.Unlock()
+		err := fmt.Errorf("%w (tenant %q, %d queued)", ErrQuotaExceeded, j.tenant, s.cfg.TenantQueueQuota)
+		s.withdraw(j, err)
+		return nil, false, err
+	}
+	var ok bool
+	if shed, ok = s.admitQueueLocked(j.priority); !ok {
+		s.mu.Unlock()
+		s.finishShed(shed)
 		err := fmt.Errorf("%w (%d jobs)", ErrQueueFull, s.cfg.QueueCap)
 		s.withdraw(j, err)
 		return nil, false, err
 	}
-	heap.Push(&s.queue, j)
-	s.metrics.submitted++
+	s.enqueueLocked(j)
 	s.mu.Unlock()
 
+	s.finishShed(shed)
 	s.cond.Signal()
 	return j, false, nil
+}
+
+// tokenBucket is one tenant's submit-rate limiter state.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// take refills the bucket for the elapsed time and consumes one token,
+// reporting whether one was available.
+func (b *tokenBucket) take(now time.Time, rate float64, burst int) bool {
+	b.tokens = math.Min(float64(burst), b.tokens+now.Sub(b.last).Seconds()*rate)
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// DefaultTenant is the tenant that jobs submitted with an empty
+// JobSpec.Tenant are accounted under.
+const DefaultTenant = "default"
+
+// tenantName normalizes a spec's tenant field to its accounting key.
+func tenantName(t string) string {
+	if t == "" {
+		return DefaultTenant
+	}
+	return t
+}
+
+// admitTenantLocked runs the per-tenant admission checks (token bucket,
+// then queued-job quota) for one submission. Caller holds s.mu.
+func (s *Service) admitTenantLocked(tenant string) error {
+	if s.cfg.TenantRate > 0 {
+		b := s.buckets[tenant]
+		if b == nil {
+			b = &tokenBucket{tokens: float64(s.cfg.TenantBurst), last: time.Now()}
+			s.buckets[tenant] = b
+		}
+		if !b.take(time.Now(), s.cfg.TenantRate, s.cfg.TenantBurst) {
+			s.metrics.rateLimited++
+			return fmt.Errorf("%w (tenant %q, %g/sec burst %d)", ErrRateLimited, tenant, s.cfg.TenantRate, s.cfg.TenantBurst)
+		}
+	}
+	if s.cfg.TenantQueueQuota > 0 && s.tenantQueued[tenant] >= s.cfg.TenantQueueQuota {
+		s.metrics.quotaRejected++
+		return fmt.Errorf("%w (tenant %q, %d queued)", ErrQuotaExceeded, tenant, s.cfg.TenantQueueQuota)
+	}
+	return nil
+}
+
+// admitQueueLocked checks the global queue bound for an incoming job of
+// priority prio, first shedding the lowest-priority queued job strictly
+// below prio when the high-water mark is crossed. The returned shed job
+// (nil when nothing was shed) must be finalized with finishShed AFTER s.mu
+// is released; ok reports whether the queue has room. Caller holds s.mu.
+func (s *Service) admitQueueLocked(prio Priority) (shed *Job, ok bool) {
+	if s.cfg.ShedHighWater > 0 && len(s.queue) >= s.cfg.ShedHighWater {
+		if v := s.shedVictimLocked(prio); v >= 0 {
+			shed = heap.Remove(&s.queue, v).(*Job)
+			s.noteDequeuedLocked(shed)
+			s.metrics.shed++
+		}
+	}
+	if len(s.queue) >= s.cfg.QueueCap {
+		s.metrics.queueFullRejected++
+		return shed, false
+	}
+	return shed, true
+}
+
+// shedVictimLocked returns the heap index of the queued job load shedding
+// would remove for an incoming job of priority prio — the lowest-priority
+// queued job strictly below prio, youngest first within the class (the
+// most recently submitted low-priority job has waited the least) — or -1
+// when every queued job has priority >= prio. Caller holds s.mu.
+func (s *Service) shedVictimLocked(prio Priority) int {
+	victim := -1
+	for i, q := range s.queue {
+		if q.priority >= prio {
+			continue
+		}
+		if victim < 0 || q.priority < s.queue[victim].priority ||
+			(q.priority == s.queue[victim].priority && q.seq > s.queue[victim].seq) {
+			victim = i
+		}
+	}
+	return victim
+}
+
+// finishShed finalizes a job removed from the queue by the load shedder:
+// canceled with the typed ErrShed cause, counted both as canceled and as
+// shed. Must be called without s.mu held (finishing publishes events and
+// journals the terminal record). A nil job is a no-op.
+func (s *Service) finishShed(j *Job) {
+	if j == nil {
+		return
+	}
+	j.cancel(ErrShed)
+	j.finish(StateCanceled, nil, ErrShed, false)
+	s.countFinish(j, StateCanceled)
+}
+
+// enqueueLocked pushes a job into the priority queue, maintaining the
+// per-tenant queued gauge. Caller holds s.mu.
+func (s *Service) enqueueLocked(j *Job) {
+	heap.Push(&s.queue, j)
+	s.tenantQueued[j.tenant]++
+}
+
+// noteDequeuedLocked maintains the per-tenant queued gauge after a job
+// left the queue by any path (worker pop, lane scoop, cancel, shed,
+// close). Caller holds s.mu.
+func (s *Service) noteDequeuedLocked(j *Job) {
+	if n := s.tenantQueued[j.tenant] - 1; n > 0 {
+		s.tenantQueued[j.tenant] = n
+	} else {
+		delete(s.tenantQueued, j.tenant)
+	}
 }
 
 // withdraw unregisters a job whose submission could not be completed: it
@@ -394,6 +610,10 @@ func (s *Service) withdraw(j *Job, cause error) {
 	s.mu.Unlock()
 	j.cancel(cause)
 	j.finish(StateCanceled, nil, cause, false)
+	// Withdrawn jobs were registered (Submitted counted them), so they
+	// must land in the canceled counter too — otherwise the snapshot
+	// counters drift from the job-table states.
+	s.countFinish(j, StateCanceled)
 }
 
 // persistSubmitted journals one accepted job (spec, key, resolved
@@ -474,11 +694,12 @@ func (s *Service) dropQueued(j *Job) {
 	removed := j.index >= 0 && j.index < len(s.queue) && s.queue[j.index] == j
 	if removed {
 		heap.Remove(&s.queue, j.index)
+		s.noteDequeuedLocked(j)
 	}
 	s.mu.Unlock()
 	if removed {
 		j.finish(StateCanceled, nil, context.Cause(j.ctx), false)
-		s.countFinish(StateCanceled)
+		s.countFinish(j, StateCanceled)
 	}
 }
 
@@ -596,6 +817,7 @@ func (s *Service) Close() {
 		j.index = -1 // the queue is gone; Cancel must not heap.Remove
 	}
 	s.queue = nil
+	s.tenantQueued = make(map[string]int)
 	// Cancel everything still tracked: terminal jobs already released
 	// their contexts (cancel is idempotent), running ones get interrupted.
 	inflight := make([]*Job, 0, len(s.jobs))
@@ -607,7 +829,7 @@ func (s *Service) Close() {
 	for _, j := range drained {
 		j.cancel(ErrShutdown)
 		j.finish(StateCanceled, nil, ErrShutdown, false)
-		s.countFinish(StateCanceled)
+		s.countFinish(j, StateCanceled)
 	}
 	for _, j := range inflight {
 		j.cancel(ErrShutdown)
@@ -634,6 +856,7 @@ func (s *Service) worker() {
 			return
 		}
 		j := heap.Pop(&s.queue).(*Job)
+		s.noteDequeuedLocked(j)
 		s.inflight++
 		s.mu.Unlock()
 
@@ -654,7 +877,7 @@ func (s *Service) worker() {
 func (s *Service) execute(j *Job) {
 	if j.ctx.Err() != nil {
 		j.finish(StateCanceled, nil, context.Cause(j.ctx), false)
-		s.countFinish(StateCanceled)
+		s.countFinish(j, StateCanceled)
 		return
 	}
 	if s.cfg.Store != nil {
@@ -684,10 +907,10 @@ func (s *Service) execute(j *Job) {
 	switch {
 	case err != nil && j.ctx.Err() != nil:
 		j.finish(StateCanceled, nil, context.Cause(j.ctx), false)
-		s.countFinish(StateCanceled)
+		s.countFinish(j, StateCanceled)
 	case err != nil:
 		j.finish(StateFailed, nil, err, false)
-		s.countFinish(StateFailed)
+		s.countFinish(j, StateFailed)
 	default:
 		s.cacheStore(j.fp, res)
 		j.finish(StateDone, res, nil, false)
