@@ -374,4 +374,55 @@ type Metrics struct {
 	// cache behind the service's solves.
 	ScheduleBuilds int64 `json:"schedule_builds"`
 	ScheduleHits   int64 `json:"schedule_hits"`
+
+	// Cluster carries this node's routing/steal/replication counters when
+	// the server runs in cluster mode; nil on a standalone serve.
+	Cluster *ClusterMetrics `json:"cluster,omitempty"`
+}
+
+// ClusterMetrics is one cluster node's view of its own sharding activity.
+// Counters are per-node and cumulative for the process's life; the type
+// lives in the client package (not internal/cluster) so /api/v2/metrics
+// keeps its single-definition property — response bodies ARE client types.
+type ClusterMetrics struct {
+	NodeID string   `json:"node_id"`
+	Peers  []string `json:"peers"`
+	// Alive gauges how many peers the health prober currently sees alive
+	// (self excluded).
+	Alive int `json:"alive"`
+
+	// Routing: submissions and job lookups served locally vs proxied to
+	// the owning peer; ProxyErrors counts proxy attempts that fell back to
+	// local handling on a transport error.
+	RoutedLocal   int64 `json:"routed_local"`
+	RoutedProxied int64 `json:"routed_proxied"`
+	ProxyErrors   int64 `json:"proxy_errors"`
+
+	// Stealing, both directions: jobs this node took from peers
+	// (JobsStolen, with StolenCompleted/StolenReturned their outcomes) and
+	// jobs this node lent out (JobsLent).
+	StealAttempts   int64 `json:"steal_attempts"`
+	JobsStolen      int64 `json:"jobs_stolen"`
+	StolenCompleted int64 `json:"stolen_completed"`
+	StolenReturned  int64 `json:"stolen_returned"`
+	JobsLent        int64 `json:"jobs_lent"`
+
+	// Replication: journal records shipped to replicas and checkpoint
+	// images forwarded; ShipErrors counts failed deliveries (the shipper
+	// keeps going — a dead replica never blocks submits).
+	RecordsShipped  int64 `json:"records_shipped"`
+	ShipErrors      int64 `json:"ship_errors"`
+	CkptsShipped    int64 `json:"ckpts_shipped"`
+	CkptShipErrors  int64 `json:"ckpt_ship_errors"`
+	RecordsReceived int64 `json:"records_received"`
+
+	// Failover: peer deaths this node observed, adoptions it performed,
+	// and jobs those adoptions restored (terminal + live).
+	PeerDeaths  int64 `json:"peer_deaths"`
+	Adoptions   int64 `json:"adoptions"`
+	AdoptedJobs int64 `json:"adopted_jobs"`
+
+	// MembershipMismatch counts health responses whose peer set disagreed
+	// with this node's static configuration.
+	MembershipMismatch int64 `json:"membership_mismatch"`
 }

@@ -192,10 +192,12 @@ func TestConformanceCancel(t *testing.T) {
 	eachClient(t, 1, func(t *testing.T, c client.Client) {
 		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 		defer cancel()
-		// A heavy emulated solve occupies the single worker; the victim
-		// stays queued until canceled.
+		// A non-converging emulated solve (unreachable tolerance) occupies
+		// the single worker until it is canceled — deterministically, with
+		// no race against its own completion; the victim stays queued.
 		blocker, err := c.Submit(ctx, client.Spec{
-			Random: &client.RandomSpec{N: 384, Seed: 31}, Dim: 2, Backend: "emulated",
+			Random: &client.RandomSpec{N: 64, Seed: 31}, Dim: 2, Backend: "emulated",
+			Tol: 1e-300, MaxSweeps: 100000,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -250,7 +252,8 @@ func TestConformanceResultBeforeFinish(t *testing.T) {
 	eachClient(t, 1, func(t *testing.T, c client.Client) {
 		ctx := context.Background()
 		blocker, err := c.Submit(ctx, client.Spec{
-			Random: &client.RandomSpec{N: 384, Seed: 41}, Dim: 2, Backend: "emulated",
+			Random: &client.RandomSpec{N: 64, Seed: 41}, Dim: 2, Backend: "emulated",
+			Tol: 1e-300, MaxSweeps: 100000,
 		})
 		if err != nil {
 			t.Fatal(err)

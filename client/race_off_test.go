@@ -1,0 +1,8 @@
+//go:build !race
+
+package client_test
+
+// killWindowN sizes the kill-window solve for plain builds: without the
+// race detector's ~10x slowdown the matrix must be larger to keep the
+// victim mid-solve through the pre-kill submits.
+const killWindowN = 288

@@ -1,0 +1,8 @@
+//go:build race
+
+package client_test
+
+// killWindowN sizes the kill-window solve for race-detector builds: the
+// detector slows the O(N³) sweeps ~10x, so a modest matrix already holds
+// the window open for seconds.
+const killWindowN = 160

@@ -201,22 +201,35 @@ func shapeSpec(rng *rand.Rand, i, smallN, bigN, dim int, pBig, pRepeat float64, 
 // subscriber dawdles on every event, exercising the drop-oldest policy;
 // the terminal event must arrive regardless. shed reports a cancellation
 // whose cause was the service's load shedder.
+//
+// A stream that ends (or refuses to open) without a terminal event is
+// retried until the per-job deadline: when a cluster node is killed
+// mid-run, its jobs reappear on the adopting survivor only after the
+// failure-detection window, and a watcher that gave up in that gap would
+// report a terminal event as lost when it was merely delayed. Each retry
+// replays the job's history, so the terminal event cannot be missed once
+// it exists.
 func watchTerminal(h client.JobHandle, slow bool, timeout time.Duration) (terminal client.EventType, shed bool) {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	events, err := h.Events(ctx)
-	if err != nil {
-		return "", false
-	}
-	for ev := range events {
-		if slow {
-			time.Sleep(2 * time.Millisecond)
+	for {
+		events, err := h.Events(ctx)
+		if err == nil {
+			for ev := range events {
+				if slow {
+					time.Sleep(2 * time.Millisecond)
+				}
+				if ev.Type.Terminal() {
+					return ev.Type, strings.Contains(ev.Error, "shed under load")
+				}
+			}
 		}
-		if ev.Type.Terminal() {
-			return ev.Type, strings.Contains(ev.Error, "shed under load")
+		select {
+		case <-ctx.Done():
+			return "", false
+		case <-time.After(500 * time.Millisecond):
 		}
 	}
-	return "", false
 }
 
 // quantile returns the q-quantile of an ascending sample set.

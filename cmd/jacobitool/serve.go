@@ -12,6 +12,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/httpapi"
 	"repro/internal/service"
 	"repro/internal/store"
@@ -43,8 +44,23 @@ func cmdServe(args []string) error {
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	dataDir := fs.String("data", "", "durable data directory (empty = in-memory only): journal + sweep checkpoints; a restart recovers and resumes jobs")
 	ckptEvery := fs.Int("checkpoint-every", 0, "sweep-checkpoint cadence with -data (0 = every sweep, negative = no checkpoints)")
+	nodeID := fs.String("node-id", "", "this node's cluster ID (required with -cluster; must appear in the -cluster list)")
+	clusterSpec := fs.String("cluster", "", "static cluster membership as id=url,id=url,... (self included); enables sharded routing, work stealing and, with -data, journal-shipping replication")
+	replicas := fs.Int("replicas", 0, "ring successors receiving this node's journal in cluster mode (0 = 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var peers []cluster.Peer
+	if *clusterSpec != "" {
+		if *nodeID == "" {
+			return errors.New("jacobitool serve: -cluster requires -node-id")
+		}
+		var err error
+		if peers, err = cluster.ParsePeers(*clusterSpec); err != nil {
+			return err
+		}
+	} else if *nodeID != "" {
+		return errors.New("jacobitool serve: -node-id requires -cluster")
 	}
 	var st *store.Store
 	if *dataDir != "" {
@@ -70,15 +86,35 @@ func cmdServe(args []string) error {
 		ShedHighWater:      *shedHW,
 		Store:              st,
 		CheckpointEvery:    *ckptEvery,
+		NodeID:             *nodeID,
 	})
 	defer svc.Close()
+
+	handler := http.Handler(httpapi.NewHandler(svc))
+	if len(peers) > 0 {
+		node, err := cluster.New(cluster.Config{
+			Self:     *nodeID,
+			Peers:    peers,
+			Service:  svc,
+			Store:    st,
+			Replicas: *replicas,
+		})
+		if err != nil {
+			return err
+		}
+		// Close the node before the service: in-flight shipments and
+		// stolen solves settle while the service still accepts them.
+		defer node.Close()
+		handler = node.Handler(handler)
+		fmt.Printf("jacobitool serve: cluster node %s among %d peers\n", *nodeID, len(peers))
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	srv := &http.Server{
-		Handler:           httpapi.NewHandler(svc),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/client"
@@ -12,12 +13,26 @@ import (
 // newClient builds the one Client the CLI's consumer commands run on: the
 // in-process pool when remote is empty, the HTTP v2 client against a
 // `jacobitool serve` instance otherwise. Everything downstream of this
-// call is transport-agnostic — the point of the client package.
+// call is transport-agnostic — the point of the client package. A
+// comma-separated remote lists the endpoints of a serve cluster: the
+// client fails over between them and keys every submission so retries
+// cannot double-execute.
 func newClient(remote string, cfg client.LocalConfig) (client.Client, error) {
 	if remote == "" {
 		return client.NewLocal(cfg)
 	}
-	return client.NewHTTP(remote)
+	return client.NewHTTPMulti(splitRemotes(remote))
+}
+
+// splitRemotes turns "-remote url1,url2" into the endpoint list.
+func splitRemotes(remote string) []string {
+	var urls []string
+	for _, u := range strings.Split(remote, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
 }
 
 // cmdSubmit submits one eigensolve through the client API — to a remote
@@ -115,7 +130,7 @@ func cmdSubmit(args []string) error {
 // until its terminal event, failing when the stream ends without one.
 func cmdWatch(args []string) error {
 	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
-	remote := fs.String("remote", "", "server base URL (required)")
+	remote := fs.String("remote", "", "server base URL, or a comma-separated cluster endpoint list (required)")
 	timeout := fs.Duration("timeout", 10*time.Minute, "give up after this long")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -123,7 +138,7 @@ func cmdWatch(args []string) error {
 	if *remote == "" || fs.NArg() != 1 {
 		return fmt.Errorf("usage: jacobitool watch -remote URL <job-id>")
 	}
-	c, err := client.NewHTTP(*remote)
+	c, err := client.NewHTTPMulti(splitRemotes(*remote))
 	if err != nil {
 		return err
 	}

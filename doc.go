@@ -38,6 +38,15 @@
 //     checkpoints, so a restarted server recovers finished results,
 //     re-enqueues queued jobs and resumes in-flight solves bit-identically
 //     (DESIGN.md §10)
+//   - internal/cluster: the sharded multi-node layer behind `serve
+//     -node-id/-cluster` — static membership, consistent-hash routing
+//     on idempotency key, work stealing between peers, and
+//     journal-shipping replication so a SIGKILL'd node loses no
+//     terminal events: a ring successor adopts the dead node's shipped
+//     journal, resumes its in-flight jobs from replicated checkpoints
+//     and dedups resubmits against what it had already accepted
+//     (DESIGN.md §13); client.NewHTTPMulti gives the client side
+//     multi-endpoint failover
 //   - cmd/jacobitool: command-line access to everything, including
 //     `jacobitool serve` (the service over HTTP), `submit`/`watch`
 //     (one-shot client runs, local or -remote, with live event

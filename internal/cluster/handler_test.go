@@ -1,0 +1,49 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParsePeers(t *testing.T) {
+	good := []struct {
+		in   string
+		want []Peer
+	}{
+		{"a=http://h1:1", []Peer{{"a", "http://h1:1"}}},
+		{"a=http://h1:1,b=http://h2:2", []Peer{{"a", "http://h1:1"}, {"b", "http://h2:2"}}},
+		// Whitespace trims, trailing slashes drop, empty entries skip.
+		{" a = http://h1:1/ ,, b=http://h2:2 ", []Peer{{"a", "http://h1:1"}, {"b", "http://h2:2"}}},
+		{"", nil},
+	}
+	for _, tc := range good {
+		got, err := ParsePeers(tc.in)
+		if err != nil {
+			t.Fatalf("ParsePeers(%q): %v", tc.in, err)
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("ParsePeers(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	for _, in := range []string{"a", "=http://h1:1", "a=", "a=http://h1:1,b", " = "} {
+		if _, err := ParsePeers(in); err == nil {
+			t.Fatalf("ParsePeers(%q) accepted malformed input", in)
+		}
+	}
+}
+
+func TestOwnerOfID(t *testing.T) {
+	cases := []struct{ id, want string }{
+		{"job-b-7", "b"},
+		{"job-node-3-12", "node-3"}, // owner IDs may themselves contain dashes
+		{"job-7", ""},               // standalone (unqualified) job ID
+		{"job--7", ""},              // empty owner is no owner
+		{"task-b-7", ""},            // wrong prefix
+		{"", ""},
+	}
+	for _, tc := range cases {
+		if got := ownerOfID(tc.id); got != tc.want {
+			t.Fatalf("ownerOfID(%q) = %q, want %q", tc.id, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package cluster shards the batch-solve service across N serve processes
+// with static membership: jobs route to an owner by consistent hash on the
+// idempotency key, idle nodes steal queued work from loaded peers, and
+// each node ships its journal appends to ring-successor replicas so a
+// killed node's jobs survive — a surviving peer replays the shipped tail
+// and resumes in-flight jobs from their last replicated checkpoint
+// (service.Adopt). The paper's multi-port orderings distribute one solve
+// across hypercube nodes; this package distributes the *service* the same
+// way, with the hash ring playing the role of a static ordering and work
+// stealing absorbing imbalance. See DESIGN.md §13 "Cluster".
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the per-node virtual point count of the hash ring.
+// More vnodes smooth the key distribution across few physical nodes;
+// 64 keeps the max/min node share under ~1.4x for 3-node clusters.
+const DefaultVNodes = 64
+
+// ringPoint is one virtual node position.
+type ringPoint struct {
+	h  uint64
+	id string
+}
+
+// Ring is an immutable consistent-hash ring over a set of node IDs. Build
+// with NewRing; derive reduced memberships with Without. Immutability is
+// what makes routing decisions safe to take without locks — a membership
+// change builds a new Ring.
+type Ring struct {
+	points []ringPoint
+	ids    []string // sorted, distinct
+	vnodes int
+}
+
+// NewRing builds a ring with vnodes virtual points per node (<= 0 selects
+// DefaultVNodes). Duplicate IDs collapse; order of ids does not matter —
+// the ring depends only on the member *set*, which is what makes key
+// assignment stable under membership-list reordering.
+func NewRing(ids []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(ids))
+	r := &Ring{vnodes: vnodes}
+	for _, id := range ids {
+		if id == "" || seen[id] {
+			continue
+		}
+		seen[id] = true
+		r.ids = append(r.ids, id)
+	}
+	sort.Strings(r.ids)
+	r.points = make([]ringPoint, 0, len(r.ids)*vnodes)
+	for _, id := range r.ids {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{h: ringHash(id + "#" + strconv.Itoa(i)), id: id})
+		}
+	}
+	sort.Slice(r.points, func(i, k int) bool {
+		if r.points[i].h != r.points[k].h {
+			return r.points[i].h < r.points[k].h
+		}
+		// Hash ties (astronomically rare, but the ring must stay a
+		// deterministic function of the member set) break by ID.
+		return r.points[i].id < r.points[k].id
+	})
+	return r
+}
+
+// ringHash is the ring's point/key hash: FNV-1a 64 followed by a
+// murmur3-style avalanche finalizer. Raw FNV-1a keeps short, similar
+// strings ("a#0", "key-1" — exactly what node IDs and idempotency keys
+// look like) in tight clusters, which collapses the ring into a few arcs
+// and routes nearly every key to one node; the finalizer spreads each
+// output over the full 64-bit space.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	v := h.Sum64()
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	v ^= v >> 33
+	return v
+}
+
+// Nodes returns the member IDs, sorted.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.ids...) }
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.ids) }
+
+// Owner returns the node owning key: the first ring point at or after the
+// key's hash, wrapping. "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].id
+}
+
+// Successors returns up to n distinct nodes other than id, in ring order
+// starting after id's first virtual point — the replica set journal
+// shipping targets. Deterministic for a given member set.
+func (r *Ring) Successors(id string, n int) []string {
+	if n <= 0 || len(r.points) == 0 {
+		return nil
+	}
+	start := -1
+	for i, p := range r.points {
+		if p.id == id {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return nil
+	}
+	var out []string
+	seen := map[string]bool{id: true}
+	for i := 1; i <= len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.id] {
+			seen[p.id] = true
+			out = append(out, p.id)
+		}
+	}
+	return out
+}
+
+// Without returns the ring over the member set minus id — the membership
+// after a node death. Keys owned by surviving nodes keep their owner
+// (only the dead node's arcs move), which is the consistent-hash property
+// the routing test pins.
+func (r *Ring) Without(id string) *Ring {
+	ids := make([]string, 0, len(r.ids))
+	for _, v := range r.ids {
+		if v != id {
+			ids = append(ids, v)
+		}
+	}
+	return NewRing(ids, r.vnodes)
+}

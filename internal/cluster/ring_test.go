@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// ringKeys generates a deterministic corpus of idempotency-key-shaped
+// strings: short, similar, human-ish — the worst case for a weak ring
+// hash, and exactly what production keys look like.
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		switch i % 3 {
+		case 0:
+			keys[i] = fmt.Sprintf("key-%d", i)
+		case 1:
+			keys[i] = fmt.Sprintf("batch-7/job_%04d", i)
+		default:
+			keys[i] = fmt.Sprintf("tenant-a:sweep:%d", i)
+		}
+	}
+	return keys
+}
+
+// TestRingOwnerStableUnderReordering: the ring is a function of the member
+// *set* — any permutation (and duplication) of the peer list must assign
+// every key to the same owner. This is what lets each node parse its
+// -cluster flag independently and still agree on routing.
+func TestRingOwnerStableUnderReordering(t *testing.T) {
+	ids := []string{"node-1", "node-2", "node-3", "node-4", "node-5"}
+	base := NewRing(ids, 0)
+	rng := rand.New(rand.NewSource(11))
+	keys := ringKeys(2000)
+	for trial := 0; trial < 10; trial++ {
+		perm := append([]string(nil), ids...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		if trial%2 == 1 {
+			perm = append(perm, perm[rng.Intn(len(perm))]) // dup must collapse
+		}
+		r := NewRing(perm, 0)
+		for _, k := range keys {
+			if got, want := r.Owner(k), base.Owner(k); got != want {
+				t.Fatalf("trial %d: key %q owned by %s, want %s (order %v)", trial, k, got, want, perm)
+			}
+		}
+	}
+}
+
+// TestRingRemovalMovesOnlyDeadArcs is the consistent-hash property the
+// cluster's failover relies on: dropping one member reassigns ONLY the
+// keys that member owned — every key owned by a survivor keeps its owner,
+// so a node death never reshuffles traffic between healthy nodes.
+func TestRingRemovalMovesOnlyDeadArcs(t *testing.T) {
+	ids := []string{"a", "b", "c", "d", "e"}
+	r := NewRing(ids, 0)
+	keys := ringKeys(4000)
+	for _, dead := range ids {
+		reduced := r.Without(dead)
+		if reduced.Len() != len(ids)-1 {
+			t.Fatalf("Without(%s): %d members, want %d", dead, reduced.Len(), len(ids)-1)
+		}
+		moved := 0
+		for _, k := range keys {
+			before, after := r.Owner(k), reduced.Owner(k)
+			if before == dead {
+				moved++
+				if after == dead {
+					t.Fatalf("key %q still owned by removed node %s", k, dead)
+				}
+				continue
+			}
+			if after != before {
+				t.Fatalf("removing %s moved key %q from survivor %s to %s", dead, k, before, after)
+			}
+		}
+		// The dead node's share must be roughly 1/N of the keyspace (vnodes
+		// smooth it); a grossly larger share means the hash is clumping.
+		if frac := float64(moved) / float64(len(keys)); frac > 1.8/float64(len(ids)) {
+			t.Fatalf("removing %s moved %.1f%% of keys, want about %.1f%%",
+				dead, 100*frac, 100.0/float64(len(ids)))
+		}
+	}
+}
+
+// TestRingDistributionBalanced guards the ringHash finalizer: raw FNV-1a
+// over short similar IDs collapses the ring so one node owns nearly every
+// key (a bug this suite caught). With DefaultVNodes the max/min node share
+// must stay within a small factor.
+func TestRingDistributionBalanced(t *testing.T) {
+	ids := []string{"a", "b", "c"}
+	r := NewRing(ids, 0)
+	counts := map[string]int{}
+	for _, k := range ringKeys(3000) {
+		counts[r.Owner(k)]++
+	}
+	min, max := 1<<62, 0
+	for _, id := range ids {
+		if counts[id] < min {
+			min = counts[id]
+		}
+		if counts[id] > max {
+			max = counts[id]
+		}
+	}
+	if min == 0 || float64(max)/float64(min) > 2.0 {
+		t.Fatalf("unbalanced ownership %v (max/min > 2)", counts)
+	}
+}
+
+// TestRingSuccessors pins the replica-set derivation: successors are
+// distinct, exclude the subject, come in deterministic ring order, and cap
+// at the member count minus one.
+func TestRingSuccessors(t *testing.T) {
+	ids := []string{"a", "b", "c", "d"}
+	r := NewRing(ids, 0)
+	for _, id := range ids {
+		succ := r.Successors(id, 2)
+		if len(succ) != 2 {
+			t.Fatalf("Successors(%s, 2) = %v, want 2 nodes", id, succ)
+		}
+		seen := map[string]bool{id: true}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("Successors(%s, 2) = %v: repeated or self node", id, succ)
+			}
+			seen[s] = true
+		}
+		// Deterministic: same member set, same answer.
+		again := NewRing([]string{"d", "c", "b", "a"}, 0).Successors(id, 2)
+		if len(again) != 2 || again[0] != succ[0] || again[1] != succ[1] {
+			t.Fatalf("Successors(%s, 2) not stable: %v then %v", id, succ, again)
+		}
+	}
+	if got := r.Successors("a", 10); len(got) != 3 {
+		t.Fatalf("Successors capped at members-1: got %v", got)
+	}
+	if got := r.Successors("ghost", 2); got != nil {
+		t.Fatalf("Successors of unknown node = %v, want nil", got)
+	}
+	if got := NewRing(nil, 0).Owner("k"); got != "" {
+		t.Fatalf("empty ring owner = %q, want empty", got)
+	}
+}

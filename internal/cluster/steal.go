@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/service"
+)
+
+// Work stealing: an idle node (empty queue, spare workers) asks peers for
+// queued jobs. The victim stays the job of record — LendQueued hands out
+// specs under a lease, the thief runs each through service.RunSpec on its
+// own workers, and POSTs the outcome back; CompleteLent settles the loan
+// exactly once (a thief that dies just lets the lease expire and the job
+// re-queues on the victim). Stolen jobs keep their full lifecycle event
+// stream on the victim but lose per-sweep progress events and do not
+// checkpoint while away — a steal trades those for latency, never for
+// correctness.
+
+// stealRequest is the thief→victim ask.
+type stealRequest struct {
+	Max     int   `json:"max"`
+	LeaseMs int64 `json:"lease_ms"`
+}
+
+// stealResponse carries the lent jobs.
+type stealResponse struct {
+	Jobs []service.LentJob `json:"jobs"`
+}
+
+// lentOutcome is the thief→victim settlement for one lent job.
+type lentOutcome struct {
+	Result   *service.Result `json:"result,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Returned bool            `json:"returned,omitempty"`
+}
+
+// stealLoop wakes every StealInterval and, when this node is starving
+// (nothing queued, at least one idle worker), asks alive peers for work,
+// round-robin, stopping at the first peer that lends.
+func (n *Node) stealLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.StealInterval)
+	defer t.Stop()
+	next := 0
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+		}
+		queued, inflight := n.cfg.Service.Load()
+		spare := n.cfg.Service.Workers() - inflight
+		if queued > 0 || spare <= 0 {
+			continue
+		}
+		peers := n.alivePeers()
+		if len(peers) == 0 {
+			continue
+		}
+		max := spare
+		if max > n.cfg.StealMax {
+			max = n.cfg.StealMax
+		}
+		for i := 0; i < len(peers); i++ {
+			p := peers[(next+i)%len(peers)]
+			jobs := n.stealFrom(p, max)
+			if len(jobs) > 0 {
+				next = (next + i + 1) % len(peers)
+				for _, lj := range jobs {
+					n.wg.Add(1)
+					go n.runStolen(p, lj)
+				}
+				break
+			}
+		}
+	}
+}
+
+// stealFrom asks one victim for up to max queued jobs.
+func (n *Node) stealFrom(p Peer, max int) []service.LentJob {
+	n.ctr.stealAttempts.Add(1)
+	body, _ := json.Marshal(stealRequest{Max: max, LeaseMs: n.cfg.LeaseFor.Milliseconds()})
+	ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.URL+"/internal/cluster/steal", bytes.NewReader(body))
+	if err != nil {
+		return nil
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var out stealResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil
+	}
+	n.ctr.jobsStolen.Add(int64(len(out.Jobs)))
+	return out.Jobs
+}
+
+// runStolen executes one stolen job and settles it with the victim. A
+// failed settlement needs no repair here: the victim's lease expiry
+// re-queues the job.
+func (n *Node) runStolen(victim Peer, lj service.LentJob) {
+	defer n.wg.Done()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// A node shutdown interrupts stolen solves at the next sweep
+		// boundary; the victim's lease recovers the job.
+		select {
+		case <-n.stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	defer cancel()
+	res, err := service.RunSpec(ctx, lj.Spec, lj.Backend, service.RunHooks{})
+	var oc lentOutcome
+	switch {
+	case ctx.Err() != nil:
+		oc.Returned = true
+	case err != nil:
+		oc.Error = err.Error()
+	default:
+		oc.Result = res
+	}
+	if n.settleLent(victim, lj.ID, oc) {
+		if oc.Returned {
+			n.ctr.stolenReturned.Add(1)
+		} else {
+			n.ctr.stolenCompleted.Add(1)
+		}
+	}
+}
+
+// settleLent posts one outcome back to the victim.
+func (n *Node) settleLent(victim Peer, id string, oc lentOutcome) bool {
+	body, err := json.Marshal(oc)
+	if err != nil {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, victim.URL+"/internal/cluster/lent/"+id, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	var ack struct {
+		Accepted bool `json:"accepted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		return false
+	}
+	return ack.Accepted
+}
+
+// handleSteal is the victim side: lend queued jobs to the asking thief.
+func (n *Node) handleSteal(w http.ResponseWriter, r *http.Request) {
+	var req stealRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		http.Error(w, "decode steal request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Max <= 0 || req.Max > 64 {
+		http.Error(w, fmt.Sprintf("bad max %d", req.Max), http.StatusBadRequest)
+		return
+	}
+	lease := time.Duration(req.LeaseMs) * time.Millisecond
+	jobs := n.cfg.Service.LendQueued(req.Max, lease)
+	n.ctr.jobsLent.Add(int64(len(jobs)))
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(stealResponse{Jobs: jobs})
+}
+
+// handleLent is the victim side of settlement.
+func (n *Node) handleLent(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var oc lentOutcome
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&oc); err != nil {
+		http.Error(w, "decode outcome: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var accepted bool
+	if oc.Returned {
+		accepted = n.cfg.Service.ReturnLent(id)
+	} else {
+		accepted = n.cfg.Service.CompleteLent(id, oc.Result, oc.Error)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]bool{"accepted": accepted})
+}

@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/store"
+)
+
+// Cluster wire formats. Two binary messages cross node boundaries:
+//
+//   - Membership ("JMBR"): a node's view of the static member list, served
+//     from the health endpoint so peers can detect configuration skew;
+//   - Shipment ("JSHP"): a batch of journal records replicated from a
+//     source node, each record payload reusing the store's exact record
+//     encoding and carried under its own CRC.
+//
+// Both decoders are total: truncated, oversized, bit-flipped or
+// version-skewed input returns an error, never panics or over-allocates —
+// pinned by fuzz targets (wire_fuzz_test.go) wired into the CI fuzz smoke.
+
+const (
+	membershipMagic = "JMBR"
+	shipmentMagic   = "JSHP"
+	wireVersion     = 1
+
+	// maxPeers bounds a membership message; maxShipRecords and
+	// maxShipPayload bound one shipment (a shipment batches a bounded
+	// shipper buffer, never a whole journal). Decode-side caps keep a
+	// hostile length prefix from allocating gigabytes.
+	maxPeers       = 1 << 10
+	maxWireString  = 1 << 12
+	maxShipRecords = 1 << 16
+	maxShipPayload = 1 << 30
+)
+
+var wireCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Peer is one static cluster member: its node ID and HTTP base URL.
+type Peer struct {
+	ID  string
+	URL string
+}
+
+// Membership is a node's view of the cluster: the full static member list
+// plus a generation counter (bumped per process boot, so a peer can tell a
+// restarted node from a stale response).
+type Membership struct {
+	Gen    uint64
+	Sender string
+	Peers  []Peer
+}
+
+// Shipment carries one batch of journal records replicated from Source.
+// Base is the index of the first record within the source's total append
+// stream, letting the receiver discard already-held records after a
+// re-ship and count true gaps.
+type Shipment struct {
+	Source  string
+	Base    uint64
+	Records []store.Record
+}
+
+// EncodeMembership serializes a membership message.
+func EncodeMembership(m Membership) []byte {
+	buf := make([]byte, 0, 64+32*len(m.Peers))
+	buf = append(buf, membershipMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, wireVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, m.Gen)
+	buf = appendWireString(buf, m.Sender)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Peers)))
+	for _, p := range m.Peers {
+		buf = appendWireString(buf, p.ID)
+		buf = appendWireString(buf, p.URL)
+	}
+	return buf
+}
+
+// DecodeMembership parses a membership message. Total.
+func DecodeMembership(data []byte) (Membership, error) {
+	r := wireReader{buf: data}
+	var m Membership
+	if !r.magic(membershipMagic) {
+		return m, fmt.Errorf("cluster: not a membership message")
+	}
+	if v := r.u32(); r.err == nil && v != wireVersion {
+		return m, fmt.Errorf("cluster: membership version %d, this build speaks %d", v, wireVersion)
+	}
+	m.Gen = r.u64()
+	m.Sender = r.str()
+	n := r.u32()
+	if r.err != nil {
+		return Membership{}, fmt.Errorf("cluster: truncated membership: %w", r.err)
+	}
+	if n > maxPeers {
+		return Membership{}, fmt.Errorf("cluster: membership claims %d peers (max %d)", n, maxPeers)
+	}
+	m.Peers = make([]Peer, 0, n)
+	for i := uint32(0); i < n; i++ {
+		p := Peer{ID: r.str(), URL: r.str()}
+		if r.err != nil {
+			return Membership{}, fmt.Errorf("cluster: truncated membership peer %d: %w", i, r.err)
+		}
+		m.Peers = append(m.Peers, p)
+	}
+	if !r.done() {
+		return Membership{}, fmt.Errorf("cluster: %d trailing bytes after membership", r.rest())
+	}
+	return m, nil
+}
+
+// EncodeShipment serializes a shipment. Record payloads reuse the store's
+// journal record encoding, each under its own CRC — a receiver detects a
+// corrupted record, not just a corrupted batch.
+func EncodeShipment(s Shipment) []byte {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, shipmentMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, wireVersion)
+	buf = appendWireString(buf, s.Source)
+	buf = binary.LittleEndian.AppendUint64(buf, s.Base)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Records)))
+	for _, rec := range s.Records {
+		payload := store.EncodeRecordPayload(rec)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+		buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, wireCastagnoli))
+		buf = append(buf, payload...)
+	}
+	return buf
+}
+
+// DecodeShipment parses a shipment, validating every record's CRC and
+// structure. Total.
+func DecodeShipment(data []byte) (Shipment, error) {
+	r := wireReader{buf: data}
+	var s Shipment
+	if !r.magic(shipmentMagic) {
+		return s, fmt.Errorf("cluster: not a shipment")
+	}
+	if v := r.u32(); r.err == nil && v != wireVersion {
+		return s, fmt.Errorf("cluster: shipment version %d, this build speaks %d", v, wireVersion)
+	}
+	s.Source = r.str()
+	s.Base = r.u64()
+	n := r.u32()
+	if r.err != nil {
+		return Shipment{}, fmt.Errorf("cluster: truncated shipment: %w", r.err)
+	}
+	if n > maxShipRecords {
+		return Shipment{}, fmt.Errorf("cluster: shipment claims %d records (max %d)", n, maxShipRecords)
+	}
+	s.Records = make([]store.Record, 0, n)
+	for i := uint32(0); i < n; i++ {
+		size := r.u32()
+		sum := r.u32()
+		if r.err == nil && size > maxShipPayload {
+			return Shipment{}, fmt.Errorf("cluster: shipment record %d claims %d bytes (max %d)", i, size, maxShipPayload)
+		}
+		payload := r.bytes(int(size))
+		if r.err != nil {
+			return Shipment{}, fmt.Errorf("cluster: truncated shipment record %d: %w", i, r.err)
+		}
+		if crc32.Checksum(payload, wireCastagnoli) != sum {
+			return Shipment{}, fmt.Errorf("cluster: shipment record %d fails its CRC", i)
+		}
+		rec, err := store.DecodeRecordPayload(payload)
+		if err != nil {
+			return Shipment{}, fmt.Errorf("cluster: shipment record %d: %w", i, err)
+		}
+		s.Records = append(s.Records, rec)
+	}
+	if !r.done() {
+		return Shipment{}, fmt.Errorf("cluster: %d trailing bytes after shipment", r.rest())
+	}
+	return s, nil
+}
+
+// appendWireString appends a u32-length-prefixed string. Encode-side
+// truncation to maxWireString keeps self-produced messages decodable.
+func appendWireString(buf []byte, s string) []byte {
+	if len(s) > maxWireString {
+		s = s[:maxWireString]
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+// wireReader is a bounds-checked cursor: every accessor no-ops after the
+// first failure, so decode paths check err once per structure.
+type wireReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *wireReader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("input exhausted at byte %d", r.off)
+	}
+}
+
+func (r *wireReader) magic(want string) bool {
+	if r.err != nil || len(r.buf)-r.off < len(want) {
+		r.fail()
+		return false
+	}
+	got := string(r.buf[r.off : r.off+len(want)])
+	r.off += len(want)
+	return got == want
+}
+
+func (r *wireReader) u32() uint32 {
+	if r.err != nil || len(r.buf)-r.off < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *wireReader) u64() uint64 {
+	if r.err != nil || len(r.buf)-r.off < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *wireReader) bytes(n int) []byte {
+	if r.err != nil || n < 0 || len(r.buf)-r.off < n {
+		r.fail()
+		return nil
+	}
+	v := r.buf[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+func (r *wireReader) str() string {
+	n := r.u32()
+	if r.err == nil && n > maxWireString {
+		r.err = fmt.Errorf("string of %d bytes at byte %d exceeds the %d bound", n, r.off-4, maxWireString)
+		return ""
+	}
+	return string(r.bytes(int(n)))
+}
+
+func (r *wireReader) done() bool { return r.err == nil && r.off == len(r.buf) }
+func (r *wireReader) rest() int  { return len(r.buf) - r.off }

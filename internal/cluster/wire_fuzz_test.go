@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// Fuzz targets for the cluster wire decoders: both must be total —
+// arbitrary bytes never panic, never over-allocate, and anything they
+// accept must re-encode to a decodable equivalent. These run in the CI
+// fuzz smoke alongside the store and API corpus targets.
+
+func membershipSeeds() [][]byte {
+	return [][]byte{
+		EncodeMembership(Membership{}),
+		EncodeMembership(Membership{Gen: 7, Sender: "a", Peers: []Peer{
+			{ID: "a", URL: "http://127.0.0.1:8080"},
+			{ID: "b", URL: "http://127.0.0.1:8081"},
+		}}),
+		[]byte("JMBR"),
+		[]byte("JSHP"),
+	}
+}
+
+func shipmentSeeds() [][]byte {
+	return [][]byte{
+		EncodeShipment(Shipment{Source: "b"}),
+		EncodeShipment(Shipment{Source: "b", Base: 3, Records: []store.Record{
+			{Kind: store.KindSubmitted, ID: "job-b-1", Key: "k1", Backend: "emulated"},
+			{Kind: store.KindFinished, ID: "job-b-1", State: "done"},
+		}}),
+		[]byte("JMBR\x01\x00\x00\x00"),
+		[]byte("JSHP\x01\x00\x00\x00"),
+	}
+}
+
+func FuzzMembershipDecode(f *testing.F) {
+	for _, seed := range membershipSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMembership(data)
+		if err != nil {
+			return
+		}
+		// Round-trip stability: what decodes must re-encode to bytes that
+		// decode to the same message (canonical form, not necessarily the
+		// input bytes).
+		again, err := DecodeMembership(EncodeMembership(m))
+		if err != nil {
+			t.Fatalf("re-encoded membership does not decode: %v", err)
+		}
+		if again.Gen != m.Gen || again.Sender != m.Sender || len(again.Peers) != len(m.Peers) {
+			t.Fatalf("membership round trip changed: %+v -> %+v", m, again)
+		}
+		for i := range m.Peers {
+			if again.Peers[i] != m.Peers[i] {
+				t.Fatalf("membership peer %d changed: %+v -> %+v", i, m.Peers[i], again.Peers[i])
+			}
+		}
+	})
+}
+
+func FuzzShipmentDecode(f *testing.F) {
+	for _, seed := range shipmentSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeShipment(data)
+		if err != nil {
+			return
+		}
+		redone := EncodeShipment(s)
+		again, err := DecodeShipment(redone)
+		if err != nil {
+			t.Fatalf("re-encoded shipment does not decode: %v", err)
+		}
+		if again.Source != s.Source || again.Base != s.Base || len(again.Records) != len(s.Records) {
+			t.Fatalf("shipment round trip changed: %+v -> %+v", s, again)
+		}
+		for i := range s.Records {
+			a, b := s.Records[i], again.Records[i]
+			if a.Kind != b.Kind || a.ID != b.ID || a.Key != b.Key || a.State != b.State ||
+				a.Err != b.Err || a.Restarts != b.Restarts || a.Fp != b.Fp ||
+				!bytes.Equal(a.Spec, b.Spec) || !bytes.Equal(a.Result, b.Result) {
+				t.Fatalf("shipment record %d changed across round trip", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package service
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/matrix"
+)
+
+// TestConformanceStealRace races the work-stealing surface against the
+// service's own machinery: concurrent LendQueued callers (thieves),
+// settlement in every flavor (complete, fail, return, lease expiry),
+// cancellations, and the worker pool dequeuing locally — under -race in
+// CI. The invariants: every job reaches exactly one terminal state, and
+// the metrics account balances (submitted == completed + failed +
+// canceled with nothing queued or in flight) — lent jobs count as
+// in-flight until settled, so the balance catching a double settlement
+// or a lost loan is the point of the test.
+func TestConformanceStealRace(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	defer svc.Close()
+
+	const jobs = 48
+	m := matrix.RandomSymmetric(8, rand.New(rand.NewSource(7)))
+	handles := make([]*Job, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		j, err := svc.Submit(context.Background(), JobSpec{
+			Matrix: m, Dim: 1, Backend: BackendEmulated, Tol: 1e-300, MaxSweeps: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, j)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	// Thieves: lend, then settle each loan a different way.
+	for th := 0; th < 3; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + th)))
+			for !stop.Load() {
+				for _, lj := range svc.LendQueued(2, 40*time.Millisecond) {
+					switch rng.Intn(4) {
+					case 0: // run it for real and complete
+						res, err := RunSpec(context.Background(), lj.Spec, lj.Backend, RunHooks{})
+						if err != nil {
+							svc.CompleteLent(lj.ID, nil, err.Error())
+						} else {
+							svc.CompleteLent(lj.ID, res, "")
+						}
+					case 1: // remote failure
+						svc.CompleteLent(lj.ID, nil, "injected remote failure")
+					case 2: // hand it back unexecuted
+						svc.ReturnLent(lj.ID)
+					default: // thief dies: say nothing, let the lease expire
+					}
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(th)
+	}
+	// Canceler: random cancellations race both dequeue paths.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(200))
+		for !stop.Load() {
+			handles[rng.Intn(len(handles))].Cancel()
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	states := map[State]int{}
+	for _, j := range handles {
+		// Terminal failure modes (canceled, injected remote failure) are
+		// legitimate outcomes here; only never-terminating is a bug.
+		if _, err := j.Wait(ctx); err != nil && ctx.Err() != nil {
+			t.Fatalf("job %s never reached a terminal state", j.ID())
+		}
+		states[j.Status().State]++
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	for st, count := range states {
+		switch st {
+		case StateDone, StateFailed, StateCanceled:
+		default:
+			t.Fatalf("%d jobs ended in non-terminal state %s", count, st)
+		}
+	}
+	snap := svc.Metrics()
+	if snap.QueueDepth != 0 || snap.InFlight != 0 {
+		t.Fatalf("queue=%d inflight=%d after drain, want 0/0", snap.QueueDepth, snap.InFlight)
+	}
+	if got := snap.Completed + snap.Failed + snap.Canceled; got != snap.Submitted {
+		t.Fatalf("terminal accounting %d (done %d + failed %d + canceled %d) != submitted %d",
+			got, snap.Completed, snap.Failed, snap.Canceled, snap.Submitted)
+	}
+	if snap.Submitted != jobs {
+		t.Fatalf("submitted %d, want %d", snap.Submitted, jobs)
+	}
+}

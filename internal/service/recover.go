@@ -51,14 +51,14 @@ type recoveredJob struct {
 	errMsg   string
 }
 
-// recover replays the journal into the service. Called from New, before
-// workers start — no locks needed yet, but taken anyway where shared state
-// is touched so the code stays correct if recovery ever runs later.
-func (s *Service) recover() {
-	st := s.cfg.Store
+// foldRecords folds a journal record stream into per-job accumulators:
+// one recoveredJob per submitted ID, started/restart/terminal markers
+// applied in replay order. Shared by crash recovery (the own journal) and
+// Adopt (a dead peer's shipped journal tail).
+func foldRecords(records []store.Record) (map[string]*recoveredJob, []*recoveredJob) {
 	byID := make(map[string]*recoveredJob)
 	var order []*recoveredJob
-	for _, rec := range st.Records() {
+	for _, rec := range records {
 		switch rec.Kind {
 		case store.KindSubmitted:
 			if _, dup := byID[rec.ID]; dup {
@@ -69,7 +69,7 @@ func (s *Service) recover() {
 				fmt.Fprintf(os.Stderr, "service: recovery: job %s spec unreadable, dropped: %v\n", rec.ID, err)
 				continue
 			}
-			r.seq = seqOf(rec.ID)
+			r.seq, _ = seqOfID(rec.ID)
 			byID[rec.ID] = r
 			order = append(order, r)
 		case store.KindStarted:
@@ -88,7 +88,31 @@ func (s *Service) recover() {
 			}
 		}
 	}
-	sort.Slice(order, func(i, k int) bool { return order[i].seq < order[k].seq })
+	return byID, order
+}
+
+// recover replays the journal into the service. Called from New, before
+// workers start — no locks needed yet, but taken anyway where shared state
+// is touched so the code stays correct if recovery ever runs later.
+func (s *Service) recover() {
+	st := s.cfg.Store
+	byID, order := foldRecords(st.Records())
+	// Journal order breaks seq ties: a journal that absorbed adopted peer
+	// jobs (cluster mode re-appends them under their original IDs) can hold
+	// IDs from different nodes with colliding numeric tails, and the bump
+	// below renumbers the later one so s.seq stays a strict total order and
+	// future submissions never collide with a restored job.
+	sort.SliceStable(order, func(i, k int) bool { return order[i].seq < order[k].seq })
+	var prev uint64
+	for _, r := range order {
+		if r.seq == 0 {
+			continue // unparseable ID; dropped below
+		}
+		if r.seq <= prev {
+			r.seq = prev + 1
+		}
+		prev = r.seq
+	}
 
 	now := time.Now()
 	recovered, resumed := 0, 0
@@ -328,20 +352,6 @@ func slimSpec(r *recoveredJob) []byte {
 	// Graft the size marker onto the object.
 	trimmed := strings.TrimSuffix(strings.TrimSpace(string(data)), "}")
 	return []byte(trimmed + `,"__n":` + strconv.Itoa(n) + "}")
-}
-
-// seqOf parses the numeric tail of a service job ID ("job-N"); 0 when the
-// ID has another shape.
-func seqOf(id string) uint64 {
-	num, ok := strings.CutPrefix(id, "job-")
-	if !ok {
-		return 0
-	}
-	n, err := strconv.ParseUint(num, 10, 64)
-	if err != nil {
-		return 0
-	}
-	return n
 }
 
 // ckptWriter persists a running job's sweep checkpoints off the solve's

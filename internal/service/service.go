@@ -170,6 +170,13 @@ type Config struct {
 	// restarts in-flight jobs from scratch). Pipelined and fixed-sweep
 	// jobs never checkpoint (the engine cannot cut those mid-run).
 	CheckpointEvery int
+	// NodeID, when non-empty, qualifies job IDs for cluster mode: IDs
+	// become "job-<node>-<seq>" instead of "job-<seq>", which makes them
+	// globally unique across a multi-node cluster and carries the owning
+	// node as a routing hint. Must not contain '/' (IDs name checkpoint
+	// files); the numeric tail after the last '-' stays the recovery
+	// ordering key either way.
+	NodeID string
 }
 
 func (c Config) withDefaults() Config {
@@ -255,6 +262,14 @@ type Service struct {
 	seq        uint64
 	inflight   int
 	closed     bool
+	// lent tracks queued jobs handed to a cluster peer by LendQueued and
+	// not yet settled (completed, returned or expired); see lend.go. Lent
+	// jobs count as in-flight here — they left the queue but have no
+	// terminal state yet — so the metrics invariant (submitted ==
+	// terminal + queued + inflight) holds while work is on loan.
+	lent      map[string]*lentEntry
+	leaseOnce sync.Once
+	stopCh    chan struct{}
 	// tenantQueued gauges the queued jobs per tenant (the quota's
 	// denominator); buckets holds each tenant's submit-rate token bucket.
 	// Both are keyed by the normalized tenant name.
@@ -283,6 +298,8 @@ func New(cfg Config) *Service {
 		cacheList:    list.New(),
 		tenantQueued: make(map[string]int),
 		buckets:      make(map[string]*tokenBucket),
+		lent:         make(map[string]*lentEntry),
+		stopCh:       make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.metrics.start = time.Now()
@@ -298,6 +315,35 @@ func New(cfg Config) *Service {
 
 // Workers returns the solve-pool size.
 func (s *Service) Workers() int { return s.cfg.Workers }
+
+// NodeID returns the configured cluster node ID ("" outside cluster mode).
+func (s *Service) NodeID() string { return s.cfg.NodeID }
+
+// jobID names the job with sequence number seq: "job-<seq>" for a
+// standalone service, "job-<node>-<seq>" in cluster mode.
+func (s *Service) jobID(seq uint64) string {
+	if s.cfg.NodeID == "" {
+		return fmt.Sprintf("job-%d", seq)
+	}
+	return fmt.Sprintf("job-%s-%d", s.cfg.NodeID, seq)
+}
+
+// seqOfID extracts a job ID's local sequence number — the numeric tail
+// after the last '-' — reporting ok=false for anything else. Both ID
+// shapes ("job-7", "job-a-7") parse; the tail orders jobs from one node
+// but IDs from different nodes share tails, so cross-node ordering must
+// come from elsewhere (recovery renumbers, see recover.go).
+func seqOfID(id string) (uint64, bool) {
+	i := strings.LastIndexByte(id, '-')
+	if i < 0 || !strings.HasPrefix(id, "job-") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(id[i+1:], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
 
 // Submit validates and enqueues one job. The returned Job is immediately
 // trackable; cancel it through the job or by canceling ctx. Submit fails
@@ -386,7 +432,7 @@ func (s *Service) SubmitKeyed(ctx context.Context, key string, spec JobSpec) (*J
 	}
 	s.seq++
 	j.seq = s.seq
-	j.id = fmt.Sprintf("job-%d", s.seq)
+	j.id = s.jobID(s.seq)
 	// The queued event must enter the history before any worker can pop
 	// the job (workers need s.mu, held here) — otherwise a fast worker
 	// could publish started first and the stream would open out of order.
@@ -763,14 +809,6 @@ const maxPageLimit = 500
 // (or at an already-evicted one) yields an empty page, not an error;
 // cursors are job IDs, and anything else is rejected with a SpecError.
 func (s *Service) JobsPage(cursor string, limit int) ([]*Job, string, error) {
-	after := uint64(0)
-	if cursor != "" {
-		n, err := strconv.ParseUint(strings.TrimPrefix(cursor, "job-"), 10, 64)
-		if !strings.HasPrefix(cursor, "job-") || err != nil {
-			return nil, "", specErrf("cursor", "malformed cursor %q (want a job ID)", cursor)
-		}
-		after = n
-	}
 	if limit <= 0 {
 		limit = 100
 	}
@@ -779,6 +817,20 @@ func (s *Service) JobsPage(cursor string, limit int) ([]*Job, string, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	after := uint64(0)
+	if cursor != "" {
+		// A retained job resolves by table lookup (its live seq is exact even
+		// when recovery or adoption renumbered the ID's tail); an evicted or
+		// foreign ID falls back to its numeric tail, which on this node's ID
+		// shape still orders correctly.
+		if j, ok := s.jobs[cursor]; ok {
+			after = j.seq
+		} else if n, ok := seqOfID(cursor); ok {
+			after = n
+		} else {
+			return nil, "", specErrf("cursor", "malformed cursor %q (want a job ID)", cursor)
+		}
+	}
 	// s.order is ascending in seq (jobs are appended at submission), so the
 	// resume point is a binary search away.
 	lo, hi := 0, len(s.order)
@@ -811,6 +863,7 @@ func (s *Service) Close() {
 		return
 	}
 	s.closed = true
+	close(s.stopCh)
 	drained := make([]*Job, len(s.queue))
 	copy(drained, s.queue)
 	for _, j := range drained {
@@ -818,6 +871,15 @@ func (s *Service) Close() {
 	}
 	s.queue = nil
 	s.tenantQueued = make(map[string]int)
+	// Jobs on loan to a peer settle like drained ones: canceled with
+	// ErrShutdown (not journaled, so they resume on the next boot). The
+	// thief's eventual CompleteLent finds the entry gone and discards.
+	lent := make([]*Job, 0, len(s.lent))
+	for id, e := range s.lent {
+		lent = append(lent, e.job)
+		delete(s.lent, id)
+		s.inflight--
+	}
 	// Cancel everything still tracked: terminal jobs already released
 	// their contexts (cancel is idempotent), running ones get interrupted.
 	inflight := make([]*Job, 0, len(s.jobs))
@@ -826,7 +888,7 @@ func (s *Service) Close() {
 	}
 	s.mu.Unlock()
 
-	for _, j := range drained {
+	for _, j := range append(drained, lent...) {
 		j.cancel(ErrShutdown)
 		j.finish(StateCanceled, nil, ErrShutdown, false)
 		s.countFinish(j, StateCanceled)
@@ -920,20 +982,7 @@ func (s *Service) execute(j *Job) {
 
 // solve runs the job's problem on its resolved backend.
 func (s *Service) solve(j *Job) (*Result, error) {
-	spec := j.spec
-	fam, err := ordering.FamilyByName(spec.Ordering)
-	if err != nil {
-		return nil, err
-	}
-	resume := j.takeResume()
-	cfg := jacobi.ParallelConfig{
-		Family:      fam,
-		Options:     jacobi.Options{Tol: spec.Tol, MaxSweeps: spec.MaxSweeps},
-		Ts:          spec.Ts,
-		Tw:          spec.Tw,
-		Tc:          spec.Tc,
-		FixedSweeps: spec.FixedSweeps,
-		PipelineQ:   spec.PipelineQ,
+	h := RunHooks{
 		// Per-sweep progress feeds the job's event stream. The hook runs on
 		// node 0's goroutine inside the solve: publish never blocks (slow
 		// subscribers drop, see events.go), so the solver is never gated on
@@ -946,24 +995,71 @@ func (s *Service) solve(j *Job) (*Result, error) {
 				Rotations: p.Rotations,
 			}})
 		},
-		Resume: resume,
+		Resume: j.takeResume(),
 	}
-	var cw *ckptWriter
-	if s.cfg.Store != nil && s.cfg.CheckpointEvery >= 0 && !spec.Pipelined && spec.FixedSweeps == 0 {
+	if s.cfg.Store != nil && s.cfg.CheckpointEvery >= 0 {
 		// Persist a resume point at sweep boundaries. The engine hook hands
 		// the checkpoint to an asynchronous latest-wins writer, so the
 		// solve's critical path never waits on an fsync; the writer drains
 		// before the terminal record is journaled.
-		cw = newCkptWriter(s.cfg.Store, j.id)
+		cw := newCkptWriter(s.cfg.Store, j.id)
 		defer cw.close()
-		cfg.OnCheckpoint = cw.offer
-		cfg.CheckpointEvery = s.cfg.CheckpointEvery
+		h.OnCheckpoint = cw.offer
+		h.CheckpointEvery = s.cfg.CheckpointEvery
+	}
+	return RunSpec(j.ctx, j.spec, j.backend, h)
+}
+
+// RunHooks customizes one RunSpec execution. The zero value runs the spec
+// with no progress reporting, no checkpointing and no resume point.
+type RunHooks struct {
+	// OnSweep, when non-nil, receives per-sweep progress from inside the
+	// solve (node 0's goroutine); it must not block.
+	OnSweep func(engine.SweepProgress)
+	// OnCheckpoint, when non-nil, receives sweep-boundary engine
+	// checkpoints every CheckpointEvery sweeps (0 = every sweep).
+	// Pipelined and fixed-sweep specs never checkpoint regardless.
+	OnCheckpoint    func(*engine.Checkpoint)
+	CheckpointEvery int
+	// Resume, when non-nil, restores the solve from a prior checkpoint
+	// instead of starting at sweep 0.
+	Resume *engine.Checkpoint
+}
+
+// RunSpec executes one normalized spec on an explicitly resolved solo
+// backend (BackendEmulated, BackendMulticore or BackendAnalytic — lane and
+// auto selections must be resolved by the caller first) and returns the
+// Result the service would produce for it. It is the solve half of the
+// worker path with the queue and job bookkeeping stripped away, shared
+// with the cluster layer's work-stealing executor: a thief node runs a
+// stolen spec through RunSpec and ships the Result back to the victim.
+// spec must already be withDefaults'd and validated (specs that traveled
+// through SubmitKeyed or a cluster lend are).
+func RunSpec(ctx context.Context, spec JobSpec, backend string, h RunHooks) (*Result, error) {
+	fam, err := ordering.FamilyByName(spec.Ordering)
+	if err != nil {
+		return nil, err
+	}
+	cfg := jacobi.ParallelConfig{
+		Family:      fam,
+		Options:     jacobi.Options{Tol: spec.Tol, MaxSweeps: spec.MaxSweeps},
+		Ts:          spec.Ts,
+		Tw:          spec.Tw,
+		Tc:          spec.Tc,
+		FixedSweeps: spec.FixedSweeps,
+		PipelineQ:   spec.PipelineQ,
+		OnSweep:     h.OnSweep,
+		Resume:      h.Resume,
+	}
+	if h.OnCheckpoint != nil && !spec.Pipelined && spec.FixedSweeps == 0 {
+		cfg.OnCheckpoint = h.OnCheckpoint
+		cfg.CheckpointEvery = h.CheckpointEvery
 	}
 	if spec.OnePort {
 		cfg.Ports = machine.OnePort
 	}
 	var col *trace.Collector
-	switch j.backend {
+	switch backend {
 	case BackendEmulated:
 		if spec.WantTrace {
 			col = trace.NewCollector()
@@ -976,16 +1072,16 @@ func (s *Service) solve(j *Job) (*Result, error) {
 	case BackendAnalytic:
 		cfg.Backend = &engine.Analytic{Ports: cfg.Ports, Ts: spec.Ts, Tw: spec.Tw, Tc: spec.Tc}
 	default:
-		return nil, fmt.Errorf("service: job %s resolved to unknown backend %q", j.id, j.backend)
+		return nil, fmt.Errorf("service: cannot run backend %q directly", backend)
 	}
 
 	start := time.Now()
-	eig, stats, err := jacobi.SolveParallelContext(j.ctx, spec.Matrix, spec.Dim, cfg, spec.Pipelined)
+	eig, stats, err := jacobi.SolveParallelContext(ctx, spec.Matrix, spec.Dim, cfg, spec.Pipelined)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{
-		Backend:     j.backend,
+		Backend:     backend,
 		Values:      eig.Values,
 		Sweeps:      eig.Sweeps,
 		Converged:   eig.Converged,

@@ -1,0 +1,183 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// This file is the store's replication surface: the hooks a cluster layer
+// uses to observe the journal (so appends can be shipped to peer nodes)
+// and the SideLog, a standalone journal file holding a *peer's* shipped
+// record tail. A SideLog reuses the main journal's exact framing (magic,
+// file version, CRC-guarded frames, torn-tail truncation) but lives at an
+// arbitrary path and carries another node's records — it is the durable
+// half of journal-shipping replication, replayed into a surviving service
+// when the source node dies (service.Adopt).
+
+// SetObserver installs a hook called after every successfully fsync'd
+// Append, in append order (the call happens under the store's append lock,
+// so observers see records exactly as the journal orders them). The hook
+// must be fast and must not call back into the Store. Compact does not
+// notify: compaction rewrites history the observer already saw. A nil
+// observer uninstalls. Install before traffic starts.
+func (s *Store) SetObserver(fn func(Record)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs = fn
+}
+
+// SetCheckpointObserver installs a hook called after every successful
+// SaveCheckpoint with the job ID and the checkpoint just persisted. The
+// hook runs on the checkpoint writer's goroutine (already off the solve's
+// critical path) and must not call back into the Store. A nil observer
+// uninstalls. Install before traffic starts.
+func (s *Store) SetCheckpointObserver(fn func(id string, ck *engine.Checkpoint)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ckObs = fn
+}
+
+// EncodeRecordPayload serializes one record into its journal payload (the
+// frame header excluded) — the byte form cluster shipments carry.
+func EncodeRecordPayload(r Record) []byte { return encodeRecord(r) }
+
+// DecodeRecordPayload parses one record payload. Total: truncated,
+// bit-flipped or version-skewed input returns an error, never panics.
+func DecodeRecordPayload(payload []byte) (Record, error) { return decodeRecord(payload) }
+
+// EncodeCheckpointImage serializes a checkpoint into the full snapshot
+// file image (magic, version, CRC, payload) — the byte form checkpoint
+// shipments carry.
+func EncodeCheckpointImage(ck *engine.Checkpoint) []byte { return encodeCheckpoint(ck) }
+
+// DecodeCheckpointImage parses a checkpoint file image, validating the
+// CRC and the engine-level structure.
+func DecodeCheckpointImage(data []byte) (*engine.Checkpoint, error) { return decodeCheckpoint(data) }
+
+// SideLog is a standalone journal file in the main journal's format,
+// holding a replication tail shipped from a peer node. Appends are fsync'd
+// like the main journal's; Open replays existing contents and truncates a
+// torn tail. All methods are safe for concurrent use.
+type SideLog struct {
+	path string
+
+	mu      sync.Mutex
+	f       *os.File
+	records []Record
+}
+
+// OpenSideLog opens (creating if needed) a side journal at path, replaying
+// whatever a previous process shipped into it.
+func OpenSideLog(path string) (*SideLog, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		return nil, fmt.Errorf("store: create sidelog dir: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o666)
+	if err != nil {
+		return nil, fmt.Errorf("store: open sidelog: %w", err)
+	}
+	l := &SideLog{path: path, f: f}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: stat sidelog: %w", err)
+	}
+	if st.Size() == 0 {
+		hdr := make([]byte, 0, hdrBytes)
+		hdr = append(hdr, logMagic...)
+		hdr = binary.LittleEndian.AppendUint32(hdr, fileVersion)
+		if _, err := f.Write(hdr); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: write sidelog header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: sync sidelog header: %w", err)
+		}
+		return l, nil
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: read sidelog: %w", err)
+	}
+	records, good, err := ReadJournal(data)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	l.records = records
+	if good < int64(len(data)) {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: truncate torn sidelog tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: sync truncated sidelog: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: seek sidelog end: %w", err)
+	}
+	return l, nil
+}
+
+// Append frames and fsyncs one shipped record onto the side journal.
+// Unlike Store.Records, the in-memory view stays current: Records returns
+// replayed plus appended records, because adoption reads the log the same
+// process has been filling.
+func (l *SideLog) Append(rec Record) error {
+	payload := encodeRecord(rec)
+	if len(payload) > maxFrameSize {
+		return fmt.Errorf("store: sidelog record payload of %d bytes exceeds the %d frame bound", len(payload), maxFrameSize)
+	}
+	frame := make([]byte, 0, 8+len(payload))
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload, castagnoli))
+	frame = append(frame, payload...)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("store: sidelog %s closed", l.path)
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("store: append sidelog record: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("store: sync sidelog: %w", err)
+	}
+	l.records = append(l.records, rec)
+	return nil
+}
+
+// Records returns every record the side journal holds: those replayed at
+// open plus those appended since.
+func (l *SideLog) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Record(nil), l.records...)
+}
+
+// Path returns the side journal's file path.
+func (l *SideLog) Path() string { return l.path }
+
+// Close releases the file handle. Appends fail afterwards.
+func (l *SideLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

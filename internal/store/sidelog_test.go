@@ -1,0 +1,158 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sideRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			Kind:    KindSubmitted,
+			ID:      "job-b-" + string(rune('1'+i)),
+			Key:     "k" + string(rune('1'+i)),
+			Backend: "emulated",
+			Spec:    []byte{0x01, byte(i)},
+		}
+	}
+	return recs
+}
+
+func assertRecordsEqual(t *testing.T, got, want []Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Kind != want[i].Kind || got[i].ID != want[i].ID || got[i].Key != want[i].Key {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSideLogAppendReopen: records survive a close/reopen cycle (the
+// adopter crashing and coming back), and Records stays current with
+// appends in the same process.
+func TestSideLogAppendReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "replica", "b.jlog")
+	recs := sideRecords(3)
+
+	l, err := OpenSideLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs[:2] {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertRecordsEqual(t, l.Records(), recs[:2])
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(recs[2]); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+
+	l2, err := OpenSideLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	assertRecordsEqual(t, l2.Records(), recs[:2])
+	if err := l2.Append(recs[2]); err != nil {
+		t.Fatal(err)
+	}
+	assertRecordsEqual(t, l2.Records(), recs)
+}
+
+// TestSideLogTornTail: a partially written final frame (the shipping node
+// died mid-append, or the disk tore the write) is truncated at reopen —
+// the intact prefix replays, the torn frame is gone, and the log accepts
+// fresh appends at the truncation point.
+func TestSideLogTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.jlog")
+	recs := sideRecords(3)
+
+	l, err := OpenSideLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs[:2] {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := OpenSideLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	assertRecordsEqual(t, l2.Records(), recs[:1])
+	if err := l2.Append(recs[2]); err != nil {
+		t.Fatal(err)
+	}
+	assertRecordsEqual(t, l2.Records(), []Record{recs[0], recs[2]})
+
+	l3, err := OpenSideLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	assertRecordsEqual(t, l3.Records(), []Record{recs[0], recs[2]})
+}
+
+// TestSideLogCorruptMidFrame: a bit flip in the middle of the file (not a
+// torn tail) truncates from the damaged frame onward — CRC framing treats
+// everything after the corruption as unreliable.
+func TestSideLogCorruptMidFrame(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.jlog")
+	recs := sideRecords(3)
+
+	l, err := OpenSideLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := OpenSideLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := l2.Records()
+	if len(got) >= len(recs) {
+		t.Fatalf("corrupted log still replays %d records, want fewer than %d", len(got), len(recs))
+	}
+	assertRecordsEqual(t, got, recs[:len(got)])
+}

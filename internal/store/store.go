@@ -49,6 +49,10 @@ type Store struct {
 	mu      sync.Mutex
 	f       *os.File
 	records []Record // journal contents replayed at Open
+	// obs / ckObs are the replication hooks (see sidelog.go): obs observes
+	// fsync'd appends in order, ckObs observes saved checkpoints.
+	obs   func(Record)
+	ckObs func(id string, ck *engine.Checkpoint)
 }
 
 // Open opens (creating if needed) the data directory, replays the journal
@@ -203,6 +207,11 @@ func (s *Store) Append(rec Record) error {
 	if err := s.f.Sync(); err != nil {
 		return fmt.Errorf("store: sync journal: %w", err)
 	}
+	if s.obs != nil {
+		// Under s.mu on purpose: observers see records in exactly the order
+		// the journal persisted them (the shipping pipeline depends on it).
+		s.obs(rec)
+	}
 	return nil
 }
 
@@ -288,7 +297,16 @@ func (s *Store) SaveCheckpoint(id string, ck *engine.Checkpoint) error {
 	if err := os.Rename(path+tmpExt, path); err != nil {
 		return fmt.Errorf("store: install checkpoint %s: %w", id, err)
 	}
-	return s.syncDir(filepath.Dir(path))
+	if err := s.syncDir(filepath.Dir(path)); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	obs := s.ckObs
+	s.mu.Unlock()
+	if obs != nil {
+		obs(id, ck)
+	}
+	return nil
 }
 
 // LoadCheckpoint reads and validates the job's snapshot; ErrNoCheckpoint
