@@ -60,6 +60,8 @@ func FromServiceStatus(st service.Status) Status {
 		Dim:              st.Dim,
 		Ordering:         st.Ordering,
 		CacheHit:         st.CacheHit,
+		Tuned:            st.Tuned,
+		TunedOrdering:    st.TunedOrdering,
 		Restarts:         st.Restarts,
 		ResumedFromSweep: st.ResumedFromSweep,
 		Error:            st.Error,
@@ -150,6 +152,13 @@ func FromServiceSnapshot(m service.Snapshot) Metrics {
 		JobsPerSec:           m.JobsPerSec,
 		ScheduleBuilds:       m.ScheduleCache.Builds,
 		ScheduleHits:         m.ScheduleCache.Hits,
+		TunedSchedules:       m.TunedSchedules,
+		TunedHits:            m.TunedHits,
+		TunedMisses:          m.TunedMisses,
+		TunedJobs:            m.TunedJobs,
+		TunedMakespanGain:    m.TunedMakespanGain,
+		TunedShapeHits:       m.TunedShapeHits,
+		TunedShapeMisses:     m.TunedShapeMisses,
 	}
 	if len(m.Latency) > 0 {
 		out.Latency = make(map[string]LatencyStats, len(m.Latency))

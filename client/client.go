@@ -168,6 +168,11 @@ type Status struct {
 	Dim      int    `json:"dim"`
 	Ordering string `json:"ordering"`
 	CacheHit bool   `json:"cache_hit"`
+	// Tuned marks a job the server ran under a tuned-schedule registry
+	// plan instead of the spec's ordering; TunedOrdering names that plan's
+	// family. Both are zero unless the server has tuned schedules loaded.
+	Tuned         bool   `json:"tuned,omitempty"`
+	TunedOrdering string `json:"tuned_ordering,omitempty"`
 	// Reused marks a submission answered by an existing job via its
 	// idempotency key (set on submit responses only).
 	Reused bool `json:"reused,omitempty"`
@@ -374,6 +379,17 @@ type Metrics struct {
 	// cache behind the service's solves.
 	ScheduleBuilds int64 `json:"schedule_builds"`
 	ScheduleHits   int64 `json:"schedule_hits"`
+
+	// Tuned-schedule registry: installed plans, lookup outcomes (overall
+	// and per shape key), jobs executed under a plan, and the analytic
+	// makespan those plans saved versus the unpipelined baseline.
+	TunedSchedules    int              `json:"tuned_schedules,omitempty"`
+	TunedHits         int64            `json:"tuned_hits,omitempty"`
+	TunedMisses       int64            `json:"tuned_misses,omitempty"`
+	TunedJobs         int64            `json:"tuned_jobs,omitempty"`
+	TunedMakespanGain float64          `json:"tuned_makespan_gain,omitempty"`
+	TunedShapeHits    map[string]int64 `json:"tuned_shape_hits,omitempty"`
+	TunedShapeMisses  map[string]int64 `json:"tuned_shape_misses,omitempty"`
 
 	// Cluster carries this node's routing/steal/replication counters when
 	// the server runs in cluster mode; nil on a standalone serve.

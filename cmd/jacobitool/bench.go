@@ -17,6 +17,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/ordering"
 	"repro/internal/service"
+	"repro/internal/tuner"
 )
 
 // benchReport is the headline-metric record the bench command emits; one
@@ -46,6 +47,13 @@ type benchReport struct {
 	AnalyticMakespan float64 `json:"analytic_makespan"`
 	BaselineModel    float64 `json:"baseline_model"`
 	AnalyticRelErr   float64 `json:"analytic_rel_err"`
+
+	// Ordering auto-tuner on the bench shape: the analytic one-sweep
+	// makespan of the unpipelined baseline and of the tuner's winning
+	// execution plan, in machine time units (Ts=1000ns, Tw=100ns).
+	BaselineMakespanNs float64 `json:"baseline_makespan_ns"`
+	TunedMakespanNs    float64 `json:"tuned_makespan_ns"`
+	TunedOrdering      string  `json:"tuned_ordering,omitempty"`
 
 	EmulatedMakespan float64 `json:"emulated_makespan"`
 	Messages         int     `json:"messages"`
@@ -171,6 +179,19 @@ func cmdBench(args []string) error {
 	}
 	fmt.Printf("  analytic:  makespan %.0f units   closed-form %.0f   rel err %+.2e\n",
 		rep.AnalyticMakespan, rep.BaselineModel, rep.AnalyticRelErr)
+
+	// Ordering auto-tuner on the bench shape: how much one tuned sweep
+	// saves over the unpipelined baseline, analytically.
+	tuneRep, err := tuner.Search(tuner.Shape{N: *m, Dim: *d}, tuner.Params{Ts: 1000, Tw: 100}, tuner.Options{Random: 2})
+	if err != nil {
+		return fmt.Errorf("tuner search: %w", err)
+	}
+	rep.BaselineMakespanNs = tuneRep.BaselineMakespan
+	rep.TunedMakespanNs = tuneRep.Winner.TunedMakespan
+	rep.TunedOrdering = tuneRep.Winner.FamilyName
+	fmt.Printf("  tuned:     makespan %.0f units vs baseline %.0f (%s) — %.1f%% saved\n",
+		rep.TunedMakespanNs, rep.BaselineMakespanNs, rep.TunedOrdering,
+		100*(1-rep.TunedMakespanNs/rep.BaselineMakespanNs))
 
 	// Batch-solve service throughput: batchN distinct convergent solves at
 	// fixed concurrency through the worker pool (cache disabled so every

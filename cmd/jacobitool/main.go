@@ -21,6 +21,8 @@
 //	solve      run a distributed eigensolve on a pluggable execution backend
 //	simulate   compare emulated communication time against the analytic model
 //	bench      headline backend metrics, optionally written as BENCH_<date>.json
+//	tune       search ordering/pipelining plans per job shape; -data persists
+//	           the winners into the registry `serve -data` auto-selects from
 //	serve      the concurrent batch-solve service over its HTTP API (v2 + v1
 //	           shim); -data makes it durable (crash recovery + solve resume)
 //	batch      solve a manifest of problems concurrently, with a summary table
@@ -74,6 +76,8 @@ func main() {
 		err = cmdSVD(args)
 	case "bench":
 		err = cmdBench(args)
+	case "tune":
+		err = cmdTune(args)
 	case "serve":
 		err = cmdServe(args)
 	case "batch":
@@ -114,6 +118,7 @@ commands:
   solve       -m N [-d D] [-o ORD] [-backend B] [-pipelined] [-oneport] eigensolve
   simulate    -m N [-d D] [-sweeps S] emulated vs analytic communication time
   bench       [-m N] [-d D] [-json]  headline backend metrics (BENCH_<date>.json)
+  tune        [-shapes n:d[:p],...] [-manifest F] [-data DIR] [-budget T] [-json] tuned-schedule search per job shape
   serve       [-addr A] [-workers W] [-data DIR] batch-solve service over HTTP (v2 + v1 shim; -data = durable)
   batch       [-manifest F] [-remote URL] [-check] solve a manifest of problems concurrently
   submit      [-remote URL] [-n N] [-d D] [-watch] submit one eigensolve via the client API

@@ -47,6 +47,15 @@
 //     and dedups resubmits against what it had already accepted
 //     (DESIGN.md §13); client.NewHTTPMulti gives the client side
 //     multi-endpoint failover
+//   - internal/tuner: the ordering auto-tuner behind `jacobitool tune`
+//     — per job shape (n, d, topology, ports) it searches the paper's
+//     ordering families plus transform-derived candidates, scores each
+//     by analytic-backend makespan, legality-checks every sweep and
+//     validates against the cost models, then persists winners into the
+//     store's tuned-schedule log; the service warm-loads them at boot
+//     and auto-selects the tuned plan for eligible jobs (opt out with
+//     `serve -no-tuned`), reporting tuned hits and makespan gain on
+//     /metrics (DESIGN.md §14)
 //   - cmd/jacobitool: command-line access to everything, including
 //     `jacobitool serve` (the service over HTTP), `submit`/`watch`
 //     (one-shot client runs, local or -remote, with live event

@@ -84,6 +84,28 @@ func renderProm(m service.Snapshot) string {
 	counter("jacobi_schedule_cache_builds_total", "Sweep-schedule cache builds.", float64(m.ScheduleCache.Builds))
 	counter("jacobi_schedule_cache_hits_total", "Sweep-schedule cache hits.", float64(m.ScheduleCache.Hits))
 
+	gauge("jacobi_tuned_schedules", "Tuned execution plans installed in the registry.", float64(m.TunedSchedules))
+	counter("jacobi_tuned_hits_total", "Tuned-registry lookups that found a plan.", float64(m.TunedHits))
+	counter("jacobi_tuned_misses_total", "Tuned-registry lookups that found nothing.", float64(m.TunedMisses))
+	counter("jacobi_tuned_jobs_total", "Fresh completions executed under a tuned plan.", float64(m.TunedJobs))
+	counter("jacobi_tuned_makespan_gain_total", "Analytic makespan saved by tuned plans versus the unpipelined baseline, in machine time units.", m.TunedMakespanGain)
+	if len(m.TunedShapeHits) > 0 || len(m.TunedShapeMisses) > 0 {
+		fmt.Fprintf(&b, "# HELP jacobi_tuned_lookups_total Tuned-registry lookups by job shape and outcome.\n# TYPE jacobi_tuned_lookups_total counter\n")
+		for _, series := range []struct {
+			outcome string
+			by      map[string]int64
+		}{{"hit", m.TunedShapeHits}, {"miss", m.TunedShapeMisses}} {
+			shapes := make([]string, 0, len(series.by))
+			for k := range series.by {
+				shapes = append(shapes, k)
+			}
+			sort.Strings(shapes)
+			for _, k := range shapes {
+				fmt.Fprintf(&b, "jacobi_tuned_lookups_total{shape=%q,outcome=%q} %d\n", k, series.outcome, series.by[k])
+			}
+		}
+	}
+
 	counter("jacobi_total_modeled_makespan", "Aggregate modeled virtual-time makespan of executed work.", m.TotalModeledMakespan)
 	gauge("jacobi_jobs_per_sec", "This-boot completed jobs over this-boot uptime.", m.JobsPerSec)
 

@@ -1,0 +1,70 @@
+package ordering
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sequence"
+)
+
+// Satellite property of the ordering auto-tuner: every family assembled
+// from sequence.TransformCandidates phases yields legal sweeps — all
+// column pairs rotated exactly once per sweep — across odd and even matrix
+// sizes and cube dimensions 2..6. This is the legality oracle the tuner
+// runs per candidate (VerifySweepColumns), checked here exhaustively over
+// the generator's output rather than just over search winners.
+func TestTransformCandidateFamiliesLegalSweeps(t *testing.T) {
+	const perPhase = 3
+	for d := 2; d <= 6; d++ {
+		nb := 2 << uint(d) // block count; also the even/odd n anchor
+		for _, n := range []int{3 * nb, 3*nb + 1} {
+			rng := rand.New(rand.NewSource(int64(100*d + n)))
+			pools := make(map[int][]sequence.Seq, d)
+			for e := 1; e <= d; e++ {
+				pools[e] = sequence.TransformCandidates(e, perPhase, rng)
+				if len(pools[e]) == 0 {
+					t.Fatalf("d=%d e=%d: no candidates", d, e)
+				}
+			}
+			for i := 0; i < perPhase; i++ {
+				phases := make(map[int]sequence.Seq, d)
+				for e := 1; e <= d; e++ {
+					phases[e] = pools[e][i%len(pools[e])]
+				}
+				fam, err := CustomFamily(fmt.Sprintf("cand-%d", i), phases)
+				if err != nil {
+					t.Fatalf("d=%d n=%d cand %d: %v", d, n, i, err)
+				}
+				if err := VerifySweepColumns(n, d, fam, 2); err != nil {
+					t.Errorf("d=%d n=%d cand %d: %v", d, n, i, err)
+				}
+			}
+		}
+	}
+}
+
+// Serialized round-trip legality: a family that survives
+// SerializeFamily → FamilyFromSerialized must produce the same sweeps —
+// phase-for-phase identical sequences — as the in-memory original.
+func TestSerializedFamilyPhasesIdentical(t *testing.T) {
+	const d = 4
+	rng := rand.New(rand.NewSource(9))
+	phases := make(map[int]sequence.Seq, d)
+	for e := 1; e <= d; e++ {
+		phases[e] = sequence.TransformCandidates(e, 1, rng)[0]
+	}
+	fam, err := CustomFamily("round-trip", phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FamilyFromSerialized("round-trip", SerializeFamily(fam, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 1; e <= d; e++ {
+		if fam.Phase(e).String() != back.Phase(e).String() {
+			t.Errorf("phase %d: %v vs %v", e, fam.Phase(e), back.Phase(e))
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package ordering
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sequence"
+)
+
+// SerializeFamily captures exchange phases 1..d of fam in the compact text
+// notation of sequence.ParseSeq, keyed by phase dimension. The result is the
+// portable form of an ordering: it can be journaled by internal/store,
+// shipped over the wire, and turned back into a runnable Family with
+// FamilyFromSerialized — the engine executes it exactly like a compile-time
+// family.
+func SerializeFamily(fam Family, d int) map[int]string {
+	phases := make(map[int]string, d)
+	for e := 1; e <= d; e++ {
+		phases[e] = fam.Phase(e).String()
+	}
+	return phases
+}
+
+// FamilyFromSerialized reconstructs a runnable Family from serialized phase
+// text. Every phase is parsed and validated as an e-sequence before the
+// family is returned, so a corrupt or hand-edited record cannot smuggle an
+// illegal ordering into the engine. Phases not present fall back to BR,
+// matching CustomFamily semantics.
+func FamilyFromSerialized(name string, phases map[int]string) (Family, error) {
+	parsed := make(map[int]sequence.Seq, len(phases))
+	// Deterministic iteration so error messages are stable.
+	dims := make([]int, 0, len(phases))
+	for e := range phases {
+		dims = append(dims, e)
+	}
+	sort.Ints(dims)
+	for _, e := range dims {
+		if e < 1 {
+			return nil, fmt.Errorf("ordering: serialized family %q has phase dimension %d < 1", name, e)
+		}
+		s, err := sequence.ParseSeq(phases[e])
+		if err != nil {
+			return nil, fmt.Errorf("ordering: serialized family %q phase %d: %v", name, e, err)
+		}
+		parsed[e] = s
+	}
+	return CustomFamily(name, parsed)
+}

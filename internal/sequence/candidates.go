@@ -1,0 +1,75 @@
+package sequence
+
+import "math/rand"
+
+// TransformCandidates generates up to count distinct candidate e-sequences
+// for the ordering auto-tuner's search (internal/tuner). Candidates are
+// derived from the package's transform toolbox rather than sampled blindly:
+//
+//   - the paper's base sequences (BR, permuted-BR, and where defined
+//     degree-4 and minimum-α) relabelled through random hypercube
+//     automorphisms (Property 1 whole-sequence permutations);
+//   - fully random Hamiltonian paths from RandomESequence, which itself
+//     mixes randomized DFS with automorphism + subcube-permutation
+//     scrambles of BR.
+//
+// Every returned sequence is a validated e-sequence (ValidateESequence
+// returns nil), so downstream sweep construction cannot be handed an
+// illegal ordering; duplicates (by compact string form) are filtered.
+// Generation is deterministic for a given rng state. e must be in
+// [1, MaxRandomDim].
+func TransformCandidates(e, count int, rng *rand.Rand) []Seq {
+	checkDim(e)
+	if e < 1 || e > MaxRandomDim {
+		panic("sequence: TransformCandidates dimension outside [1, MaxRandomDim]")
+	}
+	if count <= 0 {
+		return nil
+	}
+
+	bases := []Seq{BR(e), PermutedBR(e)}
+	if s, err := Degree4(e); err == nil {
+		bases = append(bases, s)
+	}
+	if s, err := MinAlpha(e); err == nil {
+		bases = append(bases, s)
+	}
+
+	out := make([]Seq, 0, count)
+	seen := make(map[string]bool)
+	add := func(s Seq) {
+		if s == nil || ValidateESequence(s, e) != nil {
+			return
+		}
+		key := s.String()
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		out = append(out, s)
+	}
+
+	// Interleave relabelled base sequences with fully random paths until
+	// the quota is met. The attempt budget bounds the loop when the space
+	// is too small to yield count distinct sequences (e.g. e = 1).
+	for attempts := 0; len(out) < count && attempts < 20*count+20; attempts++ {
+		if attempts%2 == 0 {
+			base := bases[attempts/2%len(bases)]
+			p := randomAutomorphism(e, rng)
+			if s, err := ApplyPermutation(base, p); err == nil {
+				add(s)
+			}
+			continue
+		}
+		add(RandomESequence(e, rng))
+	}
+	return out
+}
+
+// randomAutomorphism returns a uniformly random permutation of the e link
+// identifiers — a hypercube automorphism under Property 1.
+func randomAutomorphism(e int, rng *rand.Rand) Permutation {
+	p := IdentityPermutation(e)
+	rng.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

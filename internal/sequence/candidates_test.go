@@ -1,0 +1,67 @@
+package sequence
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Every candidate the tuner's generator hands out must be a legal
+// e-sequence — the search pipeline assumes it never sees an invalid one.
+func TestTransformCandidatesAllValid(t *testing.T) {
+	for e := 1; e <= 8; e++ {
+		rng := rand.New(rand.NewSource(int64(40 + e)))
+		cands := TransformCandidates(e, 8, rng)
+		if len(cands) == 0 {
+			t.Fatalf("e=%d: no candidates", e)
+		}
+		seen := make(map[string]bool)
+		for _, s := range cands {
+			if err := ValidateESequence(s, e); err != nil {
+				t.Errorf("e=%d: invalid candidate %v: %v", e, s, err)
+			}
+			key := s.String()
+			if seen[key] {
+				t.Errorf("e=%d: duplicate candidate %v", e, s)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+// Candidate generation is deterministic per rng seed — the tuner's
+// searches must be reproducible.
+func TestTransformCandidatesDeterministic(t *testing.T) {
+	a := TransformCandidates(4, 6, rand.New(rand.NewSource(7)))
+	b := TransformCandidates(4, 6, rand.New(rand.NewSource(7)))
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("candidate %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// A dimension whose sequence space is smaller than the quota must
+// terminate (attempt budget) and return only the distinct sequences that
+// exist: for e=1 that is exactly the single-link sequence "0".
+func TestTransformCandidatesSmallSpace(t *testing.T) {
+	cands := TransformCandidates(1, 10, rand.New(rand.NewSource(1)))
+	if len(cands) != 1 || cands[0].String() != BR(1).String() {
+		t.Fatalf("e=1 candidates = %v, want exactly the one-link sequence", cands)
+	}
+}
+
+func TestTransformCandidatesRejectsBadDims(t *testing.T) {
+	for _, e := range []int{0, MaxRandomDim + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("e=%d: expected panic", e)
+				}
+			}()
+			TransformCandidates(e, 1, rand.New(rand.NewSource(1)))
+		}()
+	}
+}

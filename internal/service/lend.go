@@ -75,7 +75,11 @@ func (s *Service) LendQueued(max int, lease time.Duration) []LentJob {
 	for len(picked) < max {
 		v := -1
 		for i, q := range s.queue {
-			if q.ctx.Err() != nil || q.resume != nil {
+			// Never lend a resumable job (the checkpoint is local) or a
+			// tuned one (the thief's registry may disagree with ours; the
+			// plan must travel with the result's fingerprint, and it
+			// doesn't — so the job runs here, under its own plan).
+			if q.ctx.Err() != nil || q.resume != nil || q.tuned != nil {
 				continue
 			}
 			if v < 0 || q.priority < s.queue[v].priority ||

@@ -88,7 +88,12 @@ type metrics struct {
 	lanesDispatched   int64
 	laneJobs          int64
 	totalMakespan     float64
-	wall              [outcomeCount]outcomeLatency
+	// tunedJobs counts fresh completions executed under a tuned schedule;
+	// tunedGain accumulates the analytic per-sweep makespan gain of those
+	// jobs' plans times the sweeps they actually ran.
+	tunedJobs int64
+	tunedGain float64
+	wall      [outcomeCount]outcomeLatency
 }
 
 // observe records one completed job's wall time and modeled makespan.
@@ -215,6 +220,22 @@ type Snapshot struct {
 	// ScheduleCache reports the process-wide sweep-schedule cache the
 	// service's solves share (builds, hits, bypasses).
 	ScheduleCache ordering.SweepCacheCounters `json:"schedule_cache"`
+
+	// Tuned-schedule registry (DESIGN.md §14). TunedSchedules is the
+	// number of installed per-shape plans; TunedHits / TunedMisses count
+	// registry lookups by eligible submissions; TunedJobs counts fresh
+	// completions that ran under a plan; TunedMakespanGain accumulates the
+	// analytic makespan those plans saved versus the unpipelined baseline
+	// (per-sweep gain × sweeps run, in machine time units). TunedShapeHits
+	// / TunedShapeMisses break lookups down by shape key (bounded; an
+	// "other" bucket absorbs overflow).
+	TunedSchedules    int              `json:"tuned_schedules,omitempty"`
+	TunedHits         int64            `json:"tuned_hits,omitempty"`
+	TunedMisses       int64            `json:"tuned_misses,omitempty"`
+	TunedJobs         int64            `json:"tuned_jobs,omitempty"`
+	TunedMakespanGain float64          `json:"tuned_makespan_gain,omitempty"`
+	TunedShapeHits    map[string]int64 `json:"tuned_shape_hits,omitempty"`
+	TunedShapeMisses  map[string]int64 `json:"tuned_shape_misses,omitempty"`
 }
 
 // recordDone folds a finished job into the metrics. A cache hit counts as
@@ -229,6 +250,10 @@ func (s *Service) recordDone(j *Job, res *Result, cacheHit bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.metrics.observe(st.RunMs, makespan)
+	if j.tuned != nil && !cacheHit {
+		s.metrics.tunedJobs++
+		s.metrics.tunedGain += j.tuned.Gain() * float64(res.Sweeps)
+	}
 }
 
 // recordLane tallies one dispatched lane and the jobs it carried.
@@ -306,6 +331,8 @@ func (s *Service) Metrics() Snapshot {
 		LanesDispatched:      s.metrics.lanesDispatched,
 		LaneJobs:             s.metrics.laneJobs,
 		TotalModeledMakespan: s.metrics.totalMakespan,
+		TunedJobs:            s.metrics.tunedJobs,
+		TunedMakespanGain:    s.metrics.tunedGain,
 	}
 	if len(s.tenantQueued) > 0 {
 		snap.TenantQueued = make(map[string]int, len(s.tenantQueued))
@@ -332,6 +359,15 @@ func (s *Service) Metrics() Snapshot {
 	snap.WallP50Ms = lat["done"].P50Ms
 	snap.WallP99Ms = lat["done"].P99Ms
 	snap.ScheduleCache = ordering.SweepCacheStats()
+	if s.tuner != nil {
+		// The registry keeps its own lock; read it outside s.mu.
+		ts := s.tuner.Stats()
+		snap.TunedSchedules = ts.Schedules
+		snap.TunedHits = ts.Hits
+		snap.TunedMisses = ts.Misses
+		snap.TunedShapeHits = ts.ShapeHits
+		snap.TunedShapeMisses = ts.ShapeMisses
+	}
 	if up > 0 {
 		snap.JobsPerSec = float64(snap.Completed) / up
 	}

@@ -143,6 +143,9 @@ func (s *Service) recover() {
 				fmt.Fprintf(os.Stderr, "service: recovery: job %s checkpoint unreadable, restarting from scratch: %v\n", r.id, err)
 				_ = st.DeleteCheckpoint(r.id)
 			}
+			// Re-attach the tuned execution plan, if the journaled
+			// fingerprint proves the job was submitted under one.
+			s.reattachTuned(j, r)
 		}
 		s.mu.Lock()
 		if r.seq > s.seq {

@@ -57,6 +57,7 @@ import (
 	"repro/internal/ordering"
 	"repro/internal/store"
 	"repro/internal/trace"
+	"repro/internal/tuner"
 )
 
 // Sentinel submission failures, distinguishable by errors.Is so the client
@@ -170,6 +171,15 @@ type Config struct {
 	// restarts in-flight jobs from scratch). Pipelined and fixed-sweep
 	// jobs never checkpoint (the engine cannot cut those mid-run).
 	CheckpointEvery int
+	// Tuner, when non-nil, is the tuned-schedule registry eligible jobs'
+	// execution plans are looked up in (see tuned.go and DESIGN.md §14).
+	// When nil and a Store is configured, the registry is warm-loaded from
+	// the store's tuned-schedule log at New.
+	Tuner *tuner.Registry
+	// DisableTuned opts the service out of tuned-schedule auto-selection
+	// entirely: no registry is loaded or consulted and every job runs its
+	// spec's ordering verbatim.
+	DisableTuned bool
 	// NodeID, when non-empty, qualifies job IDs for cluster mode: IDs
 	// become "job-<node>-<seq>" instead of "job-<seq>", which makes them
 	// globally unique across a multi-node cluster and carries the owning
@@ -276,6 +286,10 @@ type Service struct {
 	tenantQueued map[string]int
 	buckets      map[string]*tokenBucket
 
+	// tuner is the resolved tuned-schedule registry (nil = tuning off);
+	// set once in New (initTuner) and immutable afterwards.
+	tuner *tuner.Registry
+
 	metrics metrics
 	wg      sync.WaitGroup
 	// subWG tracks durable submissions between their registration and the
@@ -303,6 +317,9 @@ func New(cfg Config) *Service {
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.metrics.start = time.Now()
+	// The tuned-schedule registry loads before recovery so recovered live
+	// jobs can re-attach their execution plans (see reattachTuned).
+	s.initTuner()
 	if s.cfg.Store != nil {
 		s.recover()
 	}
@@ -360,16 +377,24 @@ func (s *Service) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
 // eviction also releases the key). The key is compared verbatim; the spec
 // of a reused submission is not re-validated against the original.
 func (s *Service) SubmitKeyed(ctx context.Context, key string, spec JobSpec) (*Job, bool, error) {
+	// Explicitness is decided before normalization: withDefaults fills in
+	// the default ordering, and a caller who asked for it by name must get
+	// it verbatim (never a tuned substitute).
+	explicitOrdering := spec.Ordering != ""
 	spec = spec.withDefaults()
 	if err := spec.validate(); err != nil {
 		return nil, false, err
 	}
 	backend := spec.selectBackend(s.cfg.MulticoreThreshold, s.cfg.LaneWidth)
+	tunedSc := s.tunedFor(spec, backend, explicitOrdering)
 	var fp uint64
 	if s.cfg.CacheCap >= 0 {
 		// The fingerprint hashes the whole matrix; skip the O(n²) pass
 		// when the result cache is disabled and nothing would consume it.
 		fp = spec.fingerprint(backend)
+		if tunedSc != nil {
+			fp = mixFp(fp, tunedSc.Fingerprint())
+		}
 	}
 	jctx, cancel := context.WithCancelCause(ctx)
 	j := &Job{
@@ -377,6 +402,7 @@ func (s *Service) SubmitKeyed(ctx context.Context, key string, spec JobSpec) (*J
 		n:         spec.Matrix.Rows,
 		backend:   backend,
 		fp:        fp,
+		tuned:     tunedSc,
 		priority:  spec.Priority,
 		tenant:    tenantName(spec.Tenant),
 		ctx:       jctx,
@@ -995,9 +1021,14 @@ func (s *Service) solve(j *Job) (*Result, error) {
 				Rotations: p.Rotations,
 			}})
 		},
-		Resume: j.takeResume(),
+		Resume:   j.takeResume(),
+		Schedule: j.tuned,
 	}
-	if s.cfg.Store != nil && s.cfg.CheckpointEvery >= 0 {
+	// Tuned jobs never checkpoint: a resume point carries no record of the
+	// schedule it was cut under, and finishing a tuned prefix with the
+	// default ordering would run a different computation than either plan
+	// promises. Recovery restarts them from sweep 0 instead (reattachTuned).
+	if s.cfg.Store != nil && s.cfg.CheckpointEvery >= 0 && j.tuned == nil {
 		// Persist a resume point at sweep boundaries. The engine hook hands
 		// the checkpoint to an asynchronous latest-wins writer, so the
 		// solve's critical path never waits on an fsync; the writer drains
@@ -1024,6 +1055,11 @@ type RunHooks struct {
 	// Resume, when non-nil, restores the solve from a prior checkpoint
 	// instead of starting at sweep 0.
 	Resume *engine.Checkpoint
+	// Schedule, when non-nil, overrides the spec's ordering family and
+	// pipelining with a tuned execution plan (see internal/tuner and
+	// DESIGN.md §14). The spec itself is untouched — fingerprints and
+	// journals keep describing what the caller submitted.
+	Schedule *tuner.Schedule
 }
 
 // RunSpec executes one normalized spec on an explicitly resolved solo
@@ -1040,6 +1076,20 @@ func RunSpec(ctx context.Context, spec JobSpec, backend string, h RunHooks) (*Re
 	if err != nil {
 		return nil, err
 	}
+	pipelined := spec.Pipelined
+	pipelineQ := spec.PipelineQ
+	if h.Schedule != nil {
+		// A tuned plan replaces the execution schedule wholesale: family,
+		// pipelining and stage depth come from the registry, everything
+		// else (tolerances, port model, timing constants) stays the
+		// spec's. Eligibility (tuned.go) guarantees the spec carried the
+		// defaults for all three.
+		if fam, err = h.Schedule.Family(); err != nil {
+			return nil, fmt.Errorf("service: tuned schedule unusable: %w", err)
+		}
+		pipelined = h.Schedule.Pipelined
+		pipelineQ = h.Schedule.PipelineQ
+	}
 	cfg := jacobi.ParallelConfig{
 		Family:      fam,
 		Options:     jacobi.Options{Tol: spec.Tol, MaxSweeps: spec.MaxSweeps},
@@ -1047,11 +1097,11 @@ func RunSpec(ctx context.Context, spec JobSpec, backend string, h RunHooks) (*Re
 		Tw:          spec.Tw,
 		Tc:          spec.Tc,
 		FixedSweeps: spec.FixedSweeps,
-		PipelineQ:   spec.PipelineQ,
+		PipelineQ:   pipelineQ,
 		OnSweep:     h.OnSweep,
 		Resume:      h.Resume,
 	}
-	if h.OnCheckpoint != nil && !spec.Pipelined && spec.FixedSweeps == 0 {
+	if h.OnCheckpoint != nil && !pipelined && spec.FixedSweeps == 0 && h.Schedule == nil {
 		cfg.OnCheckpoint = h.OnCheckpoint
 		cfg.CheckpointEvery = h.CheckpointEvery
 	}
@@ -1076,7 +1126,7 @@ func RunSpec(ctx context.Context, spec JobSpec, backend string, h RunHooks) (*Re
 	}
 
 	start := time.Now()
-	eig, stats, err := jacobi.SolveParallelContext(ctx, spec.Matrix, spec.Dim, cfg, spec.Pipelined)
+	eig, stats, err := jacobi.SolveParallelContext(ctx, spec.Matrix, spec.Dim, cfg, pipelined)
 	if err != nil {
 		return nil, err
 	}

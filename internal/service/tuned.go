@@ -1,0 +1,105 @@
+package service
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"os"
+
+	"repro/internal/tuner"
+)
+
+// Tuner integration (DESIGN.md §14): the service consults a tuned-schedule
+// registry on every eligible submission and, on a hit, runs the job under
+// the registry's execution plan (ordering family + pipelining) instead of
+// the spec's default ordering. Eligibility is deliberately conservative — a
+// job is tuned only when the caller left every scheduling knob at its
+// default, so an explicit ordering, pipelining request, cost query, trace
+// request or fixed-sweep study always runs exactly what it asked for.
+
+// initTuner resolves the registry the service will consult: the configured
+// one, else a warm-load from the durable store's tuned-schedule log. Called
+// from New before recovery, so recovered jobs can re-attach their plans.
+func (s *Service) initTuner() {
+	if s.cfg.DisableTuned {
+		return
+	}
+	if s.cfg.Tuner != nil {
+		s.tuner = s.cfg.Tuner
+		return
+	}
+	if s.cfg.Store == nil {
+		return
+	}
+	reg, err := tuner.LoadRegistry(s.cfg.Store)
+	if err != nil {
+		// A poisoned tuned log (version skew) must not take the service
+		// down — jobs just run untuned, loudly.
+		fmt.Fprintf(os.Stderr, "service: tuned-schedule registry unavailable, serving untuned: %v\n", err)
+		return
+	}
+	s.tuner = reg
+}
+
+// tunedEligible reports whether a normalized spec may be auto-tuned: every
+// scheduling knob at its default and a solo virtual-clock-capable backend.
+// Multicore and the lane run no communication schedule worth retiming, and
+// explicit requests are always honored verbatim.
+func tunedEligible(spec JobSpec, backend string, explicitOrdering bool) bool {
+	if explicitOrdering || spec.Pipelined || spec.PipelineQ != 0 {
+		return false
+	}
+	if spec.CostOnly || spec.WantTrace || spec.FixedSweeps != 0 {
+		return false
+	}
+	return backend == BackendEmulated || backend == BackendAnalytic
+}
+
+// tunedFor returns the registry schedule for an eligible spec, or nil.
+// Registry lookups (and only those — ineligible jobs never count) feed the
+// tuned_hits / tuned_misses metrics, per shape.
+func (s *Service) tunedFor(spec JobSpec, backend string, explicitOrdering bool) *tuner.Schedule {
+	if s.tuner == nil || !tunedEligible(spec, backend, explicitOrdering) {
+		return nil
+	}
+	ports := 0
+	if spec.OnePort {
+		ports = 1
+	}
+	return s.tuner.Lookup(tuner.Shape{N: spec.Matrix.Rows, Dim: spec.Dim, Ports: ports})
+}
+
+// mixFp folds a tuned schedule's fingerprint into a job's result-cache
+// fingerprint, so a tuned job and its untuned twin (or the same shape under
+// a re-tuned plan) never share a cache entry.
+func mixFp(fp, schedule uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], fp)
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], schedule)
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// reattachTuned re-binds a recovered live job to its tuned schedule. The
+// journaled spec cannot say whether the original submission was tuned (it
+// is normalized), but the journaled fingerprint can: it was mixed with the
+// schedule's fingerprint at submission, so recovery attaches a schedule
+// only when re-deriving the mix reproduces the journaled value exactly —
+// a re-tuned registry or a since-disabled tuner falls back to running the
+// spec untuned, consistent with what the fingerprint promises the cache.
+// Jobs resuming from a checkpoint are excluded: tuned jobs never
+// checkpoint, so a resume point proves the job ran untuned.
+func (s *Service) reattachTuned(j *Job, r *recoveredJob) {
+	if s.tuner == nil || r.fp == 0 || j.resume != nil {
+		return
+	}
+	sc := s.tunedFor(r.spec, r.backend, false)
+	if sc == nil {
+		return
+	}
+	if mixFp(r.spec.fingerprint(r.backend), sc.Fingerprint()) == r.fp {
+		j.tuned = sc
+	}
+}

@@ -1,0 +1,181 @@
+package service
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/tuner"
+)
+
+// tunedStore opens a store at dir seeded with a searched winner for the
+// (n, d, all-port) shape, returning the store and the winner.
+func tunedStore(t *testing.T, dir string, n, d int) (*store.Store, *tuner.Schedule) {
+	t.Helper()
+	rep, err := tuner.Search(tuner.Shape{N: n, Dim: d}, tuner.Params{}, tuner.Options{Random: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendTuned(rep.Winner.Record()); err != nil {
+		t.Fatal(err)
+	}
+	return st, rep.Winner
+}
+
+// An eligible job on a service whose store holds a tuned schedule for its
+// shape runs under that schedule: the status says so, the registry counts
+// the hit, and the job completes under the plan's family.
+func TestTunedAutoSelect(t *testing.T) {
+	st, win := tunedStore(t, t.TempDir(), 48, 2)
+	defer st.Close()
+	svc := New(Config{Workers: 1, Store: st})
+	defer svc.Close()
+
+	j, err := svc.Submit(context.Background(), JobSpec{Matrix: randSym(48, 5), Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	jst := j.Status()
+	if !jst.Tuned || jst.TunedOrdering != win.FamilyName {
+		t.Fatalf("status = %+v, want tuned under %s", jst, win.FamilyName)
+	}
+	m := svc.Metrics()
+	if m.TunedSchedules != 1 || m.TunedHits != 1 || m.TunedJobs != 1 {
+		t.Fatalf("metrics = schedules %d hits %d jobs %d", m.TunedSchedules, m.TunedHits, m.TunedJobs)
+	}
+	if win.Gain() > 0 && m.TunedMakespanGain <= 0 {
+		t.Fatalf("no makespan gain recorded for a winning plan (gain %g)", win.Gain())
+	}
+	key := tuner.Shape{N: 48, Dim: 2}.Key()
+	if m.TunedShapeHits[key] != 1 {
+		t.Fatalf("per-shape hits = %v, want %q counted", m.TunedShapeHits, key)
+	}
+}
+
+// Explicit requests always run verbatim: a spec naming its ordering, or
+// asking for pipelining, a trace, fixed sweeps or a cost query, is never
+// rerouted through the registry — and ineligible jobs never count as
+// lookups.
+func TestTunedEligibilityGates(t *testing.T) {
+	st, _ := tunedStore(t, t.TempDir(), 48, 2)
+	defer st.Close()
+	svc := New(Config{Workers: 1, Store: st})
+	defer svc.Close()
+
+	specs := map[string]JobSpec{
+		"explicit-ordering": {Matrix: randSym(48, 6), Dim: 2, Ordering: "pbr"},
+		"pipelined":         {Matrix: randSym(48, 7), Dim: 2, Pipelined: true},
+		"fixed-sweeps":      {Matrix: randSym(48, 8), Dim: 2, FixedSweeps: 1},
+		"cost-only":         {Matrix: randSym(48, 9), Dim: 2, CostOnly: true},
+	}
+	for name, spec := range specs {
+		j, err := svc.Submit(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := j.Wait(context.Background()); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if jst := j.Status(); jst.Tuned {
+			t.Errorf("%s: job ran tuned", name)
+		}
+	}
+	if m := svc.Metrics(); m.TunedHits != 0 || m.TunedMisses != 0 {
+		t.Fatalf("ineligible jobs touched the registry: hits %d misses %d", m.TunedHits, m.TunedMisses)
+	}
+}
+
+// DisableTuned opts the whole service out: no registry is loaded even with
+// schedules on disk.
+func TestTunedDisabled(t *testing.T) {
+	st, _ := tunedStore(t, t.TempDir(), 48, 2)
+	defer st.Close()
+	svc := New(Config{Workers: 1, Store: st, DisableTuned: true})
+	defer svc.Close()
+
+	j, err := svc.Submit(context.Background(), JobSpec{Matrix: randSym(48, 5), Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if jst := j.Status(); jst.Tuned {
+		t.Fatal("job ran tuned on a DisableTuned service")
+	}
+	if m := svc.Metrics(); m.TunedSchedules != 0 {
+		t.Fatalf("registry loaded despite DisableTuned: %d schedules", m.TunedSchedules)
+	}
+}
+
+// Kill-and-restart conformance: a restarted service warm-loads the tuned
+// registry from the same store, serves tuned hits again, and a resubmitted
+// identical job reproduces the first boot's eigenvalues bit-for-bit — the
+// persisted schedule IS the schedule.
+func TestTunedSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := tunedStore(t, dir, 48, 2)
+
+	run := func(st *store.Store, seed int64) []float64 {
+		svc := New(Config{Workers: 1, Store: st})
+		defer svc.Close()
+		j, err := svc.Submit(context.Background(), JobSpec{Matrix: randSym(48, seed), Dim: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := j.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jst := j.Status(); !jst.Tuned {
+			t.Fatal("job did not run tuned")
+		}
+		if m := svc.Metrics(); m.TunedHits == 0 {
+			t.Fatal("no tuned hit recorded")
+		}
+		return res.Values
+	}
+
+	first := run(st, 11)
+	st.Close() // the kill
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	second := run(st2, 11)
+
+	if len(first) != len(second) {
+		t.Fatalf("value counts differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("eigenvalue %d differs across restart: %x vs %x",
+				i, math.Float64bits(first[i]), math.Float64bits(second[i]))
+		}
+	}
+}
+
+// The mixed fingerprint separates a tuned job's cache entry from its
+// untuned twin: the same spec under DisableTuned must not be served the
+// tuned run's cached result.
+func TestTunedFingerprintMixing(t *testing.T) {
+	spec := JobSpec{Matrix: randSym(48, 13), Dim: 2}.withDefaults()
+	fp := spec.fingerprint(BackendEmulated)
+	rep, err := tuner.Search(tuner.Shape{N: 48, Dim: 2}, tuner.Params{}, tuner.Options{Random: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed := mixFp(fp, rep.Winner.Fingerprint()); mixed == fp {
+		t.Fatal("mixing a schedule fingerprint left the job fingerprint unchanged")
+	}
+}

@@ -1,0 +1,346 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Tuned-schedule records: the persisted output of the ordering auto-tuner
+// (internal/tuner, DESIGN.md §14). They live in their own append-only log
+// next to the journal so tuner installs never interleave with job lifecycle
+// records, under the exact same durability discipline:
+//
+//	"JTUN" u32(fileVersion)                      file header
+//	{ u32(len) u32(crc32c(payload)) payload }*   one frame per record
+//
+// Record payload:
+//
+//	u8(tunedVersion)
+//	u32(n) u32(dim) u32(ports)
+//	str(topology) str(family) str(canonical)
+//	u8(pipelined) u32(pipelineQ)
+//	f64(baselineMakespan) f64(tunedMakespan)
+//	u32(candidates)
+//	u32(nphases) nphases × { u32(e) str(seq) }
+//
+// A CRC or length failure in the final frame is a torn tail (truncated at
+// open); a CRC-valid payload this build cannot decode is version skew and
+// fails the open. Replay is last-writer-wins per shape — re-tuning a shape
+// simply appends a newer record.
+
+const (
+	tunedName    = "tuned.jtun"
+	tunedMagic   = "JTUN"
+	tunedVersion = 1
+	// tunedMaxPhases bounds the per-record phase table; the engine never
+	// runs cubes beyond dimension 16 (checkpoint codec shares the bound).
+	tunedMaxPhases = 32
+)
+
+// TunedRecord is one persisted tuned schedule: the job shape it applies to,
+// the winning ordering (a canonical family name, or serialized phase
+// sequences in sequence.ParseSeq notation), its pipelining plan, and the
+// analytic makespans that justified installing it.
+type TunedRecord struct {
+	N     int
+	Dim   int
+	Ports int
+	// Topology names the modeled network ("hypercube" today; Z-cube and
+	// friends once ROADMAP item 2 lands).
+	Topology string
+	// Family is the display name of the winning ordering family.
+	Family string
+	// Canonical is the CLI name (ordering.FamilyByName) when the winner is
+	// one of the paper families; empty for transform-derived winners, whose
+	// Phases carry the ordering itself.
+	Canonical string
+	// Phases maps exchange-phase dimension e to the compact text form of
+	// D_e for serialized (non-canonical) winners.
+	Phases    map[int]string
+	Pipelined bool
+	PipelineQ int
+	// BaselineMakespan / TunedMakespan are analytic one-sweep makespans of
+	// the baseline ordering and the winner for this shape.
+	BaselineMakespan float64
+	TunedMakespan    float64
+	// Candidates is how many legal candidates the search scored.
+	Candidates int
+}
+
+// encodeTuned serializes one tuned record payload (frame header excluded).
+func encodeTuned(rec TunedRecord) []byte {
+	buf := make([]byte, 0, 96)
+	buf = append(buf, tunedVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.N))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.Dim))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.Ports))
+	buf = appendStr(buf, []byte(rec.Topology))
+	buf = appendStr(buf, []byte(rec.Family))
+	buf = appendStr(buf, []byte(rec.Canonical))
+	if rec.Pipelined {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.PipelineQ))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(rec.BaselineMakespan))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(rec.TunedMakespan))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.Candidates))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.Phases)))
+	// Deterministic phase order so identical records encode identically.
+	for e := 1; e <= tunedMaxPhases; e++ {
+		s, ok := rec.Phases[e]
+		if !ok {
+			continue
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e))
+		buf = appendStr(buf, []byte(s))
+	}
+	return buf
+}
+
+// decodeTuned parses one tuned record payload. Total: corrupt input returns
+// an error, never panics or over-allocates (FuzzTunedDecode enforces this).
+func decodeTuned(payload []byte) (TunedRecord, error) {
+	rd := &reader{buf: payload}
+	var rec TunedRecord
+	ver, err := rd.u8()
+	if err != nil {
+		return rec, err
+	}
+	if ver != tunedVersion {
+		return rec, fmt.Errorf("store: tuned record version %d, this build reads %d", ver, tunedVersion)
+	}
+	dims := []*int{&rec.N, &rec.Dim, &rec.Ports}
+	for _, dst := range dims {
+		v, err := rd.u32()
+		if err != nil {
+			return rec, err
+		}
+		*dst = int(v)
+	}
+	if rec.Dim < 1 || rec.Dim > 16 {
+		return rec, fmt.Errorf("store: tuned record dimension %d out of range", rec.Dim)
+	}
+	if rec.N < 2 || rec.N > 1<<24 {
+		return rec, fmt.Errorf("store: tuned record size %d out of range", rec.N)
+	}
+	if rec.Ports < 0 || rec.Ports > 64 {
+		return rec, fmt.Errorf("store: tuned record port count %d out of range", rec.Ports)
+	}
+	if rec.Topology, err = rd.str(); err != nil {
+		return rec, err
+	}
+	if rec.Family, err = rd.str(); err != nil {
+		return rec, err
+	}
+	if rec.Canonical, err = rd.str(); err != nil {
+		return rec, err
+	}
+	pip, err := rd.u8()
+	if err != nil {
+		return rec, err
+	}
+	if pip > 1 {
+		return rec, fmt.Errorf("store: tuned record pipelined flag %d", pip)
+	}
+	rec.Pipelined = pip == 1
+	q, err := rd.u32()
+	if err != nil {
+		return rec, err
+	}
+	rec.PipelineQ = int(q)
+	if rec.PipelineQ < 0 || rec.PipelineQ > 1<<24 {
+		return rec, fmt.Errorf("store: tuned record pipeline depth %d out of range", rec.PipelineQ)
+	}
+	if rec.BaselineMakespan, err = rd.f64(); err != nil {
+		return rec, err
+	}
+	if rec.TunedMakespan, err = rd.f64(); err != nil {
+		return rec, err
+	}
+	cand, err := rd.u32()
+	if err != nil {
+		return rec, err
+	}
+	rec.Candidates = int(cand)
+	nphases, err := rd.u32()
+	if err != nil {
+		return rec, err
+	}
+	if nphases > tunedMaxPhases {
+		return rec, fmt.Errorf("store: tuned record claims %d phases (max %d)", nphases, tunedMaxPhases)
+	}
+	if nphases > 0 {
+		rec.Phases = make(map[int]string, nphases)
+	}
+	for i := uint32(0); i < nphases; i++ {
+		e, err := rd.u32()
+		if err != nil {
+			return rec, err
+		}
+		if e < 1 || e > tunedMaxPhases {
+			return rec, fmt.Errorf("store: tuned record phase dimension %d out of range", e)
+		}
+		if _, dup := rec.Phases[int(e)]; dup {
+			return rec, fmt.Errorf("store: tuned record repeats phase %d", e)
+		}
+		s, err := rd.str()
+		if err != nil {
+			return rec, err
+		}
+		rec.Phases[int(e)] = s
+	}
+	if err := rd.done(); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+// ReadTunedLog decodes a full tuned-log image, returning the records it
+// holds and the offset of the first undecodable byte (== len(data) when the
+// log is clean). Torn-tail and version-skew handling mirror ReadJournal: a
+// CRC/length failure ends replay at that offset, a CRC-valid payload this
+// build cannot read is an error.
+func ReadTunedLog(data []byte) ([]TunedRecord, int64, error) {
+	if len(data) < hdrBytes {
+		return nil, 0, fmt.Errorf("store: tuned log of %d bytes has no header", len(data))
+	}
+	if string(data[:4]) != tunedMagic {
+		return nil, 0, fmt.Errorf("store: bad tuned log magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != fileVersion {
+		return nil, 0, fmt.Errorf("store: tuned log file version %d, this build reads %d", v, fileVersion)
+	}
+	var records []TunedRecord
+	off := int64(hdrBytes)
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			return records, off, nil
+		}
+		if len(rest) < 8 {
+			return records, off, nil // torn frame header
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		crc := binary.LittleEndian.Uint32(rest[4:])
+		if n > maxFrameSize || int(n) < 0 || len(rest) < 8+int(n) {
+			return records, off, nil // torn or garbage frame
+		}
+		payload := rest[8 : 8+int(n)]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return records, off, nil // bit rot or torn write
+		}
+		rec, err := decodeTuned(payload)
+		if err != nil {
+			// CRC-valid but unreadable: version skew, refuse to truncate.
+			return nil, 0, fmt.Errorf("store: tuned record at offset %d: %w", off, err)
+		}
+		records = append(records, rec)
+		off += 8 + int64(n)
+	}
+}
+
+// loadTuned replays the tuned log at Open time (missing file == empty) and
+// truncates a torn tail exactly like the journal path does.
+func (s *Store) loadTuned() error {
+	path := filepath.Join(s.dir, tunedName)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: read tuned log: %w", err)
+	}
+	if len(data) == 0 {
+		return nil // header write raced a crash; next append restamps it
+	}
+	records, good, err := ReadTunedLog(data)
+	if err != nil {
+		return err
+	}
+	s.tuned = records
+	if good < int64(len(data)) {
+		f, err := os.OpenFile(path, os.O_RDWR, 0o666)
+		if err != nil {
+			return fmt.Errorf("store: open tuned log for truncation: %w", err)
+		}
+		defer f.Close()
+		if err := f.Truncate(good); err != nil {
+			return fmt.Errorf("store: truncate torn tuned tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("store: sync truncated tuned log: %w", err)
+		}
+	}
+	return nil
+}
+
+// TunedRecords returns the tuned-schedule records replayed at Open plus any
+// appended since, in log order (replay is last-writer-wins per shape).
+func (s *Store) TunedRecords() []TunedRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TunedRecord, len(s.tuned))
+	copy(out, s.tuned)
+	return out
+}
+
+// AppendTuned serializes, frames and fsyncs one tuned-schedule record onto
+// the tuned log, creating (and header-stamping) the file on first use.
+func (s *Store) AppendTuned(rec TunedRecord) error {
+	payload := encodeTuned(rec)
+	if len(payload) > maxFrameSize {
+		return fmt.Errorf("store: tuned record payload of %d bytes exceeds the %d frame bound", len(payload), maxFrameSize)
+	}
+	frame := make([]byte, 0, 8+len(payload))
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload, castagnoli))
+	frame = append(frame, payload...)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errors.New("store: closed")
+	}
+	path := filepath.Join(s.dir, tunedName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o666)
+	if err != nil {
+		return fmt.Errorf("store: open tuned log: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: stat tuned log: %w", err)
+	}
+	if st.Size() == 0 {
+		hdr := make([]byte, 0, hdrBytes)
+		hdr = append(hdr, tunedMagic...)
+		hdr = binary.LittleEndian.AppendUint32(hdr, fileVersion)
+		if _, err := f.Write(hdr); err != nil {
+			return fmt.Errorf("store: write tuned log header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("store: sync tuned log header: %w", err)
+		}
+		if err := s.syncDir(s.dir); err != nil {
+			return err
+		}
+	} else if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("store: seek tuned log end: %w", err)
+	}
+	if _, err := f.Write(frame); err != nil {
+		return fmt.Errorf("store: append tuned record: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("store: sync tuned log: %w", err)
+	}
+	s.tuned = append(s.tuned, rec)
+	return nil
+}

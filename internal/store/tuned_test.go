@@ -1,0 +1,154 @@
+package store
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleTuned() []TunedRecord {
+	return []TunedRecord{
+		{
+			N: 128, Dim: 3, Ports: 0, Topology: "hypercube",
+			Family: "permuted-BR", Canonical: "pbr",
+			Pipelined: true, PipelineQ: 0,
+			BaselineMakespan: 3.1e6, TunedMakespan: 2.2e6, Candidates: 11,
+		},
+		{
+			N: 64, Dim: 2, Ports: 1, Topology: "hypercube",
+			Family:    "tuned-t3",
+			Phases:    map[int]string{1: "0", 2: "0 1 0"},
+			Pipelined: true, PipelineQ: 2,
+			BaselineMakespan: 9.9e5, TunedMakespan: 9.9e5, Candidates: 7,
+		},
+	}
+}
+
+func TestTunedCodecRoundTrip(t *testing.T) {
+	for _, rec := range sampleTuned() {
+		back, err := decodeTuned(encodeTuned(rec))
+		if err != nil {
+			t.Fatalf("decode %+v: %v", rec, err)
+		}
+		if !reflect.DeepEqual(rec, back) {
+			t.Fatalf("round trip changed record:\n  in  %+v\n  out %+v", rec, back)
+		}
+	}
+}
+
+func TestTunedAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleTuned()
+	for _, rec := range recs {
+		if err := s.AppendTuned(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.TunedRecords(); !reflect.DeepEqual(got, recs) {
+		t.Fatalf("in-memory replay mismatch: %+v", got)
+	}
+	s.Close()
+
+	s, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.TunedRecords(); !reflect.DeepEqual(got, recs) {
+		t.Fatalf("reopen replay mismatch: %+v", got)
+	}
+}
+
+func TestTunedTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleTuned()
+	for _, rec := range recs {
+		if err := s.AppendTuned(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Tear the final frame mid-payload, as a crash mid-append would.
+	path := filepath.Join(dir, tunedName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err = Open(dir)
+	if err != nil {
+		t.Fatalf("torn tuned tail must not fail open: %v", err)
+	}
+	got := s.TunedRecords()
+	if len(got) != len(recs)-1 || !reflect.DeepEqual(got[0], recs[0]) {
+		t.Fatalf("replay after tear = %+v", got)
+	}
+	// The tear must be truncated so the next append lands cleanly.
+	if err := s.AppendTuned(recs[1]); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.TunedRecords(); !reflect.DeepEqual(got, recs) {
+		t.Fatalf("replay after re-append = %+v", got)
+	}
+}
+
+func TestTunedVersionSkewFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendTuned(sampleTuned()[0]); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	path := filepath.Join(dir, tunedName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// File-version skew: refuse to open.
+	skew := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(skew[4:], fileVersion+1)
+	if err := os.WriteFile(path, skew, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("file-version skew opened silently")
+	}
+
+	// Record-version skew inside a CRC-valid frame: also refuse — the
+	// frame is intact, so truncating it would destroy a newer build's data.
+	skew = append([]byte(nil), data...)
+	payload := skew[hdrBytes+8:]
+	payload[0] = tunedVersion + 1
+	binary.LittleEndian.PutUint32(skew[hdrBytes+4:], crcOf(payload))
+	if err := os.WriteFile(path, skew, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("record-version skew opened silently")
+	}
+}

@@ -1,0 +1,146 @@
+package tuner
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/jacobi"
+	"repro/internal/matrix"
+	"repro/internal/ordering"
+)
+
+// Conformance manifest: the shapes the suite proves the tuner's contract
+// over. Kept small enough for CI but covering both port models, odd block
+// loads and more than one cube dimension.
+func conformanceShapes() []Shape {
+	return []Shape{
+		{N: 128, Dim: 3},
+		{N: 96, Dim: 2},
+		{N: 100, Dim: 2},
+		{N: 64, Dim: 2, Ports: 1},
+	}
+}
+
+// Contract point 1: per shape, the winner's analytic makespan never
+// exceeds the unpipelined baseline's, and the baseline figure is the
+// closed-form CC-cube cost — the tuner cannot regress a shape and cannot
+// drift from the paper's reference model.
+func TestConformanceTunedNeverWorse(t *testing.T) {
+	for _, sh := range conformanceShapes() {
+		rep, err := Search(sh, Params{}, Options{Random: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", sh.Key(), err)
+		}
+		w := rep.Winner
+		if w.TunedMakespan > w.BaselineMakespan {
+			t.Errorf("%s: tuned %g > baseline %g", sh.Key(), w.TunedMakespan, w.BaselineMakespan)
+		}
+		model := costmodel.BaselineSweepCost(sh.Dim, costmodel.Params{
+			M: float64(sh.N), Ts: rep.Ts, Tw: rep.Tw, Ports: sh.Ports,
+		})
+		// Even shapes must match the closed form exactly; uneven ones
+		// (larger worst-case block payloads) within the model tolerance.
+		tol := 0.05
+		if sh.N%(2<<uint(sh.Dim)) == 0 {
+			tol = 1e-9
+		}
+		if rel := math.Abs(rep.BaselineMakespan-model) / model; rel > tol {
+			t.Errorf("%s: baseline %g departs from closed-form %g (rel %g)",
+				sh.Key(), rep.BaselineMakespan, model, rel)
+		}
+	}
+}
+
+// Contract point 2: a schedule that round-trips through its persisted
+// record form executes BIT-IDENTICALLY to the in-memory original — same
+// family, same pipelining, same floating-point operation order — on the
+// emulated backend's reference kernels. This is the guarantee that lets
+// the service warm-load schedules from disk without changing any result.
+func TestConformanceSerializedScheduleBitIdentical(t *testing.T) {
+	sh := Shape{N: 96, Dim: 2}
+	rep, err := Search(sh, Params{}, Options{Random: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := rep.Winner
+	back, err := ScheduleFromRecord(w.Record())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.RandomSymmetric(sh.N, rand.New(rand.NewSource(77)))
+	run := func(sc *Schedule) *jacobi.EigenResult {
+		fam, err := sc.Family()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := jacobi.ParallelConfig{Family: fam, Ts: 1000, Tw: 100, PipelineQ: sc.PipelineQ}
+		eig, _, err := jacobi.SolveParallelContext(context.Background(), a, sh.Dim, cfg, sc.Pipelined)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eig
+	}
+	orig, loaded := run(w), run(back)
+	if len(orig.Values) != len(loaded.Values) {
+		t.Fatalf("value counts differ: %d vs %d", len(orig.Values), len(loaded.Values))
+	}
+	for i := range orig.Values {
+		if orig.Values[i] != loaded.Values[i] {
+			t.Fatalf("eigenvalue %d differs bitwise: %x vs %x",
+				i, math.Float64bits(orig.Values[i]), math.Float64bits(loaded.Values[i]))
+		}
+	}
+	if orig.Sweeps != loaded.Sweeps || orig.Rotations != loaded.Rotations {
+		t.Fatalf("execution diverged: sweeps %d/%d rotations %d/%d",
+			orig.Sweeps, loaded.Sweeps, orig.Rotations, loaded.Rotations)
+	}
+}
+
+// Contract point 3: a tuned plan changes the rotation order, not the
+// spectrum — its converged eigenvalues agree with the baseline ordering's
+// to well within the convergence tolerance (the same tolerance-level
+// agreement DESIGN.md grants communication pipelining, note 11).
+func TestConformanceEigenvaluesMatchBaseline(t *testing.T) {
+	for _, sh := range conformanceShapes()[:2] {
+		rep, err := Search(sh, Params{}, Options{Random: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", sh.Key(), err)
+		}
+		a := matrix.RandomSymmetric(sh.N, rand.New(rand.NewSource(int64(sh.N))))
+		base, err := ordering.FamilyByName("pbr")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, _, err := jacobi.SolveParallel(a, sh.Dim, jacobi.ParallelConfig{Family: base, Ts: 1000, Tw: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fam, err := rep.Winner.Family()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := jacobi.ParallelConfig{Family: fam, Ts: 1000, Tw: 100, PipelineQ: rep.Winner.PipelineQ}
+		tuned, _, err := jacobi.SolveParallelContext(context.Background(), a, sh.Dim, cfg, rep.Winner.Pipelined)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ref.Converged || !tuned.Converged {
+			t.Fatalf("%s: convergence ref=%v tuned=%v", sh.Key(), ref.Converged, tuned.Converged)
+		}
+		rv := append([]float64(nil), ref.Values...)
+		tv := append([]float64(nil), tuned.Values...)
+		sort.Float64s(rv)
+		sort.Float64s(tv)
+		scale := math.Max(math.Abs(rv[0]), math.Abs(rv[len(rv)-1]))
+		for i := range rv {
+			if diff := math.Abs(rv[i] - tv[i]); diff > 1e-8*scale {
+				t.Errorf("%s: eigenvalue %d: baseline %g vs tuned %g (diff %g)",
+					sh.Key(), i, rv[i], tv[i], diff)
+			}
+		}
+	}
+}

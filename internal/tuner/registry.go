@@ -1,0 +1,137 @@
+package tuner
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// maxShapeKeys caps the named shape keys in the per-shape hit/miss maps the
+// registry exports to /metrics; lookups beyond the cap fold into the "other"
+// bucket (one extra key) so an adversarial shape mix cannot grow the metrics
+// payload without bound.
+const maxShapeKeys = 256
+
+// shapeOverflowKey aggregates per-shape counters past maxShapeKeys.
+const shapeOverflowKey = "other"
+
+// Registry holds the tuned schedules the service consults per job shape,
+// with per-shape hit/miss accounting so a miss-heavy workload is
+// diagnosable from /metrics alone. Safe for concurrent use.
+type Registry struct {
+	mu          sync.Mutex
+	byShape     map[string]*Schedule
+	hits        int64
+	misses      int64
+	shapeHits   map[string]int64
+	shapeMisses map[string]int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byShape:     make(map[string]*Schedule),
+		shapeHits:   make(map[string]int64),
+		shapeMisses: make(map[string]int64),
+	}
+}
+
+// Install adds or replaces the schedule for its shape (last writer wins,
+// matching tuned-log replay order).
+func (r *Registry) Install(sc *Schedule) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.byShape[sc.Shape.Key()] = sc
+}
+
+// Lookup returns the tuned schedule for a shape, counting the outcome
+// globally and per shape key.
+func (r *Registry) Lookup(shape Shape) *Schedule {
+	key := shape.Key()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sc, ok := r.byShape[key]
+	if ok {
+		r.hits++
+		bump(r.shapeHits, key)
+		return sc
+	}
+	r.misses++
+	bump(r.shapeMisses, key)
+	return nil
+}
+
+// bump increments m[key], folding new keys into the overflow bucket once
+// the map is at capacity.
+func bump(m map[string]int64, key string) {
+	if _, ok := m[key]; !ok && len(m) >= maxShapeKeys {
+		key = shapeOverflowKey
+	}
+	m[key]++
+}
+
+// Len returns the number of installed schedules.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byShape)
+}
+
+// Schedules returns the installed schedules sorted by shape key.
+func (r *Registry) Schedules() []*Schedule {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Schedule, 0, len(r.byShape))
+	for _, sc := range r.byShape {
+		out = append(out, sc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Shape.Key() < out[j].Shape.Key() })
+	return out
+}
+
+// Stats is a point-in-time copy of the registry's counters.
+type Stats struct {
+	Schedules   int
+	Hits        int64
+	Misses      int64
+	ShapeHits   map[string]int64
+	ShapeMisses map[string]int64
+}
+
+// Stats returns a copy of the counters (maps are cloned).
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := Stats{
+		Schedules:   len(r.byShape),
+		Hits:        r.hits,
+		Misses:      r.misses,
+		ShapeHits:   make(map[string]int64, len(r.shapeHits)),
+		ShapeMisses: make(map[string]int64, len(r.shapeMisses)),
+	}
+	for k, v := range r.shapeHits {
+		st.ShapeHits[k] = v
+	}
+	for k, v := range r.shapeMisses {
+		st.ShapeMisses[k] = v
+	}
+	return st
+}
+
+// LoadRegistry warm-loads a registry from the store's tuned-schedule log.
+// Records replay in log order (last writer wins per shape); a record that
+// fails validation poisons the load — the log is CRC-guarded, so an
+// unreadable record means version skew, not bit rot, and silently dropping
+// it would downgrade service behavior without a trace.
+func LoadRegistry(st *store.Store) (*Registry, error) {
+	r := NewRegistry()
+	for _, rec := range st.TunedRecords() {
+		sc, err := ScheduleFromRecord(rec)
+		if err != nil {
+			return nil, err
+		}
+		r.Install(sc)
+	}
+	return r, nil
+}

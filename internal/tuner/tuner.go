@@ -1,0 +1,207 @@
+// Package tuner is the ordering auto-tuner (DESIGN.md §14): it searches
+// Jacobi ordering families and sequence transforms per job shape
+// (n, d, topology, ports), using the analytic execution backend — which
+// replays the paper's timing model in microseconds — as the search oracle,
+// and keeps the winners in a registry the batch-solve service consults on
+// every submit.
+//
+// Contract (enforced by Search and the conformance suite):
+//
+//   - every candidate is a legal Jacobi ordering — each sweep covers all
+//     column pairs exactly once (ordering.VerifySweepColumns);
+//   - every scored makespan is validated against the closed-form cost
+//     model (costmodel.BaselineSweepCost / PipelinedSweepCost);
+//   - the winner's analytic makespan is ≤ the baseline ordering's — the
+//     baseline itself is always candidate zero, so tuning can only help;
+//   - a tuned schedule round-trips bit-identically through serialization
+//     (store.TunedRecord): running the reloaded schedule produces exactly
+//     the results of the in-memory one.
+//
+// Winners are persisted through internal/store as CRC-framed tuned-schedule
+// records and warm-loaded at boot (LoadRegistry), so every cached win
+// speeds all future traffic across restarts.
+package tuner
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/ordering"
+	"repro/internal/store"
+)
+
+// TopologyHypercube is the only modeled network today; the shape keeps the
+// field so Z-cube and LACIN variants (ROADMAP item 2) slot in without a
+// record-format change.
+const TopologyHypercube = "hypercube"
+
+// Shape identifies a class of jobs the tuner optimizes as one unit: matrix
+// size, cube dimension, network topology, and the port model.
+type Shape struct {
+	N   int
+	Dim int
+	// Ports is the number of simultaneously usable links per node
+	// (0 = all-port, 1 = one-port), mirroring costmodel.Params.Ports.
+	Ports int
+	// Topology names the modeled network; empty means TopologyHypercube.
+	Topology string
+}
+
+// normalize fills defaulted fields.
+func (sh Shape) normalize() Shape {
+	if sh.Topology == "" {
+		sh.Topology = TopologyHypercube
+	}
+	return sh
+}
+
+// Key is the canonical registry and metrics key, e.g. "hypercube/n512/d3/p0".
+func (sh Shape) Key() string {
+	sh = sh.normalize()
+	return fmt.Sprintf("%s/n%d/d%d/p%d", sh.Topology, sh.N, sh.Dim, sh.Ports)
+}
+
+// validate rejects shapes the engine cannot run.
+func (sh Shape) validate() error {
+	sh = sh.normalize()
+	if sh.Dim < 1 || sh.Dim > 16 {
+		return fmt.Errorf("tuner: shape dimension %d out of range [1,16]", sh.Dim)
+	}
+	if minN := 2 << uint(sh.Dim); sh.N < minN {
+		return fmt.Errorf("tuner: shape size %d below the %d blocks of a %d-cube", sh.N, minN, sh.Dim)
+	}
+	if sh.Ports < 0 || sh.Ports > 64 {
+		return fmt.Errorf("tuner: shape port count %d out of range", sh.Ports)
+	}
+	if sh.Topology != TopologyHypercube {
+		return fmt.Errorf("tuner: unknown topology %q", sh.Topology)
+	}
+	return nil
+}
+
+// Schedule is one tuned execution plan for a shape: the winning ordering
+// (canonical family or serialized phases) plus its pipelining plan, and the
+// analytic makespans that justified it.
+type Schedule struct {
+	Shape Shape
+	// FamilyName is the winner's display name.
+	FamilyName string
+	// Canonical is the winner's CLI name (ordering.FamilyByName) when it is
+	// one of the paper families; empty for transform-derived winners.
+	Canonical string
+	// Phases holds the serialized phase sequences (sequence.ParseSeq
+	// notation, keyed by phase dimension) for non-canonical winners.
+	Phases map[int]string
+	// Pipelined / PipelineQ is the execution plan (PipelineQ 0 lets the
+	// engine pick the cost-model optimum per phase).
+	Pipelined bool
+	PipelineQ int
+	// BaselineMakespan and TunedMakespan are analytic one-sweep makespans
+	// for the shape's baseline ordering and this schedule.
+	BaselineMakespan float64
+	TunedMakespan    float64
+	// Candidates is how many legal candidates the search scored.
+	Candidates int
+}
+
+// Family materializes the runnable ordering family: the canonical family by
+// name, or the serialized phases parsed and validated through
+// ordering.FamilyFromSerialized. The engine executes either identically to
+// a compile-time family.
+func (sc *Schedule) Family() (ordering.Family, error) {
+	if sc.Canonical != "" {
+		return ordering.FamilyByName(sc.Canonical)
+	}
+	return ordering.FamilyFromSerialized(sc.FamilyName, sc.Phases)
+}
+
+// Gain is the analytic one-sweep makespan saved versus the baseline
+// ordering (never negative for schedules produced by Search).
+func (sc *Schedule) Gain() float64 {
+	g := sc.BaselineMakespan - sc.TunedMakespan
+	if g < 0 {
+		return 0
+	}
+	return g
+}
+
+// Fingerprint hashes the execution plan (shape, ordering, pipelining) so
+// the service can fold "which schedule ran" into its result-cache job
+// fingerprints: a re-tuned shape must not be served another plan's cached
+// result.
+func (sc *Schedule) Fingerprint() uint64 {
+	h := fnv.New64a()
+	add := func(s string) {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	add(sc.Shape.Key())
+	add(sc.FamilyName)
+	add(sc.Canonical)
+	dims := make([]int, 0, len(sc.Phases))
+	for e := range sc.Phases {
+		dims = append(dims, e)
+	}
+	sort.Ints(dims)
+	for _, e := range dims {
+		add(fmt.Sprintf("%d=%s", e, sc.Phases[e]))
+	}
+	add(fmt.Sprintf("pipe=%v/q=%d", sc.Pipelined, sc.PipelineQ))
+	return h.Sum64()
+}
+
+// Record converts the schedule to its persistent store form.
+func (sc *Schedule) Record() store.TunedRecord {
+	sh := sc.Shape.normalize()
+	var phases map[int]string
+	if len(sc.Phases) > 0 {
+		phases = make(map[int]string, len(sc.Phases))
+		for e, s := range sc.Phases {
+			phases[e] = s
+		}
+	}
+	return store.TunedRecord{
+		N:                sh.N,
+		Dim:              sh.Dim,
+		Ports:            sh.Ports,
+		Topology:         sh.Topology,
+		Family:           sc.FamilyName,
+		Canonical:        sc.Canonical,
+		Phases:           phases,
+		Pipelined:        sc.Pipelined,
+		PipelineQ:        sc.PipelineQ,
+		BaselineMakespan: sc.BaselineMakespan,
+		TunedMakespan:    sc.TunedMakespan,
+		Candidates:       sc.Candidates,
+	}
+}
+
+// ScheduleFromRecord validates and converts a persisted record back into a
+// runnable schedule. The ordering is materialized once here so a corrupt or
+// skewed record is rejected at load time, not at job time.
+func ScheduleFromRecord(rec store.TunedRecord) (*Schedule, error) {
+	sc := &Schedule{
+		Shape:            Shape{N: rec.N, Dim: rec.Dim, Ports: rec.Ports, Topology: rec.Topology}.normalize(),
+		FamilyName:       rec.Family,
+		Canonical:        rec.Canonical,
+		Pipelined:        rec.Pipelined,
+		PipelineQ:        rec.PipelineQ,
+		BaselineMakespan: rec.BaselineMakespan,
+		TunedMakespan:    rec.TunedMakespan,
+		Candidates:       rec.Candidates,
+	}
+	if len(rec.Phases) > 0 {
+		sc.Phases = make(map[int]string, len(rec.Phases))
+		for e, s := range rec.Phases {
+			sc.Phases[e] = s
+		}
+	}
+	if err := sc.Shape.validate(); err != nil {
+		return nil, err
+	}
+	if _, err := sc.Family(); err != nil {
+		return nil, fmt.Errorf("tuner: tuned record for %s: %w", sc.Shape.Key(), err)
+	}
+	return sc, nil
+}

@@ -1,0 +1,197 @@
+package tuner
+
+import (
+	"testing"
+
+	"repro/internal/store"
+)
+
+func testShape() Shape { return Shape{N: 128, Dim: 3} }
+
+func TestSearchWinnerBeatsOrMatchesBaseline(t *testing.T) {
+	rep, err := Search(testShape(), Params{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Winner == nil {
+		t.Fatal("no winner")
+	}
+	w := rep.Winner
+	if w.TunedMakespan > w.BaselineMakespan {
+		t.Fatalf("winner makespan %g exceeds baseline %g", w.TunedMakespan, w.BaselineMakespan)
+	}
+	if w.BaselineMakespan != rep.BaselineMakespan {
+		t.Fatalf("winner baseline %g != report baseline %g", w.BaselineMakespan, rep.BaselineMakespan)
+	}
+	// With the paper's Ts=1000/Tw=100, pipelining strictly beats the
+	// unpipelined CC-cube baseline; a tuner that cannot find that gain is
+	// broken.
+	if w.Gain() <= 0 {
+		t.Fatalf("expected a strict analytic gain, got winner %+v", w)
+	}
+	if len(rep.Scored) < 5 {
+		t.Fatalf("scored only %d candidates: %+v", len(rep.Scored), rep.Scored)
+	}
+	for _, sc := range rep.Scored {
+		if sc.Rejected != "" {
+			t.Errorf("candidate %s rejected: %s", sc.Name, sc.Rejected)
+		}
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	a, err := Search(testShape(), Params{}, Options{Random: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(testShape(), Params{}, Options{Random: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Winner.Fingerprint() != b.Winner.Fingerprint() {
+		t.Fatalf("winners differ across identical searches: %+v vs %+v", a.Winner, b.Winner)
+	}
+	if a.Winner.TunedMakespan != b.Winner.TunedMakespan {
+		t.Fatalf("makespans differ: %g vs %g", a.Winner.TunedMakespan, b.Winner.TunedMakespan)
+	}
+}
+
+func TestSearchRejectsBadShapes(t *testing.T) {
+	for _, sh := range []Shape{
+		{N: 8, Dim: 3},                       // too small for 16 blocks
+		{N: 128, Dim: 0},                     // no cube
+		{N: 128, Dim: 3, Ports: -1},          // negative ports
+		{N: 1 << 20, Dim: 17},                // dimension out of range
+		{N: 128, Dim: 3, Topology: "z-cube"}, // not modeled yet
+	} {
+		if _, err := Search(sh, Params{}, Options{Random: 0}); err == nil {
+			t.Errorf("shape %+v: expected error", sh)
+		}
+	}
+}
+
+func TestScheduleRecordRoundTrip(t *testing.T) {
+	rep, err := Search(testShape(), Params{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := rep.Winner
+	back, err := ScheduleFromRecord(w.Record())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != w.Fingerprint() {
+		t.Fatalf("fingerprint changed across record round-trip: %+v vs %+v", back, w)
+	}
+	if back.TunedMakespan != w.TunedMakespan || back.BaselineMakespan != w.BaselineMakespan {
+		t.Fatalf("makespans changed across round-trip: %+v vs %+v", back, w)
+	}
+	if _, err := back.Family(); err != nil {
+		t.Fatalf("round-tripped schedule is not runnable: %v", err)
+	}
+}
+
+func TestScheduleFromRecordRejectsCorrupt(t *testing.T) {
+	good := (&Schedule{
+		Shape:      testShape(),
+		FamilyName: "permuted-BR",
+		Canonical:  "pbr",
+	}).Record()
+
+	bad := good
+	bad.Dim = 0
+	if _, err := ScheduleFromRecord(bad); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	bad = good
+	bad.Canonical = "no-such-family"
+	if _, err := ScheduleFromRecord(bad); err == nil {
+		t.Error("unknown canonical family accepted")
+	}
+	bad = good
+	bad.Canonical = ""
+	bad.Phases = map[int]string{2: "0 0 0"} // not an e-sequence
+	if _, err := ScheduleFromRecord(bad); err == nil {
+		t.Error("illegal phase sequence accepted")
+	}
+}
+
+func TestRegistryCounters(t *testing.T) {
+	r := NewRegistry()
+	sh := testShape()
+	r.Install(&Schedule{Shape: sh, FamilyName: "BR", Canonical: "br"})
+
+	if sc := r.Lookup(sh); sc == nil {
+		t.Fatal("expected hit")
+	}
+	other := Shape{N: 256, Dim: 2}
+	if sc := r.Lookup(other); sc != nil {
+		t.Fatal("expected miss")
+	}
+	st := r.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Schedules != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ShapeHits[sh.Key()] != 1 {
+		t.Fatalf("per-shape hits = %v", st.ShapeHits)
+	}
+	if st.ShapeMisses[other.Key()] != 1 {
+		t.Fatalf("per-shape misses = %v", st.ShapeMisses)
+	}
+}
+
+func TestRegistryShapeOverflowBucket(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < maxShapeKeys+10; i++ {
+		r.Lookup(Shape{N: 64 + 2*i, Dim: 2})
+	}
+	st := r.Stats()
+	if len(st.ShapeMisses) > maxShapeKeys+1 {
+		t.Fatalf("per-shape map grew to %d keys", len(st.ShapeMisses))
+	}
+	if st.ShapeMisses[shapeOverflowKey] != 10 {
+		t.Fatalf("overflow bucket = %d, want 10", st.ShapeMisses[shapeOverflowKey])
+	}
+	if st.Misses != int64(maxShapeKeys+10) {
+		t.Fatalf("total misses = %d", st.Misses)
+	}
+}
+
+func TestLoadRegistryLastWriterWins(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := testShape()
+	first := &Schedule{Shape: sh, FamilyName: "BR", Canonical: "br", BaselineMakespan: 10, TunedMakespan: 9}
+	second := &Schedule{Shape: sh, FamilyName: "permuted-BR", Canonical: "pbr", Pipelined: true, BaselineMakespan: 10, TunedMakespan: 5}
+	otherShape := Shape{N: 256, Dim: 2, Ports: 1}
+	other := &Schedule{Shape: otherShape, FamilyName: "degree-4", Canonical: "d4", Pipelined: true}
+	for _, sc := range []*Schedule{first, second, other} {
+		if err := st.AppendTuned(sc.Record()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	st, err = store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	reg, err := LoadRegistry(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 2 {
+		t.Fatalf("loaded %d schedules, want 2", reg.Len())
+	}
+	got := reg.Lookup(sh)
+	if got == nil || got.Canonical != "pbr" || !got.Pipelined {
+		t.Fatalf("lookup returned %+v, want the later pbr schedule", got)
+	}
+	if reg.Lookup(otherShape) == nil {
+		t.Fatal("other shape missing")
+	}
+}
