@@ -1,0 +1,149 @@
+// Command jacobilint mechanically enforces the repo's cross-cutting
+// invariants (DESIGN.md §15) with a suite of go/analysis passes:
+//
+//	guardedfield   — 'guarded by <mu>' fields only touched under the mutex
+//	errwrapcheck   — Err* sentinels via errors.Is/As and %w wrapping
+//	boundeddecode  — wire-decode make() sizes bounds-checked before allocation
+//	noallochot     — //jacobi:noalloc kernel entry points stay allocation-free
+//	detiter        — no map-iteration order leaking into schedules/fingerprints
+//	lintdirective  — the //lint:allow escape hatch names a real analyzer + reason
+//
+// It is a vet tool. Two invocation modes:
+//
+//	go vet -vettool=$(which jacobilint) ./...   # unitchecker protocol
+//	jacobilint ./...                            # standalone: re-execs go vet
+//
+// Findings are suppressed by an inline directive on the flagged line or
+// the line above it:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// Standalone mode prints a summary of the allow directives in force, so
+// suppressed findings stay visible rather than silently vanishing.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/analysis/boundeddecode"
+	"repro/internal/analysis/detiter"
+	"repro/internal/analysis/errwrapcheck"
+	"repro/internal/analysis/guardedfield"
+	"repro/internal/analysis/lintutil"
+	"repro/internal/analysis/noallochot"
+)
+
+func analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		guardedfield.Analyzer,
+		errwrapcheck.Analyzer,
+		boundeddecode.Analyzer,
+		noallochot.Analyzer,
+		detiter.Analyzer,
+		lintutil.DirectiveAnalyzer,
+	}
+}
+
+func main() {
+	// go vet invokes the tool as `jacobilint <file>.cfg` (plus a -V=full
+	// handshake); anything else is a human asking for standalone mode.
+	if len(os.Args) >= 2 && (strings.HasSuffix(os.Args[1], ".cfg") || strings.HasPrefix(os.Args[1], "-")) {
+		unitchecker.Main(analyzers()...) // does not return
+	}
+	os.Exit(standalone(os.Args[1:]))
+}
+
+// standalone re-executes the binary through go vet, which owns package
+// loading, export data and the unitchecker fan-out. Exit codes follow
+// jacobitool's convention: 0 clean, 1 findings or runtime failure,
+// 2 usage errors.
+func standalone(patterns []string) int {
+	if len(patterns) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: jacobilint <packages>   (e.g. jacobilint ./...)")
+		return 2
+	}
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jacobilint: cannot locate own binary: %v\n", err)
+		return 1
+	}
+	if self, err = filepath.EvalSymlinks(self); err != nil {
+		fmt.Fprintf(os.Stderr, "jacobilint: resolve binary path: %v\n", err)
+		return 1
+	}
+	args := append([]string{"vet", "-vettool=" + self}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "jacobilint: exec go vet: %v\n", err)
+		return 1
+	}
+	reportAllows(patterns)
+	return 0
+}
+
+// reportAllows surfaces the //lint:allow directives in force under the
+// linted packages: the escape hatch is honored, not hidden.
+func reportAllows(patterns []string) {
+	var roots []string
+	for _, p := range patterns {
+		p = strings.TrimSuffix(p, "...")
+		p = strings.TrimSuffix(p, "/")
+		if p == "" || p == "." {
+			p = "."
+		}
+		roots = append(roots, p)
+	}
+	n := 0
+	for _, root := range roots {
+		filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return nil
+			}
+			if d.IsDir() {
+				base := d.Name()
+				if base == "vendor" || base == "testdata" || strings.HasPrefix(base, ".") && path != root {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				// The report surfaces waivers in shipped code; test files
+				// may quote directives as string literals.
+				return nil
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return nil
+			}
+			for i, line := range strings.Split(string(data), "\n") {
+				idx := strings.Index(line, "//lint:allow ")
+				if idx < 0 || strings.Contains(line[:idx], "//") {
+					continue // prose inside a doc comment, not a directive
+				}
+				fields := strings.Fields(line[idx+len("//lint:allow "):])
+				if len(fields) < 2 || !lintutil.KnownAnalyzers[fields[0]] {
+					continue // malformed: lintdirective flags it as a finding
+				}
+				fmt.Fprintf(os.Stderr, "jacobilint: allow in force at %s:%d: %s\n", path, i+1, strings.TrimSpace(line[idx:]))
+				n++
+			}
+			return nil
+		})
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "jacobilint: %d allow directive(s) in force\n", n)
+	}
+}

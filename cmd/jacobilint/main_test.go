@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLintSelf builds jacobilint and runs it over the whole module. The
+// tree must be lint-clean: every intentional exception carries a
+// //lint:allow directive, and those directives are reported on stderr so
+// reviewers see what is being waived.
+func TestLintSelf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs go vet over the full module")
+	}
+	bin := filepath.Join(t.TempDir(), "jacobilint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = filepath.Join("..", "..") // module root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("jacobilint ./... failed (module is not lint-clean): %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "allow in force") {
+		t.Errorf("expected the allow-directive report on stderr, got:\n%s", out)
+	}
+}
+
+// TestVersionFlag pins the unitchecker handshake: go vet probes its
+// -vettool with -V=full and expects a single version line and exit 0.
+func TestVersionFlag(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "jacobilint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-V=full").CombinedOutput()
+	if err != nil {
+		t.Fatalf("jacobilint -V=full: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "version") {
+		t.Errorf("-V=full output does not look like a version line: %q", out)
+	}
+}

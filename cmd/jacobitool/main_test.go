@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildSelf compiles the jacobitool binary into a temp dir and returns its
+// path. Exit-code semantics are part of the CLI contract (scripts and the
+// conformance suites branch on them), so they are pinned against the real
+// binary rather than unit-tested through main.
+func buildSelf(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "jacobitool")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func exitCode(t *testing.T, err error) int {
+	t.Helper()
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if !strings.Contains(err.Error(), "exit status") {
+		t.Fatalf("running binary: %v", err)
+	}
+	ee = err.(*exec.ExitError)
+	return ee.ExitCode()
+}
+
+func TestExitCodes(t *testing.T) {
+	bin := buildSelf(t)
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no args is a usage error", nil, 2},
+		{"unknown command is a usage error", []string{"frobnicate"}, 2},
+		{"bad flag is a usage error surfaced as runtime", []string{"verify", "-nosuchflag"}, 1},
+		{"runtime error", []string{"watch"}, 1}, // missing -remote and job id
+		{"help succeeds", []string{"help"}, 0},
+		{"verify succeeds", []string{"verify", "-d", "2", "-sweeps", "1"}, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			out, err := exec.Command(bin, c.args...).CombinedOutput()
+			if got := exitCode(t, err); got != c.want {
+				t.Errorf("jacobitool %v: exit %d, want %d\noutput:\n%s", c.args, got, c.want, out)
+			}
+		})
+	}
+}

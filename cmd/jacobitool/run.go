@@ -50,7 +50,7 @@ func cmdVerify(args []string) error {
 	}
 	for _, o := range core.Orderings() {
 		if err := core.VerifyOrdering(o, *d, *sweeps); err != nil {
-			return fmt.Errorf("%s: %v", o, err)
+			return fmt.Errorf("%s: %w", o, err)
 		}
 		fmt.Printf("%-9s d=%d: %d sweeps verified — every block pair exactly once per sweep, CC-cube property holds\n",
 			o, *d, *sweeps)

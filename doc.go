@@ -56,6 +56,13 @@
 //     and auto-selects the tuned plan for eligible jobs (opt out with
 //     `serve -no-tuned`), reporting tuned hits and makespan gain on
 //     /metrics (DESIGN.md §14)
+//   - internal/analysis: jacobilint, a go/analysis suite that
+//     mechanically enforces the repo's invariants — guarded-by mutex
+//     discipline, errors.Is/%w sentinel hygiene, bounded decode-time
+//     allocations, //jacobi:noalloc kernels, and deterministic
+//     map-iteration in ordering/tuner code — with a mandatory-reason
+//     //lint:allow escape hatch; cmd/jacobilint runs standalone or as
+//     `go vet -vettool` and CI's lint job gates on it (DESIGN.md §15)
 //   - cmd/jacobitool: command-line access to everything, including
 //     `jacobitool serve` (the service over HTTP), `submit`/`watch`
 //     (one-shot client runs, local or -remote, with live event

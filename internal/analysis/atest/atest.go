@@ -1,0 +1,188 @@
+// Package atest is a self-contained stand-in for
+// golang.org/x/tools/go/analysis/analysistest (which the toolchain does
+// not vendor): it loads golden-fixture packages from a testdata/src
+// tree, type-checks them against the standard library via the source
+// importer, runs an analyzer (and its Requires closure), and matches
+// the reported diagnostics against // want "regexp" comments.
+//
+// Expectation grammar, analysistest-compatible for the subset we use:
+// a comment `// want "re1" "re2"` on a line means exactly those
+// diagnostics (each matching its regexp) are expected on that line.
+// Diagnostics with no matching want, and wants with no matching
+// diagnostic, both fail the test.
+package atest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads testdata/src/<pkgpath> under dir and applies the analyzer,
+// matching diagnostics against // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	pkgdir := filepath.Join(dir, "src", pkgpath)
+	entries, err := os.ReadDir(pkgdir)
+	if err != nil {
+		t.Fatalf("atest: read fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(pkgdir, e.Name())
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("atest: parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("atest: no Go files under %s", pkgdir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(pkgpath, fset, files, info)
+	if err != nil {
+		t.Fatalf("atest: type-check %s: %v", pkgpath, err)
+	}
+
+	var diags []analysis.Diagnostic
+	runAnalyzer(t, a, fset, files, pkg, info, &diags, make(map[*analysis.Analyzer]interface{}))
+
+	checkWants(t, fset, files, diags)
+}
+
+// runAnalyzer runs a and its Requires closure, memoizing results.
+func runAnalyzer(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, files []*ast.File,
+	pkg *types.Package, info *types.Info, diags *[]analysis.Diagnostic,
+	results map[*analysis.Analyzer]interface{}) interface{} {
+	t.Helper()
+	if res, done := results[a]; done {
+		return res
+	}
+	resultOf := make(map[*analysis.Analyzer]interface{})
+	for _, req := range a.Requires {
+		resultOf[req] = runAnalyzer(t, req, fset, files, pkg, info, diags, results)
+	}
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   resultOf,
+		Report: func(d analysis.Diagnostic) {
+			*diags = append(*diags, d)
+		},
+		ReadFile:          os.ReadFile,
+		ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+		ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+		ExportObjectFact:  func(types.Object, analysis.Fact) {},
+		ExportPackageFact: func(analysis.Fact) {},
+		AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		t.Fatalf("atest: analyzer %s: %v", a.Name, err)
+	}
+	// Only the analyzer under test contributes diagnostics to matching;
+	// prerequisite passes like inspect never report anyway.
+	results[a] = res
+	return res
+}
+
+var wantRe = regexp.MustCompile("// want((?: (?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)")
+var wantArgRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range wantArgRe.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("atest: %s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("atest: %s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+	if t.Failed() {
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			t.Logf("reported: %s:%d: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package boundeddecode_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/boundeddecode"
+)
+
+func TestBoundedDecode(t *testing.T) {
+	atest.Run(t, "testdata", boundeddecode.Analyzer, "store")
+}
+
+func TestOutOfScope(t *testing.T) {
+	atest.Run(t, "testdata", boundeddecode.Analyzer, "outofscope")
+}

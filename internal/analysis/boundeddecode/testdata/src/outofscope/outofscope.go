@@ -1,0 +1,10 @@
+// Package outofscope is outside the decodepkgs scope: the same
+// unguarded make() reports nothing here.
+package outofscope
+
+import "encoding/binary"
+
+func decode(buf []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(buf))
+	return make([]byte, n)
+}

@@ -1,0 +1,62 @@
+// Package store exercises the boundeddecode analyzer (the fixture is
+// named store so it falls inside the default decodepkgs scope): make()
+// sizes from decoded wire bytes must see a bound comparison first.
+package store
+
+import "encoding/binary"
+
+const maxFrameSize = 1 << 20
+
+type reader struct{ buf []byte }
+
+func (r *reader) u32() int { return int(binary.LittleEndian.Uint32(r.buf)) }
+
+func decodeBad(buf []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(buf))
+	return make([]byte, n) // want `make\(\) sized by n without a prior bound check`
+}
+
+func decodeGood(buf []byte) ([]byte, bool) {
+	n := int(binary.LittleEndian.Uint32(buf))
+	if n > maxFrameSize {
+		return nil, false
+	}
+	return make([]byte, n), true
+}
+
+func decodeLenOK(buf []byte) []byte {
+	return make([]byte, len(buf))
+}
+
+func decodeConstOK() []byte {
+	return make([]byte, 64)
+}
+
+func decodeMinOK(n int) []byte {
+	return make([]byte, min(n, maxFrameSize))
+}
+
+func decodeCallBad(r *reader) []byte {
+	return make([]byte, r.u32()) // want `make\(\) sized by r\.u32\(\) without a prior bound check`
+}
+
+func decodeCallGood(r *reader) []byte {
+	n := r.u32()
+	if n > maxFrameSize {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+func decodeRemainingGood(buf []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(buf))
+	if n > len(buf)-4 {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+func encodeAllowed(rows int) []byte {
+	//lint:allow boundeddecode encode side: rows is an in-memory engine dimension, not wire input
+	return make([]byte, 16*rows)
+}

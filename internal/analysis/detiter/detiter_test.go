@@ -1,0 +1,12 @@
+package detiter_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/detiter"
+)
+
+func TestDetIter(t *testing.T) {
+	atest.Run(t, "testdata", detiter.Analyzer, "ordering")
+}

@@ -1,0 +1,81 @@
+// Package ordering exercises the detiter analyzer (the fixture is named
+// ordering so it falls inside the default detpkgs scope): map iteration
+// must not feed order-sensitive sinks.
+package ordering
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+func badAppend(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want `append to out inside map iteration: order is randomized`
+	}
+	return out
+}
+
+func goodCollectThenSort(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func badFloatSum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point \+= inside map iteration: summation order changes rounding`
+	}
+	return sum
+}
+
+func goodIntSum(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func badSend(m map[int]int, ch chan int) {
+	for k := range m {
+		ch <- k // want `channel send inside map iteration delivers in random order`
+	}
+}
+
+func badHash(m map[string]int) uint64 {
+	h := fnv.New64a()
+	for k := range m {
+		h.Write([]byte(k)) // want `Write call inside map iteration feeds a hash/fingerprint in random order`
+	}
+	return h.Sum64()
+}
+
+func badConcat(m map[string]bool) string {
+	s := ""
+	for k := range m {
+		s += k // want `string concatenation inside map iteration builds a random-order value`
+	}
+	return s
+}
+
+func goodSliceRange(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+func allowedAppend(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		//lint:allow detiter the consumer treats this as an unordered set
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+// Package errwrapcheck enforces the repo's sentinel-error discipline
+// (DESIGN.md §15): package-level Err* sentinels must be matched with
+// errors.Is / errors.As — never ==/!= (wrapped errors make direct
+// comparison silently wrong) — and fmt.Errorf calls that embed an error
+// must wrap it with %w so errors.Is keeps seeing through the new layer.
+package errwrapcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"repro/internal/analysis/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "errwrapcheck",
+	Doc:      "sentinel errors must be compared with errors.Is/As and embedded with %w",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	allows := lintutil.CollectAllows(pass)
+
+	nodeFilter := []ast.Node{
+		(*ast.BinaryExpr)(nil),
+		(*ast.SwitchStmt)(nil),
+		(*ast.CallExpr)(nil),
+	}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return
+			}
+			if name, ok := sentinelName(pass, n.X); ok && !isNil(pass, n.Y) {
+				report(pass, allows, n.OpPos, n.Op, name)
+			} else if name, ok := sentinelName(pass, n.Y); ok && !isNil(pass, n.X) {
+				report(pass, allows, n.OpPos, n.Op, name)
+			}
+		case *ast.SwitchStmt:
+			// switch err { case ErrX: } is an == comparison in disguise.
+			if n.Tag == nil || !implementsError(pass.TypesInfo.TypeOf(n.Tag)) {
+				return
+			}
+			for _, stmt := range n.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, v := range cc.List {
+					if name, ok := sentinelName(pass, v); ok {
+						allows.Report(pass, v.Pos(),
+							"sentinel %s switched on with ==; use errors.Is so wrapped errors still match", name)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkErrorf(pass, allows, n)
+		}
+	})
+	return nil, nil
+}
+
+func report(pass *analysis.Pass, allows *lintutil.Allows, pos token.Pos, op token.Token, name string) {
+	verb := "errors.Is"
+	if op == token.NEQ {
+		verb = "!errors.Is"
+	}
+	allows.Report(pass, pos, "sentinel %s compared with %s; use %s so wrapped errors still match", name, op, verb)
+}
+
+// sentinelName reports whether e denotes a package-level error variable
+// named Err* (the repo's sentinel convention), returning its printable
+// name.
+func sentinelName(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	obj, ok := pass.TypesInfo.Uses[id]
+	if !ok {
+		return "", false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !strings.HasPrefix(v.Name(), "Err") || !implementsError(v.Type()) {
+		return "", false
+	}
+	if v.Pkg() == pass.Pkg {
+		return v.Name(), true
+	}
+	return v.Pkg().Name() + "." + v.Name(), true
+}
+
+func implementsError(t types.Type) bool {
+	return t != nil && types.Implements(t, errorType)
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}
+
+// checkErrorf flags fmt.Errorf calls whose error-typed arguments are
+// formatted with a non-wrapping verb.
+func checkErrorf(pass *analysis.Pass, allows *lintutil.Allows, call *ast.CallExpr) {
+	fn := typeutil.StaticCallee(pass.TypesInfo, call)
+	if fn == nil || fn.FullName() != "fmt.Errorf" || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs, ok := formatVerbs(format)
+	if !ok || len(verbs) != len(call.Args)-1 {
+		return // indexed args or arity mismatch: let vet's printf pass judge
+	}
+	for i, verb := range verbs {
+		arg := call.Args[i+1]
+		t := pass.TypesInfo.TypeOf(arg)
+		if t == nil || !implementsError(t) || isNil(pass, arg) {
+			continue
+		}
+		if verb != 'w' {
+			allows.Report(pass, arg.Pos(),
+				"error embedded in fmt.Errorf with %%%c; use %%w so errors.Is sees through the wrap", verb)
+		}
+	}
+}
+
+// formatVerbs returns the verb letter consuming each successive argument
+// of a printf format. ok=false means the format uses explicit argument
+// indexes (or is malformed) and the caller should not guess.
+func formatVerbs(format string) ([]rune, bool) {
+	var verbs []rune
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			return nil, false
+		}
+		if format[i] == '%' {
+			continue
+		}
+		// flags, width, precision; a * consumes an int argument.
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if c == '[' {
+				return nil, false // explicit argument index
+			}
+			if strings.ContainsRune("+-# 0.", rune(c)) || (c >= '0' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(format) {
+			return nil, false
+		}
+		verbs = append(verbs, rune(format[i]))
+	}
+	return verbs, true
+}

@@ -1,0 +1,12 @@
+package errwrapcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/errwrapcheck"
+)
+
+func TestErrWrapCheck(t *testing.T) {
+	atest.Run(t, "testdata", errwrapcheck.Analyzer, "errwrap")
+}

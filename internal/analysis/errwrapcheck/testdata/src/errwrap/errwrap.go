@@ -1,0 +1,61 @@
+// Package errwrap exercises the errwrapcheck analyzer: ==/!= against
+// Err* sentinels, switch-on-error, fmt.Errorf verb matching, and the
+// allow hatch.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrGone = errors.New("gone")
+var notSentinel = errors.New("lowercase: not an Err* sentinel")
+
+func badEq(err error) bool {
+	return err == ErrGone // want `sentinel ErrGone compared with ==; use errors\.Is so wrapped errors still match`
+}
+
+func badNeq(err error) bool {
+	return ErrGone != err // want `sentinel ErrGone compared with !=; use !errors\.Is so wrapped errors still match`
+}
+
+func nilCompare(err error) bool {
+	return err == nil || nil != err
+}
+
+func goodIs(err error) bool {
+	return errors.Is(err, ErrGone)
+}
+
+func lowercaseOK(err error) bool {
+	return err == notSentinel
+}
+
+func badSwitch(err error) string {
+	switch err {
+	case ErrGone: // want `sentinel ErrGone switched on with ==; use errors\.Is so wrapped errors still match`
+		return "gone"
+	}
+	return ""
+}
+
+func badWrap(err error) error {
+	return fmt.Errorf("solve: %v", err) // want `error embedded in fmt\.Errorf with %v; use %w so errors\.Is sees through the wrap`
+}
+
+func goodWrap(err error) error {
+	return fmt.Errorf("solve: %w", err)
+}
+
+func badMixed(err error) error {
+	return fmt.Errorf("job %s: %s", "id", err) // want `error embedded in fmt\.Errorf with %s; use %w`
+}
+
+func notAnError(n int) error {
+	return fmt.Errorf("n=%d", n)
+}
+
+func allowedCompare(err error) bool {
+	//lint:allow errwrapcheck identity check against the exact sentinel value is intended
+	return err == ErrGone
+}

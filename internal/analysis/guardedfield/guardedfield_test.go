@@ -1,0 +1,12 @@
+package guardedfield_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/guardedfield"
+)
+
+func TestGuardedField(t *testing.T) {
+	atest.Run(t, "testdata", guardedfield.Analyzer, "guarded")
+}

@@ -1,0 +1,97 @@
+// Package guarded exercises the guardedfield analyzer: sibling guards,
+// outer (Type.mu) guards, the Locked-suffix and constructor exemptions,
+// branch snapshot/restore, goroutine bodies, and the allow hatch.
+package guarded
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) bad() int {
+	return c.n // want `counter\.n is guarded by c\.mu but accessed without holding it`
+}
+
+func (c *counter) goodDefer() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) goodExplicit() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) badAfterUnlock() {
+	c.mu.Lock()
+	c.n = 1
+	c.mu.Unlock()
+	c.n = 2 // want `counter\.n is guarded by c\.mu`
+}
+
+func (c *counter) badBranchLeak(b bool) {
+	if b {
+		c.mu.Lock()
+	}
+	c.n = 3 // want `counter\.n is guarded by c\.mu`
+	if b {
+		c.mu.Unlock()
+	}
+}
+
+func (c *counter) badGoroutine() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `counter\.n is guarded by c\.mu`
+	}()
+}
+
+// bumpLocked asserts the caller holds c.mu (Locked-suffix convention).
+func (c *counter) bumpLocked() { c.n++ }
+
+// newCounter may touch the field freely: the value has not escaped yet.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 7
+	return c
+}
+
+func (c *counter) allowed() int {
+	//lint:allow guardedfield boot-time read before the counter is shared
+	return c.n
+}
+
+// state is the aggregate block, guarded by Server.mu.
+type state struct {
+	hits int
+}
+
+type Server struct {
+	mu sync.Mutex
+	st state
+}
+
+func (s *Server) badOuter() int {
+	return s.st.hits // want `state\.hits is guarded by s\.mu`
+}
+
+func (s *Server) goodOuter() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.hits
+}
+
+// observe is a method on the guarded type itself: it cannot name the
+// Server's mutex, so its callers are lock-classified instead.
+func (st *state) observe() { st.hits++ }
+
+// loose mentions being guarded by a mutex in prose only: no field named
+// "a" exists, so the annotation does not enforce.
+type loose struct{ v int }
+
+func pokeLoose(l *loose) { l.v = 1 }

@@ -1,0 +1,20 @@
+package lintutil
+
+import "golang.org/x/tools/go/analysis"
+
+// DirectiveAnalyzer validates the escape hatch itself: every
+// //lint:allow comment must name a known analyzer and carry a reason.
+// Without this pass a typoed directive would silently fail to suppress
+// (or, worse, a reasonless allow would rot unquestioned).
+var DirectiveAnalyzer = &analysis.Analyzer{
+	Name: "lintdirective",
+	Doc:  "check that //lint:allow directives name a known analyzer and give a reason",
+	Run: func(pass *analysis.Pass) (interface{}, error) {
+		for _, d := range CollectAllows(pass).All {
+			if d.Malformed != "" {
+				pass.Reportf(d.Pos, "malformed //lint:allow directive: %s", d.Malformed)
+			}
+		}
+		return nil, nil
+	},
+}

@@ -1,0 +1,137 @@
+// Package lintutil is the shared substrate of the jacobilint analyzers
+// (DESIGN.md §15): the //lint:allow escape-hatch grammar, the Report
+// wrapper every analyzer funnels its diagnostics through, and the
+// directive-validation analyzer that keeps the escape hatch itself
+// honest.
+//
+// Directive grammar, one finding per line:
+//
+//	//lint:allow <analyzer> <reason...>
+//
+// A directive suppresses diagnostics of <analyzer> reported on the same
+// line or on the line directly below it (so it can ride at the end of
+// the flagged line or on its own line above). The reason is mandatory:
+// an allow without a justification is itself a lint error.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// allowPrefix introduces an allow directive. The comment must start with
+// it exactly (no space after //, mirroring go:build style directives).
+const allowPrefix = "//lint:allow"
+
+// KnownAnalyzers is the set of analyzer names a directive may reference.
+// cmd/jacobilint and the directive validator share it.
+var KnownAnalyzers = map[string]bool{
+	"guardedfield":  true,
+	"errwrapcheck":  true,
+	"boundeddecode": true,
+	"noallochot":    true,
+	"detiter":       true,
+}
+
+// Directive is one parsed //lint:allow comment.
+type Directive struct {
+	Pos      token.Pos
+	Analyzer string
+	Reason   string
+	// Malformed carries the parse problem ("" when well-formed).
+	Malformed string
+}
+
+// ParseDirective parses one comment, reporting whether it is an allow
+// directive at all (malformed directives still return ok=true, with
+// Malformed set, so the validator can flag them).
+func ParseDirective(c *ast.Comment) (Directive, bool) {
+	text := c.Text
+	if !strings.HasPrefix(text, allowPrefix) {
+		return Directive{}, false
+	}
+	d := Directive{Pos: c.Pos()}
+	rest := strings.TrimPrefix(text, allowPrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return Directive{}, false // e.g. //lint:allowance — not ours
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		d.Malformed = "missing analyzer name and reason"
+		return d, true
+	}
+	d.Analyzer = fields[0]
+	if !KnownAnalyzers[d.Analyzer] {
+		d.Malformed = "unknown analyzer " + strconv.Quote(d.Analyzer)
+		return d, true
+	}
+	if len(fields) < 2 {
+		d.Malformed = "missing reason (an allow must say why)"
+		return d, true
+	}
+	d.Reason = strings.Join(fields[1:], " ")
+	return d, true
+}
+
+// Allows indexes a package's allow directives by file and line.
+type Allows struct {
+	fset *token.FileSet
+	// byLine maps filename:line:analyzer → true for well-formed
+	// directives; the covered lines are the directive's own line and the
+	// line below it.
+	byLine map[allowKey]bool
+	// All carries every directive (including malformed ones) for the
+	// validator and the driver's summary report.
+	All []Directive
+}
+
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// CollectAllows scans all files of the pass for allow directives.
+func CollectAllows(pass *analysis.Pass) *Allows {
+	a := &Allows{fset: pass.Fset, byLine: make(map[allowKey]bool)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := ParseDirective(c)
+				if !ok {
+					continue
+				}
+				a.All = append(a.All, d)
+				if d.Malformed != "" {
+					continue
+				}
+				p := pass.Fset.Position(d.Pos)
+				for _, line := range [2]int{p.Line, p.Line + 1} {
+					a.byLine[allowKey{p.Filename, line, d.Analyzer}] = true
+				}
+			}
+		}
+	}
+	return a
+}
+
+// Allowed reports whether a diagnostic of the named analyzer at pos is
+// suppressed by a directive.
+func (a *Allows) Allowed(analyzer string, pos token.Pos) bool {
+	p := a.fset.Position(pos)
+	return a.byLine[allowKey{p.Filename, p.Line, analyzer}]
+}
+
+// Report emits a diagnostic unless an allow directive covers it. Every
+// jacobilint analyzer reports through here, so the escape hatch behaves
+// identically across the suite.
+func (a *Allows) Report(pass *analysis.Pass, pos token.Pos, format string, args ...interface{}) {
+	if a.Allowed(pass.Analyzer.Name, pos) {
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}

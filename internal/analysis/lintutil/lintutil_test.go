@@ -1,0 +1,54 @@
+package lintutil_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/lintutil"
+)
+
+func TestDirectiveAnalyzer(t *testing.T) {
+	atest.Run(t, "testdata", lintutil.DirectiveAnalyzer, "directives")
+}
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text      string
+		isDir     bool
+		analyzer  string
+		reason    string
+		malformed string
+	}{
+		{"//lint:allow detiter the set is unordered", true, "detiter", "the set is unordered", ""},
+		{"//lint:allow guardedfield boot-time, pre-share", true, "guardedfield", "boot-time, pre-share", ""},
+		{"//lint:allow detiter", true, "detiter", "", "missing reason (an allow must say why)"},
+		{"//lint:allow", true, "", "", "missing analyzer name and reason"},
+		{"//lint:allow nosuch reason here", true, "nosuch", "", `unknown analyzer "nosuch"`},
+		{"//lint:allowance for expenses", false, "", "", ""},
+		{"// ordinary comment", false, "", "", ""},
+		{"// prose mentioning //lint:allow mid-sentence", false, "", "", ""},
+	}
+	for _, c := range cases {
+		d, ok := lintutil.ParseDirective(&ast.Comment{Text: c.text})
+		if ok != c.isDir {
+			t.Errorf("ParseDirective(%q): directive=%v, want %v", c.text, ok, c.isDir)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if d.Analyzer != c.analyzer || d.Reason != c.reason || d.Malformed != c.malformed {
+			t.Errorf("ParseDirective(%q) = {analyzer:%q reason:%q malformed:%q}, want {%q %q %q}",
+				c.text, d.Analyzer, d.Reason, d.Malformed, c.analyzer, c.reason, c.malformed)
+		}
+	}
+}
+
+func TestKnownAnalyzersCoverSuite(t *testing.T) {
+	for _, name := range []string{"guardedfield", "errwrapcheck", "boundeddecode", "noallochot", "detiter"} {
+		if !lintutil.KnownAnalyzers[name] {
+			t.Errorf("KnownAnalyzers is missing %q", name)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+// Package directives exercises the lintdirective analyzer: well-formed
+// allow directives pass silently, unknown analyzer names are flagged.
+package directives
+
+func wellFormed(n int) []byte {
+	//lint:allow boundeddecode fixture: the directive itself is what is under test
+	return make([]byte, n)
+}
+
+//lint:allow nosuchpass some reason // want `malformed //lint:allow directive: unknown analyzer "nosuchpass"`
+func typoed() {}
+
+// A comment merely mentioning the //lint:allow grammar is not a
+// directive and reports nothing.
+func prose() {}

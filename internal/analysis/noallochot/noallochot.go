@@ -1,0 +1,171 @@
+// Package noallochot enforces the zero-alloc contract of the fused and
+// lane kernel hot paths (DESIGN.md §§8/11/15). A function annotated
+//
+//	//jacobi:noalloc
+//
+// in its doc comment must stay allocation-free in steady state: no
+// append, no make or new, no map/chan/slice composite literals, no
+// closures, no explicit conversions to interface types, and no calls to
+// functions that are not themselves annotated — except allocation-free
+// intrinsics (len/cap/copy/min/max, the math package, and same-package
+// functions with no body, i.e. assembly stubs).
+//
+// Amortized growth paths (grow-once scratch buffers) are the intended
+// use of the //lint:allow noallochot escape hatch: the allocation is
+// real but deliberate, and the directive records why.
+package noallochot
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"repro/internal/analysis/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "noallochot",
+	Doc:  "//jacobi:noalloc functions must not allocate or call unannotated functions",
+	Run:  run,
+}
+
+const marker = "//jacobi:noalloc"
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	allows := lintutil.CollectAllows(pass)
+
+	// First pass: classify every function declared in this package.
+	annotated := make(map[types.Object]bool) // carries //jacobi:noalloc
+	bodyless := make(map[types.Object]bool)  // assembly stubs
+	var hot []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			if fd.Body == nil {
+				bodyless[obj] = true
+			}
+			if hasMarker(fd.Doc) {
+				annotated[obj] = true
+				if fd.Body != nil {
+					hot = append(hot, fd)
+				}
+			}
+		}
+	}
+
+	for _, fd := range hot {
+		checkBody(pass, allows, fd, annotated, bodyless)
+	}
+	return nil, nil
+}
+
+func hasMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == marker {
+			return true
+		}
+	}
+	return false
+}
+
+func checkBody(pass *analysis.Pass, allows *lintutil.Allows, fd *ast.FuncDecl,
+	annotated, bodyless map[types.Object]bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			allows.Report(pass, n.Pos(), "closure in //jacobi:noalloc function %s (the func value allocates)", fd.Name.Name)
+			return false
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.TypeOf(n)
+			if t == nil {
+				break
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				allows.Report(pass, n.Pos(), "map literal allocates in //jacobi:noalloc function %s", fd.Name.Name)
+			case *types.Slice:
+				allows.Report(pass, n.Pos(), "slice literal allocates in //jacobi:noalloc function %s", fd.Name.Name)
+			}
+		case *ast.CallExpr:
+			checkCall(pass, allows, fd, n, annotated, bodyless)
+		case *ast.GoStmt:
+			allows.Report(pass, n.Pos(), "go statement in //jacobi:noalloc function %s allocates a goroutine", fd.Name.Name)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, allows *lintutil.Allows, fd *ast.FuncDecl,
+	call *ast.CallExpr, annotated, bodyless map[types.Object]bool) {
+	fun := ast.Unparen(call.Fun)
+
+	// Builtins and conversions.
+	if id, ok := fun.(*ast.Ident); ok {
+		if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+			if b, isBuiltin := obj.(*types.Builtin); isBuiltin {
+				switch b.Name() {
+				case "append":
+					allows.Report(pass, call.Pos(), "append may allocate in //jacobi:noalloc function %s", fd.Name.Name)
+				case "make", "new":
+					allows.Report(pass, call.Pos(), "%s allocates in //jacobi:noalloc function %s", b.Name(), fd.Name.Name)
+				}
+				return
+			}
+		}
+	}
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		// Explicit conversion: flag only conversions to interface types
+		// (boxing allocates).
+		if types.IsInterface(tv.Type) {
+			allows.Report(pass, call.Pos(), "conversion to interface %s allocates in //jacobi:noalloc function %s",
+				tv.Type.String(), fd.Name.Name)
+		}
+		return
+	}
+
+	callee := typeutil.Callee(pass.TypesInfo, call)
+	if callee == nil {
+		allows.Report(pass, call.Pos(),
+			"dynamic call in //jacobi:noalloc function %s cannot be verified allocation-free", fd.Name.Name)
+		return
+	}
+	if fn, ok := callee.(*types.Func); ok {
+		pkg := fn.Pkg()
+		if pkg == nil {
+			return // error.Error() etc.
+		}
+		if pkg.Path() == "math" {
+			return // compiler intrinsics / leaf float helpers
+		}
+		if pkg == pass.Pkg {
+			obj := types.Object(fn)
+			if annotated[obj] || bodyless[obj] {
+				return
+			}
+			allows.Report(pass, call.Pos(),
+				"call to unannotated %s in //jacobi:noalloc function %s; annotate the callee or allow with a reason",
+				fn.Name(), fd.Name.Name)
+			return
+		}
+		allows.Report(pass, call.Pos(),
+			"call out of package to %s.%s in //jacobi:noalloc function %s cannot be verified allocation-free",
+			pkg.Name(), fn.Name(), fd.Name.Name)
+		return
+	}
+	// Calling a function-typed variable.
+	allows.Report(pass, call.Pos(),
+		"indirect call in //jacobi:noalloc function %s cannot be verified allocation-free", fd.Name.Name)
+}

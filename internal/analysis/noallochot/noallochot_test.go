@@ -1,0 +1,12 @@
+package noallochot_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/noallochot"
+)
+
+func TestNoAllocHot(t *testing.T) {
+	atest.Run(t, "testdata", noallochot.Analyzer, "noalloc")
+}

@@ -1,0 +1,89 @@
+// Package noalloc exercises the noallochot analyzer: annotated hot
+// functions must not allocate or call unannotated functions; assembly
+// stubs, math calls, and allow-directed amortized growth pass.
+package noalloc
+
+import (
+	"fmt"
+	"math"
+)
+
+//jacobi:noalloc
+func dot(x, y []float64) float64 {
+	var s float64
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+//jacobi:noalloc
+func norm(x []float64) float64 {
+	return math.Sqrt(dot(x, x))
+}
+
+// stub is declared without a body, like an assembly routine.
+func stub(x []float64) float64
+
+//jacobi:noalloc
+func useStub(x []float64) float64 {
+	return stub(x)
+}
+
+func helper() {}
+
+//jacobi:noalloc
+func badCall() {
+	helper() // want `call to unannotated helper in //jacobi:noalloc function badCall`
+}
+
+//jacobi:noalloc
+func badMake(n int) []float64 {
+	return make([]float64, n) // want `make allocates in //jacobi:noalloc function badMake`
+}
+
+//jacobi:noalloc
+func badAppend(dst []float64, v float64) []float64 {
+	return append(dst, v) // want `append may allocate in //jacobi:noalloc function badAppend`
+}
+
+//jacobi:noalloc
+func badLit() []float64 {
+	return []float64{1, 2} // want `slice literal allocates in //jacobi:noalloc function badLit`
+}
+
+//jacobi:noalloc
+func badClosure() func() {
+	return func() {} // want `closure in //jacobi:noalloc function badClosure`
+}
+
+//jacobi:noalloc
+func badGo() {
+	go helper() // want `go statement in //jacobi:noalloc function badGo` `call to unannotated helper`
+}
+
+//jacobi:noalloc
+func badIface(v float64) any {
+	return any(v) // want `conversion to interface .* allocates in //jacobi:noalloc function badIface`
+}
+
+//jacobi:noalloc
+func badOutOfPackage() {
+	fmt.Println() // want `call out of package to fmt\.Println in //jacobi:noalloc function badOutOfPackage`
+}
+
+type scratch struct{ buf []float64 }
+
+//jacobi:noalloc
+func (sc *scratch) grow(n int) {
+	if cap(sc.buf) < n {
+		//lint:allow noallochot amortized grow-once scratch buffer
+		sc.buf = make([]float64, n)
+	}
+	sc.buf = sc.buf[:n]
+}
+
+// unannotated functions allocate freely.
+func freely(n int) []float64 {
+	return make([]float64, n)
+}

@@ -110,7 +110,7 @@ func PipelinedSweepCost(d int, fam ordering.Family, p Params) (*SweepCost, error
 	for e := d; e >= 1; e-- {
 		seq := fam.Phase(e)
 		if err := sequence.ValidateESequence(seq, e); err != nil {
-			return nil, fmt.Errorf("costmodel: family %q phase %d: %v", fam.Name(), e, err)
+			return nil, fmt.Errorf("costmodel: family %q phase %d: %w", fam.Name(), e, err)
 		}
 		res := ccube.OptimalPhaseQ(seq, s, maxQ, p.costParams())
 		out.Phases = append(out.Phases, PhaseCost{E: e, Q: res.Q, Deep: res.Deep, Cost: res.Cost})

@@ -84,7 +84,7 @@ func RunTable2(cfg Table2Config) ([]Table2Cell, error) {
 				for _, a := range mats {
 					res, err := SolveSchedule(a, d, fam, Options{Tol: cfg.Tol, MaxSweeps: cfg.MaxSweeps, Criterion: OffFrobCriterion})
 					if err != nil {
-						return nil, fmt.Errorf("jacobi: table2 m=%d d=%d %s: %v", m, d, fam.Name(), err)
+						return nil, fmt.Errorf("jacobi: table2 m=%d d=%d %s: %w", m, d, fam.Name(), err)
 					}
 					if !res.Converged {
 						return nil, fmt.Errorf("jacobi: table2 m=%d d=%d %s: no convergence in %d sweeps", m, d, fam.Name(), cfg.MaxSweeps)

@@ -33,6 +33,8 @@ package kernel
 
 // sqNormGeneric is the portable SqNorm: four independent accumulator
 // chains.
+//
+//jacobi:noalloc
 func sqNormGeneric(x []float64) float64 {
 	var s0, s1, s2, s3 float64
 	k := 0
@@ -51,6 +53,8 @@ func sqNormGeneric(x []float64) float64 {
 
 // gammaDotGeneric is the portable GammaDot: four independent accumulator
 // chains.
+//
+//jacobi:noalloc
 func gammaDotGeneric(x, y []float64) float64 {
 	y = y[:len(x)]
 	var s0, s1, s2, s3 float64
@@ -70,6 +74,8 @@ func gammaDotGeneric(x, y []float64) float64 {
 // Gram returns the Gram entries (alpha, beta, gamma) of a column pair in a
 // single fused pass with two independent accumulator chains per entry. The
 // columns must have equal length.
+//
+//jacobi:noalloc
 func Gram(x, y []float64) (alpha, beta, gamma float64) {
 	y = y[:len(x)]
 	var a0, a1, b0, b1, g0, g1 float64
@@ -94,6 +100,8 @@ func Gram(x, y []float64) (alpha, beta, gamma float64) {
 }
 
 // applyPairGeneric is the portable applyPair.
+//
+//jacobi:noalloc
 func applyPairGeneric(c, s float64, x, y []float64) {
 	y = y[:len(x)]
 	k := 0
@@ -117,6 +125,8 @@ func applyPairGeneric(c, s float64, x, y []float64) {
 // norms a = Σx'², b = Σy'² and the lookahead dot g = Σx'·ynext — the Gram
 // gamma of the next pair in the row. All three columns must have equal
 // length.
+//
+//jacobi:noalloc
 func rotateGramNextGeneric(c, s float64, x, y, ynext []float64) (a, b, g float64) {
 	y = y[:len(x)]
 	yn := ynext[:len(x)]
@@ -152,6 +162,8 @@ func rotateGramNextGeneric(c, s float64, x, y, ynext []float64) (a, b, g float64
 
 // rotateGramGeneric is rotateGramNextGeneric without a lookahead column (the last pair of
 // a row): rotation application plus updated norms in one pass.
+//
+//jacobi:noalloc
 func rotateGramGeneric(c, s float64, x, y []float64) (a, b float64) {
 	y = y[:len(x)]
 	var a0, a1, b0, b1 float64
@@ -186,6 +198,8 @@ func rotateGramGeneric(c, s float64, x, y []float64) (a, b float64) {
 // — the standalone fused rotation kernel: one fused Gram pass, one fused
 // application per matrix. It is the fused counterpart of RotatePairRef and
 // the subject of the package's fuzz target.
+//
+//jacobi:noalloc
 func RotatePairFused(ai, aj, ui, uj []float64, conv *Conv) {
 	alpha, beta, gamma := Gram(ai, aj)
 	rel := RelOff(alpha, beta, gamma)
@@ -211,11 +225,15 @@ type Scratch struct {
 
 // norms returns the two norm buffers sized to (nx, ny), growing the backing
 // arrays only when a wider pairing arrives.
+//
+//jacobi:noalloc
 func (sc *Scratch) norms(nx, ny int) (ax, by []float64) {
 	if cap(sc.alpha) < nx {
+		//lint:allow noallochot amortized grow-once: zero allocs once the widest pairing was seen
 		sc.alpha = make([]float64, nx)
 	}
 	if cap(sc.beta) < ny {
+		//lint:allow noallochot amortized grow-once: zero allocs once the widest pairing was seen
 		sc.beta = make([]float64, ny)
 	}
 	return sc.alpha[:nx], sc.beta[:ny]
@@ -226,6 +244,8 @@ func (sc *Scratch) norms(nx, ny int) (ax, by []float64) {
 // columns. The pair order (i outer, j inner) and the skip rule are exactly
 // the reference path's, so the fused pairing visits identical pairs; only
 // the summation order differs (see the package ulp bound).
+//
+//jacobi:noalloc
 func (sc *Scratch) Cross(xa, xu, ya, yu [][]float64, conv *Conv) {
 	nx, ny := len(xa), len(ya)
 	if nx == 0 || ny == 0 {
@@ -267,6 +287,8 @@ func (sc *Scratch) Cross(xa, xu, ya, yu [][]float64, conv *Conv) {
 // Within rotates every column pair inside one block, in ascending (i, j)
 // order — the fused intra-block pairing. One norm buffer serves both sides
 // of each pair; rotations update both entries in the fused pass.
+//
+//jacobi:noalloc
 func (sc *Scratch) Within(a, u [][]float64, conv *Conv) {
 	n := len(a)
 	if n < 2 {

@@ -63,6 +63,8 @@ type Rotation struct {
 // gamma = aᵢᵀaⱼ, using the numerically stable smaller-angle formulation:
 //
 //	ζ = (β-α)/(2γ),  t = sgn(ζ)/(|ζ|+sqrt(1+ζ²)),  c = 1/sqrt(1+t²),  s = t·c
+//
+//jacobi:noalloc
 func ComputeRotation(alpha, beta, gamma float64) Rotation {
 	if gamma == 0 {
 		return Rotation{C: 1, S: 0}
@@ -107,6 +109,8 @@ const SkipEps = 1e-15
 // RelOff returns the relative off-diagonal value |γ|/sqrt(αβ) of a Gram
 // triple (0 when the denominator vanishes) — the quantity the skip decision
 // and the MaxRel convergence criterion are built on.
+//
+//jacobi:noalloc
 func RelOff(alpha, beta, gamma float64) float64 {
 	denom := math.Sqrt(alpha * beta)
 	if denom > 0 {
@@ -130,6 +134,8 @@ type Conv struct {
 
 // Observe folds one pair's relative and absolute off-diagonal values into
 // the tracker.
+//
+//jacobi:noalloc
 func (c *Conv) Observe(rel, gamma float64, rotated bool) {
 	c.Pairs++
 	if rotated {

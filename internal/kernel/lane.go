@@ -77,6 +77,8 @@ const (
 // sqNormBatchRange accumulates out[k] = Σ_r x[r*stride+k]² for lanes
 // k in [lo, hi) — one left-to-right accumulator chain per lane, the
 // reference association.
+//
+//jacobi:noalloc
 func sqNormBatchRange(x []float64, stride, lo, hi int, out []float64) {
 	for k := lo; k < hi; k++ {
 		out[k] = 0
@@ -92,6 +94,8 @@ func sqNormBatchRange(x []float64, stride, lo, hi int, out []float64) {
 
 // gammaDotBatchRange accumulates out[k] = Σ_r x[r*stride+k]·y[r*stride+k]
 // for lanes k in [lo, hi), one reference-association chain per lane.
+//
+//jacobi:noalloc
 func gammaDotBatchRange(x, y []float64, stride, lo, hi int, out []float64) {
 	for k := lo; k < hi; k++ {
 		out[k] = 0
@@ -110,6 +114,8 @@ func gammaDotBatchRange(x, y []float64, stride, lo, hi int, out []float64) {
 // place with the per-lane rotation (c[k], s[k]), leaving lanes with
 // mask[k] == 0 bit-untouched. Per element it performs exactly the reference
 // arithmetic of Rotation.Apply.
+//
+//jacobi:noalloc
 func applyPairBatchRange(c, s, mask, x, y []float64, stride, lo, hi int) {
 	for off := 0; off < len(x); off += stride {
 		for k := lo; k < hi; k++ {
@@ -126,6 +132,8 @@ func applyPairBatchRange(c, s, mask, x, y []float64, stride, lo, hi int) {
 // rotateGramBatchRange is applyPairBatchRange fused with the norm carry:
 // rotated lanes additionally accumulate their updated squared norms into
 // a[k], b[k]; masked lanes keep a[k], b[k] (the carried norms) untouched.
+//
+//jacobi:noalloc
 func rotateGramBatchRange(c, s, mask, x, y []float64, stride, lo, hi int, a, b []float64) {
 	for k := lo; k < hi; k++ {
 		if mask[k] != laneMasked {
@@ -202,23 +210,27 @@ func (sc *LaneScratch) Reference() bool { return sc.reference }
 
 // normBuf returns the carried-norm buffer sized to cols lane groups,
 // growing the backing array only when a wider pairing arrives.
+//
+//jacobi:noalloc
 func (sc *LaneScratch) normBuf(cols int) []float64 {
 	need := cols * sc.lanes
 	if cap(sc.norms) < need {
-		sc.norms = make([]float64, need)
+		sc.norms = make([]float64, need) //lint:allow noallochot amortized grow-once: zero allocs once the widest pairing was seen
 	}
 	return sc.norms[:need]
 }
 
 // rotGrow sizes the deferred-rotation buffers for a pivot row of up to
 // pairs rotations, growing only when a wider pairing arrives.
+//
+//jacobi:noalloc
 func (sc *LaneScratch) rotGrow(pairs int) {
 	need := pairs * sc.lanes
 	if cap(sc.rotC) < need {
-		sc.rotC = make([]float64, need)
-		sc.rotS = make([]float64, need)
-		sc.rotM = make([]float64, need)
-		sc.rotY = make([][]float64, pairs)
+		sc.rotC = make([]float64, need)    //lint:allow noallochot amortized grow-once: zero allocs once the widest pairing was seen
+		sc.rotS = make([]float64, need)    //lint:allow noallochot amortized grow-once: zero allocs once the widest pairing was seen
+		sc.rotM = make([]float64, need)    //lint:allow noallochot amortized grow-once: zero allocs once the widest pairing was seen
+		sc.rotY = make([][]float64, pairs) //lint:allow noallochot amortized grow-once: zero allocs once the widest pairing was seen
 	}
 	sc.rotC = sc.rotC[:need]
 	sc.rotS = sc.rotS[:need]
@@ -232,6 +244,8 @@ func (sc *LaneScratch) rotGrow(pairs int) {
 // directly in the flush queue and pushRot never copies. A non-rotating
 // pair simply reuses the slot. Fused paths only — the reference path keeps
 // the scratch's own vectors.
+//
+//jacobi:noalloc
 func (sc *LaneScratch) rotSlot() {
 	K := sc.lanes
 	off := sc.rotN * K
@@ -242,6 +256,8 @@ func (sc *LaneScratch) rotSlot() {
 
 // pushRot commits the current pair's rotation slot (written in place via
 // rotSlot) against the factor partner column yu for a later flushRot.
+//
+//jacobi:noalloc
 func (sc *LaneScratch) pushRot(yu []float64) {
 	sc.rotY[sc.rotN] = yu
 	sc.rotN++
@@ -259,6 +275,8 @@ func (sc *LaneScratch) pushRot(yu []float64) {
 // Factor columns are only ever touched here, so every partner column
 // arrives cold; prefetching the NEXT queued partner while the current one
 // is applied hides that miss latency behind useful work.
+//
+//jacobi:noalloc
 func (sc *LaneScratch) flushRot(xu []float64) {
 	K := sc.lanes
 	if sc.rotN > 0 {
@@ -305,6 +323,8 @@ func (sc *LaneScratch) flushRot(xu []float64) {
 // split keeps the rotation chain's serial div/sqrt latency off the all-skip
 // pairs that dominate near convergence. The reference path never takes it,
 // by the no-vector-dispatch rule.
+//
+//jacobi:noalloc
 func (sc *LaneScratch) decide(alpha, beta, active []float64, conv []Conv) bool {
 	if !sc.reference && sc.decideRelVec(alpha, beta) {
 		// The vector arm computed every lane's alpha*beta product and raw
@@ -392,6 +412,8 @@ func (sc *LaneScratch) decide(alpha, beta, active []float64, conv []Conv) bool {
 // per-pairing norm recompute disappears. A nil nrm recomputes into scratch
 // — the standalone-call behavior, and the only mode the reference path
 // uses (it takes fresh per-pair dots regardless, for bit-identity).
+//
+//jacobi:noalloc
 func (sc *LaneScratch) Within(a, u [][]float64, nrm []float64, active []float64, conv []Conv) {
 	n := len(a)
 	if n < 2 {
@@ -444,6 +466,8 @@ func (sc *LaneScratch) Within(a, u [][]float64, nrm []float64, active []float64,
 // i outer and j inner exactly like the reference and fused paths. xnrm and
 // ynrm are the two blocks' carried norm buffers, with the same contract as
 // Within's nrm (both nil = recompute into scratch).
+//
+//jacobi:noalloc
 func (sc *LaneScratch) Cross(xa, xu, ya, yu [][]float64, xnrm, ynrm []float64, active []float64, conv []Conv) {
 	nx, ny := len(xa), len(ya)
 	if nx == 0 || ny == 0 {
@@ -499,6 +523,8 @@ func (sc *LaneScratch) Cross(xa, xu, ya, yu [][]float64, xnrm, ynrm []float64, a
 // pairRef is the reference-mode lane pair: fresh generic Gram dots (bit-
 // identical per lane to GramRef) and the exact reference application, never
 // vector-dispatched.
+//
+//jacobi:noalloc
 func (sc *LaneScratch) pairRef(x, y, xu, yu []float64, active []float64, conv []Conv) {
 	K := sc.lanes
 	sqNormBatchRange(x, K, 0, K, sc.refA)

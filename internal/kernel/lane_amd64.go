@@ -44,6 +44,8 @@ func prefetchCol(p []float64)
 // — see the decide comment), leaving alpha*beta in sc.dprod and the raw
 // rel in sc.drel. False when the host or lane width rules it out; the
 // caller then runs the scalar chain.
+//
+//jacobi:noalloc
 func (sc *LaneScratch) decideRelVec(alpha, beta []float64) bool {
 	if !useAVX512 || sc.lanes != laneGroup8 {
 		return false
@@ -55,6 +57,8 @@ func (sc *LaneScratch) decideRelVec(alpha, beta []float64) bool {
 // decideCSVec computes every lane's rotation into sc.cvec/sc.svec — only
 // called after decideRelVec returned true and some lane actually rotates,
 // so an all-skip pair never pays this chain's serial div/sqrt latency.
+//
+//jacobi:noalloc
 func (sc *LaneScratch) decideCSVec(alpha, beta []float64) {
 	decideCSBatch8AVX512(alpha, beta, sc.gamma, sc.cvec, sc.svec)
 }
@@ -64,6 +68,8 @@ const laneGroup8 = 8
 
 // SqNormBatch writes out[k] = Σ_r x[r*lanes+k]² for every lane k of the
 // interleaved lane column x (len(x) = rows*lanes).
+//
+//jacobi:noalloc
 func SqNormBatch(x []float64, lanes int, out []float64) {
 	rows := len(x) / lanes
 	lo := 0
@@ -84,6 +90,8 @@ func SqNormBatch(x []float64, lanes int, out []float64) {
 
 // GammaDotBatch writes out[k] = Σ_r x[r*lanes+k]·y[r*lanes+k] for every
 // lane k. The lane columns must have equal length.
+//
+//jacobi:noalloc
 func GammaDotBatch(x, y []float64, lanes int, out []float64) {
 	y = y[:len(x)]
 	rows := len(x) / lanes
@@ -107,6 +115,8 @@ func GammaDotBatch(x, y []float64, lanes int, out []float64) {
 // with its (c[k], s[k]); masked lanes keep their bytes. Per element all
 // dispatch arms perform exactly the reference arithmetic (no FMA), so each
 // rotated lane is bit-identical to Rotation.Apply.
+//
+//jacobi:noalloc
 func applyPairBatch(c, s, mask, x, y []float64, lanes int) {
 	y = y[:len(x)]
 	rows := len(x) / lanes
@@ -129,6 +139,8 @@ func applyPairBatch(c, s, mask, x, y []float64, lanes int) {
 // rotateGramBatch is applyPairBatch fused with the norm carry: unmasked
 // lanes get their updated squared norms written into a[k], b[k]; masked
 // lanes keep both their column bytes and their carried norms bit-unchanged.
+//
+//jacobi:noalloc
 func rotateGramBatch(c, s, mask, x, y []float64, lanes int, a, b []float64) {
 	y = y[:len(x)]
 	rows := len(x) / lanes
@@ -162,6 +174,8 @@ func rotateGramBatch(c, s, mask, x, y []float64, lanes int, a, b []float64) {
 // primitives — a post-hoc lane dot on the final column bytes is the same
 // products as the in-pass lookahead (association differs only inside the
 // documented ulp budget, and the generic arm keeps the reference chain).
+//
+//jacobi:noalloc
 func (sc *LaneScratch) rotateStepA(x, y, ynext, a, b []float64) {
 	K := sc.lanes
 	rows := len(x) / K

@@ -11,12 +11,16 @@ package kernel
 
 // SqNormBatch writes out[k] = Σ_r x[r*lanes+k]² for every lane k of the
 // interleaved lane column x (len(x) = rows*lanes).
+//
+//jacobi:noalloc
 func SqNormBatch(x []float64, lanes int, out []float64) {
 	sqNormBatchRange(x, lanes, 0, lanes, out)
 }
 
 // GammaDotBatch writes out[k] = Σ_r x[r*lanes+k]·y[r*lanes+k] for every
 // lane k. The lane columns must have equal length.
+//
+//jacobi:noalloc
 func GammaDotBatch(x, y []float64, lanes int, out []float64) {
 	y = y[:len(x)]
 	gammaDotBatchRange(x, y, lanes, 0, lanes, out)
@@ -24,6 +28,8 @@ func GammaDotBatch(x, y []float64, lanes int, out []float64) {
 
 // applyPairBatch rotates each unmasked lane of the pair (x, y) in place
 // with its (c[k], s[k]); masked lanes keep their bytes.
+//
+//jacobi:noalloc
 func applyPairBatch(c, s, mask, x, y []float64, lanes int) {
 	y = y[:len(x)]
 	applyPairBatchRange(c, s, mask, x, y, lanes, 0, lanes)
@@ -31,6 +37,8 @@ func applyPairBatch(c, s, mask, x, y []float64, lanes int) {
 
 // rotateGramBatch is applyPairBatch fused with the norm carry; masked
 // lanes keep their column bytes and carried norms bit-unchanged.
+//
+//jacobi:noalloc
 func rotateGramBatch(c, s, mask, x, y []float64, lanes int, a, b []float64) {
 	y = y[:len(x)]
 	rotateGramBatchRange(c, s, mask, x, y, lanes, 0, lanes, a, b)
@@ -41,6 +49,8 @@ func rotateGramBatch(c, s, mask, x, y []float64, lanes int, a, b []float64) {
 // the next pair's per-lane gammas in sc.gamma. The portable arm composes
 // it from the generic range kernels; the lookahead dot on the final column
 // bytes keeps the reference chain.
+//
+//jacobi:noalloc
 func (sc *LaneScratch) rotateStepA(x, y, ynext, a, b []float64) {
 	K := sc.lanes
 	rotateGramBatchRange(sc.cvec, sc.svec, sc.mask, x, y, K, 0, K, a, b)
@@ -52,10 +62,15 @@ func (sc *LaneScratch) rotateStepA(x, y, ynext, a, b []float64) {
 // decideRelVec has no vector arm off amd64; decide always runs its scalar
 // chain (which is the reference formulation anyway), and decideCSVec is
 // then never reached.
+//
+//jacobi:noalloc
 func (sc *LaneScratch) decideRelVec(alpha, beta []float64) bool { return false }
 
+//jacobi:noalloc
 func (sc *LaneScratch) decideCSVec(alpha, beta []float64) {}
 
 // prefetchCol is a no-op off amd64: the flush loop's access pattern is
 // sequential, which the hardware prefetchers of other targets handle.
+//
+//jacobi:noalloc
 func prefetchCol(p []float64) {}

@@ -77,6 +77,8 @@ func detectAVX512() bool {
 const simdMin = 16
 
 // SqNorm returns Σ x[k]² (fused-path accumulation).
+//
+//jacobi:noalloc
 func SqNorm(x []float64) float64 {
 	n := len(x) &^ 3
 	if !useAVX || n < simdMin {
@@ -91,6 +93,8 @@ func SqNorm(x []float64) float64 {
 
 // GammaDot returns Σ x[k]·y[k] (fused-path accumulation). The columns must
 // have equal length.
+//
+//jacobi:noalloc
 func GammaDot(x, y []float64) float64 {
 	y = y[:len(x)]
 	n := len(x) &^ 3
@@ -108,6 +112,8 @@ func GammaDot(x, y []float64) float64 {
 // exactly the reference arithmetic in both dispatch arms (the vector arm
 // deliberately avoids FMA here), so it is bit-identical to Rotation.Apply.
 // The columns must have equal length.
+//
+//jacobi:noalloc
 func applyPair(c, s float64, x, y []float64) {
 	y = y[:len(x)]
 	n := len(x) &^ 3
@@ -125,6 +131,8 @@ func applyPair(c, s float64, x, y []float64) {
 
 // rotateGram applies the rotation and returns the pair's updated squared
 // norms in the same pass.
+//
+//jacobi:noalloc
 func rotateGram(c, s float64, x, y []float64) (a, b float64) {
 	y = y[:len(x)]
 	n := len(x) &^ 3
@@ -145,6 +153,8 @@ func rotateGram(c, s float64, x, y []float64) (a, b float64) {
 
 // rotateGramNext applies the rotation and accumulates the updated norms and
 // the lookahead dot against ynext in the same pass.
+//
+//jacobi:noalloc
 func rotateGramNext(c, s float64, x, y, ynext []float64) (a, b, g float64) {
 	y = y[:len(x)]
 	yn := ynext[:len(x)]

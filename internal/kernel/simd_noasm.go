@@ -11,24 +11,34 @@ var useAVX = false
 var useAVX512 = false
 
 // SqNorm returns Σ x[k]² (fused-path accumulation).
+//
+//jacobi:noalloc
 func SqNorm(x []float64) float64 { return sqNormGeneric(x) }
 
 // GammaDot returns Σ x[k]·y[k] (fused-path accumulation). The columns must
 // have equal length.
+//
+//jacobi:noalloc
 func GammaDot(x, y []float64) float64 { return gammaDotGeneric(x, y) }
 
 // applyPair rotates the pair (x, y) in place; bit-identical to
 // Rotation.Apply. The columns must have equal length.
+//
+//jacobi:noalloc
 func applyPair(c, s float64, x, y []float64) { applyPairGeneric(c, s, x, y) }
 
 // rotateGram applies the rotation and returns the pair's updated squared
 // norms in the same pass.
+//
+//jacobi:noalloc
 func rotateGram(c, s float64, x, y []float64) (a, b float64) {
 	return rotateGramGeneric(c, s, x, y)
 }
 
 // rotateGramNext applies the rotation and accumulates the updated norms and
 // the lookahead dot against ynext in the same pass.
+//
+//jacobi:noalloc
 func rotateGramNext(c, s float64, x, y, ynext []float64) (a, b, g float64) {
 	return rotateGramNextGeneric(c, s, x, y, ynext)
 }

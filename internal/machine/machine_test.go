@@ -176,7 +176,7 @@ func TestExchangeBatchValidation(t *testing.T) {
 		}
 		got, err := ctx.ExchangeBatch(nil, nil)
 		if err != nil || got != nil {
-			return fmt.Errorf("empty batch should be a no-op, got %v %v", got, err)
+			return fmt.Errorf("empty batch should be a no-op, got %v %w", got, err)
 		}
 		return nil
 	})

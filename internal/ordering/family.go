@@ -52,7 +52,7 @@ type cachingFamily struct {
 	canonical bool
 
 	mu    sync.Mutex
-	cache map[int]sequence.Seq
+	cache map[int]sequence.Seq // guarded by mu
 }
 
 func newCachingFamily(name string, gen func(e int) sequence.Seq) *cachingFamily {
@@ -133,7 +133,7 @@ func NewMinAlphaFamily() Family {
 func CustomFamily(name string, phases map[int]sequence.Seq) (Family, error) {
 	for e, s := range phases {
 		if err := sequence.ValidateESequence(s, e); err != nil {
-			return nil, fmt.Errorf("ordering: custom family %q phase %d: %v", name, e, err)
+			return nil, fmt.Errorf("ordering: custom family %q phase %d: %w", name, e, err)
 		}
 	}
 	copied := make(map[int]sequence.Seq, len(phases))

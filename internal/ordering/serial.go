@@ -40,7 +40,7 @@ func FamilyFromSerialized(name string, phases map[int]string) (Family, error) {
 		}
 		s, err := sequence.ParseSeq(phases[e])
 		if err != nil {
-			return nil, fmt.Errorf("ordering: serialized family %q phase %d: %v", name, e, err)
+			return nil, fmt.Errorf("ordering: serialized family %q phase %d: %w", name, e, err)
 		}
 		parsed[e] = s
 	}

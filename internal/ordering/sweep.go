@@ -79,7 +79,7 @@ func BuildSweep(d int, fam Family) (*Sweep, error) {
 	for e := d; e >= 1; e-- {
 		seq := fam.Phase(e)
 		if err := sequence.ValidateESequence(seq, e); err != nil {
-			return nil, fmt.Errorf("ordering: family %q phase %d: %v", fam.Name(), e, err)
+			return nil, fmt.Errorf("ordering: family %q phase %d: %w", fam.Name(), e, err)
 		}
 		for _, l := range seq {
 			sw.Transitions = append(sw.Transitions, Transition{Kind: ExchangeTrans, Link: l, Phase: e})

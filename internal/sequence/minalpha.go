@@ -39,7 +39,7 @@ func MinAlpha(e int) (Seq, error) {
 	}
 	s, err := ParseSeq(text)
 	if err != nil {
-		return nil, fmt.Errorf("sequence: embedded min-α data for e=%d corrupt: %v", e, err)
+		return nil, fmt.Errorf("sequence: embedded min-α data for e=%d corrupt: %w", e, err)
 	}
 	return s, nil
 }

@@ -114,7 +114,7 @@ func IsSubcubePath(sub Seq) bool {
 // an e-sequence, returning an error otherwise.
 func ApplySubcubePermutation(s Seq, e, from, to int, p Permutation) (Seq, error) {
 	if err := ValidateESequence(s, e); err != nil {
-		return nil, fmt.Errorf("sequence: input is not an e-sequence: %v", err)
+		return nil, fmt.Errorf("sequence: input is not an e-sequence: %w", err)
 	}
 	if from < 0 || to > len(s) || from >= to {
 		return nil, fmt.Errorf("sequence: bad range [%d,%d) for length %d", from, to, len(s))
@@ -130,7 +130,7 @@ func ApplySubcubePermutation(s Seq, e, from, to int, p Permutation) (Seq, error)
 		out[i] = p[out[i]]
 	}
 	if err := ValidateESequence(out, e); err != nil {
-		return nil, fmt.Errorf("sequence: permutation broke the Hamiltonian property (it must map the subsequence's dimensions onto themselves): %v", err)
+		return nil, fmt.Errorf("sequence: permutation broke the Hamiltonian property (it must map the subsequence's dimensions onto themselves): %w", err)
 	}
 	return out, nil
 }

@@ -107,6 +107,11 @@ func (s *Service) Adopt(records []store.Record, loadCkpt func(id string) (*engin
 			}
 		}
 
+		// Snapshot the restored result under the job lock once: the job is
+		// about to become visible in s.jobs.
+		j.mu.Lock()
+		res := j.result
+		j.mu.Unlock()
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -121,8 +126,8 @@ func (s *Service) Adopt(records []store.Record, loadCkpt func(id string) (*engin
 		switch r.state {
 		case StateDone:
 			s.metrics.recoveredDone++
-			if j.result != nil {
-				s.metrics.totalMakespan += j.result.Makespan
+			if res != nil {
+				s.metrics.totalMakespan += res.Makespan
 			}
 			stats.Terminal++
 		case StateFailed:
@@ -139,8 +144,8 @@ func (s *Service) Adopt(records []store.Record, loadCkpt func(id string) (*engin
 		}
 		s.evictOldJobsLocked()
 		s.mu.Unlock()
-		if r.state == StateDone && j.result != nil && s.cfg.CacheCap >= 0 && r.fp != 0 {
-			s.cacheStore(r.fp, j.result)
+		if r.state == StateDone && res != nil && s.cfg.CacheCap >= 0 && r.fp != 0 {
+			s.cacheStore(r.fp, res)
 		}
 		adopted = append(adopted, r)
 

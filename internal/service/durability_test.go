@@ -533,7 +533,7 @@ func TestRecoveryPrunesOrphanCheckpoints(t *testing.T) {
 	defer st2.Close()
 	s2 := New(Config{Workers: 1, Store: st2})
 	defer s2.Close()
-	if _, err := st2.LoadCheckpoint(j.ID()); err != store.ErrNoCheckpoint {
+	if _, err := st2.LoadCheckpoint(j.ID()); !errors.Is(err, store.ErrNoCheckpoint) {
 		t.Fatalf("orphan checkpoint survived recovery: %v", err)
 	}
 }

@@ -346,13 +346,13 @@ type Job struct {
 	index int // heap position (-1 once dequeued)
 
 	mu        sync.Mutex
-	state     State
-	err       error
-	result    *Result
-	cacheHit  bool
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
+	state     State     // guarded by mu
+	err       error     // guarded by mu
+	result    *Result   // guarded by mu
+	cacheHit  bool      // guarded by mu
+	submitted time.Time // guarded by mu
+	started   time.Time // guarded by mu
+	finished  time.Time // guarded by mu
 	done      chan struct{}
 
 	idemKey string // idempotency key the job was submitted under ("" = none)
@@ -374,7 +374,11 @@ type Job struct {
 func (j *Job) ID() string { return j.id }
 
 // Label returns the spec's label.
-func (j *Job) Label() string { return j.spec.Label }
+func (j *Job) Label() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.spec.Label
+}
 
 // Backend returns the resolved execution backend. A lane-routed job that
 // runs out its gather window alone re-resolves to a solo backend, so the

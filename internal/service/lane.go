@@ -146,9 +146,15 @@ func (s *Service) executeLane(lane []*Job) {
 		}
 		run = append(run, j)
 	}
+	loneAuto := false
+	if len(run) == 1 {
+		run[0].mu.Lock()
+		loneAuto = run[0].spec.Backend == BackendAuto
+		run[0].mu.Unlock()
+	}
 	switch {
 	case len(run) == 0:
-	case len(run) == 1 && run[0].spec.Backend == BackendAuto:
+	case loneAuto:
 		// The gather window closed without mates: re-check the job's shape
 		// against the solo auto-selection rules so it solves promptly.
 		s.rerouteSolo(run[0])

@@ -103,6 +103,7 @@ func (s *Service) LendQueued(max int, lease time.Duration) []LentJob {
 		j.mu.Lock()
 		j.state = StateRunning
 		j.started = time.Now()
+		spec := j.spec
 		j.mu.Unlock()
 		if s.cfg.Store != nil {
 			// Same best-effort start record a local dequeue writes: a lost
@@ -113,9 +114,9 @@ func (s *Service) LendQueued(max int, lease time.Duration) []LentJob {
 		j.publish(Event{Type: EventStarted, State: StateRunning})
 		backend := j.backend
 		if backend == BackendLane || backend == BackendAuto {
-			backend = j.spec.selectBackend(s.cfg.MulticoreThreshold, 0)
+			backend = spec.selectBackend(s.cfg.MulticoreThreshold, 0)
 		}
-		out = append(out, LentJob{ID: j.id, Key: j.idemKey, Spec: j.spec, Backend: backend})
+		out = append(out, LentJob{ID: j.id, Key: j.idemKey, Spec: spec, Backend: backend})
 	}
 	return out
 }

@@ -147,6 +147,11 @@ func (s *Service) recover() {
 			// fingerprint proves the job was submitted under one.
 			s.reattachTuned(j, r)
 		}
+		// Snapshot the restored result under the job lock once: the job is
+		// about to become visible in s.jobs.
+		j.mu.Lock()
+		res := j.result
+		j.mu.Unlock()
 		s.mu.Lock()
 		if r.seq > s.seq {
 			s.seq = r.seq
@@ -167,8 +172,8 @@ func (s *Service) recover() {
 		switch r.state {
 		case StateDone:
 			s.metrics.recoveredDone++
-			if j.result != nil {
-				s.metrics.totalMakespan += j.result.Makespan
+			if res != nil {
+				s.metrics.totalMakespan += res.Makespan
 			}
 		case StateFailed:
 			s.metrics.recoveredFailed++
@@ -180,8 +185,8 @@ func (s *Service) recover() {
 			s.enqueueLocked(j)
 		}
 		s.mu.Unlock()
-		if r.state == StateDone && j.result != nil && s.cfg.CacheCap >= 0 && r.fp != 0 {
-			s.cacheStore(r.fp, j.result)
+		if r.state == StateDone && res != nil && s.cfg.CacheCap >= 0 && r.fp != 0 {
+			s.cacheStore(r.fp, res)
 		}
 		recovered++
 	}
@@ -190,7 +195,10 @@ func (s *Service) recover() {
 	s.evictOldJobsLocked()
 	live := make(map[string]bool)
 	for id, j := range s.jobs {
-		if j.state != StateDone && j.state != StateFailed && j.state != StateCanceled {
+		j.mu.Lock()
+		terminal := j.state == StateDone || j.state == StateFailed || j.state == StateCanceled
+		j.mu.Unlock()
+		if !terminal {
 			live[id] = true
 		}
 	}

@@ -691,7 +691,10 @@ func (s *Service) withdraw(j *Job, cause error) {
 // persistSubmitted journals one accepted job (spec, key, resolved
 // backend, fingerprint).
 func (s *Service) persistSubmitted(j *Job) error {
-	specJSON, err := json.Marshal(j.spec)
+	j.mu.Lock()
+	spec := j.spec
+	j.mu.Unlock()
+	specJSON, err := json.Marshal(spec)
 	if err != nil {
 		return err
 	}
@@ -1038,7 +1041,10 @@ func (s *Service) solve(j *Job) (*Result, error) {
 		h.OnCheckpoint = cw.offer
 		h.CheckpointEvery = s.cfg.CheckpointEvery
 	}
-	return RunSpec(j.ctx, j.spec, j.backend, h)
+	j.mu.Lock()
+	spec := j.spec
+	j.mu.Unlock()
+	return RunSpec(j.ctx, spec, j.backend, h)
 }
 
 // RunHooks customizes one RunSpec execution. The zero value runs the spec

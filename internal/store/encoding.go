@@ -241,6 +241,7 @@ func decodeRecord(payload []byte) (Record, error) {
 // (magic, version, CRC, payload).
 func encodeCheckpoint(ck *engine.Checkpoint) []byte {
 	fh := ck.FactorRows
+	//lint:allow boundeddecode encode side: ck is a live engine checkpoint, not wire input
 	payload := make([]byte, 0, 64+16*len(ck.Slots)*ck.Rows)
 	payload = append(payload, ckptVersion)
 	payload = binary.LittleEndian.AppendUint32(payload, uint32(ck.Dim))

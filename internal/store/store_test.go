@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -264,7 +265,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if err := s.DeleteCheckpoint("job-9"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.LoadCheckpoint("job-9"); err != ErrNoCheckpoint {
+	if _, err := s.LoadCheckpoint("job-9"); !errors.Is(err, ErrNoCheckpoint) {
 		t.Fatalf("deleted checkpoint load: %v, want ErrNoCheckpoint", err)
 	}
 	if err := s.DeleteCheckpoint("job-9"); err != nil {
@@ -361,7 +362,7 @@ func TestPruneCheckpoints(t *testing.T) {
 	if _, err := s.LoadCheckpoint("job-2"); err != nil {
 		t.Fatalf("live checkpoint pruned: %v", err)
 	}
-	if _, err := s.LoadCheckpoint("job-1"); err != ErrNoCheckpoint {
+	if _, err := s.LoadCheckpoint("job-1"); !errors.Is(err, ErrNoCheckpoint) {
 		t.Fatalf("dead checkpoint survived: %v", err)
 	}
 }
